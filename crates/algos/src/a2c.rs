@@ -1,0 +1,374 @@
+//! Advantage Actor-Critic (A2C; the synchronous variant of Mnih et al.
+//! 2016's A3C) — actor-critic, on-policy.
+//!
+//! Part of the algorithm-zoo breadth the paper describes in §4.2. A2C shares
+//! PPO's synchronous execution model (the learner waits for one rollout from
+//! every explorer, trains, broadcasts) but performs a *single* vanilla
+//! policy-gradient step on GAE advantages instead of PPO's clipped multi-
+//! epoch surrogate — a useful ablation of how much the communication layer
+//! contributes independent of the optimizer sophistication.
+
+use crate::api::{ActionSelection, Agent, Algorithm, SyncMode, TrainReport};
+use crate::batch::taken_log_probs;
+use crate::gae::{gae, normalize, GaeInput};
+use crate::payload::{ParamBlob, RolloutBatch};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use tinynn::ops::{log_softmax, mse, sample_categorical, softmax};
+use tinynn::optim::{clip_global_norm, Adam};
+use tinynn::{Activation, Matrix, Mlp};
+
+/// A2C hyperparameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct A2cConfig {
+    /// Observation dimensionality.
+    pub obs_dim: usize,
+    /// Number of discrete actions.
+    pub num_actions: usize,
+    /// Hidden widths of policy and value networks.
+    pub hidden: Vec<usize>,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Discount factor γ.
+    pub gamma: f32,
+    /// GAE λ.
+    pub lambda: f32,
+    /// Entropy-bonus coefficient.
+    pub entropy_coef: f32,
+    /// Value-loss coefficient.
+    pub value_coef: f32,
+    /// Gradient global-norm clip.
+    pub max_grad_norm: f32,
+    /// Number of explorers the learner waits for each iteration.
+    pub num_explorers: u32,
+    /// Steps per explorer rollout.
+    pub rollout_len: usize,
+    /// RNG / initialization seed.
+    pub seed: u64,
+}
+
+impl A2cConfig {
+    /// Sensible defaults for the given environment dimensions.
+    pub fn new(obs_dim: usize, num_actions: usize) -> Self {
+        A2cConfig {
+            obs_dim,
+            num_actions,
+            hidden: vec![64, 64],
+            lr: 7e-4,
+            gamma: 0.99,
+            lambda: 0.95,
+            entropy_coef: 0.01,
+            value_coef: 0.5,
+            max_grad_norm: 0.5,
+            num_explorers: 4,
+            rollout_len: 100,
+            seed: 0,
+        }
+    }
+
+    fn policy_sizes(&self) -> Vec<usize> {
+        let mut s = vec![self.obs_dim];
+        s.extend_from_slice(&self.hidden);
+        s.push(self.num_actions);
+        s
+    }
+
+    fn value_sizes(&self) -> Vec<usize> {
+        let mut s = vec![self.obs_dim];
+        s.extend_from_slice(&self.hidden);
+        s.push(1);
+        s
+    }
+}
+
+/// Learner-side A2C.
+#[derive(Debug)]
+pub struct A2cAlgorithm {
+    config: A2cConfig,
+    policy: Mlp,
+    value: Mlp,
+    opt_policy: Adam,
+    opt_value: Adam,
+    staged: Vec<RolloutBatch>,
+    staged_steps: usize,
+    version: u64,
+}
+
+impl A2cAlgorithm {
+    /// Creates the learner state for `config`.
+    pub fn new(config: A2cConfig) -> Self {
+        let policy = Mlp::new(&config.policy_sizes(), Activation::Tanh, config.seed);
+        let value = Mlp::new(&config.value_sizes(), Activation::Tanh, config.seed ^ 0xF00D);
+        let opt_policy = Adam::new(policy.num_params(), config.lr);
+        let opt_value = Adam::new(value.num_params(), config.lr);
+        A2cAlgorithm { config, policy, value, opt_policy, opt_value, staged: Vec::new(), staged_steps: 0, version: 0 }
+    }
+
+    fn iteration_batch(&self) -> usize {
+        self.config.num_explorers as usize * self.config.rollout_len
+    }
+}
+
+impl Algorithm for A2cAlgorithm {
+    fn on_rollout(&mut self, batch: RolloutBatch) {
+        if batch.param_version != self.version {
+            return; // on-policy: stale rollouts are unusable
+        }
+        self.staged_steps += batch.len();
+        self.staged.push(batch);
+    }
+
+    fn try_train(&mut self) -> Option<TrainReport> {
+        if self.staged_steps < self.iteration_batch() {
+            return None;
+        }
+        let staged = std::mem::take(&mut self.staged);
+        let steps_consumed = self.staged_steps;
+        self.staged_steps = 0;
+
+        // Assemble the iteration batch with per-segment GAE.
+        let mut obs_data: Vec<f32> = Vec::new();
+        let mut actions: Vec<u32> = Vec::new();
+        let mut advantages: Vec<f32> = Vec::new();
+        let mut returns: Vec<f32> = Vec::new();
+        for b in &staged {
+            let rewards: Vec<f32> = b.steps.iter().map(|s| s.reward).collect();
+            let values: Vec<f32> = b.steps.iter().map(|s| s.value).collect();
+            let dones: Vec<bool> = b.steps.iter().map(|s| s.done).collect();
+            let bootstrap_value = if b.bootstrap_observation.is_empty() {
+                0.0
+            } else {
+                let x = Matrix::from_vec(1, b.bootstrap_observation.len(), b.bootstrap_observation.clone());
+                self.value.forward(&x).get(0, 0)
+            };
+            let out = gae(&GaeInput {
+                rewards: &rewards,
+                values: &values,
+                dones: &dones,
+                bootstrap_value,
+                gamma: self.config.gamma,
+                lambda: self.config.lambda,
+            });
+            for s in &b.steps {
+                obs_data.extend_from_slice(&s.observation);
+                actions.push(s.action);
+            }
+            advantages.extend(out.advantages);
+            returns.extend(out.returns);
+        }
+        normalize(&mut advantages);
+        let n = actions.len();
+        let obs = Matrix::from_vec(n, self.config.obs_dim, obs_data);
+
+        // Single vanilla policy-gradient step: -Â log π(a|s) − c_e H.
+        let (logits, pcache) = self.policy.forward_cached(&obs);
+        let probs = softmax(&logits);
+        let logs = log_softmax(&logits);
+        let target_lp = taken_log_probs(&logits, &actions);
+        let mut dlogits = Matrix::zeros(n, self.config.num_actions);
+        let mut policy_loss = 0.0f32;
+        for i in 0..n {
+            let a = actions[i] as usize;
+            let adv = advantages[i];
+            policy_loss -= adv * target_lp[i] / n as f32;
+            let mut h = 0.0f32;
+            for j in 0..self.config.num_actions {
+                let p = probs.get(i, j);
+                if p > 0.0 {
+                    h -= p * logs.get(i, j);
+                }
+            }
+            for j in 0..self.config.num_actions {
+                let p = probs.get(i, j);
+                let indicator = if j == a { 1.0 } else { 0.0 };
+                let mut g = -adv * (indicator - p);
+                g += self.config.entropy_coef * p * (logs.get(i, j) + h);
+                dlogits.set(i, j, g / n as f32);
+            }
+            policy_loss -= self.config.entropy_coef * h / n as f32;
+        }
+        let mut pgrads = self.policy.backward_cached(&obs, &pcache, &dlogits);
+        clip_global_norm(&mut pgrads, self.config.max_grad_norm);
+        self.opt_policy.step(self.policy.params_mut(), &pgrads);
+
+        // Critic regression to the GAE returns.
+        let (v, vcache) = self.value.forward_cached(&obs);
+        let targets = Matrix::from_vec(n, 1, returns);
+        let (vloss, mut dv) = mse(&v, &targets);
+        dv.scale(self.config.value_coef);
+        let mut vgrads = self.value.backward_cached(&obs, &vcache, &dv);
+        clip_global_norm(&mut vgrads, self.config.max_grad_norm);
+        self.opt_value.step(self.value.params_mut(), &vgrads);
+
+        self.version += 1;
+        Some(TrainReport {
+            steps_consumed,
+            loss: policy_loss + self.config.value_coef * vloss,
+            version: self.version,
+            notify: (0..self.config.num_explorers).collect(),
+        })
+    }
+
+    fn param_blob(&self) -> ParamBlob {
+        let mut params = self.policy.params().to_vec();
+        params.extend_from_slice(self.value.params());
+        ParamBlob { version: self.version, params }
+    }
+
+    fn load_params(&mut self, params: &[f32]) {
+        let np = self.policy.num_params();
+        assert_eq!(params.len(), np + self.value.num_params(), "parameter count mismatch");
+        self.policy.set_params(&params[..np]);
+        self.value.set_params(&params[np..]);
+    }
+
+    fn version(&self) -> u64 {
+        self.version
+    }
+
+    fn sync_mode(&self) -> SyncMode {
+        SyncMode::OnPolicy
+    }
+
+    fn name(&self) -> &str {
+        "A2C"
+    }
+}
+
+/// Explorer-side A2C agent: samples the softmax policy, records logits and
+/// value estimates for the learner's GAE.
+#[derive(Debug)]
+pub struct A2cAgent {
+    policy: Mlp,
+    value: Mlp,
+    version: u64,
+    rng: StdRng,
+}
+
+impl A2cAgent {
+    /// Creates the explorer state for `config`.
+    pub fn new(config: A2cConfig, explorer_seed: u64) -> Self {
+        let policy = Mlp::new(&config.policy_sizes(), Activation::Tanh, config.seed);
+        let value = Mlp::new(&config.value_sizes(), Activation::Tanh, config.seed ^ 0xF00D);
+        let rng = StdRng::seed_from_u64(explorer_seed.wrapping_mul(0xA2C).wrapping_add(3));
+        A2cAgent { policy, value, version: 0, rng }
+    }
+}
+
+impl Agent for A2cAgent {
+    fn act(&mut self, observation: &[f32]) -> ActionSelection {
+        let x = Matrix::from_vec(1, observation.len(), observation.to_vec());
+        let logits = self.policy.forward(&x);
+        let probs = softmax(&logits);
+        let action = sample_categorical(probs.row(0), self.rng.gen::<f32>());
+        let value = self.value.forward(&x).get(0, 0);
+        ActionSelection { action, logits: logits.row(0).to_vec(), value }
+    }
+
+    fn apply_params(&mut self, blob: &ParamBlob) {
+        if blob.version <= self.version {
+            return;
+        }
+        let np = self.policy.num_params();
+        assert_eq!(blob.params.len(), np + self.value.num_params(), "parameter blob size mismatch");
+        self.policy.set_params(&blob.params[..np]);
+        self.value.set_params(&blob.params[np..]);
+        self.version = blob.version;
+    }
+
+    fn param_version(&self) -> u64 {
+        self.version
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payload::RolloutStep;
+
+    fn tiny_config() -> A2cConfig {
+        let mut c = A2cConfig::new(3, 2);
+        c.hidden = vec![16];
+        c.num_explorers = 2;
+        c.rollout_len = 8;
+        c.lr = 1e-2;
+        c
+    }
+
+    fn rollout(explorer: u32, version: u64, good_action: u32, len: usize) -> RolloutBatch {
+        let steps = (0..len)
+            .map(|i| {
+                let action = (i % 2) as u32;
+                RolloutStep {
+                    observation: vec![0.1, -0.3, 0.5],
+                    action,
+                    reward: if action == good_action { 1.0 } else { 0.0 },
+                    done: false,
+                    behavior_logits: vec![0.0, 0.0],
+                    value: 0.0,
+                    next_observation: None,
+                }
+            })
+            .collect();
+        RolloutBatch { explorer, param_version: version, steps, bootstrap_observation: vec![0.1, -0.3, 0.5] }
+    }
+
+    #[test]
+    fn waits_for_the_full_iteration_batch() {
+        let c = tiny_config();
+        let mut alg = A2cAlgorithm::new(c.clone());
+        alg.on_rollout(rollout(0, 0, 1, 8));
+        assert!(alg.try_train().is_none());
+        alg.on_rollout(rollout(1, 0, 1, 8));
+        let report = alg.try_train().expect("iteration complete");
+        assert_eq!(report.steps_consumed, 16);
+        assert_eq!(report.notify, vec![0, 1]);
+    }
+
+    #[test]
+    fn rejects_stale_rollouts() {
+        let mut alg = A2cAlgorithm::new(tiny_config());
+        alg.on_rollout(rollout(0, 42, 1, 8));
+        assert_eq!(alg.staged_steps, 0);
+    }
+
+    #[test]
+    fn training_shifts_policy_toward_rewarded_action() {
+        let mut c = tiny_config();
+        c.gamma = 0.0;
+        c.lambda = 0.0;
+        let mut alg = A2cAlgorithm::new(c);
+        let obs = Matrix::from_vec(1, 3, vec![0.1, -0.3, 0.5]);
+        let before = softmax(&alg.policy.forward(&obs)).get(0, 1);
+        for _ in 0..40 {
+            let v = alg.version();
+            alg.on_rollout(rollout(0, v, 1, 8));
+            alg.on_rollout(rollout(1, v, 1, 8));
+            alg.try_train().unwrap();
+        }
+        let after = softmax(&alg.policy.forward(&obs)).get(0, 1);
+        assert!(after > before + 0.1, "P(a=1) should rise: {before} -> {after}");
+    }
+
+    #[test]
+    fn agent_and_learner_share_parameter_layout() {
+        let c = tiny_config();
+        let alg = A2cAlgorithm::new(c.clone());
+        let mut agent = A2cAgent::new(c, 1);
+        let mut blob = alg.param_blob();
+        blob.version = 1;
+        agent.apply_params(&blob);
+        assert_eq!(agent.param_version(), 1);
+        assert_eq!(agent.policy.params(), alg.policy.params());
+    }
+
+    #[test]
+    fn load_params_round_trips() {
+        let c = tiny_config();
+        let mut a = A2cAlgorithm::new(c.clone());
+        let b = A2cAlgorithm::new(A2cConfig { seed: 9, ..c });
+        a.load_params(&b.param_blob().params);
+        assert_eq!(a.param_blob().params, b.param_blob().params);
+    }
+}

@@ -1,0 +1,118 @@
+//! The framework-facing algorithm contract.
+//!
+//! XingTian's researcher interface (paper §4.2) splits a DRL algorithm into a
+//! learner-side `Algorithm` (how to organize received rollouts and update the
+//! DNNs — `prepare_data` + `train`) and an explorer-side `Agent` (how to pick
+//! actions and package environment feedback — `infer_action` +
+//! `handle_env_feedback`). The same two traits are implemented here and are
+//! consumed by *both* the XingTian framework and the baseline frameworks, so
+//! every framework runs byte-identical algorithm logic and differs only in
+//! communication management.
+
+use crate::payload::{ParamBlob, RolloutBatch};
+
+/// How the learner and explorers synchronize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncMode {
+    /// On-policy: explorers must wait for fresh parameters after each batch
+    /// (PPO).
+    OnPolicy,
+    /// Off-policy: explorers keep rolling with stale parameters (DQN, IMPALA).
+    OffPolicy,
+}
+
+/// Outcome of one training session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainReport {
+    /// Rollout steps consumed by this session (the unit of the paper's
+    /// throughput metric).
+    pub steps_consumed: usize,
+    /// Scalar training loss (algorithm-specific composition).
+    pub loss: f32,
+    /// Parameter version after the update.
+    pub version: u64,
+    /// Explorers that should receive the new parameters now. Empty means "no
+    /// broadcast due yet" (e.g. DQN broadcasts every few sessions).
+    pub notify: Vec<u32>,
+}
+
+/// Learner-side algorithm logic.
+pub trait Algorithm: Send {
+    /// Ingests a rollout batch (the paper's `prepare_data`): replay-buffer
+    /// insertion for DQN, accumulation for PPO/IMPALA.
+    fn on_rollout(&mut self, batch: RolloutBatch);
+
+    /// Runs one training session if enough data is staged, returning a report
+    /// (the paper's `train`). Returns `None` when not ready (warmup not met,
+    /// on-policy batch incomplete, ...).
+    fn try_train(&mut self) -> Option<TrainReport>;
+
+    /// Snapshot of all trainable parameters for broadcast.
+    fn param_blob(&self) -> ParamBlob;
+
+    /// Overwrites all trainable parameters (used by PBT to seed a new
+    /// population with the best population's weights, paper §4.3). The
+    /// version counter is left unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `params` has the wrong length.
+    fn load_params(&mut self, params: &[f32]);
+
+    /// Current parameter version.
+    fn version(&self) -> u64;
+
+    /// The algorithm's synchronization discipline.
+    fn sync_mode(&self) -> SyncMode;
+
+    /// Human-readable algorithm name.
+    fn name(&self) -> &str;
+}
+
+/// An action choice plus the behavior-policy side information the learner
+/// needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActionSelection {
+    /// The chosen action.
+    pub action: usize,
+    /// Behavior-policy logits (empty for value-based agents).
+    pub logits: Vec<f32>,
+    /// Behavior value estimate (0.0 for value-based agents).
+    pub value: f32,
+}
+
+/// Explorer-side agent logic.
+pub trait Agent: Send {
+    /// Chooses an action for `observation` (the paper's `infer_action`).
+    fn act(&mut self, observation: &[f32]) -> ActionSelection;
+
+    /// Installs broadcast parameters (stale versions are ignored).
+    fn apply_params(&mut self, blob: &ParamBlob);
+
+    /// Version of the parameters currently in use.
+    fn param_version(&self) -> u64;
+
+    /// Whether this agent records full transitions (`next_observation`) in
+    /// its rollout steps — true for replay-based algorithms.
+    fn records_next_observation(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traits_are_object_safe() {
+        fn _assert_algorithm(_: &dyn Algorithm) {}
+        fn _assert_agent(_: &dyn Agent) {}
+    }
+
+    #[test]
+    fn train_report_fields() {
+        let r = TrainReport { steps_consumed: 500, loss: 0.5, version: 3, notify: vec![1, 2] };
+        assert_eq!(r.steps_consumed, 500);
+        assert_eq!(r.notify, vec![1, 2]);
+    }
+}

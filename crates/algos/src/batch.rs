@@ -1,0 +1,113 @@
+//! Helpers for turning rollout batches into training tensors.
+
+use crate::payload::RolloutStep;
+use tinynn::ops::log_softmax;
+use tinynn::Matrix;
+
+/// Stacks the observations of `steps` into a `(len, obs_dim)` matrix.
+///
+/// # Panics
+///
+/// Panics if `steps` is empty or observations differ in length.
+pub fn observation_matrix(steps: &[&RolloutStep]) -> Matrix {
+    assert!(!steps.is_empty(), "cannot stack an empty batch");
+    let dim = steps[0].observation.len();
+    let mut data = Vec::with_capacity(steps.len() * dim);
+    for s in steps {
+        assert_eq!(s.observation.len(), dim, "ragged observations");
+        data.extend_from_slice(&s.observation);
+    }
+    Matrix::from_vec(steps.len(), dim, data)
+}
+
+/// Stacks the *next* observations (for DQN targets). Terminal steps without a
+/// next observation contribute zeros (their target is masked anyway).
+pub fn next_observation_matrix(steps: &[&RolloutStep]) -> Matrix {
+    assert!(!steps.is_empty(), "cannot stack an empty batch");
+    let dim = steps[0].observation.len();
+    let mut data = Vec::with_capacity(steps.len() * dim);
+    for s in steps {
+        match &s.next_observation {
+            Some(o) => {
+                assert_eq!(o.len(), dim, "ragged next observations");
+                data.extend_from_slice(o);
+            }
+            None => data.extend(std::iter::repeat_n(0.0, dim)),
+        }
+    }
+    Matrix::from_vec(steps.len(), dim, data)
+}
+
+/// Log-probability of each step's taken action under its recorded behavior
+/// logits.
+///
+/// # Panics
+///
+/// Panics if any step lacks behavior logits.
+pub fn behavior_log_probs(steps: &[&RolloutStep]) -> Vec<f32> {
+    steps
+        .iter()
+        .map(|s| {
+            assert!(
+                !s.behavior_logits.is_empty(),
+                "behavior logits required (actor-critic rollouts record them)"
+            );
+            let m = Matrix::from_vec(1, s.behavior_logits.len(), s.behavior_logits.clone());
+            log_softmax(&m).get(0, s.action as usize)
+        })
+        .collect()
+}
+
+/// Log-probability of each taken action under `logits` (one row per step).
+pub fn taken_log_probs(logits: &Matrix, actions: &[u32]) -> Vec<f32> {
+    let ls = log_softmax(logits);
+    actions.iter().enumerate().map(|(i, &a)| ls.get(i, a as usize)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(obs: Vec<f32>, action: u32, logits: Vec<f32>) -> RolloutStep {
+        RolloutStep {
+            observation: obs,
+            action,
+            reward: 0.0,
+            done: false,
+            behavior_logits: logits,
+            value: 0.0,
+            next_observation: None,
+        }
+    }
+
+    #[test]
+    fn observation_matrix_stacks_rows() {
+        let a = step(vec![1.0, 2.0], 0, vec![0.0, 0.0]);
+        let b = step(vec![3.0, 4.0], 1, vec![0.0, 0.0]);
+        let m = observation_matrix(&[&a, &b]);
+        assert_eq!(m.shape(), (2, 2));
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn behavior_log_probs_match_log_softmax() {
+        let s = step(vec![0.0], 1, vec![1.0, 3.0]);
+        let lp = behavior_log_probs(&[&s])[0];
+        // log softmax of [1,3] at index 1 = -ln(1 + e^{-2}).
+        let expect = -(1.0f32 + (-2.0f32).exp()).ln();
+        assert!((lp - expect).abs() < 1e-5);
+    }
+
+    #[test]
+    fn missing_next_observation_is_zero_padded() {
+        let s = step(vec![1.0, 1.0], 0, vec![]);
+        let m = next_observation_matrix(&[&s]);
+        assert_eq!(m.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn empty_batch_panics() {
+        let _ = observation_matrix(&[]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Generalized Advantage Estimation (Schulman et al. 2016).
+
+/// Inputs to one GAE computation over a contiguous rollout segment.
+#[derive(Debug, Clone)]
+pub struct GaeInput<'a> {
+    /// Per-step rewards.
+    pub rewards: &'a [f32],
+    /// Per-step value estimates `V(s_t)` under the behavior parameters.
+    pub values: &'a [f32],
+    /// Per-step episode-termination flags.
+    pub dones: &'a [bool],
+    /// Value estimate of the state after the final step (ignored if the final
+    /// step is terminal).
+    pub bootstrap_value: f32,
+    /// Discount factor γ.
+    pub gamma: f32,
+    /// GAE smoothing parameter λ.
+    pub lambda: f32,
+}
+
+/// Per-step advantages and value targets (returns).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaeOutput {
+    /// Advantage estimates `Â_t`.
+    pub advantages: Vec<f32>,
+    /// Value-function regression targets `Â_t + V(s_t)`.
+    pub returns: Vec<f32>,
+}
+
+/// Computes GAE-λ advantages and returns for one segment.
+///
+/// # Panics
+///
+/// Panics if the input slices differ in length.
+pub fn gae(input: &GaeInput<'_>) -> GaeOutput {
+    let n = input.rewards.len();
+    assert_eq!(input.values.len(), n, "values length mismatch");
+    assert_eq!(input.dones.len(), n, "dones length mismatch");
+    let mut advantages = vec![0.0f32; n];
+    let mut last_adv = 0.0f32;
+    for t in (0..n).rev() {
+        let not_done = if input.dones[t] { 0.0 } else { 1.0 };
+        let next_value = if t + 1 < n { input.values[t + 1] } else { input.bootstrap_value };
+        let delta = input.rewards[t] + input.gamma * next_value * not_done - input.values[t];
+        last_adv = delta + input.gamma * input.lambda * not_done * last_adv;
+        advantages[t] = last_adv;
+    }
+    let returns = advantages.iter().zip(input.values).map(|(a, v)| a + v).collect();
+    GaeOutput { advantages, returns }
+}
+
+/// Normalizes a slice to zero mean and unit standard deviation, in place.
+/// Leaves inputs of length < 2 (or zero variance) untouched.
+pub fn normalize(values: &mut [f32]) {
+    if values.len() < 2 {
+        return;
+    }
+    let n = values.len() as f32;
+    let mean = values.iter().sum::<f32>() / n;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+    if var <= 1e-12 {
+        return;
+    }
+    let std = var.sqrt();
+    for v in values.iter_mut() {
+        *v = (*v - mean) / std;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lambda_one_equals_discounted_return_minus_value() {
+        // With λ=1 and no termination, advantage = Σ γ^k r_{t+k} + γ^n V_boot - V_t.
+        let rewards = [1.0f32, 1.0, 1.0];
+        let values = [0.5f32, 0.5, 0.5];
+        let dones = [false, false, false];
+        let out = gae(&GaeInput {
+            rewards: &rewards,
+            values: &values,
+            dones: &dones,
+            bootstrap_value: 2.0,
+            gamma: 0.9,
+            lambda: 1.0,
+        });
+        let expected0 = 1.0 + 0.9 + 0.81 + 0.729 * 2.0 - 0.5;
+        assert!((out.advantages[0] - expected0).abs() < 1e-5, "{}", out.advantages[0]);
+    }
+
+    #[test]
+    fn lambda_zero_is_one_step_td() {
+        let rewards = [1.0f32, 2.0];
+        let values = [0.0f32, 1.0];
+        let dones = [false, false];
+        let out = gae(&GaeInput {
+            rewards: &rewards,
+            values: &values,
+            dones: &dones,
+            bootstrap_value: 3.0,
+            gamma: 0.5,
+            lambda: 0.0,
+        });
+        assert!((out.advantages[0] - (1.0 + 0.5 * 1.0 - 0.0)).abs() < 1e-6);
+        assert!((out.advantages[1] - (2.0 + 0.5 * 3.0 - 1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn done_blocks_bootstrapping() {
+        let rewards = [1.0f32, 100.0];
+        let values = [0.0f32, 0.0];
+        let dones = [true, false];
+        let out = gae(&GaeInput {
+            rewards: &rewards,
+            values: &values,
+            dones: &dones,
+            bootstrap_value: 100.0,
+            gamma: 0.99,
+            lambda: 0.95,
+        });
+        // Step 0 ends an episode: its advantage sees only its own reward.
+        assert!((out.advantages[0] - 1.0).abs() < 1e-6, "{}", out.advantages[0]);
+    }
+
+    #[test]
+    fn returns_are_advantage_plus_value() {
+        let rewards = [1.0f32];
+        let values = [0.7f32];
+        let dones = [false];
+        let out = gae(&GaeInput {
+            rewards: &rewards,
+            values: &values,
+            dones: &dones,
+            bootstrap_value: 0.0,
+            gamma: 0.9,
+            lambda: 0.9,
+        });
+        assert!((out.returns[0] - (out.advantages[0] + 0.7)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalize_zero_mean_unit_std() {
+        let mut v = vec![1.0f32, 2.0, 3.0, 4.0];
+        normalize(&mut v);
+        let mean: f32 = v.iter().sum::<f32>() / 4.0;
+        let var: f32 = v.iter().map(|x| x * x).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-6);
+        assert!((var - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn normalize_handles_degenerate_inputs() {
+        let mut single = vec![5.0f32];
+        normalize(&mut single);
+        assert_eq!(single, vec![5.0]);
+        let mut constant = vec![2.0f32; 4];
+        normalize(&mut constant);
+        assert_eq!(constant, vec![2.0; 4]);
+    }
+}

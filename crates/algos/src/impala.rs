@@ -1,0 +1,415 @@
+//! IMPALA (Espeholt et al. 2018) — actor-critic, off-policy via V-trace.
+//!
+//! Execution model (paper Fig. 1(c) and §5.2): the learner trains as soon as
+//! a batch from *any single* explorer arrives (batch = one rollout of 200/500
+//! steps) and sends updated parameters back to exactly that explorer. Because
+//! V-trace corrects for policy lag, explorers keep generating with stale
+//! parameters — the asynchrony XingTian's aggressive push exploits for its
+//! +70.71% throughput headline (paper Fig. 8).
+
+use crate::api::{ActionSelection, Agent, Algorithm, SyncMode, TrainReport};
+use crate::batch::{behavior_log_probs, observation_matrix, taken_log_probs};
+use crate::payload::{ParamBlob, RolloutBatch};
+use crate::vtrace::{vtrace, VtraceInput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use tinynn::ops::{log_softmax, mse, sample_categorical, softmax};
+use tinynn::optim::{clip_global_norm, Adam};
+use tinynn::{Activation, Matrix, Mlp};
+
+/// IMPALA hyperparameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ImpalaConfig {
+    /// Observation dimensionality.
+    pub obs_dim: usize,
+    /// Number of discrete actions.
+    pub num_actions: usize,
+    /// Hidden widths of policy and value networks.
+    pub hidden: Vec<usize>,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Discount factor γ.
+    pub gamma: f32,
+    /// V-trace ρ̄ truncation.
+    pub rho_bar: f32,
+    /// V-trace c̄ truncation.
+    pub c_bar: f32,
+    /// Entropy-bonus coefficient.
+    pub entropy_coef: f32,
+    /// Value-loss coefficient.
+    pub value_coef: f32,
+    /// Gradient global-norm clip.
+    pub max_grad_norm: f32,
+    /// Maximum rollout batches queued at the learner. When production
+    /// outruns training, the *oldest* (most stale) batch is dropped first —
+    /// V-trace tolerates staleness, but unbounded queues would grow memory
+    /// and policy lag without bound.
+    pub max_queue: usize,
+    /// RNG / initialization seed.
+    pub seed: u64,
+}
+
+impl ImpalaConfig {
+    /// Paper-shaped defaults for the given environment dimensions.
+    pub fn new(obs_dim: usize, num_actions: usize) -> Self {
+        ImpalaConfig {
+            obs_dim,
+            num_actions,
+            hidden: vec![64, 64],
+            lr: 6e-4,
+            gamma: 0.99,
+            rho_bar: 1.0,
+            c_bar: 1.0,
+            entropy_coef: 0.01,
+            value_coef: 0.5,
+            max_grad_norm: 40.0,
+            max_queue: 64,
+            seed: 0,
+        }
+    }
+
+    fn policy_sizes(&self) -> Vec<usize> {
+        let mut s = vec![self.obs_dim];
+        s.extend_from_slice(&self.hidden);
+        s.push(self.num_actions);
+        s
+    }
+
+    fn value_sizes(&self) -> Vec<usize> {
+        let mut s = vec![self.obs_dim];
+        s.extend_from_slice(&self.hidden);
+        s.push(1);
+        s
+    }
+}
+
+/// Learner-side IMPALA.
+#[derive(Debug)]
+pub struct ImpalaAlgorithm {
+    config: ImpalaConfig,
+    policy: Mlp,
+    value: Mlp,
+    opt_policy: Adam,
+    opt_value: Adam,
+    queue: VecDeque<RolloutBatch>,
+    dropped_batches: u64,
+    version: u64,
+}
+
+impl ImpalaAlgorithm {
+    /// Creates the learner state for `config`.
+    pub fn new(config: ImpalaConfig) -> Self {
+        let policy = Mlp::new(&config.policy_sizes(), Activation::Tanh, config.seed);
+        let value = Mlp::new(&config.value_sizes(), Activation::Tanh, config.seed ^ 0xF00D);
+        let opt_policy = Adam::new(policy.num_params(), config.lr);
+        let opt_value = Adam::new(value.num_params(), config.lr);
+        ImpalaAlgorithm {
+            config,
+            policy,
+            value,
+            opt_policy,
+            opt_value,
+            queue: VecDeque::new(),
+            dropped_batches: 0,
+            version: 0,
+        }
+    }
+
+    /// Rollout batches waiting to be consumed.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Batches discarded because the queue overflowed (staleness shedding).
+    pub fn dropped_batches(&self) -> u64 {
+        self.dropped_batches
+    }
+}
+
+impl Algorithm for ImpalaAlgorithm {
+    fn on_rollout(&mut self, batch: RolloutBatch) {
+        if batch.is_empty() {
+            return;
+        }
+        self.queue.push_back(batch);
+        while self.queue.len() > self.config.max_queue {
+            self.queue.pop_front();
+            self.dropped_batches += 1;
+        }
+    }
+
+    fn try_train(&mut self) -> Option<TrainReport> {
+        let batch = self.queue.pop_front()?;
+        let refs: Vec<&_> = batch.steps.iter().collect();
+        let obs = observation_matrix(&refs);
+        let actions: Vec<u32> = batch.steps.iter().map(|s| s.action).collect();
+        let rewards: Vec<f32> = batch.steps.iter().map(|s| s.reward).collect();
+        let dones: Vec<bool> = batch.steps.iter().map(|s| s.done).collect();
+        let behavior_lp = behavior_log_probs(&refs);
+
+        // Values under the *current* value net (V-trace requirement).
+        let (values_m, vcache) = self.value.forward_cached(&obs);
+        let values: Vec<f32> = (0..values_m.rows()).map(|i| values_m.get(i, 0)).collect();
+        let bootstrap_value = if batch.bootstrap_observation.is_empty() {
+            0.0
+        } else {
+            let x = Matrix::from_vec(1, batch.bootstrap_observation.len(), batch.bootstrap_observation.clone());
+            self.value.forward(&x).get(0, 0)
+        };
+
+        let (logits, pcache) = self.policy.forward_cached(&obs);
+        let target_lp = taken_log_probs(&logits, &actions);
+        let vt = vtrace(&VtraceInput {
+            behavior_log_probs: &behavior_lp,
+            target_log_probs: &target_lp,
+            rewards: &rewards,
+            values: &values,
+            dones: &dones,
+            bootstrap_value,
+            gamma: self.config.gamma,
+            rho_bar: self.config.rho_bar,
+            c_bar: self.config.c_bar,
+        });
+
+        let n = batch.len();
+        let probs = softmax(&logits);
+        let logs = log_softmax(&logits);
+        let mut dlogits = Matrix::zeros(n, self.config.num_actions);
+        let mut policy_loss = 0.0f32;
+        for i in 0..n {
+            let a = actions[i] as usize;
+            let adv = vt.pg_advantages[i];
+            policy_loss -= adv * target_lp[i] / n as f32;
+            let mut h = 0.0f32;
+            for j in 0..self.config.num_actions {
+                let p = probs.get(i, j);
+                if p > 0.0 {
+                    h -= p * logs.get(i, j);
+                }
+            }
+            for j in 0..self.config.num_actions {
+                let p = probs.get(i, j);
+                let indicator = if j == a { 1.0 } else { 0.0 };
+                // d/dlogits of -(adv · log π(a|s)): -adv (δ_aj − p_j).
+                let mut g = -adv * (indicator - p);
+                // Entropy bonus gradient, as in PPO.
+                g += self.config.entropy_coef * p * (logs.get(i, j) + h);
+                dlogits.set(i, j, g / n as f32);
+            }
+            policy_loss -= self.config.entropy_coef * h / n as f32;
+        }
+        let mut pgrads = self.policy.backward_cached(&obs, &pcache, &dlogits);
+        clip_global_norm(&mut pgrads, self.config.max_grad_norm);
+        self.opt_policy.step(self.policy.params_mut(), &pgrads);
+
+        // Critic regression to the V-trace targets.
+        let targets = Matrix::from_vec(n, 1, vt.vs.clone());
+        let (vloss, mut dv) = mse(&values_m, &targets);
+        dv.scale(self.config.value_coef);
+        let mut vgrads = self.value.backward_cached(&obs, &vcache, &dv);
+        clip_global_norm(&mut vgrads, self.config.max_grad_norm);
+        self.opt_value.step(self.value.params_mut(), &vgrads);
+
+        self.version += 1;
+        Some(TrainReport {
+            steps_consumed: n,
+            loss: policy_loss + self.config.value_coef * vloss,
+            version: self.version,
+            // Paper: "sends updated DNN parameters exactly to the explorers it
+            // gets rollouts from".
+            notify: vec![batch.explorer],
+        })
+    }
+
+    fn param_blob(&self) -> ParamBlob {
+        let mut params = self.policy.params().to_vec();
+        params.extend_from_slice(self.value.params());
+        ParamBlob { version: self.version, params }
+    }
+
+    fn load_params(&mut self, params: &[f32]) {
+        let np = self.policy.num_params();
+        assert_eq!(params.len(), np + self.value.num_params(), "parameter count mismatch");
+        self.policy.set_params(&params[..np]);
+        self.value.set_params(&params[np..]);
+    }
+
+    fn version(&self) -> u64 {
+        self.version
+    }
+
+    fn sync_mode(&self) -> SyncMode {
+        SyncMode::OffPolicy
+    }
+
+    fn name(&self) -> &str {
+        "IMPALA"
+    }
+}
+
+/// Explorer-side IMPALA agent: samples the softmax policy, records behavior
+/// logits for V-trace.
+#[derive(Debug)]
+pub struct ImpalaAgent {
+    policy: Mlp,
+    value: Mlp,
+    version: u64,
+    rng: StdRng,
+}
+
+impl ImpalaAgent {
+    /// Creates the explorer state for `config`.
+    pub fn new(config: ImpalaConfig, explorer_seed: u64) -> Self {
+        let policy = Mlp::new(&config.policy_sizes(), Activation::Tanh, config.seed);
+        let value = Mlp::new(&config.value_sizes(), Activation::Tanh, config.seed ^ 0xF00D);
+        let rng = StdRng::seed_from_u64(explorer_seed.wrapping_mul(0xC0FFEE).wrapping_add(13));
+        ImpalaAgent { policy, value, version: 0, rng }
+    }
+}
+
+impl Agent for ImpalaAgent {
+    fn act(&mut self, observation: &[f32]) -> ActionSelection {
+        let x = Matrix::from_vec(1, observation.len(), observation.to_vec());
+        let logits = self.policy.forward(&x);
+        let probs = softmax(&logits);
+        let action = sample_categorical(probs.row(0), self.rng.gen::<f32>());
+        let value = self.value.forward(&x).get(0, 0);
+        ActionSelection { action, logits: logits.row(0).to_vec(), value }
+    }
+
+    fn apply_params(&mut self, blob: &ParamBlob) {
+        if blob.version <= self.version {
+            return;
+        }
+        let np = self.policy.num_params();
+        assert_eq!(blob.params.len(), np + self.value.num_params(), "parameter blob size mismatch");
+        self.policy.set_params(&blob.params[..np]);
+        self.value.set_params(&blob.params[np..]);
+        self.version = blob.version;
+    }
+
+    fn param_version(&self) -> u64 {
+        self.version
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payload::RolloutStep;
+
+    fn tiny_config() -> ImpalaConfig {
+        let mut c = ImpalaConfig::new(3, 2);
+        c.hidden = vec![16];
+        c.lr = 1e-2;
+        c
+    }
+
+    fn rollout(explorer: u32, good_action: u32, len: usize) -> RolloutBatch {
+        let steps = (0..len)
+            .map(|i| {
+                let action = (i % 2) as u32;
+                RolloutStep {
+                    observation: vec![0.3, 0.1, -0.2],
+                    action,
+                    reward: if action == good_action { 1.0 } else { 0.0 },
+                    done: false,
+                    behavior_logits: vec![0.0, 0.0],
+                    value: 0.0,
+                    next_observation: None,
+                }
+            })
+            .collect();
+        RolloutBatch { explorer, param_version: 0, steps, bootstrap_observation: vec![0.3, 0.1, -0.2] }
+    }
+
+    #[test]
+    fn trains_per_single_batch_and_notifies_source() {
+        let mut alg = ImpalaAlgorithm::new(tiny_config());
+        assert!(alg.try_train().is_none(), "no data yet");
+        alg.on_rollout(rollout(5, 1, 16));
+        let report = alg.try_train().expect("one batch is enough");
+        assert_eq!(report.steps_consumed, 16);
+        assert_eq!(report.notify, vec![5], "params go back to the source explorer");
+        assert!(alg.try_train().is_none(), "queue drained");
+    }
+
+    #[test]
+    fn queue_preserves_fifo_order() {
+        let mut alg = ImpalaAlgorithm::new(tiny_config());
+        alg.on_rollout(rollout(1, 0, 4));
+        alg.on_rollout(rollout(2, 0, 4));
+        assert_eq!(alg.queue_depth(), 2);
+        assert_eq!(alg.try_train().unwrap().notify, vec![1]);
+        assert_eq!(alg.try_train().unwrap().notify, vec![2]);
+    }
+
+    #[test]
+    fn stale_rollouts_are_still_consumed() {
+        // Off-policy: a batch with an old param_version must still train.
+        let mut alg = ImpalaAlgorithm::new(tiny_config());
+        let mut b = rollout(0, 1, 8);
+        b.param_version = 0;
+        alg.on_rollout(b);
+        alg.on_rollout(rollout(0, 1, 8)); // version still 0, learner now at 1
+        assert!(alg.try_train().is_some());
+        assert!(alg.try_train().is_some());
+    }
+
+    #[test]
+    fn training_shifts_policy_toward_rewarded_action() {
+        // γ = 0 isolates the per-action reward signal (contextual bandit), so
+        // the policy-gradient direction is unambiguous.
+        let mut c = tiny_config();
+        c.gamma = 0.0;
+        let mut alg = ImpalaAlgorithm::new(c);
+        let obs = Matrix::from_vec(1, 3, vec![0.3, 0.1, -0.2]);
+        let before = softmax(&alg.policy.forward(&obs)).get(0, 1);
+        for _ in 0..60 {
+            alg.on_rollout(rollout(0, 1, 32));
+            alg.try_train().unwrap();
+        }
+        let after = softmax(&alg.policy.forward(&obs)).get(0, 1);
+        assert!(after > before + 0.1, "P(a=1) should rise: {before} -> {after}");
+    }
+
+    #[test]
+    fn agent_param_round_trip() {
+        let alg = ImpalaAlgorithm::new(tiny_config());
+        let mut agent = ImpalaAgent::new(tiny_config(), 2);
+        let mut blob = alg.param_blob();
+        blob.version = 1;
+        agent.apply_params(&blob);
+        assert_eq!(agent.param_version(), 1);
+        assert_eq!(agent.policy.params(), alg.policy.params());
+    }
+
+    #[test]
+    fn queue_overflow_sheds_oldest() {
+        let mut c = tiny_config();
+        c.max_queue = 2;
+        let mut alg = ImpalaAlgorithm::new(c);
+        for e in 0..5 {
+            alg.on_rollout(rollout(e, 0, 4));
+        }
+        assert_eq!(alg.queue_depth(), 2);
+        assert_eq!(alg.dropped_batches(), 3);
+        // The two newest batches (explorers 3 and 4) survive.
+        assert_eq!(alg.try_train().unwrap().notify, vec![3]);
+        assert_eq!(alg.try_train().unwrap().notify, vec![4]);
+    }
+
+    #[test]
+    fn empty_batches_are_ignored() {
+        let mut alg = ImpalaAlgorithm::new(tiny_config());
+        alg.on_rollout(RolloutBatch {
+            explorer: 0,
+            param_version: 0,
+            steps: vec![],
+            bootstrap_observation: vec![],
+        });
+        assert_eq!(alg.queue_depth(), 0);
+    }
+}

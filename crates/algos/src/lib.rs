@@ -1,0 +1,50 @@
+//! DRL algorithm zoo for the XingTian reproduction.
+//!
+//! The paper's framework exposes four researcher-facing classes (§4.2):
+//! `Environment`, `Model`, `Algorithm`, and `Agent`. The environment lives in
+//! [`gymlite`]; this crate provides the other three for the three evaluated
+//! algorithms:
+//!
+//! * **DQN** (value-based, off-policy) — [`dqn`], with uniform and prioritized
+//!   [`replay`] buffers;
+//! * **PPO** (actor-critic, on-policy) — [`ppo`], with [`gae`]
+//!   generalized-advantage estimation and the clipped surrogate objective;
+//! * **IMPALA** (actor-critic, off-policy) — [`impala`], with [`vtrace`]
+//!   off-policy corrections;
+//! * **A2C** (actor-critic, on-policy) — [`a2c`], synchronous vanilla policy
+//!   gradient on GAE advantages;
+//! * **REINFORCE** (policy-based, on-policy) — [`reinforce`], episodic
+//!   Monte-Carlo policy gradient with a moving-average baseline.
+//!
+//! DQN additionally supports Double-DQN targets and prioritized replay
+//! (`DqnConfig::double` / `DqnConfig::prioritized`), rounding out the zoo the
+//! paper describes.
+//!
+//! The framework-facing contract is in [`api`]: a learner-side
+//! [`api::Algorithm`] (the paper's `prepare_data` + `train`) and an
+//! explorer-side [`api::Agent`] (the paper's `infer_action` +
+//! `handle_env_feedback`). [`payload`] defines the wire format of rollout
+//! batches and parameter blobs so that any communication substrate — the
+//! XingTian channel or a baseline framework — can move them.
+
+pub mod a2c;
+pub mod api;
+pub mod batch;
+pub mod dqn;
+pub mod gae;
+pub mod impala;
+pub mod payload;
+pub mod ppo;
+pub mod reinforce;
+pub mod replay;
+pub mod sumtree;
+pub mod vtrace;
+
+pub use a2c::{A2cAgent, A2cAlgorithm, A2cConfig};
+pub use api::{ActionSelection, Agent, Algorithm, SyncMode, TrainReport};
+pub use dqn::{DqnAgent, DqnAlgorithm, DqnConfig};
+pub use impala::{ImpalaAgent, ImpalaAlgorithm, ImpalaConfig};
+pub use payload::{ParamBlob, RolloutBatch, RolloutStep};
+pub use ppo::{PpoAgent, PpoAlgorithm, PpoConfig};
+pub use reinforce::{ReinforceAgent, ReinforceAlgorithm, ReinforceConfig};
+pub use replay::{PrioritizedReplay, ReplayBuffer};

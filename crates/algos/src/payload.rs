@@ -1,0 +1,212 @@
+//! Wire formats for rollouts and DNN parameters.
+//!
+//! These are the two message bodies that dominate DRL traffic: explorers push
+//! [`RolloutBatch`]es to the learner; the learner broadcasts [`ParamBlob`]s
+//! back. Both implement the binary [`Encode`]/[`Decode`] codec so any
+//! framework in this repository (XingTian or the baselines) can serialize them
+//! identically — the frameworks differ only in *when and how* bytes move.
+
+use xingtian_message::codec::{Decode, DecodeError, Encode, Reader};
+
+/// One environment transition recorded by an explorer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RolloutStep {
+    /// Observation the action was taken from.
+    pub observation: Vec<f32>,
+    /// Action taken.
+    pub action: u32,
+    /// Immediate reward.
+    pub reward: f32,
+    /// Whether the episode ended at this step.
+    pub done: bool,
+    /// Behavior-policy logits at `observation` (used by PPO ratios and
+    /// IMPALA's V-trace; empty for value-based algorithms).
+    pub behavior_logits: Vec<f32>,
+    /// Behavior value estimate at `observation` (0.0 when unused).
+    pub value: f32,
+    /// Next observation; recorded only by algorithms that need full
+    /// transitions (DQN experience replay).
+    pub next_observation: Option<Vec<f32>>,
+}
+
+impl Encode for RolloutStep {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.observation.encode(out);
+        self.action.encode(out);
+        self.reward.encode(out);
+        self.done.encode(out);
+        self.behavior_logits.encode(out);
+        self.value.encode(out);
+        self.next_observation.encode(out);
+    }
+}
+
+impl Decode for RolloutStep {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(RolloutStep {
+            observation: Vec::<f32>::decode(r)?,
+            action: u32::decode(r)?,
+            reward: f32::decode(r)?,
+            done: bool::decode(r)?,
+            behavior_logits: Vec::<f32>::decode(r)?,
+            value: f32::decode(r)?,
+            next_observation: Option::<Vec<f32>>::decode(r)?,
+        })
+    }
+}
+
+/// A contiguous batch of rollout steps from one explorer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RolloutBatch {
+    /// Index of the producing explorer.
+    pub explorer: u32,
+    /// Version of the DNN parameters the behavior policy used.
+    pub param_version: u64,
+    /// The steps, in environment order.
+    pub steps: Vec<RolloutStep>,
+    /// Observation following the final step, for value bootstrapping. Empty
+    /// when the final step ended the episode.
+    pub bootstrap_observation: Vec<f32>,
+}
+
+impl RolloutBatch {
+    /// Number of steps in the batch.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when the batch holds no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+impl Encode for RolloutBatch {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.explorer.encode(out);
+        self.param_version.encode(out);
+        self.steps.len().encode(out);
+        for s in &self.steps {
+            s.encode(out);
+        }
+        self.bootstrap_observation.encode(out);
+    }
+}
+
+impl Decode for RolloutBatch {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let explorer = u32::decode(r)?;
+        let param_version = u64::decode(r)?;
+        let n = usize::decode(r)?;
+        if n > r.remaining() {
+            return Err(DecodeError::LengthOverflow { declared: n, remaining: r.remaining() });
+        }
+        let mut steps = Vec::with_capacity(n);
+        for _ in 0..n {
+            steps.push(RolloutStep::decode(r)?);
+        }
+        Ok(RolloutBatch { explorer, param_version, steps, bootstrap_observation: Vec::<f32>::decode(r)? })
+    }
+}
+
+/// A flat snapshot of every trainable parameter, broadcast by the learner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamBlob {
+    /// Monotonically increasing version number.
+    pub version: u64,
+    /// Concatenated parameters of all networks, in a fixed algorithm-defined
+    /// order.
+    pub params: Vec<f32>,
+}
+
+impl Encode for ParamBlob {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.version.encode(out);
+        self.params.encode(out);
+    }
+}
+
+impl Decode for ParamBlob {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(ParamBlob { version: u64::decode(r)?, params: Vec::<f32>::decode(r)? })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(dim: usize, with_next: bool) -> RolloutStep {
+        RolloutStep {
+            observation: (0..dim).map(|i| i as f32 * 0.5).collect(),
+            action: 3,
+            reward: -1.25,
+            done: dim.is_multiple_of(2),
+            behavior_logits: vec![0.1, 0.2, 0.7],
+            value: 0.42,
+            next_observation: with_next.then(|| vec![9.0; dim]),
+        }
+    }
+
+    #[test]
+    fn rollout_step_round_trips() {
+        for with_next in [false, true] {
+            let s = step(8, with_next);
+            let bytes = s.to_bytes();
+            assert_eq!(RolloutStep::from_bytes(&bytes).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn rollout_batch_round_trips() {
+        let b = RolloutBatch {
+            explorer: 7,
+            param_version: 99,
+            steps: (0..50).map(|i| step(4 + i % 3, i % 2 == 0)).collect(),
+            bootstrap_observation: vec![1.0, 2.0, 3.0, 4.0],
+        };
+        let bytes = b.to_bytes();
+        assert_eq!(RolloutBatch::from_bytes(&bytes).unwrap(), b);
+        assert_eq!(b.len(), 50);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn param_blob_round_trips() {
+        let p = ParamBlob { version: 12, params: (0..1000).map(|i| i as f32).collect() };
+        let bytes = p.to_bytes();
+        assert_eq!(ParamBlob::from_bytes(&bytes).unwrap(), p);
+    }
+
+    #[test]
+    fn truncated_batch_errors() {
+        let b = RolloutBatch {
+            explorer: 0,
+            param_version: 0,
+            steps: vec![step(4, false)],
+            bootstrap_observation: vec![],
+        };
+        let bytes = b.to_bytes();
+        assert!(RolloutBatch::from_bytes(&bytes[..bytes.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn message_size_matches_paper_scale() {
+        // 500 steps of 84x84 observations ≈ the paper's 13.8 MB IMPALA message.
+        let steps: Vec<RolloutStep> = (0..500)
+            .map(|_| RolloutStep {
+                observation: vec![0.5; 84 * 84],
+                action: 0,
+                reward: 0.0,
+                done: false,
+                behavior_logits: vec![0.0; 9],
+                value: 0.0,
+                next_observation: None,
+            })
+            .collect();
+        let b = RolloutBatch { explorer: 0, param_version: 0, steps, bootstrap_observation: vec![0.0; 84 * 84] };
+        let bytes = b.to_bytes();
+        let mb = bytes.len() as f64 / 1024.0 / 1024.0;
+        assert!((12.0..16.0).contains(&mb), "batch is {mb:.1} MiB");
+    }
+}

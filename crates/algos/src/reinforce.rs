@@ -1,0 +1,374 @@
+//! REINFORCE with a moving-average baseline (Williams 1992) — policy-based,
+//! on-policy.
+//!
+//! The simplest member of the zoo (§4.2 classifies policy-based methods as
+//! the first model-free family): no critic network at all. The learner
+//! reassembles complete *episodes* from incoming rollout batches (episodes
+//! may span several batches from the same explorer), computes Monte-Carlo
+//! returns-to-go, subtracts a scalar moving-average baseline, and takes one
+//! policy-gradient step per collected batch of episodes.
+
+use crate::api::{ActionSelection, Agent, Algorithm, SyncMode, TrainReport};
+use crate::batch::taken_log_probs;
+use crate::payload::{ParamBlob, RolloutBatch, RolloutStep};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use tinynn::ops::{log_softmax, sample_categorical, softmax};
+use tinynn::optim::{clip_global_norm, Adam};
+use tinynn::{Activation, Matrix, Mlp};
+
+/// REINFORCE hyperparameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReinforceConfig {
+    /// Observation dimensionality.
+    pub obs_dim: usize,
+    /// Number of discrete actions.
+    pub num_actions: usize,
+    /// Hidden widths of the policy network.
+    pub hidden: Vec<usize>,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Discount factor γ for returns-to-go.
+    pub gamma: f32,
+    /// Entropy-bonus coefficient.
+    pub entropy_coef: f32,
+    /// Gradient global-norm clip.
+    pub max_grad_norm: f32,
+    /// Complete episodes per training session.
+    pub episodes_per_train: usize,
+    /// Exponential decay of the scalar return baseline.
+    pub baseline_decay: f32,
+    /// Explorers to notify after each session.
+    pub num_explorers: u32,
+    /// RNG / initialization seed.
+    pub seed: u64,
+}
+
+impl ReinforceConfig {
+    /// Sensible defaults for the given environment dimensions.
+    pub fn new(obs_dim: usize, num_actions: usize) -> Self {
+        ReinforceConfig {
+            obs_dim,
+            num_actions,
+            hidden: vec![64],
+            lr: 1e-3,
+            gamma: 0.99,
+            entropy_coef: 0.01,
+            max_grad_norm: 1.0,
+            episodes_per_train: 8,
+            baseline_decay: 0.95,
+            num_explorers: 1,
+            seed: 0,
+        }
+    }
+
+    fn policy_sizes(&self) -> Vec<usize> {
+        let mut s = vec![self.obs_dim];
+        s.extend_from_slice(&self.hidden);
+        s.push(self.num_actions);
+        s
+    }
+}
+
+/// One completed episode assembled from rollout steps.
+#[derive(Debug, Clone)]
+struct Episode {
+    steps: Vec<RolloutStep>,
+}
+
+/// Learner-side REINFORCE.
+#[derive(Debug)]
+pub struct ReinforceAlgorithm {
+    config: ReinforceConfig,
+    policy: Mlp,
+    opt: Adam,
+    /// Partial episodes keyed by explorer index (episodes can span batches).
+    partial: HashMap<u32, Vec<RolloutStep>>,
+    complete: Vec<Episode>,
+    baseline: f32,
+    baseline_initialized: bool,
+    version: u64,
+}
+
+impl ReinforceAlgorithm {
+    /// Creates the learner state for `config`.
+    pub fn new(config: ReinforceConfig) -> Self {
+        let policy = Mlp::new(&config.policy_sizes(), Activation::Tanh, config.seed);
+        let opt = Adam::new(policy.num_params(), config.lr);
+        ReinforceAlgorithm {
+            config,
+            policy,
+            opt,
+            partial: HashMap::new(),
+            complete: Vec::new(),
+            baseline: 0.0,
+            baseline_initialized: false,
+            version: 0,
+        }
+    }
+
+    /// Completed episodes waiting for a training session.
+    pub fn pending_episodes(&self) -> usize {
+        self.complete.len()
+    }
+
+    /// Current scalar return baseline.
+    pub fn baseline(&self) -> f32 {
+        self.baseline
+    }
+}
+
+impl Algorithm for ReinforceAlgorithm {
+    fn on_rollout(&mut self, batch: RolloutBatch) {
+        let partial = self.partial.entry(batch.explorer).or_default();
+        for step in batch.steps {
+            let done = step.done;
+            partial.push(step);
+            if done {
+                self.complete.push(Episode { steps: std::mem::take(partial) });
+            }
+        }
+    }
+
+    fn try_train(&mut self) -> Option<TrainReport> {
+        if self.complete.len() < self.config.episodes_per_train {
+            return None;
+        }
+        let episodes: Vec<Episode> =
+            self.complete.drain(..self.config.episodes_per_train).collect();
+
+        // Monte-Carlo returns-to-go per episode, with a scalar moving-average
+        // baseline over episode returns.
+        let mut obs_data: Vec<f32> = Vec::new();
+        let mut actions: Vec<u32> = Vec::new();
+        let mut advantages: Vec<f32> = Vec::new();
+        let mut steps_consumed = 0usize;
+        for ep in &episodes {
+            steps_consumed += ep.steps.len();
+            let mut g = 0.0f32;
+            let mut rtg = vec![0.0f32; ep.steps.len()];
+            for (i, s) in ep.steps.iter().enumerate().rev() {
+                g = s.reward + self.config.gamma * g;
+                rtg[i] = g;
+            }
+            let episode_return = rtg.first().copied().unwrap_or(0.0);
+            if self.baseline_initialized {
+                self.baseline = self.config.baseline_decay * self.baseline
+                    + (1.0 - self.config.baseline_decay) * episode_return;
+            } else {
+                self.baseline = episode_return;
+                self.baseline_initialized = true;
+            }
+            for (s, r) in ep.steps.iter().zip(&rtg) {
+                obs_data.extend_from_slice(&s.observation);
+                actions.push(s.action);
+                advantages.push(r - self.baseline);
+            }
+        }
+        // Whiten the advantages across the batch: the scalar baseline centers
+        // episode-level return differences, but within an episode the
+        // return-to-go declines toward the end, which would systematically
+        // penalize late-episode actions without this normalization.
+        crate::gae::normalize(&mut advantages);
+        let n = actions.len();
+        let obs = Matrix::from_vec(n, self.config.obs_dim, obs_data);
+
+        let (logits, cache) = self.policy.forward_cached(&obs);
+        let probs = softmax(&logits);
+        let logs = log_softmax(&logits);
+        let target_lp = taken_log_probs(&logits, &actions);
+        let mut dlogits = Matrix::zeros(n, self.config.num_actions);
+        let mut loss = 0.0f32;
+        for i in 0..n {
+            let a = actions[i] as usize;
+            let adv = advantages[i];
+            loss -= adv * target_lp[i] / n as f32;
+            let mut h = 0.0f32;
+            for j in 0..self.config.num_actions {
+                let p = probs.get(i, j);
+                if p > 0.0 {
+                    h -= p * logs.get(i, j);
+                }
+            }
+            for j in 0..self.config.num_actions {
+                let p = probs.get(i, j);
+                let indicator = if j == a { 1.0 } else { 0.0 };
+                let mut g = -adv * (indicator - p);
+                g += self.config.entropy_coef * p * (logs.get(i, j) + h);
+                dlogits.set(i, j, g / n as f32);
+            }
+            loss -= self.config.entropy_coef * h / n as f32;
+        }
+        let mut grads = self.policy.backward_cached(&obs, &cache, &dlogits);
+        clip_global_norm(&mut grads, self.config.max_grad_norm);
+        self.opt.step(self.policy.params_mut(), &grads);
+
+        self.version += 1;
+        Some(TrainReport {
+            steps_consumed,
+            loss,
+            version: self.version,
+            notify: (0..self.config.num_explorers).collect(),
+        })
+    }
+
+    fn param_blob(&self) -> ParamBlob {
+        ParamBlob { version: self.version, params: self.policy.params().to_vec() }
+    }
+
+    fn load_params(&mut self, params: &[f32]) {
+        self.policy.set_params(params);
+    }
+
+    fn version(&self) -> u64 {
+        self.version
+    }
+
+    fn sync_mode(&self) -> SyncMode {
+        // Explorers keep rolling: REINFORCE tolerates mild lag in practice
+        // because parameters are broadcast after every session; blocking
+        // explorers on episode boundaries would deadlock mid-episode.
+        SyncMode::OffPolicy
+    }
+
+    fn name(&self) -> &str {
+        "REINFORCE"
+    }
+}
+
+/// Explorer-side REINFORCE agent: samples the softmax policy.
+#[derive(Debug)]
+pub struct ReinforceAgent {
+    policy: Mlp,
+    version: u64,
+    rng: StdRng,
+}
+
+impl ReinforceAgent {
+    /// Creates the explorer state for `config`.
+    pub fn new(config: ReinforceConfig, explorer_seed: u64) -> Self {
+        let policy = Mlp::new(&config.policy_sizes(), Activation::Tanh, config.seed);
+        let rng = StdRng::seed_from_u64(explorer_seed.wrapping_mul(0x4E1F).wrapping_add(11));
+        ReinforceAgent { policy, version: 0, rng }
+    }
+}
+
+impl Agent for ReinforceAgent {
+    fn act(&mut self, observation: &[f32]) -> ActionSelection {
+        let x = Matrix::from_vec(1, observation.len(), observation.to_vec());
+        let logits = self.policy.forward(&x);
+        let probs = softmax(&logits);
+        let action = sample_categorical(probs.row(0), self.rng.gen::<f32>());
+        ActionSelection { action, logits: logits.row(0).to_vec(), value: 0.0 }
+    }
+
+    fn apply_params(&mut self, blob: &ParamBlob) {
+        if blob.version > self.version {
+            self.policy.set_params(&blob.params);
+            self.version = blob.version;
+        }
+    }
+
+    fn param_version(&self) -> u64 {
+        self.version
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> ReinforceConfig {
+        let mut c = ReinforceConfig::new(2, 2);
+        c.hidden = vec![8];
+        c.episodes_per_train = 2;
+        c.lr = 5e-2;
+        c.gamma = 0.0;
+        c
+    }
+
+    fn episode_batch(explorer: u32, good_action: u32, len: usize, finish: bool) -> RolloutBatch {
+        let steps = (0..len)
+            .map(|i| {
+                let action = (i % 2) as u32;
+                RolloutStep {
+                    observation: vec![0.4, -0.2],
+                    action,
+                    reward: if action == good_action { 1.0 } else { -1.0 },
+                    done: finish && i == len - 1,
+                    behavior_logits: vec![0.0, 0.0],
+                    value: 0.0,
+                    next_observation: None,
+                }
+            })
+            .collect();
+        RolloutBatch { explorer, param_version: 0, steps, bootstrap_observation: vec![] }
+    }
+
+    #[test]
+    fn episodes_assemble_across_batches() {
+        let mut alg = ReinforceAlgorithm::new(tiny_config());
+        alg.on_rollout(episode_batch(0, 1, 4, false)); // first half
+        assert_eq!(alg.pending_episodes(), 0);
+        alg.on_rollout(episode_batch(0, 1, 4, true)); // completes one episode
+        assert_eq!(alg.pending_episodes(), 1);
+        assert!(alg.try_train().is_none(), "needs 2 episodes");
+        alg.on_rollout(episode_batch(1, 1, 8, true));
+        let report = alg.try_train().expect("two complete episodes");
+        assert_eq!(report.steps_consumed, 16);
+        assert_eq!(report.version, 1);
+    }
+
+    #[test]
+    fn interleaved_explorers_keep_separate_episodes() {
+        let mut alg = ReinforceAlgorithm::new(tiny_config());
+        alg.on_rollout(episode_batch(0, 1, 3, false));
+        alg.on_rollout(episode_batch(1, 1, 3, false));
+        alg.on_rollout(episode_batch(0, 1, 3, true));
+        alg.on_rollout(episode_batch(1, 1, 3, true));
+        assert_eq!(alg.pending_episodes(), 2);
+        let report = alg.try_train().unwrap();
+        assert_eq!(report.steps_consumed, 12, "both episodes are 6 steps long");
+    }
+
+    #[test]
+    fn baseline_tracks_episode_returns() {
+        let mut alg = ReinforceAlgorithm::new(tiny_config());
+        alg.on_rollout(episode_batch(0, 1, 4, true));
+        alg.on_rollout(episode_batch(0, 1, 4, true));
+        alg.try_train().unwrap();
+        // γ=0 ⇒ episode return-to-go at t=0 equals the first reward (-1 for
+        // action 0). The baseline must have moved off zero.
+        assert!(alg.baseline() != 0.0);
+    }
+
+    #[test]
+    fn training_shifts_policy_toward_rewarded_action() {
+        let mut alg = ReinforceAlgorithm::new(tiny_config());
+        let obs = Matrix::from_vec(1, 2, vec![0.4, -0.2]);
+        let before = softmax(&alg.policy.forward(&obs)).get(0, 1);
+        for _ in 0..60 {
+            alg.on_rollout(episode_batch(0, 1, 8, true));
+            alg.on_rollout(episode_batch(1, 1, 8, true));
+            alg.try_train().unwrap();
+        }
+        let after = softmax(&alg.policy.forward(&obs)).get(0, 1);
+        assert!(after > before + 0.1, "P(a=1) should rise: {before} -> {after}");
+    }
+
+    #[test]
+    fn agent_applies_only_newer_params() {
+        let c = tiny_config();
+        let alg = ReinforceAlgorithm::new(c.clone());
+        let mut agent = ReinforceAgent::new(c, 0);
+        let mut blob = alg.param_blob();
+        blob.version = 3;
+        agent.apply_params(&blob);
+        assert_eq!(agent.param_version(), 3);
+        blob.version = 2;
+        agent.apply_params(&blob);
+        assert_eq!(agent.param_version(), 3);
+    }
+}

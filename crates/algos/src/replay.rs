@@ -1,0 +1,268 @@
+//! Experience replay buffers.
+//!
+//! XingTian keeps the replay buffer *inside the trainer thread* of the learner
+//! process (paper §3.2.1), so sampling never crosses a process boundary. The
+//! baseline frameworks place the same buffer behind an RPC boundary instead;
+//! both reuse these implementations.
+
+use crate::payload::RolloutStep;
+use crate::sumtree::SumTree;
+use rand::Rng;
+
+/// A uniform ring-buffer of rollout steps (full transitions).
+#[derive(Debug, Clone)]
+pub struct ReplayBuffer {
+    capacity: usize,
+    steps: Vec<RolloutStep>,
+    next: usize,
+    total_inserted: u64,
+}
+
+impl ReplayBuffer {
+    /// Creates a buffer holding at most `capacity` transitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        ReplayBuffer { capacity, steps: Vec::with_capacity(capacity.min(1 << 20)), next: 0, total_inserted: 0 }
+    }
+
+    /// Maximum number of resident transitions.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of resident transitions.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when the buffer holds no transitions.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Transitions inserted over the buffer's lifetime.
+    pub fn total_inserted(&self) -> u64 {
+        self.total_inserted
+    }
+
+    /// Inserts a transition, evicting the oldest once full.
+    pub fn push(&mut self, step: RolloutStep) {
+        if self.steps.len() < self.capacity {
+            self.steps.push(step);
+        } else {
+            self.steps[self.next] = step;
+        }
+        self.next = (self.next + 1) % self.capacity;
+        self.total_inserted += 1;
+    }
+
+    /// Samples `batch` transitions uniformly with replacement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is empty.
+    pub fn sample<R: Rng>(&self, batch: usize, rng: &mut R) -> Vec<&RolloutStep> {
+        assert!(!self.is_empty(), "cannot sample from an empty replay buffer");
+        (0..batch).map(|_| &self.steps[rng.gen_range(0..self.steps.len())]).collect()
+    }
+}
+
+/// Prioritized experience replay (proportional variant, Schaul et al. 2016).
+#[derive(Debug, Clone)]
+pub struct PrioritizedReplay {
+    capacity: usize,
+    steps: Vec<RolloutStep>,
+    tree: SumTree,
+    next: usize,
+    max_priority: f64,
+    alpha: f64,
+    total_inserted: u64,
+}
+
+impl PrioritizedReplay {
+    /// Creates a prioritized buffer with priority exponent `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or `alpha` is negative.
+    pub fn new(capacity: usize, alpha: f64) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        assert!(alpha >= 0.0, "alpha must be non-negative");
+        PrioritizedReplay {
+            capacity,
+            steps: Vec::new(),
+            tree: SumTree::new(capacity),
+            next: 0,
+            max_priority: 1.0,
+            alpha,
+            total_inserted: 0,
+        }
+    }
+
+    /// Current number of resident transitions.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when the buffer holds no transitions.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Transitions inserted over the buffer's lifetime.
+    pub fn total_inserted(&self) -> u64 {
+        self.total_inserted
+    }
+
+    /// Inserts a transition with the current maximum priority (new experience
+    /// is always sampled at least once soon).
+    pub fn push(&mut self, step: RolloutStep) {
+        let idx = if self.steps.len() < self.capacity {
+            self.steps.push(step);
+            self.steps.len() - 1
+        } else {
+            self.steps[self.next] = step;
+            self.next
+        };
+        self.tree.set(idx, self.max_priority.powf(self.alpha));
+        self.next = (self.next + 1) % self.capacity;
+        self.total_inserted += 1;
+    }
+
+    /// Samples `batch` indices proportional to priority, returning
+    /// `(index, importance_weight)` pairs with weights normalized to max 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is empty.
+    pub fn sample<R: Rng>(&self, batch: usize, beta: f64, rng: &mut R) -> Vec<(usize, f32)> {
+        assert!(!self.is_empty(), "cannot sample from an empty replay buffer");
+        let total = self.tree.total();
+        let n = self.steps.len() as f64;
+        let mut out = Vec::with_capacity(batch);
+        let mut max_w = f64::MIN_POSITIVE;
+        for _ in 0..batch {
+            let idx = self.tree.find(rng.gen_range(0.0..total));
+            let p = self.tree.get(idx) / total;
+            let w = (n * p).powf(-beta);
+            max_w = max_w.max(w);
+            out.push((idx, w));
+        }
+        out.into_iter().map(|(i, w)| (i, (w / max_w) as f32)).collect()
+    }
+
+    /// Accesses the transition at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn get(&self, idx: usize) -> &RolloutStep {
+        &self.steps[idx]
+    }
+
+    /// Updates the priority of transition `idx` (typically to its new TD
+    /// error).
+    pub fn update_priority(&mut self, idx: usize, priority: f64) {
+        let p = priority.abs().max(1e-6);
+        self.max_priority = self.max_priority.max(p);
+        self.tree.set(idx, p.powf(self.alpha));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn step(tag: f32) -> RolloutStep {
+        RolloutStep {
+            observation: vec![tag],
+            action: 0,
+            reward: tag,
+            done: false,
+            behavior_logits: vec![],
+            value: 0.0,
+            next_observation: Some(vec![tag + 1.0]),
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut b = ReplayBuffer::new(3);
+        for i in 0..5 {
+            b.push(step(i as f32));
+        }
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.total_inserted(), 5);
+        let rewards: Vec<f32> = b.steps.iter().map(|s| s.reward).collect();
+        let mut sorted = rewards.clone();
+        sorted.sort_by(f32::total_cmp);
+        assert_eq!(sorted, vec![2.0, 3.0, 4.0], "oldest two evicted");
+    }
+
+    #[test]
+    fn uniform_sample_covers_buffer() {
+        let mut b = ReplayBuffer::new(10);
+        for i in 0..10 {
+            b.push(step(i as f32));
+        }
+        let mut rng = StdRng::seed_from_u64(0);
+        let samples = b.sample(1000, &mut rng);
+        let mut seen = [false; 10];
+        for s in samples {
+            seen[s.reward as usize] = true;
+        }
+        assert!(seen.iter().all(|&x| x), "all slots sampled at least once");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty replay buffer")]
+    fn sample_empty_panics() {
+        let b = ReplayBuffer::new(4);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = b.sample(1, &mut rng);
+    }
+
+    #[test]
+    fn prioritized_prefers_high_priority() {
+        let mut b = PrioritizedReplay::new(4, 1.0);
+        for i in 0..4 {
+            b.push(step(i as f32));
+        }
+        b.update_priority(0, 0.001);
+        b.update_priority(1, 0.001);
+        b.update_priority(2, 0.001);
+        b.update_priority(3, 10.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples = b.sample(1000, 0.4, &mut rng);
+        let high = samples.iter().filter(|(i, _)| *i == 3).count();
+        assert!(high > 900, "index 3 should dominate, got {high}");
+    }
+
+    #[test]
+    fn importance_weights_are_normalized() {
+        let mut b = PrioritizedReplay::new(8, 0.6);
+        for i in 0..8 {
+            b.push(step(i as f32));
+        }
+        let mut rng = StdRng::seed_from_u64(2);
+        let samples = b.sample(64, 0.4, &mut rng);
+        assert!(samples.iter().all(|(_, w)| *w > 0.0 && *w <= 1.0 + 1e-6));
+        assert!(samples.iter().any(|(_, w)| (*w - 1.0).abs() < 1e-6), "max weight is 1");
+    }
+
+    #[test]
+    fn new_experience_gets_max_priority() {
+        let mut b = PrioritizedReplay::new(4, 1.0);
+        b.push(step(0.0));
+        b.update_priority(0, 5.0);
+        b.push(step(1.0));
+        // The fresh element must share the running max priority.
+        assert_eq!(b.tree.get(1), 5.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! A sum tree (Fenwick-style complete binary tree) for prioritized sampling.
+//!
+//! Supports O(log n) priority updates and O(log n) sampling proportional to
+//! priority, as used by prioritized experience replay (Schaul et al. 2016).
+
+/// A fixed-capacity sum tree over `f32` priorities.
+#[derive(Debug, Clone)]
+pub struct SumTree {
+    capacity: usize,
+    /// Binary heap layout: `tree[1]` is the root; leaves start at `capacity`.
+    tree: Vec<f64>,
+}
+
+impl SumTree {
+    /// Creates a tree for `capacity` leaves, all with priority zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        let cap = capacity.next_power_of_two();
+        SumTree { capacity: cap, tree: vec![0.0; 2 * cap] }
+    }
+
+    /// Number of leaves (rounded up to a power of two).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total priority mass.
+    pub fn total(&self) -> f64 {
+        self.tree[1]
+    }
+
+    /// Priority of leaf `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= capacity()`.
+    pub fn get(&self, i: usize) -> f64 {
+        assert!(i < self.capacity, "leaf {i} out of range");
+        self.tree[self.capacity + i]
+    }
+
+    /// Sets leaf `i` to `priority`, updating ancestors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= capacity()` or `priority` is negative or non-finite.
+    pub fn set(&mut self, i: usize, priority: f64) {
+        assert!(i < self.capacity, "leaf {i} out of range");
+        assert!(priority.is_finite() && priority >= 0.0, "priority must be finite and non-negative");
+        let mut idx = self.capacity + i;
+        self.tree[idx] = priority;
+        idx /= 2;
+        while idx >= 1 {
+            self.tree[idx] = self.tree[2 * idx] + self.tree[2 * idx + 1];
+            if idx == 1 {
+                break;
+            }
+            idx /= 2;
+        }
+    }
+
+    /// Finds the leaf whose cumulative-priority interval contains `mass`
+    /// (`0 ≤ mass < total()`), returning the leaf index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree is empty (total == 0).
+    pub fn find(&self, mut mass: f64) -> usize {
+        assert!(self.total() > 0.0, "cannot sample from an empty sum tree");
+        let mut idx = 1usize;
+        while idx < self.capacity {
+            let left = 2 * idx;
+            if mass < self.tree[left] {
+                idx = left;
+            } else {
+                mass -= self.tree[left];
+                idx = left + 1;
+            }
+        }
+        idx - self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_tracks_updates() {
+        let mut t = SumTree::new(4);
+        t.set(0, 1.0);
+        t.set(1, 2.0);
+        t.set(2, 3.0);
+        assert_eq!(t.total(), 6.0);
+        t.set(1, 0.0);
+        assert_eq!(t.total(), 4.0);
+    }
+
+    #[test]
+    fn find_respects_intervals() {
+        let mut t = SumTree::new(4);
+        t.set(0, 1.0);
+        t.set(1, 2.0);
+        t.set(2, 3.0);
+        // Intervals: [0,1) -> 0, [1,3) -> 1, [3,6) -> 2.
+        assert_eq!(t.find(0.0), 0);
+        assert_eq!(t.find(0.99), 0);
+        assert_eq!(t.find(1.0), 1);
+        assert_eq!(t.find(2.99), 1);
+        assert_eq!(t.find(3.0), 2);
+        assert_eq!(t.find(5.99), 2);
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        let t = SumTree::new(5);
+        assert_eq!(t.capacity(), 8);
+    }
+
+    #[test]
+    fn sampling_distribution_is_proportional() {
+        let mut t = SumTree::new(4);
+        t.set(0, 1.0);
+        t.set(1, 3.0);
+        let n = 10_000;
+        let mut counts = [0usize; 2];
+        for i in 0..n {
+            let mass = t.total() * (i as f64 + 0.5) / n as f64;
+            counts[t.find(mass)] += 1;
+        }
+        let ratio = counts[1] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.1, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sum tree")]
+    fn find_on_empty_panics() {
+        let t = SumTree::new(2);
+        let _ = t.find(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "priority must be finite")]
+    fn negative_priority_rejected() {
+        let mut t = SumTree::new(2);
+        t.set(0, -1.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Property-based tests of the RL math kernels and data structures.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xingtian_algos::gae::{gae, normalize, GaeInput};
+use xingtian_algos::payload::RolloutStep;
+use xingtian_algos::sumtree::SumTree;
+use xingtian_algos::vtrace::{vtrace, VtraceInput};
+use xingtian_algos::{PrioritizedReplay, ReplayBuffer};
+
+fn step(tag: f32) -> RolloutStep {
+    RolloutStep {
+        observation: vec![tag],
+        action: 0,
+        reward: tag,
+        done: false,
+        behavior_logits: vec![],
+        value: 0.0,
+        next_observation: None,
+    }
+}
+
+fn segment() -> impl Strategy<Value = (Vec<f32>, Vec<f32>, Vec<bool>, f32)> {
+    (1usize..64).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(-5.0f32..5.0, n),
+            proptest::collection::vec(-5.0f32..5.0, n),
+            proptest::collection::vec(any::<bool>(), n),
+            -5.0f32..5.0,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn vtrace_on_policy_equals_gae_lambda_one(
+        (rewards, values, dones, boot) in segment(),
+        gamma in 0.0f32..1.0,
+    ) {
+        // With π == µ and ρ̄ = c̄ = ∞, V-trace targets are the n-step returns,
+        // which equal GAE(λ=1) advantages + values.
+        let n = rewards.len();
+        let logp = vec![-0.5f32; n];
+        let vt = vtrace(&VtraceInput {
+            behavior_log_probs: &logp,
+            target_log_probs: &logp,
+            rewards: &rewards,
+            values: &values,
+            dones: &dones,
+            bootstrap_value: boot,
+            gamma,
+            rho_bar: f32::INFINITY,
+            c_bar: f32::INFINITY,
+        });
+        let g = gae(&GaeInput {
+            rewards: &rewards,
+            values: &values,
+            dones: &dones,
+            bootstrap_value: boot,
+            gamma,
+            lambda: 1.0,
+        });
+        for (i, (adv, v)) in g.advantages.iter().zip(&values).enumerate() {
+            let expect = adv + v;
+            prop_assert!((vt.vs[i] - expect).abs() < 1e-3,
+                "i={i}: vtrace {} vs gae {}", vt.vs[i], expect);
+        }
+    }
+
+    #[test]
+    fn vtrace_outputs_are_finite(
+        (rewards, values, dones, boot) in segment(),
+        gamma in 0.0f32..1.0,
+        offpolicy in -2.0f32..2.0,
+    ) {
+        let n = rewards.len();
+        let behavior = vec![-0.7f32; n];
+        let target: Vec<f32> = behavior.iter().map(|b| b + offpolicy).collect();
+        let vt = vtrace(&VtraceInput {
+            behavior_log_probs: &behavior,
+            target_log_probs: &target,
+            rewards: &rewards,
+            values: &values,
+            dones: &dones,
+            bootstrap_value: boot,
+            gamma,
+            rho_bar: 1.0,
+            c_bar: 1.0,
+        });
+        prop_assert!(vt.vs.iter().all(|v| v.is_finite()));
+        prop_assert!(vt.pg_advantages.iter().all(|a| a.is_finite()));
+    }
+
+    #[test]
+    fn gae_is_zero_for_perfect_value_function(
+        n in 1usize..32,
+        gamma in 0.1f32..0.99,
+        lambda in 0.0f32..1.0,
+    ) {
+        // If V exactly satisfies the Bellman identity for constant reward r,
+        // every TD error is zero, so every advantage is zero.
+        let r = 1.0f32;
+        let v = r / (1.0 - gamma); // fixed point of V = r + γV
+        let rewards = vec![r; n];
+        let values = vec![v; n];
+        let dones = vec![false; n];
+        let out = gae(&GaeInput {
+            rewards: &rewards,
+            values: &values,
+            dones: &dones,
+            bootstrap_value: v,
+            gamma,
+            lambda,
+        });
+        for a in &out.advantages {
+            prop_assert!(a.abs() < 1e-3, "advantage {a} should vanish");
+        }
+    }
+
+    #[test]
+    fn normalize_bounds_mean_and_std(mut v in proptest::collection::vec(-1e3f32..1e3, 2..128)) {
+        normalize(&mut v);
+        let n = v.len() as f32;
+        let mean = v.iter().sum::<f32>() / n;
+        prop_assert!(mean.abs() < 1e-2, "mean {mean}");
+        prop_assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn replay_never_exceeds_capacity(capacity in 1usize..64, pushes in 0usize..256) {
+        let mut b = ReplayBuffer::new(capacity);
+        for i in 0..pushes {
+            b.push(step(i as f32));
+        }
+        prop_assert!(b.len() <= capacity);
+        prop_assert_eq!(b.len(), pushes.min(capacity));
+        prop_assert_eq!(b.total_inserted(), pushes as u64);
+    }
+
+    #[test]
+    fn prioritized_sampling_is_always_in_range(
+        capacity in 1usize..64,
+        pushes in 1usize..128,
+        batch in 1usize..32,
+    ) {
+        let mut b = PrioritizedReplay::new(capacity, 0.6);
+        for i in 0..pushes {
+            b.push(step(i as f32));
+        }
+        let mut rng = StdRng::seed_from_u64(0);
+        for (idx, w) in b.sample(batch, 0.4, &mut rng) {
+            prop_assert!(idx < b.len());
+            prop_assert!((0.0..=1.0 + 1e-6).contains(&w));
+        }
+    }
+
+    #[test]
+    fn sum_tree_total_matches_leaf_sum(
+        updates in proptest::collection::vec((0usize..32, 0.0f64..100.0), 1..64),
+    ) {
+        let mut t = SumTree::new(32);
+        let mut leaves = vec![0.0f64; t.capacity()];
+        for (i, p) in updates {
+            t.set(i, p);
+            leaves[i] = p;
+        }
+        let sum: f64 = leaves.iter().sum();
+        prop_assert!((t.total() - sum).abs() < 1e-6);
+        // Every sampled mass maps to a leaf with positive priority.
+        if sum > 0.0 {
+            for k in 0..16 {
+                let mass = sum * (k as f64 + 0.5) / 16.0;
+                let leaf = t.find(mass);
+                prop_assert!(leaves[leaf] > 0.0, "found empty leaf {leaf}");
+            }
+        }
+    }
+}

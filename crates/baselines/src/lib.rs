@@ -1,0 +1,28 @@
+//! Comparator DRL frameworks for the XingTian reproduction.
+//!
+//! The paper evaluates XingTian against RLLib (its main baseline) and against
+//! Acme deployed with Launchpad and Reverb. Neither can be run here, so this
+//! crate re-implements their *communication architectures* from scratch over
+//! the same substrates (netsim cluster, tinynn networks, gymlite
+//! environments, and the identical algorithm code from `xingtian-algos`):
+//!
+//! * [`raylite`] — the RLLib model: a centralized driver owns the task graph
+//!   and the control flow; explorers are passive workers that compute when
+//!   asked; every byte moves because the *receiver* requested it (pull), so
+//!   serialization, object-store copies, and NIC transfers sit on the
+//!   critical path of training (paper §2.2).
+//! * [`padlite`] — the Acme/Launchpad/Reverb model: a single-threaded buffer
+//!   server between the explorers and the learner; all traffic crosses it via
+//!   per-chunk RPC streaming, making the buffer the bottleneck regardless of
+//!   explorer count (paper Fig. 4: flat ≈ low MB/s).
+//!
+//! The algorithm math is byte-identical to the XingTian deployments — only
+//! communication management differs, which is precisely the paper's claim
+//! under test. Cost-model constants are documented in [`costs`].
+
+pub mod costs;
+pub mod padlite;
+pub mod raylite;
+pub mod rpc;
+
+pub use costs::CostModel;

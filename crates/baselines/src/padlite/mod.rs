@@ -1,0 +1,20 @@
+//! `padlite`: a from-scratch re-implementation of the Acme/Launchpad/Reverb
+//! communication architecture.
+//!
+//! Acme deploys distributed DRL by inserting a Reverb buffer server between
+//! the explorers and the learner; Launchpad wires the processes together with
+//! courier RPCs (paper §2.2, §6). Every rollout byte therefore crosses *two*
+//! RPC hops (explorer → buffer, buffer → learner) and funnels through a
+//! single-threaded server whose streaming stack processes traffic chunk by
+//! chunk — which is why the paper measures it an order of magnitude (or more)
+//! slower than XingTian, flat in the number of explorers (Fig. 4).
+//!
+//! [`dummy::run_pad_dummy`] supports both deployment shapes the paper
+//! evaluates: with the Reverb buffer ([`PadMode::WithReverb`]) and solely
+//! Launchpad with direct courier links ([`PadMode::Direct`]).
+
+pub mod dummy;
+pub mod server;
+
+pub use dummy::{run_pad_dummy, PadMode};
+pub use server::BufferServer;

@@ -1,0 +1,24 @@
+//! `raylite`: a from-scratch re-implementation of the RLLib communication
+//! architecture (paper §2.2).
+//!
+//! RLLib organizes DRL algorithms as a task graph executed by a centralized
+//! driver. Rollout workers are passive: they compute when the driver
+//! schedules a sampling task and their results move only when the driver
+//! *pulls* them (`ray.get`). Consequently:
+//!
+//! * transmission cannot begin before the receiver asks, even if the data has
+//!   been ready for a long time;
+//! * serialization, object-store copies, and NIC transfers execute on the
+//!   driver's critical path, strictly between sampling and training;
+//! * weight broadcasts are explicit blocking pushes from the driver.
+//!
+//! The algorithm code (`xingtian-algos`) and all physical costs (copies, the
+//! simulated NIC) are identical to the XingTian deployments; only this
+//! control/communication structure differs.
+
+pub mod driver;
+pub mod dummy;
+pub mod worker;
+
+pub use driver::run_raylite;
+pub use dummy::run_ray_dummy;

@@ -1,0 +1,67 @@
+//! Microbenchmarks of the asynchronous channel's hot path: buffers, object
+//! store, and end-to-end endpoint delivery (ablation A1: per-hop costs of the
+//! push pipeline).
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use netsim::Cluster;
+use xingtian_comm::{Broker, Buffer, CommConfig, ObjectStore};
+use xingtian_message::{Header, Message, MessageKind, ProcessId};
+
+fn msg(size: usize) -> Message {
+    let h = Header::new(ProcessId::explorer(0), vec![ProcessId::learner(0)], MessageKind::Dummy);
+    Message::new(h, Bytes::from(vec![7u8; size]))
+}
+
+fn bench_buffer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buffer");
+    let buffer = Buffer::new();
+    group.bench_function("push_pop_1k", |b| {
+        b.iter(|| {
+            buffer.push(msg(1024));
+            buffer.pop().unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("object_store");
+    for size in [1024usize, 64 * 1024, 1024 * 1024] {
+        let store = ObjectStore::new();
+        let body = Bytes::from(vec![1u8; size]);
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("insert_fetch", size), &body, |b, body| {
+            b.iter(|| {
+                let id = store.insert(body.clone(), 1);
+                store.fetch(id).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_endpoint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("endpoint");
+    group.sample_size(30);
+    let broker = Broker::new(0, Cluster::single(), CommConfig::uncompressed());
+    let explorer = broker.endpoint(ProcessId::explorer(0));
+    let learner = broker.endpoint(ProcessId::learner(0));
+    for size in [1024usize, 256 * 1024] {
+        let body = Bytes::from(vec![2u8; size]);
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("send_recv", size), &body, |b, body| {
+            b.iter(|| {
+                explorer.send_to(vec![ProcessId::learner(0)], MessageKind::Dummy, body.clone());
+                learner.recv().unwrap()
+            })
+        });
+    }
+    drop(explorer);
+    drop(learner);
+    broker.shutdown();
+    group.finish();
+}
+
+criterion_group!(benches, bench_buffer, bench_store, bench_endpoint);
+criterion_main!(benches);

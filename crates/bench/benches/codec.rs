@@ -1,0 +1,65 @@
+//! Microbenchmarks of the serialization substrate: the binary codec and the
+//! from-scratch LZ4 implementation (ablation A1: what serialization and
+//! compression cost per rollout message).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xingtian_algos::payload::{ParamBlob, RolloutBatch, RolloutStep};
+use xingtian_message::codec::{Decode, Encode};
+use xingtian_message::lz4;
+
+fn batch(obs_dim: usize, steps: usize) -> RolloutBatch {
+    let steps = (0..steps)
+        .map(|i| RolloutStep {
+            observation: vec![(i % 13) as f32 * 0.3; obs_dim],
+            action: (i % 4) as u32,
+            reward: 1.0,
+            done: false,
+            behavior_logits: vec![0.1; 4],
+            value: 0.5,
+            next_observation: None,
+        })
+        .collect();
+    RolloutBatch { explorer: 0, param_version: 1, steps, bootstrap_observation: vec![0.0; obs_dim] }
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    for (obs_dim, steps) in [(128usize, 100usize), (1024, 100)] {
+        let b = batch(obs_dim, steps);
+        let bytes = b.to_bytes();
+        group.throughput(Throughput::Bytes(bytes.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("encode_rollout", format!("{obs_dim}x{steps}")),
+            &b,
+            |bench, b| bench.iter(|| b.to_bytes()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("decode_rollout", format!("{obs_dim}x{steps}")),
+            &bytes,
+            |bench, bytes| bench.iter(|| RolloutBatch::from_bytes(bytes).unwrap()),
+        );
+    }
+    let blob = ParamBlob { version: 3, params: vec![0.5; 450_000] };
+    let blob_bytes = blob.to_bytes();
+    group.throughput(Throughput::Bytes(blob_bytes.len() as u64));
+    group.bench_function("encode_params_450k", |b| b.iter(|| blob.to_bytes()));
+    group.bench_function("decode_params_450k", |b| {
+        b.iter(|| ParamBlob::from_bytes(&blob_bytes).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_lz4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lz4");
+    let compressible = batch(1024, 100).to_bytes();
+    let compressed = lz4::compress(&compressible);
+    group.throughput(Throughput::Bytes(compressible.len() as u64));
+    group.bench_function("compress_rollout", |b| b.iter(|| lz4::compress(&compressible)));
+    group.bench_function("decompress_rollout", |b| {
+        b.iter(|| lz4::decompress(&compressed).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_lz4);
+criterion_main!(benches);

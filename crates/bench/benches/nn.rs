@@ -1,0 +1,39 @@
+//! Microbenchmarks of the DNN substrate: the forward/backward passes that
+//! constitute the "training time" column of Table 1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tinynn::optim::Adam;
+use tinynn::{Activation, Matrix, Mlp};
+
+fn bench_mlp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mlp");
+    group.sample_size(20);
+    for (obs_dim, batch) in [(128usize, 32usize), (1024, 32), (1024, 500)] {
+        let net = Mlp::new(&[obs_dim, 64, 64, 9], Activation::Tanh, 0);
+        let x = Matrix::ones(batch, obs_dim);
+        group.bench_with_input(
+            BenchmarkId::new("forward", format!("{obs_dim}x{batch}")),
+            &x,
+            |b, x| b.iter(|| net.forward(x)),
+        );
+        let dout = Matrix::ones(batch, 9);
+        group.bench_with_input(
+            BenchmarkId::new("backward", format!("{obs_dim}x{batch}")),
+            &x,
+            |b, x| b.iter(|| net.backward(x, &dout)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_optim(c: &mut Criterion) {
+    let mut net = Mlp::new(&[1024, 64, 64, 9], Activation::Tanh, 0);
+    let grads = vec![0.01f32; net.num_params()];
+    let mut opt = Adam::new(net.num_params(), 1e-3);
+    c.bench_function("adam_step_70k_params", |b| {
+        b.iter(|| opt.step(net.params_mut(), &grads))
+    });
+}
+
+criterion_group!(benches, bench_mlp, bench_optim);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Microbenchmarks of the replay buffers (DQN's in-learner buffer vs the
+//! baseline's replay actor share this code; these numbers are the "local
+//! sampling" side of Fig. 9(b)).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xingtian_algos::payload::RolloutStep;
+use xingtian_algos::{PrioritizedReplay, ReplayBuffer};
+
+fn step(obs_dim: usize, i: usize) -> RolloutStep {
+    RolloutStep {
+        observation: vec![i as f32; obs_dim],
+        action: (i % 4) as u32,
+        reward: 0.5,
+        done: false,
+        behavior_logits: vec![],
+        value: 0.0,
+        next_observation: Some(vec![i as f32 + 1.0; obs_dim]),
+    }
+}
+
+fn bench_uniform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replay_uniform");
+    let mut buffer = ReplayBuffer::new(100_000);
+    for i in 0..50_000 {
+        buffer.push(step(64, i));
+    }
+    let mut rng = StdRng::seed_from_u64(0);
+    group.bench_function("push_64f", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            buffer.push(step(64, i));
+            i += 1;
+        })
+    });
+    group.bench_function("sample_32", |b| b.iter(|| buffer.sample(32, &mut rng)));
+    group.finish();
+}
+
+fn bench_prioritized(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replay_prioritized");
+    let mut buffer = PrioritizedReplay::new(65_536, 0.6);
+    for i in 0..50_000 {
+        buffer.push(step(64, i));
+    }
+    let mut rng = StdRng::seed_from_u64(0);
+    group.bench_function("sample_32_beta04", |b| b.iter(|| buffer.sample(32, 0.4, &mut rng)));
+    group.bench_function("update_priority", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            buffer.update_priority(i % 50_000, (i % 100) as f64 * 0.1 + 0.01);
+            i += 1;
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_uniform, bench_prioritized);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Micro-scale version of the Fig. 4 transmission comparison, runnable under
+//! Criterion for statistically robust push-vs-pull ratios (ablation A1).
+
+use baselines::raylite::run_ray_dummy;
+use baselines::CostModel;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xingtian::dummy::{run_dummy, DummyConfig};
+
+fn bench_transmission(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transmission");
+    group.sample_size(10);
+    let costs = CostModel::default();
+    for size in [64 * 1024usize, 1024 * 1024] {
+        let cfg = DummyConfig { rounds: 5, ..DummyConfig::single_machine(4, size) };
+        group.throughput(Throughput::Bytes((4 * 5 * size) as u64));
+        group.bench_with_input(BenchmarkId::new("xingtian_push", size), &cfg, |b, cfg| {
+            b.iter(|| run_dummy(cfg.clone()))
+        });
+        group.bench_with_input(BenchmarkId::new("raylite_pull", size), &cfg, |b, cfg| {
+            b.iter(|| run_ray_dummy(cfg.clone(), &costs))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transmission);
+criterion_main!(benches);

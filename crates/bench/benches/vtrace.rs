@@ -1,0 +1,45 @@
+//! Microbenchmarks of the RL math kernels: V-trace and GAE over paper-sized
+//! (500-step) rollout segments.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xingtian_algos::gae::{gae, GaeInput};
+use xingtian_algos::vtrace::{vtrace, VtraceInput};
+
+fn bench_vtrace(c: &mut Criterion) {
+    let n = 500;
+    let behavior: Vec<f32> = (0..n).map(|i| -0.7 - (i % 7) as f32 * 0.01).collect();
+    let target: Vec<f32> = (0..n).map(|i| -0.65 - (i % 5) as f32 * 0.01).collect();
+    let rewards: Vec<f32> = (0..n).map(|i| (i % 3) as f32).collect();
+    let values: Vec<f32> = (0..n).map(|i| (i % 11) as f32 * 0.1).collect();
+    let dones: Vec<bool> = (0..n).map(|i| i % 97 == 96).collect();
+    c.bench_function("vtrace_500", |b| {
+        b.iter(|| {
+            vtrace(&VtraceInput {
+                behavior_log_probs: &behavior,
+                target_log_probs: &target,
+                rewards: &rewards,
+                values: &values,
+                dones: &dones,
+                bootstrap_value: 0.5,
+                gamma: 0.99,
+                rho_bar: 1.0,
+                c_bar: 1.0,
+            })
+        })
+    });
+    c.bench_function("gae_500", |b| {
+        b.iter(|| {
+            gae(&GaeInput {
+                rewards: &rewards,
+                values: &values,
+                dones: &dones,
+                bootstrap_value: 0.5,
+                gamma: 0.99,
+                lambda: 0.95,
+            })
+        })
+    });
+}
+
+criterion_group!(benches, bench_vtrace);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Fig. 4 — Data Transmission Results in a Single Machine.
+//!
+//! The dummy DRL algorithm (paper §5.1): every explorer sends 20 messages of
+//! a configurable size, the learner receives them in rounds and reports
+//! throughput and end-to-end latency. Panel (a) uses one explorer, panel (b)
+//! sixteen; each size is measured for XingTian, the RLLib-style pull model,
+//! and Launchpad-with-Reverb.
+//!
+//! The Reverb path runs at ~2 MB/s by construction (calibrated to Table 1),
+//! so quick mode skips it above 256 KB messages to keep the run short.
+
+use baselines::padlite::{run_pad_dummy, PadMode};
+use baselines::raylite::run_ray_dummy;
+use baselines::CostModel;
+use xingtian::dummy::{run_dummy, DummyConfig, DummyResult};
+use xt_bench::{fmt_dur, fmt_size, header, size_sweep, HarnessArgs};
+
+fn row(size: usize, xt: &DummyResult, ray: &DummyResult, pad: Option<&DummyResult>) {
+    let pad_str = match pad {
+        Some(p) => format!("{:>9.2} {:>9}", p.throughput_mb_s(), fmt_dur(p.elapsed)),
+        None => format!("{:>9} {:>9}", "-", "-"),
+    };
+    println!(
+        "{:>8} | {:>9.1} {:>9} | {:>9.1} {:>9} | {}",
+        fmt_size(size),
+        xt.throughput_mb_s(),
+        fmt_dur(xt.elapsed),
+        ray.throughput_mb_s(),
+        fmt_dur(ray.elapsed),
+        pad_str
+    );
+}
+
+fn panel(explorers: u32, args: &HarnessArgs, costs: &CostModel) {
+    header(&format!("Fig. 4: single machine, {explorers} explorer(s)"));
+    println!(
+        "{:>8} | {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9}",
+        "size", "XT MB/s", "XT lat", "ray MB/s", "ray lat", "pad MB/s", "pad lat"
+    );
+    for size in size_sweep(args.full) {
+        let rounds = if args.full || size < 8 << 20 { 20 } else { 5 };
+        let cfg = DummyConfig { rounds, ..DummyConfig::single_machine(explorers, size) };
+        let xt = run_dummy(cfg.clone());
+        let ray = run_ray_dummy(cfg.clone(), costs);
+        let pad_limit = if args.full { usize::MAX } else { 256 << 10 };
+        let pad = (size <= pad_limit).then(|| {
+            let pad_cfg = DummyConfig { rounds: rounds.min(5), ..cfg };
+            run_pad_dummy(pad_cfg, costs, PadMode::WithReverb)
+        });
+        row(size, &xt, &ray, pad.as_ref());
+    }
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let costs = CostModel::default();
+    panel(1, &args, &costs);
+    panel(16, &args, &costs);
+    println!(
+        "\n(paper shape: XingTian ≥2x RLLib throughput at every size; \
+         Launchpad+Reverb flat below 2 MB/s regardless of explorer count)"
+    );
+    if !args.full {
+        println!("(quick profile; pass --full for the 1KB–64MB sweep with 20 rounds everywhere)");
+    }
+}

@@ -1,0 +1,133 @@
+//! Table 1 — Time to Transmit Rollouts and to Train.
+//!
+//! For each algorithm's per-iteration rollout payload (PPO 138,585 KB from
+//! ten explorers, DQN 1,913 KB, IMPALA 13,855 KB) this binary measures:
+//!
+//! * transmission time under the RLLib-style pull model (`raylite`),
+//! * transmission time under Launchpad-with-Reverb (`padlite`),
+//! * the matching DNN training time (same algorithm code every framework
+//!   runs).
+//!
+//! Quick mode divides payload sizes by 8 and uses 1024-float observations so
+//! the Reverb path finishes promptly; `--full` uses the paper's exact sizes.
+
+use baselines::padlite::{run_pad_dummy, PadMode};
+use baselines::raylite::run_ray_dummy;
+use baselines::CostModel;
+use std::time::{Duration, Instant};
+use xingtian::dummy::DummyConfig;
+use xingtian_algos::api::Algorithm;
+use xingtian_algos::payload::{RolloutBatch, RolloutStep};
+use xingtian_algos::{DqnAlgorithm, DqnConfig, ImpalaAlgorithm, ImpalaConfig, PpoAlgorithm, PpoConfig};
+use xt_bench::{fmt_dur, fmt_size, header, HarnessArgs};
+
+struct Row {
+    algo: &'static str,
+    /// Total rollout payload for one training iteration, bytes.
+    rollout_bytes: usize,
+    /// Concurrent senders producing it (PPO collects from ten explorers).
+    senders: u32,
+}
+
+fn measure_ray_transmission(row: &Row, costs: &CostModel) -> Duration {
+    let per_message = row.rollout_bytes / row.senders as usize;
+    let cfg = DummyConfig { rounds: 1, ..DummyConfig::single_machine(row.senders, per_message) };
+    run_ray_dummy(cfg, costs).elapsed
+}
+
+fn measure_pad_transmission(row: &Row, costs: &CostModel) -> Duration {
+    let per_message = row.rollout_bytes / row.senders as usize;
+    let cfg = DummyConfig { rounds: 1, ..DummyConfig::single_machine(row.senders, per_message) };
+    run_pad_dummy(cfg, costs, PadMode::WithReverb).elapsed
+}
+
+fn synthetic_batch(obs_dim: usize, actions: usize, steps: usize, with_next: bool) -> RolloutBatch {
+    let steps = (0..steps)
+        .map(|i| RolloutStep {
+            observation: vec![(i % 17) as f32 * 0.1; obs_dim],
+            action: (i % actions) as u32,
+            reward: (i % 3) as f32,
+            done: i % 97 == 96,
+            behavior_logits: vec![0.0; actions],
+            value: 0.0,
+            next_observation: with_next.then(|| vec![0.2; obs_dim]),
+        })
+        .collect();
+    RolloutBatch { explorer: 0, param_version: 0, steps, bootstrap_observation: vec![0.0; obs_dim] }
+}
+
+fn measure_training(algo: &str, obs_dim: usize) -> Duration {
+    match algo {
+        "PPO" => {
+            let mut c = PpoConfig::new(obs_dim, 9);
+            c.num_explorers = 10;
+            c.rollout_len = 500;
+            let mut alg = PpoAlgorithm::new(c);
+            for e in 0..10 {
+                let mut b = synthetic_batch(obs_dim, 9, 500, false);
+                b.explorer = e;
+                alg.on_rollout(b);
+            }
+            let t = Instant::now();
+            alg.try_train().expect("PPO batch complete");
+            t.elapsed()
+        }
+        "DQN" => {
+            let c = DqnConfig::new(obs_dim, 9);
+            let mut alg = DqnAlgorithm::new(c);
+            let batch = synthetic_batch(obs_dim, 9, 32, true);
+            let t = Instant::now();
+            alg.train_on_steps(&batch.steps);
+            t.elapsed()
+        }
+        "IMPALA" => {
+            let c = ImpalaConfig::new(obs_dim, 9);
+            let mut alg = ImpalaAlgorithm::new(c);
+            alg.on_rollout(synthetic_batch(obs_dim, 9, 500, false));
+            let t = Instant::now();
+            alg.try_train().expect("IMPALA batch queued");
+            t.elapsed()
+        }
+        _ => unreachable!(),
+    }
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let scale = if args.full { 1 } else { 8 };
+    let obs_dim = args.obs_dim.unwrap_or(if args.full { 7056 } else { 1024 });
+    let costs = CostModel::default();
+
+    // Paper payload sizes in KB (Table 1).
+    let rows = [
+        Row { algo: "PPO", rollout_bytes: 138_585 * 1024 / scale, senders: 10 },
+        Row { algo: "DQN", rollout_bytes: 1_913 * 1024 / scale, senders: 1 },
+        Row { algo: "IMPALA", rollout_bytes: 13_855 * 1024 / scale, senders: 1 },
+    ];
+
+    header("Table 1: Time to Transmit Rollouts and to Train");
+    println!(
+        "{:<8} {:>12} {:>16} {:>22} {:>14}",
+        "Alg", "Rollout", "Trans(raylite)", "Trans(padlite+Reverb)", "Train"
+    );
+    for row in &rows {
+        let ray = measure_ray_transmission(row, &costs);
+        let pad = measure_pad_transmission(row, &costs);
+        let train = measure_training(row.algo, obs_dim);
+        println!(
+            "{:<8} {:>12} {:>16} {:>22} {:>14}",
+            row.algo,
+            fmt_size(row.rollout_bytes),
+            fmt_dur(ray),
+            fmt_dur(pad),
+            fmt_dur(train)
+        );
+    }
+    println!(
+        "\n(paper, full scale: PPO 367.81ms / 95.77s / 1297.53ms; DQN 54.13ms / 811.47ms / 8.00ms; \
+         IMPALA 301.34ms / 12.57s / 32.07ms)"
+    );
+    if !args.full {
+        println!("(quick profile: payloads ÷{scale}, obs_dim {obs_dim}; pass --full for paper scale)");
+    }
+}

@@ -1,0 +1,380 @@
+//! The broker process: object store, communicator queue, router thread, and
+//! the inter-machine fabric.
+//!
+//! One [`Broker`] runs per machine. Explorer and learner processes obtain an
+//! [`Endpoint`] from their machine's broker; endpoints on
+//! different machines communicate once their brokers are connected with
+//! [`connect_brokers`] (the "fabric among brokers in different machines" of
+//! paper §3.2.2).
+
+use crate::endpoint::Endpoint;
+use crate::router::{deliver_local, run_router, RemoteEnvelope, RoutingTable};
+use crate::store::ObjectStore;
+use crate::{CommConfig, Compression};
+use crossbeam_channel::{unbounded, Sender};
+use netsim::{Cluster, MachineId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use xingtian_message::{compress_body_with_threshold, Header, Message, ProcessId};
+
+#[derive(Debug)]
+pub(crate) struct BrokerShared {
+    pub(crate) machine: MachineId,
+    pub(crate) cluster: Cluster,
+    pub(crate) config: CommConfig,
+    pub(crate) store: Arc<ObjectStore>,
+    pub(crate) table: Arc<RoutingTable>,
+    comm_tx: Mutex<Option<Sender<Header>>>,
+    uplinks: Arc<Mutex<HashMap<MachineId, Sender<RemoteEnvelope>>>>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Pieces of a peer broker an uplink thread needs to deliver remotely-received
+/// messages. Holding these (rather than the peer `Broker` itself) avoids
+/// reference cycles between mutually-connected brokers.
+#[derive(Debug, Clone)]
+struct RemoteDelivery {
+    store: Arc<ObjectStore>,
+    table: Arc<RoutingTable>,
+}
+
+/// A per-machine communication hub.
+///
+/// Cloning a `Broker` is cheap and shares the underlying state.
+#[derive(Debug, Clone)]
+pub struct Broker {
+    shared: Arc<BrokerShared>,
+}
+
+impl Broker {
+    /// Creates a broker for `machine` of `cluster` and starts its router thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machine` is out of range for `cluster`.
+    pub fn new(machine: MachineId, cluster: Cluster, config: CommConfig) -> Self {
+        assert!(machine < cluster.len(), "machine {machine} out of range");
+        let (comm_tx, comm_rx) = unbounded();
+        let store = Arc::new(ObjectStore::new());
+        let table = Arc::new(RoutingTable::default());
+        let uplinks: Arc<Mutex<HashMap<MachineId, Sender<RemoteEnvelope>>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let router = {
+            let store = Arc::clone(&store);
+            let table = Arc::clone(&table);
+            let uplinks = Arc::clone(&uplinks);
+            std::thread::Builder::new()
+                .name(format!("xt-router-m{machine}"))
+                .spawn(move || run_router(machine, comm_rx, store, table, uplinks))
+                .expect("spawn router thread")
+        };
+        Broker {
+            shared: Arc::new(BrokerShared {
+                machine,
+                cluster,
+                config,
+                store,
+                table,
+                comm_tx: Mutex::new(Some(comm_tx)),
+                uplinks,
+                threads: Mutex::new(vec![router]),
+            }),
+        }
+    }
+
+    /// The machine this broker runs on.
+    pub fn machine(&self) -> MachineId {
+        self.shared.machine
+    }
+
+    /// The simulated cluster this broker belongs to.
+    pub fn cluster(&self) -> &Cluster {
+        &self.shared.cluster
+    }
+
+    /// The broker's shared-memory object store (exposed for inspection in
+    /// tests and memory-overhead experiments).
+    pub fn store(&self) -> &ObjectStore {
+        &self.shared.store
+    }
+
+    /// Messages dropped by the router (unknown destination or closed queue).
+    pub fn dropped(&self) -> u64 {
+        self.shared.table.dropped()
+    }
+
+    /// Registers that `pid` lives on `machine`. Called automatically by
+    /// [`Broker::endpoint`] for local processes and by [`connect_brokers`]
+    /// when fabrics are established.
+    pub fn register_route(&self, pid: ProcessId, machine: MachineId) {
+        self.shared.table.routes.lock().insert(pid, machine);
+    }
+
+    /// Creates the communication endpoint for local process `pid`: its ID
+    /// queue, buffers, and sender/receiver monitoring threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` already has an endpoint on this broker.
+    pub fn endpoint(&self, pid: ProcessId) -> Endpoint {
+        let (id_tx, id_rx) = unbounded();
+        {
+            let mut queues = self.shared.table.id_queues.lock();
+            assert!(!queues.contains_key(&pid), "endpoint for {pid} already exists");
+            queues.insert(pid, id_tx);
+        }
+        self.register_route(pid, self.shared.machine);
+        // Propagate the new route to every connected peer broker.
+        // (Peers learn of later-connected routes via connect_brokers.)
+        Endpoint::spawn(pid, self.clone(), id_rx)
+    }
+
+    /// Removes the ID queue of `pid`; its receiver thread will observe the
+    /// disconnect and exit.
+    pub(crate) fn remove_endpoint(&self, pid: ProcessId) {
+        self.shared.table.id_queues.lock().remove(&pid);
+    }
+
+    /// Accepts a message from a local sender thread: compresses the body per
+    /// config, stores it with the correct fan-out, and enqueues the header for
+    /// the router. Returns `false` if the broker is shut down or the message
+    /// has no routable destination.
+    pub fn submit(&self, msg: Message) -> bool {
+        let Message { mut header, body } = msg;
+        let (local, remote) = self.shared.table.split(self.shared.machine, &header.dst);
+        let fanout = local.len() + remote.len();
+        if fanout == 0 {
+            return false;
+        }
+        let body = match self.shared.config.compression {
+            Compression::Off => body,
+            Compression::Threshold(t) => {
+                let (body, compressed) = compress_body_with_threshold(body, t);
+                header.compressed = compressed;
+                body
+            }
+        };
+        // Control-plane traffic (lifecycle commands, statistics) bypasses the
+        // segment's capacity gate: it must flow even when the data plane is
+        // fully back-pressured, or a stalled learner could never be shut down.
+        let object_id = match header.kind {
+            xingtian_message::MessageKind::Control | xingtian_message::MessageKind::Stats => {
+                self.shared.store.insert_priority(body, fanout)
+            }
+            _ => self.shared.store.insert(body, fanout),
+        };
+        header.object_id = Some(object_id);
+        let guard = self.shared.comm_tx.lock();
+        match guard.as_ref() {
+            Some(tx) => tx.send(header).is_ok(),
+            None => false,
+        }
+    }
+
+    pub(crate) fn store_arc(&self) -> Arc<ObjectStore> {
+        Arc::clone(&self.shared.store)
+    }
+
+    pub(crate) fn endpoint_recv_capacity(&self) -> Option<usize> {
+        self.shared.config.endpoint_recv_capacity
+    }
+
+    pub(crate) fn track_thread(&self, handle: JoinHandle<()>) {
+        self.shared.threads.lock().push(handle);
+    }
+
+    /// Shuts the broker down: closes the communicator queue and all uplinks,
+    /// then joins the router and uplink threads. In-flight messages already
+    /// routed to ID queues remain fetchable by receivers. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.comm_tx.lock().take();
+        self.shared.uplinks.lock().clear();
+        let threads: Vec<_> = self.shared.threads.lock().drain(..).collect();
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Connects a set of brokers (one per machine) into a fully-connected fabric
+/// and synchronizes their routing tables.
+///
+/// For every ordered pair `(a, b)` an uplink thread is started on `a` that
+/// forwards [`RemoteEnvelope`]s over the simulated NIC link and delivers them
+/// into `b`'s object store and ID queues.
+///
+/// # Panics
+///
+/// Panics if two brokers claim the same machine.
+pub fn connect_brokers(brokers: &[Broker]) {
+    // Merge routing tables: every broker learns every process location.
+    let mut merged: HashMap<ProcessId, MachineId> = HashMap::new();
+    for b in brokers {
+        for (&pid, &m) in b.shared.table.routes.lock().iter() {
+            merged.insert(pid, m);
+        }
+    }
+    for b in brokers {
+        b.shared.table.routes.lock().extend(merged.iter().map(|(&p, &m)| (p, m)));
+    }
+    // Build uplinks for every ordered pair.
+    for a in brokers {
+        for b in brokers {
+            if a.shared.machine == b.shared.machine {
+                assert!(
+                    Arc::ptr_eq(&a.shared, &b.shared),
+                    "two brokers claim machine {}",
+                    a.shared.machine
+                );
+                continue;
+            }
+            if a.shared.uplinks.lock().contains_key(&b.shared.machine) {
+                continue;
+            }
+            let (tx, rx) = unbounded::<RemoteEnvelope>();
+            a.shared.uplinks.lock().insert(b.shared.machine, tx);
+            let cluster = a.shared.cluster.clone();
+            let from = a.shared.machine;
+            let to = b.shared.machine;
+            let delivery = RemoteDelivery {
+                store: Arc::clone(&b.shared.store),
+                table: Arc::clone(&b.shared.table),
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("xt-uplink-m{from}-m{to}"))
+                .spawn(move || {
+                    while let Ok(envelope) = rx.recv() {
+                        // Pay the NIC cost once per target machine; the body
+                        // then re-enters the normal local delivery path on
+                        // the far side.
+                        cluster.transfer(from, to, envelope.body.len());
+                        deliver_local(
+                            &delivery.store,
+                            &delivery.table,
+                            envelope.header,
+                            envelope.body,
+                            &envelope.dst,
+                        );
+                    }
+                })
+                .expect("spawn uplink thread");
+            a.track_thread(handle);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use xingtian_message::MessageKind;
+
+    fn rollout_msg(body: &'static [u8]) -> Message {
+        let h = Header::new(ProcessId::explorer(0), vec![ProcessId::learner(0)], MessageKind::Rollout);
+        Message::new(h, Bytes::from_static(body))
+    }
+
+    #[test]
+    fn submit_without_destination_is_rejected() {
+        let broker = Broker::new(0, Cluster::single(), CommConfig::default());
+        assert!(!broker.submit(rollout_msg(b"data")), "no learner endpoint registered");
+        broker.shutdown();
+    }
+
+    #[test]
+    fn local_delivery_end_to_end() {
+        let broker = Broker::new(0, Cluster::single(), CommConfig::default());
+        let explorer = broker.endpoint(ProcessId::explorer(0));
+        let learner = broker.endpoint(ProcessId::learner(0));
+        explorer.send(rollout_msg(b"hello"));
+        let got = learner.recv().expect("message delivered");
+        assert_eq!(&got.body[..], b"hello");
+        assert_eq!(got.header.src, ProcessId::explorer(0));
+        drop(explorer);
+        drop(learner);
+        broker.shutdown();
+        assert_eq!(broker.dropped(), 0);
+    }
+
+    #[test]
+    fn broadcast_reaches_every_destination_once() {
+        let broker = Broker::new(0, Cluster::single(), CommConfig::default());
+        let learner = broker.endpoint(ProcessId::learner(0));
+        let explorers: Vec<_> = (0..4).map(|i| broker.endpoint(ProcessId::explorer(i))).collect();
+        let h = Header::new(
+            ProcessId::learner(0),
+            (0..4).map(ProcessId::explorer).collect(),
+            MessageKind::Parameters,
+        );
+        learner.send(Message::new(h, Bytes::from_static(b"weights")));
+        for e in &explorers {
+            let m = e.recv().expect("broadcast delivered");
+            assert_eq!(&m.body[..], b"weights");
+            assert!(e.try_recv().is_none(), "exactly one copy per destination");
+        }
+        // All fan-out credits consumed: the store must be empty again.
+        assert!(broker.store().is_empty());
+        broker.shutdown();
+    }
+
+    #[test]
+    fn duplicate_endpoint_panics() {
+        let broker = Broker::new(0, Cluster::single(), CommConfig::default());
+        let _a = broker.endpoint(ProcessId::explorer(0));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            broker.endpoint(ProcessId::explorer(0))
+        }));
+        assert!(result.is_err());
+        broker.shutdown();
+    }
+
+    #[test]
+    fn cross_machine_delivery() {
+        let cluster = Cluster::new(
+            netsim::ClusterSpec::default().machines(2).nic_bandwidth(1e9).latency_secs(0.0),
+        );
+        let b0 = Broker::new(0, cluster.clone(), CommConfig::default());
+        let b1 = Broker::new(1, cluster, CommConfig::default());
+        let explorer = b0.endpoint(ProcessId::explorer(0));
+        let learner = b1.endpoint(ProcessId::learner(0));
+        connect_brokers(&[b0.clone(), b1.clone()]);
+        explorer.send(rollout_msg(b"across the wire"));
+        let got = learner.recv().expect("remote delivery");
+        assert_eq!(&got.body[..], b"across the wire");
+        // The body crossed the simulated NIC exactly once.
+        assert_eq!(b0.cluster().machine(0).tx().stats().transfers(), 1);
+        drop(explorer);
+        drop(learner);
+        b0.shutdown();
+        b1.shutdown();
+    }
+
+    #[test]
+    fn cross_machine_broadcast_sends_body_once_per_machine() {
+        let cluster = Cluster::new(
+            netsim::ClusterSpec::default().machines(2).nic_bandwidth(1e9).latency_secs(0.0),
+        );
+        let b0 = Broker::new(0, cluster.clone(), CommConfig::default());
+        let b1 = Broker::new(1, cluster, CommConfig::default());
+        let learner = b0.endpoint(ProcessId::learner(0));
+        let local_e = b0.endpoint(ProcessId::explorer(0));
+        let remote_es: Vec<_> = (1..4).map(|i| b1.endpoint(ProcessId::explorer(i))).collect();
+        connect_brokers(&[b0.clone(), b1.clone()]);
+        let h = Header::new(
+            ProcessId::learner(0),
+            (0..4).map(ProcessId::explorer).collect(),
+            MessageKind::Parameters,
+        );
+        learner.send(Message::new(h, Bytes::from_static(b"w")));
+        assert_eq!(&local_e.recv().unwrap().body[..], b"w");
+        for e in &remote_es {
+            assert_eq!(&e.recv().unwrap().body[..], b"w");
+        }
+        // Three remote explorers, but only one transfer on the wire.
+        assert_eq!(b0.cluster().machine(0).tx().stats().transfers(), 1);
+        b0.shutdown();
+        b1.shutdown();
+    }
+}

@@ -1,0 +1,216 @@
+//! Intra-process send/receive buffers.
+//!
+//! A [`Buffer`] is the paper's send-buffer / receive-buffer structure: a
+//! *header queue* plus a *data list* holding the matching bodies. Workhorse
+//! threads only ever touch these local buffers; the monitoring threads of the
+//! channel move data between buffers and the shared-memory communicator.
+//!
+//! `pop` blocks until a message arrives (the event-driven `Queue.get` pattern
+//! of paper §4.1) or the buffer is closed.
+
+use crossbeam_channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::time::Duration;
+use xingtian_message::{Body, Header, Message};
+
+/// A header queue paired with a body list, safe to share across threads.
+#[derive(Debug)]
+pub struct Buffer {
+    header_tx: Mutex<Option<Sender<Header>>>,
+    header_rx: Receiver<Header>,
+    bodies: Mutex<HashMap<u64, Body>>,
+}
+
+impl Buffer {
+    /// Creates an empty, open, unbounded buffer.
+    pub fn new() -> Self {
+        let (tx, rx) = unbounded();
+        Buffer { header_tx: Mutex::new(Some(tx)), header_rx: rx, bodies: Mutex::new(HashMap::new()) }
+    }
+
+    /// Creates a buffer holding at most `capacity` staged messages:
+    /// [`Buffer::push`] blocks while full, propagating backpressure to the
+    /// producing thread (and, through the receiver thread, back to the
+    /// shared-memory store and ultimately the senders).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        let (tx, rx) = bounded(capacity);
+        Buffer { header_tx: Mutex::new(Some(tx)), header_rx: rx, bodies: Mutex::new(HashMap::new()) }
+    }
+
+    /// Stages a message: body into the data list, header into the header
+    /// queue. On a bounded buffer this blocks while the buffer is full (and
+    /// keeps checking for closure so shutdown always unblocks it).
+    ///
+    /// Returns `false` (dropping the message) if the buffer has been closed.
+    pub fn push(&self, msg: Message) -> bool {
+        let Message { header, body } = msg;
+        // Clone the sender out of the lock so a blocking send cannot hold it.
+        let Some(tx) = self.header_tx.lock().clone() else { return false };
+        let id = header.id;
+        self.bodies.lock().insert(id, body);
+        let mut header = Some(header);
+        loop {
+            match tx.send_timeout(header.take().expect("header present until sent"), Duration::from_millis(50)) {
+                Ok(()) => return true,
+                Err(crossbeam_channel::SendTimeoutError::Timeout(h)) => {
+                    if self.is_closed() {
+                        self.bodies.lock().remove(&id);
+                        return false;
+                    }
+                    header = Some(h);
+                }
+                Err(crossbeam_channel::SendTimeoutError::Disconnected(_)) => {
+                    self.bodies.lock().remove(&id);
+                    return false;
+                }
+            }
+        }
+    }
+
+    fn claim_body(&self, header: &Header) -> Message {
+        let body = self
+            .bodies
+            .lock()
+            .remove(&header.id)
+            .expect("buffer invariant: every queued header has a staged body");
+        Message { header: header.clone(), body }
+    }
+
+    /// Blocks until a message is available or the buffer is closed.
+    ///
+    /// Returns `None` only after [`Buffer::close`] and once the queue has
+    /// drained.
+    pub fn pop(&self) -> Option<Message> {
+        let header = self.header_rx.recv().ok()?;
+        Some(self.claim_body(&header))
+    }
+
+    /// Non-blocking pop.
+    pub fn try_pop(&self) -> Option<Message> {
+        match self.header_rx.try_recv() {
+            Ok(header) => Some(self.claim_body(&header)),
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Blocks up to `timeout` for a message.
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<Message> {
+        match self.header_rx.recv_timeout(timeout) {
+            Ok(header) => Some(self.claim_body(&header)),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+
+    /// Number of staged messages.
+    pub fn len(&self) -> usize {
+        self.header_rx.len()
+    }
+
+    /// True when no messages are staged.
+    pub fn is_empty(&self) -> bool {
+        self.header_rx.is_empty()
+    }
+
+    /// Closes the buffer: subsequent `push` calls drop their message, and
+    /// `pop` returns `None` once the remaining messages drain. Idempotent.
+    pub fn close(&self) {
+        self.header_tx.lock().take();
+    }
+
+    /// True once [`Buffer::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.header_tx.lock().is_none()
+    }
+}
+
+impl Default for Buffer {
+    fn default() -> Self {
+        Buffer::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use std::sync::Arc;
+    use xingtian_message::{MessageKind, ProcessId};
+
+    fn msg(tag: u8) -> Message {
+        let h = Header::new(ProcessId::explorer(0), vec![ProcessId::learner(0)], MessageKind::Rollout);
+        Message::new(h, Bytes::from(vec![tag; 8]))
+    }
+
+    #[test]
+    fn push_pop_round_trips_in_order() {
+        let b = Buffer::new();
+        assert!(b.push(msg(1)));
+        assert!(b.push(msg(2)));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.pop().unwrap().body[0], 1);
+        assert_eq!(b.pop().unwrap().body[0], 2);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn try_pop_on_empty_returns_none() {
+        let b = Buffer::new();
+        assert!(b.try_pop().is_none());
+    }
+
+    #[test]
+    fn pop_timeout_expires() {
+        let b = Buffer::new();
+        assert!(b.pop_timeout(Duration::from_millis(10)).is_none());
+    }
+
+    #[test]
+    fn pop_blocks_until_push() {
+        let b = Arc::new(Buffer::new());
+        let b2 = Arc::clone(&b);
+        let t = std::thread::spawn(move || b2.pop().unwrap().body[0]);
+        std::thread::sleep(Duration::from_millis(20));
+        b.push(msg(7));
+        assert_eq!(t.join().unwrap(), 7);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let b = Buffer::new();
+        b.push(msg(1));
+        b.close();
+        assert!(!b.push(msg(2)), "push after close is dropped");
+        assert_eq!(b.pop().unwrap().body[0], 1);
+        assert!(b.pop().is_none());
+        assert!(b.is_closed());
+    }
+
+    #[test]
+    fn concurrent_producers_deliver_everything() {
+        let b = Arc::new(Buffer::new());
+        let mut handles = Vec::new();
+        for t in 0..4u8 {
+            let b = Arc::clone(&b);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    assert!(b.push(msg(t)));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut counts = [0usize; 4];
+        for _ in 0..400 {
+            let m = b.pop().unwrap();
+            counts[m.body[0] as usize] += 1;
+        }
+        assert_eq!(counts, [100, 100, 100, 100]);
+    }
+}

@@ -1,0 +1,300 @@
+//! Process endpoints: send/receive buffers plus the monitoring threads.
+//!
+//! An [`Endpoint`] is everything a workhorse thread (rollout worker or
+//! trainer) sees of the communication channel: `send` stages a message in the
+//! local send buffer and returns immediately; `recv` pops the local receive
+//! buffer. Two monitoring threads per endpoint keep data flowing:
+//!
+//! * the **sender thread** pops the send buffer and submits each message to
+//!   the broker (compression + object-store insertion + header enqueue), and
+//! * the **receiver thread** pops the endpoint's ID queue, fetches the body
+//!   from the object store (zero-copy), decompresses if needed, and pushes the
+//!   complete message into the receive buffer.
+//!
+//! Both threads are event-driven (blocking pops), so transmission starts the
+//! instant data are ready — the paper's aggressive-push behavior.
+
+use crate::broker::Broker;
+use crate::buffer::Buffer;
+use crate::stats::TransmissionStats;
+use crossbeam_channel::Receiver;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use xingtian_message::{decompress_body, Body, Header, Message, MessageKind, ProcessId};
+
+/// A process's handle on the asynchronous communication channel.
+#[derive(Debug)]
+pub struct Endpoint {
+    pid: ProcessId,
+    broker: Broker,
+    send_buf: Arc<Buffer>,
+    recv_buf: Arc<Buffer>,
+    /// Latency from message creation (at the producer) to arrival in this
+    /// endpoint's receive buffer.
+    delivery_stats: Arc<TransmissionStats>,
+    bytes_received: Arc<AtomicU64>,
+    messages_received: Arc<AtomicU64>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Endpoint {
+    pub(crate) fn spawn(pid: ProcessId, broker: Broker, id_rx: Receiver<Header>) -> Self {
+        let send_buf = Arc::new(Buffer::new());
+        // Workhorse endpoints get bounded receive buffers so that a stalled
+        // consumer backpressures the whole channel (receiver thread blocks →
+        // object store fills → senders block) instead of buffering without
+        // bound. Control-plane endpoints stay unbounded: stats must never be
+        // able to stall the data plane.
+        let recv_buf = Arc::new(match pid.role {
+            xingtian_message::ProcessRole::Explorer | xingtian_message::ProcessRole::Learner => {
+                match broker.endpoint_recv_capacity() {
+                    Some(cap) => Buffer::with_capacity(cap),
+                    None => Buffer::new(),
+                }
+            }
+            _ => Buffer::new(),
+        });
+        let delivery_stats = Arc::new(TransmissionStats::new());
+        let bytes_received = Arc::new(AtomicU64::new(0));
+        let messages_received = Arc::new(AtomicU64::new(0));
+
+        let mut threads = Vec::with_capacity(2);
+
+        // Sender monitoring thread: send buffer -> broker.
+        {
+            let send_buf = Arc::clone(&send_buf);
+            let broker = broker.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("xt-send-{pid}"))
+                .spawn(move || {
+                    while let Some(msg) = send_buf.pop() {
+                        let _ = broker.submit(msg);
+                    }
+                })
+                .expect("spawn sender thread");
+            threads.push(handle);
+        }
+
+        // Receiver monitoring thread: ID queue -> object store -> receive buffer.
+        {
+            let recv_buf = Arc::clone(&recv_buf);
+            let store = Arc::clone(&broker_store(&broker));
+            let delivery_stats = Arc::clone(&delivery_stats);
+            let bytes_received = Arc::clone(&bytes_received);
+            let messages_received = Arc::clone(&messages_received);
+            let handle = std::thread::Builder::new()
+                .name(format!("xt-recv-{pid}"))
+                .spawn(move || {
+                    // On exit, burn the store credits of anything still queued
+                    // for this endpoint so a departed consumer cannot leave
+                    // the shared segment full (and senders blocked) forever.
+                    let drain = |id_rx: &Receiver<Header>, store: &crate::store::ObjectStore| {
+                        while let Ok(h) = id_rx.try_recv() {
+                            if let Some(id) = h.object_id {
+                                let _ = store.fetch(id);
+                            }
+                        }
+                    };
+                    while let Ok(mut header) = id_rx.recv() {
+                        let Some(id) = header.object_id else { continue };
+                        let Some(body) = store.fetch(id) else { continue };
+                        // Move the body into this process's local buffer.
+                        // The store hands out shared views of the segment, so
+                        // this is zero-copy for uncompressed bodies — the
+                        // paper's "zero-copy communication among processes".
+                        // Compressed bodies decompress into a fresh local
+                        // buffer here.
+                        let body: Body = if header.compressed {
+                            match decompress_body(&body) {
+                                Ok(raw) => {
+                                    header.compressed = false;
+                                    raw
+                                }
+                                Err(_) => continue, // corrupt body: drop
+                            }
+                        } else {
+                            body
+                        };
+                        delivery_stats.record(header.created_at.elapsed());
+                        bytes_received.fetch_add(body.len() as u64, Ordering::Relaxed);
+                        messages_received.fetch_add(1, Ordering::Relaxed);
+                        if !recv_buf.push(Message { header, body }) {
+                            break; // receive buffer closed: stop delivering
+                        }
+                    }
+                    drain(&id_rx, &store);
+                })
+                .expect("spawn receiver thread");
+            threads.push(handle);
+        }
+
+        Endpoint {
+            pid,
+            broker,
+            send_buf,
+            recv_buf,
+            delivery_stats,
+            bytes_received,
+            messages_received,
+            threads: Mutex::new(threads),
+        }
+    }
+
+    /// This endpoint's process id.
+    pub fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// Stages `msg` for asynchronous transmission and returns immediately.
+    ///
+    /// Returns `false` if the endpoint has been closed.
+    pub fn send(&self, msg: Message) -> bool {
+        self.send_buf.push(msg)
+    }
+
+    /// Convenience: builds and sends a message from this endpoint.
+    pub fn send_to(&self, dst: Vec<ProcessId>, kind: MessageKind, body: Body) -> bool {
+        let header = Header::new(self.pid, dst, kind);
+        self.send(Message::new(header, body))
+    }
+
+    /// Blocks until a message arrives or the endpoint is closed.
+    pub fn recv(&self) -> Option<Message> {
+        self.recv_buf.pop()
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Message> {
+        self.recv_buf.try_pop()
+    }
+
+    /// Receive with a timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Message> {
+        self.recv_buf.pop_timeout(timeout)
+    }
+
+    /// Messages already delivered and waiting in the receive buffer.
+    pub fn pending(&self) -> usize {
+        self.recv_buf.len()
+    }
+
+    /// Messages staged for sending but not yet handed to the broker. Producers
+    /// can use this for flow control when the channel is congested.
+    pub fn send_backlog(&self) -> usize {
+        self.send_buf.len()
+    }
+
+    /// Producer-to-receive-buffer latency statistics for messages delivered to
+    /// this endpoint.
+    pub fn delivery_stats(&self) -> &TransmissionStats {
+        &self.delivery_stats
+    }
+
+    /// Shared handle to the delivery statistics, usable after the endpoint
+    /// has been moved into its process thread.
+    pub fn delivery_stats_arc(&self) -> Arc<TransmissionStats> {
+        Arc::clone(&self.delivery_stats)
+    }
+
+    /// Total body bytes delivered to this endpoint.
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_received.load(Ordering::Relaxed)
+    }
+
+    /// Total messages delivered to this endpoint.
+    pub fn messages_received(&self) -> u64 {
+        self.messages_received.load(Ordering::Relaxed)
+    }
+
+    /// Closes the endpoint: the send buffer stops accepting messages (the
+    /// sender thread drains and exits), the ID queue is removed and the
+    /// receive buffer closed (the receiver thread exits, even if it was
+    /// blocked on a full bounded buffer), and the monitoring threads are
+    /// joined. Idempotent.
+    pub fn close(&self) {
+        self.send_buf.close();
+        self.broker.remove_endpoint(self.pid);
+        // Close the receive buffer *before* joining: a receiver thread
+        // blocked pushing into a full bounded buffer unblocks on closure.
+        self.recv_buf.close();
+        let threads: Vec<_> = self.threads.lock().drain(..).collect();
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Endpoint {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+fn broker_store(broker: &Broker) -> Arc<crate::store::ObjectStore> {
+    // The receiver thread holds only the store, not the broker, so a broker
+    // is never kept alive by one of its own tracked threads.
+    broker.store_arc()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CommConfig;
+    use bytes::Bytes;
+    use netsim::Cluster;
+
+    #[test]
+    fn send_returns_immediately_recv_blocks_until_delivery() {
+        let broker = Broker::new(0, Cluster::single(), CommConfig::default());
+        let e = broker.endpoint(ProcessId::explorer(0));
+        let l = broker.endpoint(ProcessId::learner(0));
+        assert!(e.send_to(vec![ProcessId::learner(0)], MessageKind::Rollout, Bytes::from_static(b"r1")));
+        let m = l.recv_timeout(Duration::from_secs(5)).expect("delivered");
+        assert_eq!(&m.body[..], b"r1");
+        assert_eq!(l.messages_received(), 1);
+        assert_eq!(l.bytes_received(), 2);
+        assert!(!l.delivery_stats().is_empty());
+        broker.shutdown();
+    }
+
+    #[test]
+    fn close_stops_accepting_sends() {
+        let broker = Broker::new(0, Cluster::single(), CommConfig::default());
+        let e = broker.endpoint(ProcessId::explorer(0));
+        let _l = broker.endpoint(ProcessId::learner(0));
+        e.close();
+        assert!(!e.send_to(vec![ProcessId::learner(0)], MessageKind::Rollout, Bytes::new()));
+        broker.shutdown();
+    }
+
+    #[test]
+    fn compressed_bodies_arrive_decompressed() {
+        let broker = Broker::new(0, Cluster::single(), CommConfig::default());
+        let e = broker.endpoint(ProcessId::explorer(0));
+        let l = broker.endpoint(ProcessId::learner(0));
+        let payload = Bytes::from(vec![3u8; 4 * 1024 * 1024]); // > 1 MiB threshold
+        e.send_to(vec![ProcessId::learner(0)], MessageKind::Rollout, payload.clone());
+        let m = l.recv_timeout(Duration::from_secs(5)).expect("delivered");
+        assert!(!m.header.compressed);
+        assert_eq!(m.body, payload);
+        broker.shutdown();
+    }
+
+    #[test]
+    fn many_messages_preserve_per_sender_order() {
+        let broker = Broker::new(0, Cluster::single(), CommConfig::default());
+        let e = broker.endpoint(ProcessId::explorer(0));
+        let l = broker.endpoint(ProcessId::learner(0));
+        for i in 0..100u8 {
+            e.send_to(vec![ProcessId::learner(0)], MessageKind::Rollout, Bytes::from(vec![i]));
+        }
+        for i in 0..100u8 {
+            let m = l.recv_timeout(Duration::from_secs(5)).expect("delivered");
+            assert_eq!(m.body[0], i, "FIFO per sender");
+        }
+        broker.shutdown();
+    }
+}

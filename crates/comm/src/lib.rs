@@ -1,0 +1,110 @@
+//! The asynchronous communication channel of XingTian (paper §3.2.1).
+//!
+//! XingTian replaces receiver-initiated ("pull") communication with a
+//! sender-initiated, aggressive push pipeline:
+//!
+//! ```text
+//! workhorse thread ──▶ send buffer ──▶ sender thread ──▶ shared-memory
+//!                                                        communicator
+//!                                                        (object store +
+//!                                                         header queue)
+//!                                                              │
+//!                                                   algorithm-agnostic router
+//!                                                     │               │
+//!                                              local ID queues   remote broker
+//!                                                     │           (via netsim)
+//!                                             receiver thread ──▶ receive buffer
+//!                                                                ──▶ workhorse
+//! ```
+//!
+//! Every hop is event-driven: each monitoring thread blocks on a queue `pop`
+//! and reacts the moment a message header appears, so data transmission starts
+//! as soon as the data exist and overlaps with the computation of both
+//! endpoints. Bodies live in the [`store::ObjectStore`] and move by reference
+//! (O(1) `Bytes` clones); only headers flow through queues.
+//!
+//! The public surface:
+//!
+//! * [`Buffer`] — intra-process send/receive staging (header queue + body list).
+//! * [`ObjectStore`] — zero-copy shared body store with fan-out refcounts.
+//! * [`Broker`] — per-machine communication hub: communicator, router thread,
+//!   and fabric links to peer brokers over a [`netsim::Cluster`].
+//! * [`Endpoint`] — what an explorer/learner process holds: its buffers plus
+//!   the sender/receiver monitoring threads.
+//!
+//! # Examples
+//!
+//! ```
+//! use xingtian_comm::{Broker, CommConfig};
+//! use xingtian_message::{Header, Message, MessageKind, ProcessId};
+//! use netsim::Cluster;
+//! use bytes::Bytes;
+//!
+//! let cluster = Cluster::single();
+//! let broker = Broker::new(0, cluster, CommConfig::default());
+//! let explorer = broker.endpoint(ProcessId::explorer(0));
+//! let learner = broker.endpoint(ProcessId::learner(0));
+//!
+//! let header = Header::new(ProcessId::explorer(0), vec![ProcessId::learner(0)],
+//!                          MessageKind::Rollout);
+//! explorer.send(Message::new(header, Bytes::from_static(b"rollout bytes")));
+//! let got = learner.recv().expect("delivered");
+//! assert_eq!(&got.body[..], b"rollout bytes");
+//! ```
+
+pub mod broker;
+pub mod buffer;
+pub mod endpoint;
+pub mod router;
+pub mod stats;
+pub mod store;
+
+pub use broker::{connect_brokers, Broker};
+pub use buffer::Buffer;
+pub use endpoint::Endpoint;
+pub use stats::TransmissionStats;
+pub use store::{ObjectId, ObjectStore};
+
+use serde::{Deserialize, Serialize};
+
+/// Compression policy for message bodies entering the object store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Compression {
+    /// Never compress.
+    Off,
+    /// LZ4-compress bodies larger than the given threshold in bytes
+    /// (the paper's default threshold is 1 MiB).
+    Threshold(usize),
+}
+
+impl Default for Compression {
+    fn default() -> Self {
+        Compression::Threshold(xingtian_message::COMPRESSION_THRESHOLD)
+    }
+}
+
+/// Configuration of the communication channel.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CommConfig {
+    /// Body compression policy (paper §4.1).
+    pub compression: Compression,
+    /// Receive-buffer capacity (in messages) for workhorse endpoints
+    /// (explorers and the learner). Bounded buffers let a stalled consumer
+    /// backpressure the channel end to end; `None` restores unbounded
+    /// buffers. Control-plane endpoints are always unbounded.
+    pub endpoint_recv_capacity: Option<usize>,
+}
+
+impl Default for CommConfig {
+    fn default() -> Self {
+        CommConfig { compression: Compression::default(), endpoint_recv_capacity: Some(8) }
+    }
+}
+
+impl CommConfig {
+    /// A configuration with compression disabled (used by the dummy-algorithm
+    /// transmission benchmarks, whose payloads are incompressible by design).
+    pub fn uncompressed() -> Self {
+        CommConfig { compression: Compression::Off, ..CommConfig::default() }
+    }
+}

@@ -1,0 +1,198 @@
+//! The algorithm-agnostic router.
+//!
+//! The router is the thread inside every broker that watches the shared
+//! communicator's header queue and dispatches each message to its
+//! destinations: local destinations get the header (with its object id)
+//! pushed into their ID queues; destinations on other machines get the body
+//! forwarded once per machine over the inter-broker fabric. The router never
+//! inspects or interprets bodies — it is *algorithm agnostic* (paper §3.2.1).
+
+use crate::store::ObjectStore;
+use crossbeam_channel::{Receiver, Sender};
+use netsim::MachineId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use xingtian_message::{Header, ProcessId};
+
+/// Routing state shared between a broker and its router thread.
+#[derive(Debug, Default)]
+pub struct RoutingTable {
+    /// Process → hosting machine.
+    pub(crate) routes: Mutex<HashMap<ProcessId, MachineId>>,
+    /// Local ID queues, one per local process.
+    pub(crate) id_queues: Mutex<HashMap<ProcessId, Sender<Header>>>,
+    /// Dropped-message counter (destination unknown or queue closed).
+    pub(crate) dropped: AtomicU64,
+}
+
+impl RoutingTable {
+    /// Splits a destination list into (local destinations, remote machine →
+    /// destinations) from the point of view of machine `here`.
+    ///
+    /// Destinations with no registered route are counted as dropped.
+    pub fn split(
+        &self,
+        here: MachineId,
+        dst: &[ProcessId],
+    ) -> (Vec<ProcessId>, HashMap<MachineId, Vec<ProcessId>>) {
+        let routes = self.routes.lock();
+        let mut local = Vec::new();
+        let mut remote: HashMap<MachineId, Vec<ProcessId>> = HashMap::new();
+        for &d in dst {
+            match routes.get(&d) {
+                Some(&m) if m == here => local.push(d),
+                Some(&m) => remote.entry(m).or_default().push(d),
+                None => {
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        (local, remote)
+    }
+
+    /// Number of messages dropped for lack of a route or a closed queue.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+/// A body and its header bound for a set of destinations on one remote machine.
+#[derive(Debug)]
+pub struct RemoteEnvelope {
+    /// Header as produced by the source (object id refers to the *source*
+    /// store and is re-assigned on delivery).
+    pub header: Header,
+    /// The (possibly compressed) body bytes.
+    pub body: bytes::Bytes,
+    /// Destinations, all local to the target machine.
+    pub dst: Vec<ProcessId>,
+}
+
+/// Delivers headers into local ID queues, re-homing the body into the local
+/// store when it arrives from a remote machine.
+pub(crate) fn deliver_local(
+    store: &ObjectStore,
+    table: &RoutingTable,
+    mut header: Header,
+    body: bytes::Bytes,
+    dst: &[ProcessId],
+) {
+    if dst.is_empty() {
+        return;
+    }
+    let object_id = store.insert(body, dst.len());
+    header.object_id = Some(object_id);
+    push_headers(store, table, &header, dst);
+}
+
+/// Pushes `header` (whose object id already refers to `store`) into the ID
+/// queue of every process in `dst`. Reclaims store credits for closed queues.
+pub(crate) fn push_headers(
+    store: &ObjectStore,
+    table: &RoutingTable,
+    header: &Header,
+    dst: &[ProcessId],
+) {
+    let queues = table.id_queues.lock();
+    for &d in dst {
+        let delivered = queues.get(&d).map(|q| q.send(header.clone()).is_ok()).unwrap_or(false);
+        if !delivered {
+            table.dropped.fetch_add(1, Ordering::Relaxed);
+            // Burn the fetch credit this destination would have used so the
+            // store entry does not leak.
+            if let Some(id) = header.object_id {
+                let _ = store.fetch(id);
+            }
+        }
+    }
+}
+
+/// Runs the router loop until the communicator's header queue disconnects.
+pub(crate) fn run_router(
+    here: MachineId,
+    comm_rx: Receiver<Header>,
+    store: Arc<ObjectStore>,
+    table: Arc<RoutingTable>,
+    uplinks: Arc<Mutex<HashMap<MachineId, Sender<RemoteEnvelope>>>>,
+) {
+    while let Ok(header) = comm_rx.recv() {
+        let (local, remote) = table.split(here, &header.dst);
+        // Local destinations: hand the object id straight to their ID queues.
+        push_headers(&store, &table, &header, &local);
+        // Remote machines: fetch one credit per machine and forward the body
+        // over the fabric. The uplink thread pays the NIC cost so routing of
+        // subsequent local traffic is never blocked behind a slow link.
+        for (machine, dst) in remote {
+            let Some(id) = header.object_id else {
+                table.dropped.fetch_add(dst.len() as u64, Ordering::Relaxed);
+                continue;
+            };
+            let Some(body) = store.fetch(id) else {
+                table.dropped.fetch_add(dst.len() as u64, Ordering::Relaxed);
+                continue;
+            };
+            let envelope = RemoteEnvelope { header: header.clone(), body, dst };
+            let sent = uplinks
+                .lock()
+                .get(&machine)
+                .map(|tx| tx.send(envelope).is_ok())
+                .unwrap_or(false);
+            if !sent {
+                table.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam_channel::unbounded;
+
+    #[test]
+    fn split_partitions_by_machine() {
+        let table = RoutingTable::default();
+        {
+            let mut routes = table.routes.lock();
+            routes.insert(ProcessId::explorer(0), 0);
+            routes.insert(ProcessId::explorer(1), 1);
+            routes.insert(ProcessId::learner(0), 0);
+        }
+        let (local, remote) = table.split(
+            0,
+            &[ProcessId::explorer(0), ProcessId::explorer(1), ProcessId::learner(0)],
+        );
+        assert_eq!(local, vec![ProcessId::explorer(0), ProcessId::learner(0)]);
+        assert_eq!(remote[&1], vec![ProcessId::explorer(1)]);
+    }
+
+    #[test]
+    fn unknown_destination_counts_as_dropped() {
+        let table = RoutingTable::default();
+        let (local, remote) = table.split(0, &[ProcessId::explorer(9)]);
+        assert!(local.is_empty());
+        assert!(remote.is_empty());
+        assert_eq!(table.dropped(), 1);
+    }
+
+    #[test]
+    fn push_headers_reclaims_credits_for_closed_queues() {
+        let store = ObjectStore::new();
+        let table = RoutingTable::default();
+        let (tx, rx) = unbounded();
+        drop(rx); // queue closed
+        table.id_queues.lock().insert(ProcessId::learner(0), tx);
+        let id = store.insert(bytes::Bytes::from_static(b"x"), 1);
+        let mut header = Header::new(
+            ProcessId::explorer(0),
+            vec![ProcessId::learner(0)],
+            xingtian_message::MessageKind::Rollout,
+        );
+        header.object_id = Some(id);
+        push_headers(&store, &table, &header, &[ProcessId::learner(0)]);
+        assert_eq!(table.dropped(), 1);
+        assert!(store.is_empty(), "credit reclaimed; no leak");
+    }
+}

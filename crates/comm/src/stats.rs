@@ -1,0 +1,143 @@
+//! Transmission-latency instrumentation.
+//!
+//! Figures 8–10 of the paper report, per algorithm, (a) how long a message of
+//! rollout size takes to transmit, (b) how long the learner *actually* waits
+//! for rollouts before training, and (c) a CDF of those waits. This module
+//! records per-message latencies cheaply so those figures can be regenerated.
+
+use parking_lot::Mutex;
+use std::time::Duration;
+
+/// A concurrent recorder of durations with summary statistics and quantiles.
+#[derive(Debug, Default)]
+pub struct TransmissionStats {
+    samples_nanos: Mutex<Vec<u64>>,
+}
+
+impl TransmissionStats {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        TransmissionStats::default()
+    }
+
+    /// Records one duration sample.
+    pub fn record(&self, d: Duration) {
+        self.samples_nanos.lock().push(d.as_nanos() as u64);
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples_nanos.lock().len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples_nanos.lock().is_empty()
+    }
+
+    /// Mean of the recorded samples, or zero if empty.
+    pub fn mean(&self) -> Duration {
+        let samples = self.samples_nanos.lock();
+        if samples.is_empty() {
+            return Duration::ZERO;
+        }
+        let sum: u128 = samples.iter().map(|&n| u128::from(n)).sum();
+        Duration::from_nanos((sum / samples.len() as u128) as u64)
+    }
+
+    /// The `q`-quantile (0.0 ≤ q ≤ 1.0) of the recorded samples, or zero if
+    /// empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Duration {
+        assert!((0.0..=1.0).contains(&q), "quantile must be within [0, 1]");
+        let mut samples = self.samples_nanos.lock().clone();
+        if samples.is_empty() {
+            return Duration::ZERO;
+        }
+        samples.sort_unstable();
+        let idx = ((samples.len() - 1) as f64 * q).round() as usize;
+        Duration::from_nanos(samples[idx])
+    }
+
+    /// Fraction of samples at or below `threshold` (the CDF evaluated at
+    /// `threshold`), or 0.0 if empty.
+    pub fn cdf_at(&self, threshold: Duration) -> f64 {
+        let samples = self.samples_nanos.lock();
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let t = threshold.as_nanos() as u64;
+        samples.iter().filter(|&&s| s <= t).count() as f64 / samples.len() as f64
+    }
+
+    /// Snapshot of all samples (sorted ascending), for plotting full CDFs.
+    pub fn sorted_samples(&self) -> Vec<Duration> {
+        let mut samples = self.samples_nanos.lock().clone();
+        samples.sort_unstable();
+        samples.into_iter().map(Duration::from_nanos).collect()
+    }
+
+    /// Clears all recorded samples.
+    pub fn reset(&self) {
+        self.samples_nanos.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn mean_and_quantiles() {
+        let s = TransmissionStats::new();
+        for n in [10u64, 20, 30, 40, 50] {
+            s.record(ms(n));
+        }
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.mean(), ms(30));
+        assert_eq!(s.quantile(0.0), ms(10));
+        assert_eq!(s.quantile(0.5), ms(30));
+        assert_eq!(s.quantile(1.0), ms(50));
+    }
+
+    #[test]
+    fn cdf_counts_fraction() {
+        let s = TransmissionStats::new();
+        for n in [5u64, 10, 15, 20] {
+            s.record(ms(n));
+        }
+        assert_eq!(s.cdf_at(ms(10)), 0.5);
+        assert_eq!(s.cdf_at(ms(4)), 0.0);
+        assert_eq!(s.cdf_at(ms(100)), 1.0);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = TransmissionStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), Duration::ZERO);
+        assert_eq!(s.quantile(0.5), Duration::ZERO);
+        assert_eq!(s.cdf_at(ms(1)), 0.0);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let s = TransmissionStats::new();
+        s.record(ms(1));
+        s.reset();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be within")]
+    fn quantile_out_of_range_panics() {
+        TransmissionStats::new().quantile(1.5);
+    }
+}

@@ -1,0 +1,263 @@
+//! Shared-memory object store with fan-out reference counts.
+//!
+//! The paper keeps message bodies "inside the object store implemented via
+//! shared memory for zero-copy communication among processes" (§3.2.1). Here
+//! the store maps an [`ObjectId`] to a reference-counted [`Bytes`] buffer:
+//! fetching clones the `Arc` (O(1), no payload copy), and the entry is freed
+//! once every destination of the message has fetched it, so broadcast
+//! parameters occupy memory exactly once regardless of explorer count.
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Identifier of a body held in an [`ObjectStore`].
+pub type ObjectId = u64;
+
+/// Default shared-memory segment size (the real system sizes its Plasma-style
+/// store explicitly; 128 MiB keeps in-flight traffic bounded without stalling
+/// realistic workloads).
+pub const DEFAULT_CAPACITY: usize = 128 * 1024 * 1024;
+
+#[derive(Debug)]
+struct Entry {
+    body: Bytes,
+    /// How many fetches remain before the entry is dropped.
+    remaining: usize,
+}
+
+/// A process-shared body store.
+///
+/// Insertions declare a *fan-out*: the number of destination processes that
+/// will fetch the object. [`ObjectStore::fetch`] hands out zero-copy clones
+/// and removes the entry on the last fetch, which keeps the store's live size
+/// bounded by in-flight traffic ("no significant extra memory overheads",
+/// paper §3.2.1).
+///
+/// Like the real shared-memory segment, the store has a fixed capacity:
+/// [`ObjectStore::insert`] blocks until the object fits, back-pressuring
+/// aggressive senders instead of growing without bound.
+#[derive(Debug)]
+pub struct ObjectStore {
+    entries: Mutex<HashMap<ObjectId, Entry>>,
+    space: Condvar,
+    capacity: usize,
+    next_id: AtomicU64,
+    live_bytes: AtomicUsize,
+    peak_bytes: AtomicUsize,
+    inserted: AtomicU64,
+}
+
+impl Default for ObjectStore {
+    fn default() -> Self {
+        ObjectStore::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl ObjectStore {
+    /// Creates an empty store with the default capacity.
+    pub fn new() -> Self {
+        ObjectStore::default()
+    }
+
+    /// Creates an empty store holding at most `capacity` bytes. Objects
+    /// larger than the capacity are still admitted (alone) so oversized
+    /// messages cannot deadlock the channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        ObjectStore {
+            entries: Mutex::new(HashMap::new()),
+            space: Condvar::new(),
+            capacity,
+            next_id: AtomicU64::new(0),
+            live_bytes: AtomicUsize::new(0),
+            peak_bytes: AtomicUsize::new(0),
+            inserted: AtomicU64::new(0),
+        }
+    }
+
+    /// The store's capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts `body` to be fetched by `fanout` destinations and returns its id.
+    ///
+    /// The body is copied once on insertion — this models the producer
+    /// writing the serialized message into the shared-memory segment, the one
+    /// write the real system performs. Fetches then share that single
+    /// resident buffer ([`ObjectStore::fetch`] is O(1)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fanout` is zero — an object nobody will fetch would leak.
+    pub fn insert(&self, body: Bytes, fanout: usize) -> ObjectId {
+        self.insert_inner(body, fanout, true)
+    }
+
+    /// Inserts without waiting for capacity (the store may transiently exceed
+    /// its limit). Reserved for *control-plane* messages — lifecycle commands
+    /// and statistics are tiny and must never be blocked behind data-plane
+    /// backpressure, or a wedged consumer could make the deployment
+    /// unstoppable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fanout` is zero.
+    pub fn insert_priority(&self, body: Bytes, fanout: usize) -> ObjectId {
+        self.insert_inner(body, fanout, false)
+    }
+
+    fn insert_inner(&self, body: Bytes, fanout: usize, wait_for_capacity: bool) -> ObjectId {
+        assert!(fanout > 0, "fanout must be at least 1");
+        let len = body.len();
+        // Reserve space first (blocking on the segment's capacity), then pay
+        // the write outside the lock.
+        {
+            let mut entries = self.entries.lock();
+            while wait_for_capacity
+                && self.live_bytes.load(Ordering::Relaxed) + len > self.capacity
+                && !entries.is_empty()
+            {
+                self.space.wait(&mut entries);
+            }
+            let live = self.live_bytes.fetch_add(len, Ordering::Relaxed) + len;
+            self.peak_bytes.fetch_max(live, Ordering::Relaxed);
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let body = Bytes::copy_from_slice(&body);
+        self.entries.lock().insert(id, Entry { body, remaining: fanout });
+        self.inserted.fetch_add(1, Ordering::Relaxed);
+        id
+    }
+
+    /// Fetches a zero-copy clone of the object, releasing the entry when the
+    /// last destination fetches it. Returns `None` for unknown (or already
+    /// fully fetched) ids.
+    pub fn fetch(&self, id: ObjectId) -> Option<Bytes> {
+        let mut entries = self.entries.lock();
+        let entry = entries.get_mut(&id)?;
+        entry.remaining -= 1;
+        let body = entry.body.clone();
+        if entry.remaining == 0 {
+            entries.remove(&id);
+            self.live_bytes.fetch_sub(body.len(), Ordering::Relaxed);
+            self.space.notify_all();
+        }
+        Some(body)
+    }
+
+    /// Reads the object without consuming a fetch credit. Used by routers that
+    /// forward a body to a remote machine while local destinations still hold
+    /// credits.
+    pub fn peek(&self, id: ObjectId) -> Option<Bytes> {
+        self.entries.lock().get(&id).map(|e| e.body.clone())
+    }
+
+    /// Number of objects currently resident.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// True when no objects are resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+
+    /// Bytes currently resident.
+    pub fn live_bytes(&self) -> usize {
+        self.live_bytes.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of resident bytes since creation.
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total number of objects ever inserted.
+    pub fn inserted(&self) -> u64 {
+        self.inserted.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_fetch_removes_at_zero() {
+        let s = ObjectStore::new();
+        let id = s.insert(Bytes::from_static(b"abc"), 2);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.fetch(id).unwrap(), Bytes::from_static(b"abc"));
+        assert_eq!(s.len(), 1, "one credit remains");
+        assert_eq!(s.fetch(id).unwrap(), Bytes::from_static(b"abc"));
+        assert_eq!(s.len(), 0, "entry freed on last fetch");
+        assert!(s.fetch(id).is_none());
+    }
+
+    #[test]
+    fn insert_copies_once_fetches_share() {
+        let s = ObjectStore::new();
+        let body = Bytes::from(vec![9u8; 1024]);
+        let ptr = body.as_ptr();
+        let id = s.insert(body, 2);
+        let a = s.fetch(id).unwrap();
+        let b = s.fetch(id).unwrap();
+        assert_ne!(a.as_ptr(), ptr, "insert writes into the (simulated) shared segment");
+        assert_eq!(a.as_ptr(), b.as_ptr(), "fetches share the resident buffer");
+    }
+
+    #[test]
+    fn live_bytes_track_residency() {
+        let s = ObjectStore::new();
+        let a = s.insert(Bytes::from(vec![0u8; 100]), 1);
+        let b = s.insert(Bytes::from(vec![0u8; 50]), 1);
+        assert_eq!(s.live_bytes(), 150);
+        assert_eq!(s.peak_bytes(), 150);
+        s.fetch(a);
+        assert_eq!(s.live_bytes(), 50);
+        s.fetch(b);
+        assert_eq!(s.live_bytes(), 0);
+        assert_eq!(s.peak_bytes(), 150, "peak is sticky");
+        assert_eq!(s.inserted(), 2);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let s = ObjectStore::new();
+        let id = s.insert(Bytes::from_static(b"x"), 1);
+        assert!(s.peek(id).is_some());
+        assert!(s.peek(id).is_some());
+        assert!(s.fetch(id).is_some());
+        assert!(s.peek(id).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "fanout must be at least 1")]
+    fn zero_fanout_rejected() {
+        let s = ObjectStore::new();
+        s.insert(Bytes::new(), 0);
+    }
+
+    #[test]
+    fn ids_are_unique_under_concurrency() {
+        let s = std::sync::Arc::new(ObjectStore::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let s = std::sync::Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                (0..250).map(|_| s.insert(Bytes::new(), 1)).collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<ObjectId> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 1000);
+    }
+}

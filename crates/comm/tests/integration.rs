@@ -1,0 +1,120 @@
+//! Channel integration tests: compression over the simulated NIC, fabric
+//! reconfiguration, and memory accounting under broadcast fan-out.
+
+use bytes::Bytes;
+use netsim::{Cluster, ClusterSpec};
+use std::time::Duration;
+use xingtian_comm::{connect_brokers, Broker, CommConfig, Compression};
+use xingtian_message::{MessageKind, ProcessId};
+
+fn compressible_payload(len: usize) -> Bytes {
+    // Small dynamic range of f32-like words: LZ4 compresses this heavily.
+    let mut v = Vec::with_capacity(len);
+    for i in 0..len / 4 {
+        v.extend_from_slice(&((i % 7) as f32).to_le_bytes());
+    }
+    v.resize(len, 0);
+    Bytes::from(v)
+}
+
+#[test]
+fn compression_reduces_nic_traffic() {
+    let spec = ClusterSpec::default().machines(2).nic_bandwidth(1e9).latency_secs(0.0);
+    let payload = compressible_payload(4 * 1024 * 1024);
+
+    let mut wire_bytes = Vec::new();
+    for compression in [Compression::Off, Compression::Threshold(1 << 20)] {
+        let cluster = Cluster::new(spec.clone());
+        let b0 = Broker::new(0, cluster.clone(), CommConfig { compression, ..CommConfig::default() });
+        let b1 = Broker::new(1, cluster, CommConfig { compression, ..CommConfig::default() });
+        let learner = b0.endpoint(ProcessId::learner(0));
+        let explorer = b1.endpoint(ProcessId::explorer(0));
+        connect_brokers(&[b0.clone(), b1.clone()]);
+
+        explorer.send_to(vec![ProcessId::learner(0)], MessageKind::Rollout, payload.clone());
+        let got = learner.recv_timeout(Duration::from_secs(10)).expect("delivered");
+        assert_eq!(got.body, payload, "payload survives compression round trip");
+        wire_bytes.push(b1.cluster().machine(1).tx().stats().bytes());
+        drop(explorer);
+        drop(learner);
+        b0.shutdown();
+        b1.shutdown();
+    }
+    assert_eq!(wire_bytes[0], payload.len() as u64, "uncompressed sends raw bytes");
+    assert!(
+        wire_bytes[1] < wire_bytes[0] / 4,
+        "LZ4 should shrink the wire traffic 4x+: {} vs {}",
+        wire_bytes[1],
+        wire_bytes[0]
+    );
+}
+
+#[test]
+fn endpoints_added_after_connection_become_routable() {
+    let cluster = Cluster::new(ClusterSpec::default().machines(2).nic_bandwidth(1e9).latency_secs(0.0));
+    let b0 = Broker::new(0, cluster.clone(), CommConfig::default());
+    let b1 = Broker::new(1, cluster, CommConfig::default());
+    connect_brokers(&[b0.clone(), b1.clone()]);
+
+    // New processes join after the fabric exists; re-running connect_brokers
+    // merges the fresh routes without duplicating uplinks.
+    let learner = b0.endpoint(ProcessId::learner(0));
+    let explorer = b1.endpoint(ProcessId::explorer(0));
+    connect_brokers(&[b0.clone(), b1.clone()]);
+
+    explorer.send_to(vec![ProcessId::learner(0)], MessageKind::Rollout, Bytes::from_static(b"late"));
+    let got = learner.recv_timeout(Duration::from_secs(10)).expect("late route works");
+    assert_eq!(&got.body[..], b"late");
+    drop(explorer);
+    drop(learner);
+    b0.shutdown();
+    b1.shutdown();
+}
+
+#[test]
+fn broadcast_keeps_one_resident_copy() {
+    // Fan-out to many explorers must not multiply resident memory: one body
+    // in the store regardless of destination count, freed after the last
+    // fetch (the paper's "no significant extra memory overheads").
+    let broker = Broker::new(0, Cluster::single(), CommConfig::uncompressed());
+    let learner = broker.endpoint(ProcessId::learner(0));
+    let explorers: Vec<_> = (0..8).map(|i| broker.endpoint(ProcessId::explorer(i))).collect();
+    let body = Bytes::from(vec![1u8; 1024 * 1024]);
+    learner.send_to((0..8).map(ProcessId::explorer).collect(), MessageKind::Parameters, body.clone());
+
+    // While in flight, the store never holds more than one copy.
+    let mut peak = 0;
+    for e in &explorers {
+        let m = e.recv_timeout(Duration::from_secs(10)).expect("broadcast arrives");
+        assert_eq!(m.body.len(), body.len());
+        peak = peak.max(broker.store().peak_bytes());
+    }
+    assert!(
+        peak <= 2 * body.len(),
+        "store held {} bytes for an 8-way broadcast of {}",
+        peak,
+        body.len()
+    );
+    drop(explorers);
+    drop(learner);
+    broker.shutdown();
+}
+
+#[test]
+fn bidirectional_traffic_flows_concurrently() {
+    // Rollouts up, parameters down, both directions live at once.
+    let broker = Broker::new(0, Cluster::single(), CommConfig::default());
+    let learner = broker.endpoint(ProcessId::learner(0));
+    let explorer = broker.endpoint(ProcessId::explorer(0));
+    for i in 0..20u8 {
+        explorer.send_to(vec![ProcessId::learner(0)], MessageKind::Rollout, Bytes::from(vec![i]));
+        learner.send_to(vec![ProcessId::explorer(0)], MessageKind::Parameters, Bytes::from(vec![100 + i]));
+    }
+    for i in 0..20u8 {
+        assert_eq!(learner.recv_timeout(Duration::from_secs(5)).unwrap().body[0], i);
+        assert_eq!(explorer.recv_timeout(Duration::from_secs(5)).unwrap().body[0], 100 + i);
+    }
+    drop(explorer);
+    drop(learner);
+    broker.shutdown();
+}

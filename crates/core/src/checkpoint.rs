@@ -1,0 +1,176 @@
+//! Periodic DNN checkpoints (paper §4.2).
+//!
+//! The paper's `Algorithm` class "save[s] the checkpoints of the DNNs
+//! periodically to restore DNN parameters after failure, which provides
+//! sufficient fault tolerance for DRL algorithms without significant
+//! overheads". The learner process writes a [`ParamBlob`] snapshot every
+//! `every_sessions` training sessions; [`load_latest`] restores one into a
+//! new deployment via `DeploymentConfig::initial_params`.
+
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use xingtian_algos::payload::ParamBlob;
+use xingtian_message::codec::{Decode, Encode};
+
+/// Checkpointing policy for a deployment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CheckpointConfig {
+    /// Directory checkpoints are written into (created if absent).
+    pub dir: PathBuf,
+    /// Training sessions between checkpoints.
+    pub every_sessions: u64,
+    /// How many versioned checkpoints to retain (oldest are deleted;
+    /// `latest.ckpt` always exists in addition).
+    pub keep: usize,
+}
+
+impl CheckpointConfig {
+    /// Checkpoints into `dir` every `every_sessions` sessions, keeping 3.
+    pub fn new(dir: impl Into<PathBuf>, every_sessions: u64) -> Self {
+        CheckpointConfig { dir: dir.into(), every_sessions: every_sessions.max(1), keep: 3 }
+    }
+}
+
+/// Writes checkpoints according to a [`CheckpointConfig`].
+#[derive(Debug)]
+pub struct Checkpointer {
+    config: CheckpointConfig,
+    written: Vec<PathBuf>,
+    sessions_since: u64,
+}
+
+impl Checkpointer {
+    /// Creates the checkpointer, ensuring the directory exists.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the directory cannot be created.
+    pub fn new(config: CheckpointConfig) -> io::Result<Self> {
+        fs::create_dir_all(&config.dir)?;
+        Ok(Checkpointer { config, written: Vec::new(), sessions_since: 0 })
+    }
+
+    /// Notifies the checkpointer that a training session completed; persists
+    /// `blob` when the period elapses. Returns the path written, if any.
+    ///
+    /// I/O failures are reported but intentionally non-fatal: losing a
+    /// checkpoint must not kill training.
+    pub fn on_session(&mut self, blob: &ParamBlob) -> Option<PathBuf> {
+        self.sessions_since += 1;
+        if self.sessions_since < self.config.every_sessions {
+            return None;
+        }
+        self.sessions_since = 0;
+        match self.write(blob) {
+            Ok(path) => Some(path),
+            Err(e) => {
+                eprintln!("checkpoint write failed (continuing): {e}");
+                None
+            }
+        }
+    }
+
+    fn write(&mut self, blob: &ParamBlob) -> io::Result<PathBuf> {
+        let bytes = blob.to_bytes();
+        let path = self.config.dir.join(format!("checkpoint_v{}.ckpt", blob.version));
+        atomic_write(&path, &bytes)?;
+        atomic_write(&self.config.dir.join("latest.ckpt"), &bytes)?;
+        self.written.push(path.clone());
+        while self.written.len() > self.config.keep {
+            let old = self.written.remove(0);
+            let _ = fs::remove_file(old);
+        }
+        Ok(path)
+    }
+}
+
+fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+/// Loads a checkpoint file written by [`Checkpointer`].
+///
+/// # Errors
+///
+/// Returns an error if the file is unreadable or not a valid checkpoint.
+pub fn load_checkpoint(path: impl AsRef<Path>) -> Result<ParamBlob, String> {
+    let bytes = fs::read(path.as_ref())
+        .map_err(|e| format!("cannot read {}: {e}", path.as_ref().display()))?;
+    ParamBlob::from_bytes(&bytes).map_err(|e| format!("corrupt checkpoint: {e}"))
+}
+
+/// Loads `latest.ckpt` from a checkpoint directory.
+///
+/// # Errors
+///
+/// Returns an error if no valid latest checkpoint exists.
+pub fn load_latest(dir: impl AsRef<Path>) -> Result<ParamBlob, String> {
+    load_checkpoint(dir.as_ref().join("latest.ckpt"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("xt-ckpt-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn blob(version: u64) -> ParamBlob {
+        ParamBlob { version, params: vec![version as f32; 16] }
+    }
+
+    #[test]
+    fn writes_on_period_and_round_trips() {
+        let dir = tmpdir("rt");
+        let mut c = Checkpointer::new(CheckpointConfig::new(&dir, 2)).unwrap();
+        assert!(c.on_session(&blob(1)).is_none(), "period not reached");
+        let path = c.on_session(&blob(2)).expect("period reached");
+        assert!(path.exists());
+        let restored = load_latest(&dir).unwrap();
+        assert_eq!(restored, blob(2));
+        assert_eq!(load_checkpoint(path).unwrap(), blob(2));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retention_deletes_oldest() {
+        let dir = tmpdir("keep");
+        let mut cfg = CheckpointConfig::new(&dir, 1);
+        cfg.keep = 2;
+        let mut c = Checkpointer::new(cfg).unwrap();
+        for v in 1..=4 {
+            c.on_session(&blob(v)).expect("every session checkpoints");
+        }
+        assert!(!dir.join("checkpoint_v1.ckpt").exists());
+        assert!(!dir.join("checkpoint_v2.ckpt").exists());
+        assert!(dir.join("checkpoint_v3.ckpt").exists());
+        assert!(dir.join("checkpoint_v4.ckpt").exists());
+        assert_eq!(load_latest(&dir).unwrap().version, 4);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_missing_is_an_error() {
+        assert!(load_latest(tmpdir("missing")).is_err());
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_an_error() {
+        let dir = tmpdir("corrupt");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("latest.ckpt"), b"\xff\xfe").unwrap();
+        assert!(load_latest(&dir).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,291 @@
+//! Deployment configuration.
+//!
+//! The paper's configuration file names the machines, where the learner runs,
+//! how many explorers each machine hosts, and which algorithm classes to
+//! instantiate (§3.2.2, §4.2). [`DeploymentConfig`] is the equivalent
+//! structure; `serde` impls make it loadable from any serde format.
+
+use crate::checkpoint::CheckpointConfig;
+use netsim::ClusterSpec;
+use serde::{Deserialize, Serialize};
+use xingtian_algos::{A2cConfig, DqnConfig, ImpalaConfig, PpoConfig, ReinforceConfig};
+use xingtian_comm::CommConfig;
+
+/// Which DRL algorithm to deploy, with its hyperparameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum AlgorithmSpec {
+    /// Deep Q-Networks (value-based, off-policy).
+    Dqn(DqnConfig),
+    /// Proximal Policy Optimization (actor-critic, on-policy).
+    Ppo(PpoConfig),
+    /// IMPALA with V-trace (actor-critic, off-policy).
+    Impala(ImpalaConfig),
+    /// Synchronous advantage actor-critic (on-policy).
+    A2c(A2cConfig),
+    /// Episodic REINFORCE with a moving-average baseline (policy-based).
+    Reinforce(ReinforceConfig),
+}
+
+impl AlgorithmSpec {
+    /// PPO with paper-shaped defaults (dimensions filled in at deployment).
+    pub fn ppo() -> Self {
+        AlgorithmSpec::Ppo(PpoConfig::new(0, 0))
+    }
+
+    /// DQN with paper-shaped defaults (dimensions filled in at deployment).
+    pub fn dqn() -> Self {
+        AlgorithmSpec::Dqn(DqnConfig::new(0, 0))
+    }
+
+    /// IMPALA with paper-shaped defaults (dimensions filled in at deployment).
+    pub fn impala() -> Self {
+        AlgorithmSpec::Impala(ImpalaConfig::new(0, 0))
+    }
+
+    /// A2C with defaults (dimensions filled in at deployment).
+    pub fn a2c() -> Self {
+        AlgorithmSpec::A2c(A2cConfig::new(0, 0))
+    }
+
+    /// REINFORCE with defaults (dimensions filled in at deployment).
+    pub fn reinforce() -> Self {
+        AlgorithmSpec::Reinforce(ReinforceConfig::new(0, 0))
+    }
+
+    /// The algorithm's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AlgorithmSpec::Dqn(_) => "DQN",
+            AlgorithmSpec::Ppo(_) => "PPO",
+            AlgorithmSpec::Impala(_) => "IMPALA",
+            AlgorithmSpec::A2c(_) => "A2C",
+            AlgorithmSpec::Reinforce(_) => "REINFORCE",
+        }
+    }
+}
+
+/// Complete description of one XingTian deployment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeploymentConfig {
+    /// The simulated cluster to deploy onto.
+    pub cluster: ClusterSpec,
+    /// Number of explorers hosted by each machine (`explorers_per_machine[m]`
+    /// explorers run on machine `m`). Explorer indices are assigned machine by
+    /// machine.
+    pub explorers_per_machine: Vec<u32>,
+    /// Machine hosting the learner (the center for data transmission).
+    pub learner_machine: usize,
+    /// Communication-channel configuration.
+    pub comm: CommConfig,
+    /// Environment name (see [`gymlite::make_env`]).
+    pub env: String,
+    /// Observation size override for synthetic environments (None = the
+    /// environment's default; tests shrink it for speed).
+    pub obs_dim_override: Option<usize>,
+    /// Per-step emulation latency override in microseconds for synthetic
+    /// environments (None = the environment's default; tests use Some(0)).
+    pub step_latency_us: Option<u64>,
+    /// The algorithm and its hyperparameters.
+    pub algorithm: AlgorithmSpec,
+    /// Steps per rollout message (paper: 200 for CartPole, 500 for Atari).
+    pub rollout_len: usize,
+    /// Stop once the learner has consumed this many rollout steps.
+    pub goal_steps: u64,
+    /// Hard wall-clock cap in seconds (safety net for CI).
+    pub max_seconds: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Periodic DNN checkpointing (paper §4.2 fault tolerance).
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Optional initial learner parameters (PBT seeds new populations with the
+    /// best population's weights, paper §4.3).
+    #[serde(skip)]
+    pub initial_params: Option<Vec<f32>>,
+}
+
+impl DeploymentConfig {
+    /// A single-machine CartPole deployment with `explorers` explorers.
+    pub fn cartpole(algorithm: AlgorithmSpec, explorers: u32) -> Self {
+        DeploymentConfig {
+            cluster: ClusterSpec::default(),
+            explorers_per_machine: vec![explorers],
+            learner_machine: 0,
+            comm: CommConfig::default(),
+            env: "CartPole".into(),
+            obs_dim_override: None,
+            step_latency_us: None,
+            algorithm,
+            rollout_len: 200,
+            goal_steps: 100_000,
+            max_seconds: 600.0,
+            seed: 0,
+            checkpoint: None,
+            initial_params: None,
+        }
+    }
+
+    /// A single-machine synthetic-Atari deployment.
+    pub fn atari(env: &str, algorithm: AlgorithmSpec, explorers: u32) -> Self {
+        DeploymentConfig {
+            cluster: ClusterSpec::default(),
+            explorers_per_machine: vec![explorers],
+            learner_machine: 0,
+            comm: CommConfig::default(),
+            env: env.into(),
+            obs_dim_override: None,
+            step_latency_us: None,
+            algorithm,
+            rollout_len: 500,
+            goal_steps: 200_000,
+            max_seconds: 3600.0,
+            seed: 0,
+            checkpoint: None,
+            initial_params: None,
+        }
+    }
+
+    /// Sets the learner's step goal (builder style).
+    pub fn with_goal_steps(mut self, steps: u64) -> Self {
+        self.goal_steps = steps;
+        self
+    }
+
+    /// Sets the wall-clock cap (builder style).
+    pub fn with_max_seconds(mut self, secs: f64) -> Self {
+        self.max_seconds = secs;
+        self
+    }
+
+    /// Sets the rollout length (builder style).
+    pub fn with_rollout_len(mut self, len: usize) -> Self {
+        self.rollout_len = len;
+        self
+    }
+
+    /// Sets the observation-size override (builder style).
+    pub fn with_obs_dim(mut self, dim: usize) -> Self {
+        self.obs_dim_override = Some(dim);
+        self
+    }
+
+    /// Sets the synthetic-environment step-latency override (builder style).
+    pub fn with_step_latency_us(mut self, us: u64) -> Self {
+        self.step_latency_us = Some(us);
+        self
+    }
+
+    /// Enables periodic checkpointing (builder style).
+    pub fn with_checkpoint(mut self, checkpoint: CheckpointConfig) -> Self {
+        self.checkpoint = Some(checkpoint);
+        self
+    }
+
+    /// Sets the base seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Spreads explorers across `machines` machines (equal split, remainder on
+    /// the earliest machines) and sizes the cluster accordingly.
+    pub fn spread_across(mut self, machines: usize) -> Self {
+        let total: u32 = self.explorers_per_machine.iter().sum();
+        let base = total / machines as u32;
+        let rem = total % machines as u32;
+        self.explorers_per_machine =
+            (0..machines as u32).map(|m| base + u32::from(m < rem)).collect();
+        self.cluster.machines = machines;
+        self
+    }
+
+    /// Total explorer count.
+    pub fn total_explorers(&self) -> u32 {
+        self.explorers_per_machine.iter().sum()
+    }
+
+    /// Machine hosting explorer `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn explorer_machine(&self, index: u32) -> usize {
+        let mut remaining = index;
+        for (m, &count) in self.explorers_per_machine.iter().enumerate() {
+            if remaining < count {
+                return m;
+            }
+            remaining -= count;
+        }
+        panic!("explorer index {index} out of range ({} explorers)", self.total_explorers());
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.explorers_per_machine.len() != self.cluster.machines {
+            return Err(format!(
+                "explorers_per_machine has {} entries but the cluster has {} machines",
+                self.explorers_per_machine.len(),
+                self.cluster.machines
+            ));
+        }
+        if self.learner_machine >= self.cluster.machines {
+            return Err(format!(
+                "learner machine {} out of range ({} machines)",
+                self.learner_machine, self.cluster.machines
+            ));
+        }
+        if self.total_explorers() == 0 {
+            return Err("deployment needs at least one explorer".into());
+        }
+        if self.rollout_len == 0 {
+            return Err("rollout_len must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explorer_machine_assignment() {
+        let mut c = DeploymentConfig::cartpole(AlgorithmSpec::impala(), 6);
+        c.explorers_per_machine = vec![2, 3, 1];
+        c.cluster.machines = 3;
+        assert_eq!(c.explorer_machine(0), 0);
+        assert_eq!(c.explorer_machine(1), 0);
+        assert_eq!(c.explorer_machine(2), 1);
+        assert_eq!(c.explorer_machine(4), 1);
+        assert_eq!(c.explorer_machine(5), 2);
+    }
+
+    #[test]
+    fn spread_across_balances() {
+        let c = DeploymentConfig::cartpole(AlgorithmSpec::impala(), 10).spread_across(4);
+        assert_eq!(c.explorers_per_machine, vec![3, 3, 2, 2]);
+        assert_eq!(c.cluster.machines, 4);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_mismatches() {
+        let mut c = DeploymentConfig::cartpole(AlgorithmSpec::ppo(), 2);
+        c.learner_machine = 5;
+        assert!(c.validate().is_err());
+        let mut c2 = DeploymentConfig::cartpole(AlgorithmSpec::ppo(), 0);
+        c2.explorers_per_machine = vec![0];
+        assert!(c2.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn explorer_machine_out_of_range_panics() {
+        let c = DeploymentConfig::cartpole(AlgorithmSpec::dqn(), 1);
+        let _ = c.explorer_machine(1);
+    }
+}

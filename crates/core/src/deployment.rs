@@ -1,0 +1,344 @@
+//! Builds and runs a complete XingTian deployment.
+//!
+//! Mirrors the paper's launch sequence (§3.2.2): create a broker per machine,
+//! connect the broker fabric, start the learner, the explorers, and the
+//! center controller, then run until the controller broadcasts shutdown.
+//! "Processes" are threads here (see DESIGN.md §2 on the substitution), but
+//! the communication between them flows exclusively through the asynchronous
+//! channel, never through shared state.
+
+use crate::config::{AlgorithmSpec, DeploymentConfig};
+use crate::controller::{ControllerOutcome, ControllerProcess};
+use crate::explorer::{ExplorerOutcome, ExplorerProcess};
+use crate::learner::{LearnerOutcome, LearnerProcess};
+use crate::stats::RunReport;
+use gymlite::{AtariGame, CartPole, Environment, SynthAtari};
+use netsim::Cluster;
+use std::time::{Duration, Instant};
+use xingtian_algos::api::{Agent, Algorithm};
+use xingtian_algos::{
+    A2cAgent, A2cAlgorithm, DqnAgent, DqnAlgorithm, ImpalaAgent, ImpalaAlgorithm, PpoAgent,
+    PpoAlgorithm, ReinforceAgent, ReinforceAlgorithm,
+};
+use xingtian_comm::{connect_brokers, Broker};
+use xingtian_message::ProcessId;
+
+/// Error launching or validating a deployment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeployError(String);
+
+impl std::fmt::Display for DeployError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deployment error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+/// Builds the environment for one explorer, honoring the observation
+/// override for synthetic games.
+pub fn build_env(
+    name: &str,
+    seed: u64,
+    obs_dim_override: Option<usize>,
+    step_latency_us: Option<u64>,
+) -> Result<Box<dyn Environment>, String> {
+    let game = match name.to_ascii_lowercase().as_str() {
+        "cartpole" => return Ok(Box::new(CartPole::new(seed))),
+        "mountaincar" => return Ok(Box::new(gymlite::MountainCar::new(seed))),
+        "beamrider" => AtariGame::BeamRider,
+        "breakout" => AtariGame::Breakout,
+        "qbert" => AtariGame::Qbert,
+        "spaceinvaders" => AtariGame::SpaceInvaders,
+        other => return Err(format!("unknown environment `{other}`")),
+    };
+    let mut cfg = game.config();
+    if let Some(dim) = obs_dim_override {
+        cfg = cfg.with_obs_dim(dim);
+    }
+    if let Some(us) = step_latency_us {
+        cfg = cfg.with_step_latency_us(us);
+    }
+    Ok(Box::new(SynthAtari::with_config(cfg, seed)))
+}
+
+/// Fills environment dimensions and deployment-wide counts into the
+/// algorithm spec, returning the learner-side algorithm.
+pub fn build_algorithm(
+    spec: &AlgorithmSpec,
+    obs_dim: usize,
+    num_actions: usize,
+    num_explorers: u32,
+    rollout_len: usize,
+    seed: u64,
+) -> Box<dyn Algorithm> {
+    match spec {
+        AlgorithmSpec::Dqn(c) => {
+            let mut c = c.clone();
+            c.obs_dim = obs_dim;
+            c.num_actions = num_actions;
+            c.num_explorers = num_explorers;
+            c.seed = seed;
+            Box::new(DqnAlgorithm::new(c))
+        }
+        AlgorithmSpec::Ppo(c) => {
+            let mut c = c.clone();
+            c.obs_dim = obs_dim;
+            c.num_actions = num_actions;
+            c.num_explorers = num_explorers;
+            c.rollout_len = rollout_len;
+            c.seed = seed;
+            Box::new(PpoAlgorithm::new(c))
+        }
+        AlgorithmSpec::Impala(c) => {
+            let mut c = c.clone();
+            c.obs_dim = obs_dim;
+            c.num_actions = num_actions;
+            c.seed = seed;
+            Box::new(ImpalaAlgorithm::new(c))
+        }
+        AlgorithmSpec::A2c(c) => {
+            let mut c = c.clone();
+            c.obs_dim = obs_dim;
+            c.num_actions = num_actions;
+            c.num_explorers = num_explorers;
+            c.rollout_len = rollout_len;
+            c.seed = seed;
+            Box::new(A2cAlgorithm::new(c))
+        }
+        AlgorithmSpec::Reinforce(c) => {
+            let mut c = c.clone();
+            c.obs_dim = obs_dim;
+            c.num_actions = num_actions;
+            c.num_explorers = num_explorers;
+            c.seed = seed;
+            Box::new(ReinforceAlgorithm::new(c))
+        }
+    }
+}
+
+/// Builds the explorer-side agent matching `spec`.
+pub fn build_agent(
+    spec: &AlgorithmSpec,
+    obs_dim: usize,
+    num_actions: usize,
+    num_explorers: u32,
+    rollout_len: usize,
+    seed: u64,
+    explorer_index: u32,
+) -> Box<dyn Agent> {
+    match spec {
+        AlgorithmSpec::Dqn(c) => {
+            let mut c = c.clone();
+            c.obs_dim = obs_dim;
+            c.num_actions = num_actions;
+            c.num_explorers = num_explorers;
+            c.seed = seed;
+            Box::new(DqnAgent::new(c, u64::from(explorer_index)))
+        }
+        AlgorithmSpec::Ppo(c) => {
+            let mut c = c.clone();
+            c.obs_dim = obs_dim;
+            c.num_actions = num_actions;
+            c.num_explorers = num_explorers;
+            c.rollout_len = rollout_len;
+            c.seed = seed;
+            Box::new(PpoAgent::new(c, u64::from(explorer_index)))
+        }
+        AlgorithmSpec::Impala(c) => {
+            let mut c = c.clone();
+            c.obs_dim = obs_dim;
+            c.num_actions = num_actions;
+            c.seed = seed;
+            Box::new(ImpalaAgent::new(c, u64::from(explorer_index)))
+        }
+        AlgorithmSpec::A2c(c) => {
+            let mut c = c.clone();
+            c.obs_dim = obs_dim;
+            c.num_actions = num_actions;
+            c.num_explorers = num_explorers;
+            c.rollout_len = rollout_len;
+            c.seed = seed;
+            Box::new(A2cAgent::new(c, u64::from(explorer_index)))
+        }
+        AlgorithmSpec::Reinforce(c) => {
+            let mut c = c.clone();
+            c.obs_dim = obs_dim;
+            c.num_actions = num_actions;
+            c.num_explorers = num_explorers;
+            c.seed = seed;
+            Box::new(ReinforceAgent::new(c, u64::from(explorer_index)))
+        }
+    }
+}
+
+/// A fully-wired XingTian deployment.
+pub struct Deployment;
+
+impl Deployment {
+    /// Runs `config` to completion (goal steps or wall-clock cap) and returns
+    /// the measurements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError`] if the configuration is inconsistent or names
+    /// an unknown environment.
+    pub fn run(config: DeploymentConfig) -> Result<RunReport, DeployError> {
+        config.validate().map_err(DeployError)?;
+        let probe = build_env(&config.env, 0, config.obs_dim_override, config.step_latency_us)
+            .map_err(DeployError)?;
+        let obs_dim = probe.observation_dim();
+        let num_actions = probe.num_actions();
+        drop(probe);
+        let num_explorers = config.total_explorers();
+
+        let cluster = Cluster::new(config.cluster.clone());
+        let brokers: Vec<Broker> = (0..cluster.len())
+            .map(|m| Broker::new(m, cluster.clone(), config.comm.clone()))
+            .collect();
+
+        // Endpoints are created before the fabric so that route tables merge.
+        let learner_ep = brokers[config.learner_machine].endpoint(ProcessId::learner(0));
+        let controller_ep = brokers[config.learner_machine].endpoint(ProcessId::controller(0));
+        let explorer_eps: Vec<_> = (0..num_explorers)
+            .map(|i| brokers[config.explorer_machine(i)].endpoint(ProcessId::explorer(i)))
+            .collect();
+        connect_brokers(&brokers);
+
+        let mut algorithm = build_algorithm(
+            &config.algorithm,
+            obs_dim,
+            num_actions,
+            num_explorers,
+            config.rollout_len,
+            config.seed,
+        );
+        if let Some(params) = &config.initial_params {
+            algorithm.load_params(params);
+        }
+        let sync = algorithm.sync_mode();
+        let algo_name = algorithm.name().to_string();
+
+        let checkpointer = match &config.checkpoint {
+            Some(ckpt_config) => Some(
+                crate::checkpoint::Checkpointer::new(ckpt_config.clone())
+                    .map_err(|e| DeployError(format!("cannot set up checkpoints: {e}")))?,
+            ),
+            None => None,
+        };
+        let start = Instant::now();
+        let rollout_latency_src = learner_ep.delivery_stats_arc();
+        let learner_thread = std::thread::Builder::new()
+            .name("xt-learner".into())
+            .spawn(move || LearnerProcess { endpoint: learner_ep, algorithm, checkpointer }.run())
+            .expect("spawn learner");
+
+        let mut explorer_threads = Vec::new();
+        for (i, endpoint) in explorer_eps.into_iter().enumerate() {
+            let i = i as u32;
+            let env = build_env(
+                &config.env,
+                config.seed.wrapping_mul(1000).wrapping_add(u64::from(i)),
+                config.obs_dim_override,
+                config.step_latency_us,
+            )
+            .map_err(DeployError)?;
+            let agent = build_agent(
+                &config.algorithm,
+                obs_dim,
+                num_actions,
+                num_explorers,
+                config.rollout_len,
+                config.seed,
+                i,
+            );
+            let rollout_len = config.rollout_len;
+            let handle = std::thread::Builder::new()
+                .name(format!("xt-explorer-{i}"))
+                .spawn(move || {
+                    ExplorerProcess { index: i, endpoint, env, agent, rollout_len, sync }.run()
+                })
+                .expect("spawn explorer");
+            explorer_threads.push(handle);
+        }
+
+        let controller = ControllerProcess {
+            endpoint: controller_ep,
+            goal_steps: config.goal_steps,
+            max_duration: Duration::from_secs_f64(config.max_seconds),
+            num_explorers,
+        };
+        let controller_outcome: ControllerOutcome = controller.run();
+
+        let learner_outcome: LearnerOutcome =
+            learner_thread.join().map_err(|_| DeployError("learner thread panicked".into()))?;
+        let mut explorer_outcomes: Vec<ExplorerOutcome> = Vec::new();
+        for t in explorer_threads {
+            explorer_outcomes
+                .push(t.join().map_err(|_| DeployError("explorer thread panicked".into()))?);
+        }
+        let wall_time = start.elapsed();
+        for b in &brokers {
+            b.shutdown();
+        }
+
+        // Episode returns: authoritative from explorer trackers (the
+        // controller's copy may miss in-flight tails at shutdown).
+        let mut episode_returns = Vec::new();
+        for o in &explorer_outcomes {
+            episode_returns.extend_from_slice(o.tracker.returns());
+        }
+        let _ = controller_outcome;
+
+        let mean_train_time = if learner_outcome.train_sessions > 0 {
+            learner_outcome.train_time / learner_outcome.train_sessions as u32
+        } else {
+            Duration::ZERO
+        };
+        Ok(RunReport {
+            algorithm: algo_name,
+            env: config.env.clone(),
+            steps_consumed: learner_outcome.steps_consumed,
+            wall_time,
+            timeline: learner_outcome.timeline,
+            learner_wait: learner_outcome.wait_stats,
+            rollout_latency: rollout_latency_src,
+            episode_returns,
+            train_sessions: learner_outcome.train_sessions,
+            mean_train_time,
+            final_params: learner_outcome.final_params,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_env_respects_override() {
+        let env = build_env("Qbert", 0, Some(64), Some(0)).unwrap();
+        assert_eq!(env.observation_dim(), 64);
+        let cp = build_env("CartPole", 0, Some(64), Some(0)).unwrap();
+        assert_eq!(cp.observation_dim(), 4, "CartPole ignores the override");
+    }
+
+    #[test]
+    fn build_env_unknown_errors() {
+        assert!(build_env("Pong", 0, None, None).is_err());
+    }
+
+    #[test]
+    fn algorithm_and_agent_dimensions_agree() {
+        let spec = AlgorithmSpec::impala();
+        let alg = build_algorithm(&spec, 8, 3, 4, 16, 1);
+        let agent = build_agent(&spec, 8, 3, 4, 16, 1, 0);
+        assert_eq!(alg.param_blob().params.len(), {
+            // Agent must accept the learner's blob without panicking.
+            let mut a = agent;
+            let blob = xingtian_algos::ParamBlob { version: 1, params: alg.param_blob().params };
+            a.apply_params(&blob);
+            blob.params.len()
+        });
+    }
+}

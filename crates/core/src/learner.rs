@@ -1,0 +1,135 @@
+//! The learner process: DNN training driven by rollout arrival.
+//!
+//! The trainer thread pops complete messages from its local receive buffer —
+//! by the time it looks, the asynchronous channel has already moved rollouts
+//! across processes and machines and staged them locally. The only waiting
+//! the learner ever does is for data that has not been *produced* yet; that
+//! wait is measured and reported as the paper's "actual wait" (Figs. 8–10).
+
+use crate::checkpoint::Checkpointer;
+use crate::messages::{ControlCommand, StatsMsg};
+use crate::stats::ThroughputTimeline;
+use bytes::Bytes;
+use std::time::{Duration, Instant};
+use xingtian_algos::api::Algorithm;
+use xingtian_algos::payload::RolloutBatch;
+use xingtian_comm::{Endpoint, TransmissionStats};
+use xingtian_message::codec::{Decode, Encode};
+use xingtian_message::{MessageKind, ProcessId};
+
+/// Configuration of the learner process.
+pub struct LearnerProcess {
+    /// Communication endpoint (`ProcessId::learner(0)`).
+    pub endpoint: Endpoint,
+    /// The algorithm being trained.
+    pub algorithm: Box<dyn Algorithm>,
+    /// Optional periodic checkpointing (paper §4.2).
+    pub checkpointer: Option<Checkpointer>,
+}
+
+/// What the learner reports when it shuts down.
+#[derive(Debug)]
+pub struct LearnerOutcome {
+    /// Rollout steps consumed for training.
+    pub steps_consumed: u64,
+    /// Consumption timeline (steps/s series).
+    pub timeline: ThroughputTimeline,
+    /// Time blocked waiting for rollouts before each training session.
+    pub wait_stats: TransmissionStats,
+    /// Training sessions completed.
+    pub train_sessions: u64,
+    /// Total compute time spent inside `train`.
+    pub train_time: Duration,
+    /// Final trained parameters (flat), for PBT weight inheritance.
+    pub final_params: Vec<f32>,
+}
+
+impl LearnerProcess {
+    /// Runs the learner until the controller broadcasts shutdown.
+    pub fn run(mut self) -> LearnerOutcome {
+        let controller = ProcessId::controller(0);
+        let mut timeline = ThroughputTimeline::new();
+        let wait_stats = TransmissionStats::new();
+        let mut steps_consumed = 0u64;
+        let mut train_sessions = 0u64;
+        let mut train_time = Duration::ZERO;
+        // Wait accumulated since the last completed training session.
+        let mut waited = Duration::ZERO;
+
+        'outer: loop {
+            // Block for the next message, accounting the blocked time as wait.
+            let t0 = Instant::now();
+            let Some(msg) = self.endpoint.recv() else { break };
+            waited += t0.elapsed();
+            if self.handle_message(msg.header.kind, &msg.body) {
+                break;
+            }
+            // Drain whatever else has already arrived — data already staged
+            // locally costs no wait.
+            while let Some(extra) = self.endpoint.try_recv() {
+                if self.handle_message(extra.header.kind, &extra.body) {
+                    break 'outer;
+                }
+            }
+            // Train for as long as the algorithm has work.
+            while let Some(report) = {
+                let t = Instant::now();
+                let r = self.algorithm.try_train();
+                if r.is_some() {
+                    train_time += t.elapsed();
+                }
+                r
+            } {
+                train_sessions += 1;
+                steps_consumed += report.steps_consumed as u64;
+                timeline.record(report.steps_consumed as u64);
+                wait_stats.record(waited);
+                waited = Duration::ZERO;
+                if let Some(ckpt) = &mut self.checkpointer {
+                    ckpt.on_session(&self.algorithm.param_blob());
+                }
+                if !report.notify.is_empty() {
+                    let blob = self.algorithm.param_blob();
+                    let dst = report.notify.iter().map(|&e| ProcessId::explorer(e)).collect();
+                    self.endpoint.send_to(dst, MessageKind::Parameters, Bytes::from(blob.to_bytes()));
+                }
+                let stats = StatsMsg {
+                    source: StatsMsg::LEARNER,
+                    steps: report.steps_consumed as u64,
+                    episode_returns: Vec::new(),
+                };
+                self.endpoint.send_to(
+                    vec![controller],
+                    MessageKind::Stats,
+                    Bytes::from(stats.to_bytes()),
+                );
+            }
+        }
+
+        let final_params = self.algorithm.param_blob().params;
+        LearnerOutcome {
+            steps_consumed,
+            timeline,
+            wait_stats,
+            train_sessions,
+            train_time,
+            final_params,
+        }
+    }
+
+    /// Processes one incoming message. Returns `true` on shutdown.
+    fn handle_message(&mut self, kind: MessageKind, body: &Bytes) -> bool {
+        match kind {
+            MessageKind::Rollout => {
+                if let Ok(batch) = RolloutBatch::from_bytes(body) {
+                    self.algorithm.on_rollout(batch);
+                }
+                false
+            }
+            MessageKind::Control => {
+                matches!(ControlCommand::from_bytes(body), Ok(ControlCommand::Shutdown))
+            }
+            _ => false,
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! XingTian: a DRL framework that co-designs communication and computation.
+//!
+//! This crate is the Rust reproduction of the framework described in
+//! *Optimizing Communication in Deep Reinforcement Learning with XingTian*
+//! (Middleware '22). The design principles (paper §3.1):
+//!
+//! * **Decentralized computation** — no task graph, no central scheduler.
+//!   Explorer and learner workhorse threads are driven purely by the arrival
+//!   of the data they await, and publish what they produce immediately.
+//! * **Asynchronous, aggressive communication** — the sender initiates every
+//!   transfer the moment data exist (see [`xingtian_comm`]), hiding
+//!   serialization, compression, and NIC transfer behind computation.
+//!
+//! The crate wires the communication channel to the algorithm zoo:
+//!
+//! * [`config`] — deployment description (machines, explorer placement,
+//!   algorithm, goals);
+//! * [`explorer`] / [`learner`] — the two workhorse processes;
+//! * [`controller`] — the center controller: statistics collection and
+//!   goal-driven shutdown (paper §3.2.2);
+//! * [`deployment`] — builds brokers and processes, runs to completion, and
+//!   returns a [`stats::RunReport`];
+//! * [`dummy`] — the paper's dummy DRL algorithm (§5.1) for measuring raw
+//!   data-transmission efficiency;
+//! * [`pbt`] — population-based training on top of isolated broker sets
+//!   (paper §4.3);
+//! * [`checkpoint`] — periodic DNN checkpoints for fault tolerance (paper
+//!   §4.2).
+//!
+//! # Examples
+//!
+//! Train PPO on CartPole with four explorers on one simulated machine:
+//!
+//! ```no_run
+//! use xingtian::config::{AlgorithmSpec, DeploymentConfig};
+//! use xingtian::deployment::Deployment;
+//!
+//! let config = DeploymentConfig::cartpole(AlgorithmSpec::ppo(), 4)
+//!     .with_goal_steps(50_000);
+//! let report = Deployment::run(config).expect("deployment runs");
+//! println!("throughput: {:.0} steps/s", report.mean_throughput());
+//! ```
+
+pub mod checkpoint;
+pub mod config;
+pub mod controller;
+pub mod deployment;
+pub mod dummy;
+pub mod explorer;
+pub mod learner;
+pub mod messages;
+pub mod pbt;
+pub mod stats;
+
+pub use config::{AlgorithmSpec, DeploymentConfig};
+pub use deployment::Deployment;
+pub use stats::RunReport;

@@ -1,0 +1,242 @@
+//! Run-level measurements: throughput timelines and run reports.
+
+use std::time::{Duration, Instant};
+use xingtian_comm::TransmissionStats;
+
+/// Records (time, steps) consumption events and derives a steps/second
+/// timeline, the quantity plotted in the paper's Figs. 8–10 throughput panels.
+#[derive(Debug)]
+pub struct ThroughputTimeline {
+    start: Instant,
+    events: Vec<(f64, u64)>,
+}
+
+impl ThroughputTimeline {
+    /// Starts an empty timeline at "now".
+    pub fn new() -> Self {
+        ThroughputTimeline { start: Instant::now(), events: Vec::new() }
+    }
+
+    /// Records that `steps` rollout steps were consumed at "now".
+    pub fn record(&mut self, steps: u64) {
+        self.events.push((self.start.elapsed().as_secs_f64(), steps));
+    }
+
+    /// Total steps recorded.
+    pub fn total_steps(&self) -> u64 {
+        self.events.iter().map(|&(_, s)| s).sum()
+    }
+
+    /// Elapsed seconds from creation to the last event (0.0 if empty).
+    pub fn span_secs(&self) -> f64 {
+        self.events.last().map_or(0.0, |&(t, _)| t)
+    }
+
+    /// Mean throughput in steps/second over the recorded span.
+    pub fn mean_throughput(&self) -> f64 {
+        let span = self.span_secs();
+        if span <= 0.0 {
+            return 0.0;
+        }
+        self.total_steps() as f64 / span
+    }
+
+    /// Steps/second aggregated into `bucket_secs`-wide buckets, as `(bucket
+    /// start time, steps/s)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_secs` is not positive.
+    pub fn series(&self, bucket_secs: f64) -> Vec<(f64, f64)> {
+        assert!(bucket_secs > 0.0, "bucket width must be positive");
+        let span = self.span_secs();
+        if span <= 0.0 {
+            return Vec::new();
+        }
+        let buckets = (span / bucket_secs).ceil() as usize;
+        let mut sums = vec![0u64; buckets.max(1)];
+        for &(t, s) in &self.events {
+            let b = ((t / bucket_secs) as usize).min(sums.len() - 1);
+            sums[b] += s;
+        }
+        sums.iter()
+            .enumerate()
+            .map(|(i, &s)| (i as f64 * bucket_secs, s as f64 / bucket_secs))
+            .collect()
+    }
+}
+
+impl Default for ThroughputTimeline {
+    fn default() -> Self {
+        ThroughputTimeline::new()
+    }
+}
+
+/// Everything a deployment run produces for analysis.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Environment name.
+    pub env: String,
+    /// Rollout steps the learner consumed.
+    pub steps_consumed: u64,
+    /// Wall-clock duration of the run.
+    pub wall_time: Duration,
+    /// Learner consumption timeline.
+    pub timeline: ThroughputTimeline,
+    /// Time the learner spent blocked waiting for rollouts before each
+    /// training session ("actual wait", Figs. 8–10).
+    pub learner_wait: TransmissionStats,
+    /// Producer-to-learner transmission latency of rollout messages.
+    pub rollout_latency: std::sync::Arc<TransmissionStats>,
+    /// Returns of all completed episodes, in arrival order at the controller.
+    pub episode_returns: Vec<f32>,
+    /// Training sessions completed.
+    pub train_sessions: u64,
+    /// Mean training-session compute time.
+    pub mean_train_time: Duration,
+    /// Final trained parameters (flat), for PBT weight inheritance.
+    pub final_params: Vec<f32>,
+}
+
+impl RunReport {
+    /// Mean learner throughput in rollout steps per second.
+    pub fn mean_throughput(&self) -> f64 {
+        if self.wall_time.as_secs_f64() <= 0.0 {
+            return 0.0;
+        }
+        self.steps_consumed as f64 / self.wall_time.as_secs_f64()
+    }
+
+    /// Mean return over the final `window` episodes (the paper's convergence
+    /// metric), or `None` if no episode completed.
+    pub fn final_return(&self, window: usize) -> Option<f32> {
+        if self.episode_returns.is_empty() {
+            return None;
+        }
+        let tail = &self.episode_returns[self.episode_returns.len().saturating_sub(window)..];
+        Some(tail.iter().sum::<f32>() / tail.len() as f32)
+    }
+
+    /// Exports the run's statistics as CSV files into `dir` (created if
+    /// absent): `summary.csv` (one row of aggregates), `throughput.csv`
+    /// (steps/s series in `bucket_secs`-wide buckets), and `returns.csv`
+    /// (per-episode returns in arrival order). The paper's center controller
+    /// "collects and visualizes statistics"; these files feed any plotting
+    /// tool.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error encountered.
+    pub fn write_csv(&self, dir: impl AsRef<std::path::Path>, bucket_secs: f64) -> std::io::Result<()> {
+        use std::io::Write;
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+
+        let mut summary = std::fs::File::create(dir.join("summary.csv"))?;
+        writeln!(
+            summary,
+            "algorithm,env,steps_consumed,wall_time_s,mean_throughput,train_sessions,\
+             mean_train_time_ms,mean_wait_ms,mean_rollout_latency_ms,episodes,final_return_100"
+        )?;
+        writeln!(
+            summary,
+            "{},{},{},{:.3},{:.1},{},{:.3},{:.3},{:.3},{},{}",
+            self.algorithm,
+            self.env,
+            self.steps_consumed,
+            self.wall_time.as_secs_f64(),
+            self.mean_throughput(),
+            self.train_sessions,
+            self.mean_train_time.as_secs_f64() * 1e3,
+            self.learner_wait.mean().as_secs_f64() * 1e3,
+            self.rollout_latency.mean().as_secs_f64() * 1e3,
+            self.episode_returns.len(),
+            self.final_return(100).map_or(String::from(""), |r| format!("{r:.2}")),
+        )?;
+
+        let mut throughput = std::fs::File::create(dir.join("throughput.csv"))?;
+        writeln!(throughput, "time_s,steps_per_s")?;
+        for (t, v) in self.timeline.series(bucket_secs) {
+            writeln!(throughput, "{t:.1},{v:.1}")?;
+        }
+
+        let mut returns = std::fs::File::create(dir.join("returns.csv"))?;
+        writeln!(returns, "episode,return")?;
+        for (i, r) in self.episode_returns.iter().enumerate() {
+            writeln!(returns, "{i},{r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_totals_and_series() {
+        let mut t = ThroughputTimeline::new();
+        t.events = vec![(0.5, 100), (1.5, 300), (1.9, 100)];
+        assert_eq!(t.total_steps(), 500);
+        let series = t.series(1.0);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0], (0.0, 100.0));
+        assert_eq!(series[1], (1.0, 400.0));
+    }
+
+    #[test]
+    fn empty_timeline_is_zero() {
+        let t = ThroughputTimeline::new();
+        assert_eq!(t.mean_throughput(), 0.0);
+        assert!(t.series(1.0).is_empty());
+    }
+
+    #[test]
+    fn final_return_windows() {
+        let report = RunReport {
+            algorithm: "PPO".into(),
+            env: "CartPole".into(),
+            steps_consumed: 0,
+            wall_time: Duration::from_secs(1),
+            timeline: ThroughputTimeline::new(),
+            learner_wait: TransmissionStats::new(),
+            rollout_latency: std::sync::Arc::new(TransmissionStats::new()),
+            episode_returns: vec![1.0, 2.0, 3.0, 4.0],
+            train_sessions: 0,
+            mean_train_time: Duration::ZERO,
+            final_params: Vec::new(),
+        };
+        assert_eq!(report.final_return(2), Some(3.5));
+        assert_eq!(report.final_return(100), Some(2.5));
+    }
+
+    #[test]
+    fn csv_export_writes_three_files() {
+        let mut timeline = ThroughputTimeline::new();
+        timeline.record(100);
+        let report = RunReport {
+            algorithm: "IMPALA".into(),
+            env: "CartPole".into(),
+            steps_consumed: 100,
+            wall_time: Duration::from_secs(2),
+            timeline,
+            learner_wait: TransmissionStats::new(),
+            rollout_latency: std::sync::Arc::new(TransmissionStats::new()),
+            episode_returns: vec![10.0, 20.0],
+            train_sessions: 1,
+            mean_train_time: Duration::from_millis(5),
+            final_params: Vec::new(),
+        };
+        let dir = std::env::temp_dir().join(format!("xt-csv-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        report.write_csv(&dir, 1.0).unwrap();
+        let summary = std::fs::read_to_string(dir.join("summary.csv")).unwrap();
+        assert!(summary.contains("IMPALA,CartPole,100"));
+        let returns = std::fs::read_to_string(dir.join("returns.csv")).unwrap();
+        assert!(returns.contains("1,20"));
+        assert!(dir.join("throughput.csv").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,223 @@
+//! Unit-level tests of the explorer and learner process loops, driven with
+//! scripted agents/algorithms over a real channel.
+
+use bytes::Bytes;
+use netsim::Cluster;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use xingtian::controller::ControllerProcess;
+use xingtian::explorer::{ExplorerProcess, MAX_INFLIGHT_BATCHES};
+use xingtian::learner::LearnerProcess;
+use xingtian::messages::ControlCommand;
+use xingtian_algos::api::{ActionSelection, Agent, Algorithm, SyncMode, TrainReport};
+use xingtian_algos::payload::{ParamBlob, RolloutBatch};
+use xingtian_comm::{Broker, CommConfig};
+use xingtian_message::codec::Encode;
+use xingtian_message::{MessageKind, ProcessId};
+
+/// An agent that always picks action 0 and tracks applied parameter versions.
+struct ScriptedAgent {
+    version: u64,
+}
+
+impl Agent for ScriptedAgent {
+    fn act(&mut self, _observation: &[f32]) -> ActionSelection {
+        ActionSelection { action: 0, logits: vec![0.0, 0.0], value: 0.0 }
+    }
+
+    fn apply_params(&mut self, blob: &ParamBlob) {
+        if blob.version > self.version {
+            self.version = blob.version;
+        }
+    }
+
+    fn param_version(&self) -> u64 {
+        self.version
+    }
+}
+
+/// An algorithm that counts consumed batches and replies to the source.
+struct CountingAlgorithm {
+    queued: Vec<RolloutBatch>,
+    version: u64,
+    consumed: Arc<AtomicUsize>,
+    sync: SyncMode,
+}
+
+impl Algorithm for CountingAlgorithm {
+    fn on_rollout(&mut self, batch: RolloutBatch) {
+        self.queued.push(batch);
+    }
+
+    fn try_train(&mut self) -> Option<TrainReport> {
+        let batch = self.queued.pop()?;
+        self.version += 1;
+        self.consumed.fetch_add(batch.len(), Ordering::Relaxed);
+        Some(TrainReport {
+            steps_consumed: batch.len(),
+            loss: 0.0,
+            version: self.version,
+            notify: vec![batch.explorer],
+        })
+    }
+
+    fn param_blob(&self) -> ParamBlob {
+        ParamBlob { version: self.version, params: vec![0.5; 4] }
+    }
+
+    fn load_params(&mut self, _params: &[f32]) {}
+
+    fn version(&self) -> u64 {
+        self.version
+    }
+
+    fn sync_mode(&self) -> SyncMode {
+        self.sync
+    }
+
+    fn name(&self) -> &str {
+        "counting"
+    }
+}
+
+#[test]
+fn explorer_learner_pair_round_trips_until_shutdown() {
+    let broker = Broker::new(0, Cluster::single(), CommConfig::default());
+    let learner_ep = broker.endpoint(ProcessId::learner(0));
+    let explorer_ep = broker.endpoint(ProcessId::explorer(0));
+    let controller_ep = broker.endpoint(ProcessId::controller(0));
+    let consumed = Arc::new(AtomicUsize::new(0));
+
+    let learner = LearnerProcess {
+        endpoint: learner_ep,
+        algorithm: Box::new(CountingAlgorithm {
+            queued: Vec::new(),
+            version: 0,
+            consumed: Arc::clone(&consumed),
+            sync: SyncMode::OffPolicy,
+        }),
+        checkpointer: None,
+    };
+    let learner_thread = std::thread::spawn(move || learner.run());
+
+    let explorer = ExplorerProcess {
+        index: 0,
+        endpoint: explorer_ep,
+        env: Box::new(gymlite::CartPole::new(0)),
+        agent: Box::new(ScriptedAgent { version: 0 }),
+        rollout_len: 25,
+        sync: SyncMode::OffPolicy,
+    };
+    let explorer_thread = std::thread::spawn(move || explorer.run());
+
+    // The controller stops the run once the learner reports 500 steps.
+    let outcome = ControllerProcess {
+        endpoint: controller_ep,
+        goal_steps: 500,
+        max_duration: Duration::from_secs(30),
+        num_explorers: 1,
+    }
+    .run();
+    assert!(outcome.goal_reached, "goal should be reached well before the deadline");
+
+    let learner_outcome = learner_thread.join().unwrap();
+    let explorer_outcome = explorer_thread.join().unwrap();
+    assert!(learner_outcome.steps_consumed >= 500);
+    assert_eq!(learner_outcome.steps_consumed as usize, consumed.load(Ordering::Relaxed));
+    assert!(explorer_outcome.batches_sent >= 20, "25-step batches toward a 500-step goal");
+    assert!(explorer_outcome.tracker.total_steps() >= 500);
+    broker.shutdown();
+}
+
+#[test]
+fn on_policy_explorer_waits_for_fresh_parameters() {
+    let broker = Broker::new(0, Cluster::single(), CommConfig::default());
+    let learner_ep = broker.endpoint(ProcessId::learner(0));
+    let explorer_ep = broker.endpoint(ProcessId::explorer(0));
+
+    let explorer = ExplorerProcess {
+        index: 0,
+        endpoint: explorer_ep,
+        env: Box::new(gymlite::CartPole::new(1)),
+        agent: Box::new(ScriptedAgent { version: 0 }),
+        rollout_len: 10,
+        sync: SyncMode::OnPolicy,
+    };
+    let explorer_thread = std::thread::spawn(move || explorer.run());
+
+    // Exactly one batch arrives, then the explorer blocks on parameters.
+    let first = learner_ep.recv_timeout(Duration::from_secs(10)).expect("first batch");
+    assert_eq!(first.header.kind, MessageKind::Rollout);
+    assert!(
+        learner_ep.recv_timeout(Duration::from_millis(300)).is_none(),
+        "on-policy gate must hold without new parameters"
+    );
+
+    // Fresh parameters release the gate for exactly one more batch.
+    let blob = ParamBlob { version: 1, params: vec![0.0; 4] };
+    learner_ep.send_to(vec![ProcessId::explorer(0)], MessageKind::Parameters, Bytes::from(blob.to_bytes()));
+    assert!(
+        learner_ep.recv_timeout(Duration::from_secs(10)).is_some(),
+        "gate released by the broadcast"
+    );
+
+    // Shutdown ends the explorer even while it is gated.
+    learner_ep.send_to(
+        vec![ProcessId::explorer(0)],
+        MessageKind::Control,
+        Bytes::from(ControlCommand::Shutdown.to_bytes()),
+    );
+    let outcome = explorer_thread.join().unwrap();
+    assert!(outcome.batches_sent >= 2);
+    drop(learner_ep);
+    broker.shutdown();
+}
+
+#[test]
+fn explorer_flow_control_caps_the_send_backlog() {
+    // No learner consumes, so the store fills and the backlog must plateau at
+    // the flow-control limit instead of growing unboundedly.
+    let broker = Broker::new(0, Cluster::single(), CommConfig::uncompressed());
+    // A learner endpoint exists (so routing works) but never receives.
+    let learner_ep = broker.endpoint(ProcessId::learner(0));
+    let explorer_ep = broker.endpoint(ProcessId::explorer(0));
+
+    // Atari observations make batches big enough to fill the 128 MiB store.
+    let env = gymlite::SynthAtari::with_config(
+        gymlite::AtariGame::Qbert.config().with_obs_dim(84 * 84).with_step_latency_us(0),
+        0,
+    );
+    let explorer = ExplorerProcess {
+        index: 0,
+        endpoint: explorer_ep,
+        env: Box::new(env),
+        agent: Box::new(ScriptedAgent { version: 0 }),
+        rollout_len: 500,
+        sync: SyncMode::OffPolicy,
+    };
+    let explorer_thread = std::thread::spawn(move || explorer.run());
+
+    // Give it time to run far ahead if flow control were broken (an
+    // unbounded pipeline generates roughly 10 batches/s here).
+    std::thread::sleep(Duration::from_secs(8));
+    learner_ep.send_to(
+        vec![ProcessId::explorer(0)],
+        MessageKind::Control,
+        Bytes::from(ControlCommand::Shutdown.to_bytes()),
+    );
+    // "Kill" the wedged learner: closing its endpoint drains the credits it
+    // was sitting on, releasing any sender blocked on the full store so the
+    // explorer can shut down cleanly.
+    drop(learner_ep);
+    let outcome = explorer_thread.join().unwrap();
+    // The store admits ~9 × 14 MiB bodies, the learner's bounded receive
+    // buffer 8 more, the send-side gate 4; allow slack for in-hand messages.
+    let ceiling = (128 / 14) + 8 + MAX_INFLIGHT_BATCHES as u64 + 4;
+    assert!(
+        outcome.batches_sent <= ceiling,
+        "explorer ran ahead: {} batches (ceiling {ceiling})",
+        outcome.batches_sent
+    );
+    broker.shutdown();
+}

@@ -1,0 +1,179 @@
+//! The classic cart-pole balancing problem, with the exact dynamics of
+//! OpenAI Gym's `CartPole-v1` (Barto, Sutton & Anderson 1983).
+
+use crate::env::{Environment, StepResult};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const GRAVITY: f32 = 9.8;
+const MASS_CART: f32 = 1.0;
+const MASS_POLE: f32 = 0.1;
+const TOTAL_MASS: f32 = MASS_CART + MASS_POLE;
+const POLE_HALF_LENGTH: f32 = 0.5;
+const POLE_MASS_LENGTH: f32 = MASS_POLE * POLE_HALF_LENGTH;
+const FORCE_MAG: f32 = 10.0;
+const TAU: f32 = 0.02;
+const THETA_THRESHOLD: f32 = 12.0 * 2.0 * std::f32::consts::PI / 360.0;
+const X_THRESHOLD: f32 = 2.4;
+
+/// Episode length cap, as in `CartPole-v1`.
+pub const MAX_EPISODE_STEPS: u32 = 500;
+
+/// A pole hinged to a cart on a frictionless track; push the cart left or
+/// right to keep the pole upright. Reward is +1 per step survived; the
+/// episode ends when the pole tips past 12°, the cart leaves ±2.4, or 500
+/// steps elapse.
+#[derive(Debug, Clone)]
+pub struct CartPole {
+    state: [f32; 4],
+    steps: u32,
+    done: bool,
+    rng: StdRng,
+}
+
+impl CartPole {
+    /// Creates a cart-pole environment with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        CartPole { state: [0.0; 4], steps: 0, done: true, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    fn observation(&self) -> Vec<f32> {
+        self.state.to_vec()
+    }
+}
+
+impl Environment for CartPole {
+    fn observation_dim(&self) -> usize {
+        4
+    }
+
+    fn num_actions(&self) -> usize {
+        2
+    }
+
+    fn reset(&mut self) -> Vec<f32> {
+        for v in &mut self.state {
+            *v = self.rng.gen_range(-0.05..0.05);
+        }
+        self.steps = 0;
+        self.done = false;
+        self.observation()
+    }
+
+    fn step(&mut self, action: usize) -> StepResult {
+        assert!(action < 2, "CartPole has two actions, got {action}");
+        assert!(!self.done, "step called on a finished episode; call reset first");
+        let [x, x_dot, theta, theta_dot] = self.state;
+        let force = if action == 1 { FORCE_MAG } else { -FORCE_MAG };
+        let cos_theta = theta.cos();
+        let sin_theta = theta.sin();
+        let temp = (force + POLE_MASS_LENGTH * theta_dot * theta_dot * sin_theta) / TOTAL_MASS;
+        let theta_acc = (GRAVITY * sin_theta - cos_theta * temp)
+            / (POLE_HALF_LENGTH * (4.0 / 3.0 - MASS_POLE * cos_theta * cos_theta / TOTAL_MASS));
+        let x_acc = temp - POLE_MASS_LENGTH * theta_acc * cos_theta / TOTAL_MASS;
+        // Euler integration, as in Gym.
+        self.state = [
+            x + TAU * x_dot,
+            x_dot + TAU * x_acc,
+            theta + TAU * theta_dot,
+            theta_dot + TAU * theta_acc,
+        ];
+        self.steps += 1;
+        let out_of_bounds = self.state[0].abs() > X_THRESHOLD || self.state[2].abs() > THETA_THRESHOLD;
+        self.done = out_of_bounds || self.steps >= MAX_EPISODE_STEPS;
+        StepResult { observation: self.observation(), reward: 1.0, done: self.done }
+    }
+
+    fn name(&self) -> &str {
+        "CartPole"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_starts_near_zero() {
+        let mut env = CartPole::new(1);
+        let obs = env.reset();
+        assert!(obs.iter().all(|v| v.abs() < 0.05));
+    }
+
+    #[test]
+    fn random_policy_fails_fast() {
+        let mut env = CartPole::new(2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut lengths = Vec::new();
+        for _ in 0..20 {
+            env.reset();
+            let mut steps = 0;
+            loop {
+                let r = env.step(rng.gen_range(0..2));
+                steps += 1;
+                if r.done {
+                    break;
+                }
+            }
+            lengths.push(steps);
+        }
+        let mean = lengths.iter().sum::<i32>() as f32 / lengths.len() as f32;
+        assert!(mean < 100.0, "random play should fall quickly, got mean {mean}");
+        assert!(mean > 5.0, "but not instantly, got mean {mean}");
+    }
+
+    #[test]
+    fn always_push_right_tips_the_pole() {
+        let mut env = CartPole::new(4);
+        env.reset();
+        let mut steps = 0;
+        loop {
+            let r = env.step(1);
+            steps += 1;
+            if r.done {
+                break;
+            }
+        }
+        assert!(steps < 50, "constant force must topple the pole, took {steps}");
+    }
+
+    #[test]
+    fn episode_caps_at_500() {
+        // A perfect alternating policy from the exact center can exceed the
+        // cap only if the cap fires. Instead verify the cap directly by
+        // stepping a physics-frozen copy: alternate actions keep it alive for
+        // a while; we just assert no episode exceeds MAX_EPISODE_STEPS.
+        let mut env = CartPole::new(5);
+        env.reset();
+        let mut steps = 0u32;
+        loop {
+            // Simple balance heuristic: push in the direction the pole leans.
+            let lean = env.state[2] + env.state[3];
+            let action = usize::from(lean > 0.0);
+            let r = env.step(action);
+            steps += 1;
+            if r.done {
+                break;
+            }
+        }
+        assert!(steps <= MAX_EPISODE_STEPS);
+        assert!(steps > 100, "heuristic balances for a while, got {steps}");
+    }
+
+    #[test]
+    #[should_panic(expected = "step called on a finished episode")]
+    fn step_after_done_panics() {
+        let mut env = CartPole::new(6);
+        let _ = env.step(0); // never reset
+    }
+
+    #[test]
+    fn same_seed_same_trajectory() {
+        let mut a = CartPole::new(9);
+        let mut b = CartPole::new(9);
+        assert_eq!(a.reset(), b.reset());
+        for action in [0, 1, 1, 0, 1] {
+            assert_eq!(a.step(action), b.step(action));
+        }
+    }
+}

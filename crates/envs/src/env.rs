@@ -1,0 +1,60 @@
+//! The gym-style environment trait.
+
+/// Result of applying one action to an environment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepResult {
+    /// Observation after the action.
+    pub observation: Vec<f32>,
+    /// Immediate reward.
+    pub reward: f32,
+    /// True if the episode ended with this step.
+    pub done: bool,
+}
+
+/// A sequential-decision environment with a discrete action space.
+///
+/// Mirrors the `init`/`reset`/`step` interface of the paper's `Environment`
+/// wrapper class (§4.2), which in turn follows OpenAI Gym.
+pub trait Environment: Send {
+    /// Length of observation vectors.
+    fn observation_dim(&self) -> usize;
+
+    /// Number of discrete actions.
+    fn num_actions(&self) -> usize;
+
+    /// Starts a new episode, returning the initial observation.
+    fn reset(&mut self) -> Vec<f32>;
+
+    /// Applies `action`, returning the transition.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `action >= num_actions()` or if called
+    /// after `done` without an intervening [`Environment::reset`].
+    fn step(&mut self, action: usize) -> StepResult;
+
+    /// Human-readable environment name.
+    fn name(&self) -> &str;
+}
+
+impl Environment for Box<dyn Environment> {
+    fn observation_dim(&self) -> usize {
+        (**self).observation_dim()
+    }
+
+    fn num_actions(&self) -> usize {
+        (**self).num_actions()
+    }
+
+    fn reset(&mut self) -> Vec<f32> {
+        (**self).reset()
+    }
+
+    fn step(&mut self, action: usize) -> StepResult {
+        (**self).step(action)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}

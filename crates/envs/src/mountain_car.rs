@@ -1,0 +1,160 @@
+//! The mountain-car problem (Moore 1990), with the exact dynamics of OpenAI
+//! Gym's `MountainCar-v0`. Not part of the paper's evaluation; included as an
+//! extension so the framework's environment zoo covers a sparse-reward
+//! classic-control task alongside CartPole.
+
+use crate::env::{Environment, StepResult};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const MIN_POSITION: f32 = -1.2;
+const MAX_POSITION: f32 = 0.6;
+const MAX_SPEED: f32 = 0.07;
+const GOAL_POSITION: f32 = 0.5;
+const FORCE: f32 = 0.001;
+const GRAVITY: f32 = 0.0025;
+
+/// Episode length cap, as in `MountainCar-v0`.
+pub const MAX_EPISODE_STEPS: u32 = 200;
+
+/// An under-powered car in a valley must build momentum to reach the flag on
+/// the right hill. Actions: push left, coast, push right. Reward is −1 per
+/// step until the goal (or the 200-step cap) ends the episode, so better
+/// policies finish with returns closer to zero.
+#[derive(Debug, Clone)]
+pub struct MountainCar {
+    position: f32,
+    velocity: f32,
+    steps: u32,
+    done: bool,
+    rng: StdRng,
+}
+
+impl MountainCar {
+    /// Creates a mountain-car environment with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        MountainCar { position: -0.5, velocity: 0.0, steps: 0, done: true, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    fn observation(&self) -> Vec<f32> {
+        vec![self.position, self.velocity]
+    }
+}
+
+impl Environment for MountainCar {
+    fn observation_dim(&self) -> usize {
+        2
+    }
+
+    fn num_actions(&self) -> usize {
+        3
+    }
+
+    fn reset(&mut self) -> Vec<f32> {
+        self.position = self.rng.gen_range(-0.6..-0.4);
+        self.velocity = 0.0;
+        self.steps = 0;
+        self.done = false;
+        self.observation()
+    }
+
+    fn step(&mut self, action: usize) -> StepResult {
+        assert!(action < 3, "MountainCar has three actions, got {action}");
+        assert!(!self.done, "step called on a finished episode; call reset first");
+        self.velocity += (action as f32 - 1.0) * FORCE + (3.0 * self.position).cos() * (-GRAVITY);
+        self.velocity = self.velocity.clamp(-MAX_SPEED, MAX_SPEED);
+        self.position += self.velocity;
+        self.position = self.position.clamp(MIN_POSITION, MAX_POSITION);
+        if self.position <= MIN_POSITION && self.velocity < 0.0 {
+            self.velocity = 0.0;
+        }
+        self.steps += 1;
+        let reached = self.position >= GOAL_POSITION;
+        self.done = reached || self.steps >= MAX_EPISODE_STEPS;
+        StepResult { observation: self.observation(), reward: -1.0, done: self.done }
+    }
+
+    fn name(&self) -> &str {
+        "MountainCar"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_starts_in_the_valley() {
+        let mut env = MountainCar::new(1);
+        let obs = env.reset();
+        assert!((-0.6..-0.4).contains(&obs[0]));
+        assert_eq!(obs[1], 0.0);
+    }
+
+    #[test]
+    fn random_policy_rarely_escapes() {
+        let mut env = MountainCar::new(2);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..5 {
+            env.reset();
+            let mut steps = 0;
+            loop {
+                let r = env.step(rng.gen_range(0..3));
+                steps += 1;
+                if r.done {
+                    break;
+                }
+            }
+            assert_eq!(steps, MAX_EPISODE_STEPS, "random play should time out");
+        }
+    }
+
+    #[test]
+    fn oscillation_policy_reaches_the_goal() {
+        // The classic energy-pumping policy: push in the direction of motion.
+        let mut env = MountainCar::new(4);
+        let mut obs = env.reset();
+        let mut steps = 0;
+        loop {
+            let action = if obs[1] >= 0.0 { 2 } else { 0 };
+            let r = env.step(action);
+            steps += 1;
+            obs = r.observation;
+            if r.done {
+                break;
+            }
+        }
+        assert!(obs[0] >= GOAL_POSITION, "momentum policy must summit, stopped at {}", obs[0]);
+        assert!(steps < MAX_EPISODE_STEPS, "and before the cap, took {steps}");
+    }
+
+    #[test]
+    fn velocity_is_clamped() {
+        let mut env = MountainCar::new(5);
+        env.reset();
+        for _ in 0..100 {
+            let r = env.step(2);
+            assert!(r.observation[1].abs() <= MAX_SPEED + 1e-6);
+            if r.done {
+                env.reset();
+            }
+        }
+    }
+
+    #[test]
+    fn left_wall_stops_the_car() {
+        let mut env = MountainCar::new(6);
+        env.reset();
+        // Push left until pinned against the wall.
+        for _ in 0..MAX_EPISODE_STEPS {
+            let r = env.step(0);
+            if r.observation[0] <= MIN_POSITION + 1e-6 {
+                assert!(r.observation[1] >= 0.0, "wall zeroes leftward velocity");
+                return;
+            }
+            if r.done {
+                env.reset();
+            }
+        }
+    }
+}

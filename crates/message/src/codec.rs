@@ -1,0 +1,442 @@
+//! Compact binary codec used to serialize rollouts and DNN parameters.
+//!
+//! The paper serializes message bodies with Python pickle before inserting them
+//! into the object store. We substitute an explicit little-endian binary format
+//! with varint-compressed lengths and a memcpy fast path for `f32` tensors (the
+//! dominant payload of both rollouts and parameter blobs).
+//!
+//! The format is self-delimiting: every [`Encode`] implementation writes exactly
+//! the bytes its matching [`Decode`] implementation consumes, so values can be
+//! concatenated freely.
+
+use std::fmt;
+
+/// Error produced when decoding malformed or truncated input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended before the value was complete.
+    UnexpectedEof,
+    /// A varint ran longer than 10 bytes.
+    VarintOverflow,
+    /// An enum discriminant or tag byte was out of range.
+    InvalidTag(u8),
+    /// A declared length exceeds the remaining input (corrupt stream).
+    LengthOverflow { declared: usize, remaining: usize },
+    /// String data was not valid UTF-8.
+    InvalidUtf8,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof => write!(f, "unexpected end of input"),
+            DecodeError::VarintOverflow => write!(f, "varint longer than 10 bytes"),
+            DecodeError::InvalidTag(t) => write!(f, "invalid tag byte {t}"),
+            DecodeError::LengthOverflow { declared, remaining } => {
+                write!(f, "declared length {declared} exceeds remaining {remaining} bytes")
+            }
+            DecodeError::InvalidUtf8 => write!(f, "string data was not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Sequential reader over a byte slice.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps `buf` for reading from the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Consumes exactly `n` bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::UnexpectedEof`] if fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::UnexpectedEof);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Consumes one byte.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Consumes a LEB128 varint.
+    pub fn varint(&mut self) -> Result<u64, DecodeError> {
+        let mut out = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.u8()?;
+            if shift >= 64 {
+                return Err(DecodeError::VarintOverflow);
+            }
+            out |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(out);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Consumes a varint-prefixed length, validating against remaining input.
+    pub fn length(&mut self) -> Result<usize, DecodeError> {
+        let declared = self.varint()? as usize;
+        if declared > self.remaining() {
+            return Err(DecodeError::LengthOverflow { declared, remaining: self.remaining() });
+        }
+        Ok(declared)
+    }
+}
+
+/// Appends a LEB128 varint to `out`.
+pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Types that can serialize themselves into the codec's binary format.
+pub trait Encode {
+    /// Appends the encoded form of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Convenience: encodes into a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+}
+
+/// Types that can deserialize themselves from the codec's binary format.
+pub trait Decode: Sized {
+    /// Reads one value from `r`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`DecodeError`] if the input is truncated or malformed.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError>;
+
+    /// Convenience: decodes a value that must span the whole of `buf`.
+    fn from_bytes(buf: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(buf);
+        Self::decode(&mut r)
+    }
+}
+
+macro_rules! impl_codec_le {
+    ($($t:ty),*) => {$(
+        impl Encode for $t {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+        }
+        impl Decode for $t {
+            fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+                let bytes = r.take(std::mem::size_of::<$t>())?;
+                Ok(<$t>::from_le_bytes(bytes.try_into().expect("take returned exact size")))
+            }
+        }
+    )*};
+}
+
+impl_codec_le!(u16, u32, u64, i32, i64, f32, f64);
+
+impl Encode for u8 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self);
+    }
+}
+
+impl Decode for u8 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        r.u8()
+    }
+}
+
+impl Encode for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+}
+
+impl Decode for bool {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(DecodeError::InvalidTag(t)),
+        }
+    }
+}
+
+impl Encode for usize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        write_varint(out, *self as u64);
+    }
+}
+
+impl Decode for usize {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(r.varint()? as usize)
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        write_varint(out, self.len() as u64);
+        out.extend_from_slice(self.as_bytes());
+    }
+}
+
+impl Decode for String {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let len = r.length()?;
+        let bytes = r.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::InvalidUtf8)
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            t => Err(DecodeError::InvalidTag(t)),
+        }
+    }
+}
+
+impl Encode for Vec<f32> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        write_varint(out, self.len() as u64);
+        // Fast path: f32 slices are memcpy'd as little-endian words. On
+        // little-endian targets this is a single extend; on big-endian targets
+        // we still write canonical little-endian bytes.
+        if cfg!(target_endian = "little") {
+            let bytes =
+                unsafe { std::slice::from_raw_parts(self.as_ptr().cast::<u8>(), self.len() * 4) };
+            out.extend_from_slice(bytes);
+        } else {
+            for v in self {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+    }
+}
+
+impl Decode for Vec<f32> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let len = r.varint()? as usize;
+        let need = len.checked_mul(4).ok_or(DecodeError::LengthOverflow {
+            declared: len,
+            remaining: r.remaining(),
+        })?;
+        if need > r.remaining() {
+            return Err(DecodeError::LengthOverflow { declared: need, remaining: r.remaining() });
+        }
+        let bytes = r.take(need)?;
+        let mut out = Vec::with_capacity(len);
+        for chunk in bytes.chunks_exact(4) {
+            out.push(f32::from_le_bytes(chunk.try_into().expect("chunks_exact(4)")));
+        }
+        Ok(out)
+    }
+}
+
+impl Encode for Vec<u8> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        write_varint(out, self.len() as u64);
+        out.extend_from_slice(self);
+    }
+}
+
+impl Decode for Vec<u8> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let len = r.length()?;
+        Ok(r.take(len)?.to_vec())
+    }
+}
+
+impl Encode for Vec<u32> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        write_varint(out, self.len() as u64);
+        for v in self {
+            v.encode(out);
+        }
+    }
+}
+
+impl Decode for Vec<u32> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let len = r.varint()? as usize;
+        if len.saturating_mul(4) > r.remaining() {
+            return Err(DecodeError::LengthOverflow { declared: len * 4, remaining: r.remaining() });
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(u32::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl Encode for Vec<usize> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        write_varint(out, self.len() as u64);
+        for v in self {
+            write_varint(out, *v as u64);
+        }
+    }
+}
+
+impl Decode for Vec<usize> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let len = r.varint()? as usize;
+        if len > r.remaining() {
+            // Each element takes at least one byte.
+            return Err(DecodeError::LengthOverflow { declared: len, remaining: r.remaining() });
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(r.varint()? as usize);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Encode + Decode + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        let back = T::from_bytes(&bytes).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u8);
+        round_trip(255u8);
+        round_trip(123u16);
+        round_trip(u32::MAX);
+        round_trip(u64::MAX);
+        round_trip(-5i32);
+        round_trip(i64::MIN);
+        round_trip(3.75f32);
+        round_trip(-2.5f64);
+        round_trip(true);
+        round_trip(false);
+        round_trip(usize::MAX);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        round_trip(String::from("hello, 世界"));
+        round_trip(Option::<u32>::None);
+        round_trip(Some(77u32));
+        round_trip(vec![1.0f32, -2.0, 3.5]);
+        round_trip(Vec::<f32>::new());
+        round_trip(vec![1u8, 2, 3]);
+        round_trip(vec![10u32, 20, 30]);
+        round_trip(vec![0usize, 1, usize::MAX]);
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u64::MAX] {
+            let mut out = Vec::new();
+            write_varint(&mut out, v);
+            let mut r = Reader::new(&out);
+            assert_eq!(r.varint().unwrap(), v);
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let bytes = vec![1.0f32, 2.0].to_bytes();
+        assert!(matches!(
+            Vec::<f32>::from_bytes(&bytes[..bytes.len() - 1]),
+            Err(DecodeError::LengthOverflow { .. }) | Err(DecodeError::UnexpectedEof)
+        ));
+        assert_eq!(u32::from_bytes(&[1, 2]), Err(DecodeError::UnexpectedEof));
+    }
+
+    #[test]
+    fn invalid_bool_tag_errors() {
+        assert_eq!(bool::from_bytes(&[2]), Err(DecodeError::InvalidTag(2)));
+    }
+
+    #[test]
+    fn length_overflow_detected() {
+        // Declares a 1000-byte string but provides 2 bytes.
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 1000);
+        buf.extend_from_slice(&[1, 2]);
+        assert!(matches!(String::from_bytes(&buf), Err(DecodeError::LengthOverflow { .. })));
+    }
+
+    #[test]
+    fn invalid_utf8_errors() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 2);
+        buf.extend_from_slice(&[0xff, 0xfe]);
+        assert_eq!(String::from_bytes(&buf), Err(DecodeError::InvalidUtf8));
+    }
+
+    #[test]
+    fn values_concatenate() {
+        let mut buf = Vec::new();
+        42u32.encode(&mut buf);
+        String::from("x").encode(&mut buf);
+        vec![1.0f32].encode(&mut buf);
+        let mut r = Reader::new(&buf);
+        assert_eq!(u32::decode(&mut r).unwrap(), 42);
+        assert_eq!(String::decode(&mut r).unwrap(), "x");
+        assert_eq!(Vec::<f32>::decode(&mut r).unwrap(), vec![1.0]);
+        assert!(r.is_empty());
+    }
+}

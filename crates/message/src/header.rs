@@ -1,0 +1,204 @@
+//! Message headers: the lightweight routing metadata that flows through the
+//! header queues and ID queues of the communication channel.
+//!
+//! The paper keeps header queues "always filled in with lightweight metadata"
+//! (§3.2.1) while the bulky bodies live in the shared-memory object store. A
+//! [`Header`] therefore stays small and `Clone`-cheap: destinations are a short
+//! vector (a rollout goes to the single learner; a parameter broadcast fans out
+//! to many explorers).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// The role a process plays in a DRL algorithm deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ProcessRole {
+    /// Interacts with the environment and generates rollouts.
+    Explorer,
+    /// Trains the DNN and broadcasts updated parameters.
+    Learner,
+    /// Manages lifecycle, statistics, and control commands.
+    Controller,
+    /// Relays messages between processes and machines.
+    Broker,
+}
+
+impl fmt::Display for ProcessRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProcessRole::Explorer => write!(f, "explorer"),
+            ProcessRole::Learner => write!(f, "learner"),
+            ProcessRole::Controller => write!(f, "controller"),
+            ProcessRole::Broker => write!(f, "broker"),
+        }
+    }
+}
+
+/// Identifies a process within a deployment: a role plus an index.
+///
+/// Indices are global across machines; the broker's routing table maps each
+/// `ProcessId` to the machine hosting it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ProcessId {
+    /// Role of the process.
+    pub role: ProcessRole,
+    /// Index among processes of the same role (e.g. explorer 3).
+    pub index: u32,
+}
+
+impl ProcessId {
+    /// Identifier of the `index`-th explorer.
+    pub fn explorer(index: u32) -> Self {
+        ProcessId { role: ProcessRole::Explorer, index }
+    }
+
+    /// Identifier of the `index`-th learner (most algorithms use learner 0).
+    pub fn learner(index: u32) -> Self {
+        ProcessId { role: ProcessRole::Learner, index }
+    }
+
+    /// Identifier of the `index`-th controller (0 is the center controller).
+    pub fn controller(index: u32) -> Self {
+        ProcessId { role: ProcessRole::Controller, index }
+    }
+
+    /// Identifier of the `index`-th broker.
+    pub fn broker(index: u32) -> Self {
+        ProcessId { role: ProcessRole::Broker, index }
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.role, self.index)
+    }
+}
+
+/// What a message carries. The router does not inspect bodies; the kind lets
+/// endpoints dispatch without deserializing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MessageKind {
+    /// A batch of rollout steps from an explorer to the learner.
+    Rollout,
+    /// Updated DNN parameters broadcast from the learner to explorers.
+    Parameters,
+    /// Periodic statistics destined for the center controller.
+    Stats,
+    /// Lifecycle/control command from a controller.
+    Control,
+    /// Benchmark payload used by the dummy DRL algorithm (§5.1).
+    Dummy,
+}
+
+static NEXT_MESSAGE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Routing metadata attached to every message.
+///
+/// Headers travel through the header queue of the send buffer, the shared
+/// communicator queue, the per-destination ID queues, and the receive buffer;
+/// the body itself stays in the object store until the final hop.
+#[derive(Debug, Clone)]
+pub struct Header {
+    /// Globally unique message identifier.
+    pub id: u64,
+    /// Producing process.
+    pub src: ProcessId,
+    /// Consuming processes. Rollouts have one destination (the learner);
+    /// parameter broadcasts list every target explorer.
+    pub dst: Vec<ProcessId>,
+    /// Payload kind.
+    pub kind: MessageKind,
+    /// Object-store id of the body, attached by the sender thread once the body
+    /// has been inserted into the shared-memory communicator. `None` while the
+    /// message is still inside the producing process.
+    pub object_id: Option<u64>,
+    /// Uncompressed body length in bytes.
+    pub len: usize,
+    /// Whether the stored body is LZ4-compressed.
+    pub compressed: bool,
+    /// Per-sender sequence number (used by on-policy algorithms to match
+    /// rollout versions with parameter versions).
+    pub seq: u64,
+    /// Version of the DNN parameters that produced (or constitutes) this body.
+    pub param_version: u64,
+    /// When the producing workhorse thread created the message. Used to derive
+    /// the transmission-latency distributions of Figs. 8–10.
+    pub created_at: Instant,
+}
+
+impl Header {
+    /// Creates a header with a fresh globally unique id.
+    pub fn new(src: ProcessId, dst: Vec<ProcessId>, kind: MessageKind) -> Self {
+        Header {
+            id: NEXT_MESSAGE_ID.fetch_add(1, Ordering::Relaxed),
+            src,
+            dst,
+            kind,
+            object_id: None,
+            len: 0,
+            compressed: false,
+            seq: 0,
+            param_version: 0,
+            created_at: Instant::now(),
+        }
+    }
+
+    /// Sets the per-sender sequence number (builder style).
+    pub fn with_seq(mut self, seq: u64) -> Self {
+        self.seq = seq;
+        self
+    }
+
+    /// Sets the parameter version (builder style).
+    pub fn with_param_version(mut self, version: u64) -> Self {
+        self.param_version = version;
+        self
+    }
+
+    /// True if `pid` is among the destinations.
+    pub fn targets(&self, pid: ProcessId) -> bool {
+        self.dst.contains(&pid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_ids_are_unique() {
+        let a = Header::new(ProcessId::explorer(0), vec![ProcessId::learner(0)], MessageKind::Rollout);
+        let b = Header::new(ProcessId::explorer(0), vec![ProcessId::learner(0)], MessageKind::Rollout);
+        assert_ne!(a.id, b.id);
+    }
+
+    #[test]
+    fn targets_checks_destinations() {
+        let h = Header::new(
+            ProcessId::learner(0),
+            vec![ProcessId::explorer(0), ProcessId::explorer(2)],
+            MessageKind::Parameters,
+        );
+        assert!(h.targets(ProcessId::explorer(0)));
+        assert!(h.targets(ProcessId::explorer(2)));
+        assert!(!h.targets(ProcessId::explorer(1)));
+        assert!(!h.targets(ProcessId::learner(0)));
+    }
+
+    #[test]
+    fn process_id_display_is_stable() {
+        assert_eq!(ProcessId::explorer(3).to_string(), "explorer-3");
+        assert_eq!(ProcessId::learner(0).to_string(), "learner-0");
+    }
+
+    #[test]
+    fn builder_setters_apply() {
+        let h = Header::new(ProcessId::explorer(1), vec![ProcessId::learner(0)], MessageKind::Rollout)
+            .with_seq(9)
+            .with_param_version(4);
+        assert_eq!(h.seq, 9);
+        assert_eq!(h.param_version, 4);
+    }
+}

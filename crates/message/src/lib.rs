@@ -1,0 +1,111 @@
+//! Message model, binary codec, and LZ4 compression for the XingTian DRL framework.
+//!
+//! XingTian (Middleware '22) moves data between *explorer* and *learner* processes
+//! through an asynchronous communication channel. Every unit of transfer is a
+//! [`Message`]: a lightweight [`Header`] carrying routing metadata plus an opaque
+//! [`Body`] of bytes (serialized rollouts or DNN parameters).
+//!
+//! This crate provides the three substrate pieces the channel needs:
+//!
+//! * [`header`] / [`message`] — the message model (source, destinations, kind,
+//!   object id, sequence numbers, timing probes).
+//! * [`codec`] — a compact self-describing binary encoding ([`codec::Encode`] /
+//!   [`codec::Decode`]) used to serialize rollout batches and parameter blobs.
+//!   The paper uses Python pickle; we use an explicit, versioned format instead.
+//! * [`lz4`] — a from-scratch LZ4 block compressor/decompressor. The paper
+//!   compresses bodies larger than 1 MiB with LZ4 by default (§4.1); so do we.
+//!
+//! # Examples
+//!
+//! ```
+//! use xingtian_message::{Header, Message, MessageKind, ProcessId};
+//! use bytes::Bytes;
+//!
+//! let header = Header::new(ProcessId::explorer(0), vec![ProcessId::learner(0)],
+//!                          MessageKind::Rollout);
+//! let msg = Message::new(header, Bytes::from(vec![0u8; 128]));
+//! assert_eq!(msg.body.len(), 128);
+//! ```
+
+pub mod codec;
+pub mod header;
+pub mod lz4;
+pub mod message;
+
+pub use header::{Header, MessageKind, ProcessId, ProcessRole};
+pub use message::{Body, Message, COMPRESSION_THRESHOLD};
+
+use bytes::Bytes;
+
+/// Compress `body` with LZ4 if it exceeds `threshold` bytes.
+///
+/// Returns the (possibly compressed) body and a flag indicating whether
+/// compression was applied. Mirrors the paper's default policy of compressing
+/// message bodies larger than 1 MiB when they enter the shared-memory object
+/// store (§4.1).
+pub fn compress_body_with_threshold(body: Bytes, threshold: usize) -> (Bytes, bool) {
+    if body.len() > threshold {
+        let compressed = lz4::compress(&body);
+        // Only keep the compressed form if it actually saved space; incompressible
+        // payloads (already-compressed or random data) are sent verbatim.
+        if compressed.len() < body.len() {
+            return (Bytes::from(compressed), true);
+        }
+    }
+    (body, false)
+}
+
+/// Compress `body` with the paper's default 1 MiB threshold.
+pub fn compress_body(body: Bytes) -> (Bytes, bool) {
+    compress_body_with_threshold(body, COMPRESSION_THRESHOLD)
+}
+
+/// Decompress a body previously produced by [`compress_body`].
+///
+/// # Errors
+///
+/// Returns [`lz4::Lz4Error`] if the compressed stream is malformed.
+pub fn decompress_body(body: &Bytes) -> Result<Bytes, lz4::Lz4Error> {
+    lz4::decompress(body).map(Bytes::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compress_small_body_is_identity() {
+        let body = Bytes::from(vec![7u8; 64]);
+        let (out, compressed) = compress_body(body.clone());
+        assert!(!compressed);
+        assert_eq!(out, body);
+    }
+
+    #[test]
+    fn compress_large_body_round_trips() {
+        let body = Bytes::from(vec![42u8; 2 * 1024 * 1024]);
+        let (out, compressed) = compress_body(body.clone());
+        assert!(compressed);
+        assert!(out.len() < body.len());
+        let restored = decompress_body(&out).unwrap();
+        assert_eq!(restored, body);
+    }
+
+    #[test]
+    fn incompressible_body_is_left_alone() {
+        // A pseudo-random payload larger than the threshold should be kept verbatim.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let body: Vec<u8> = (0..2 * 1024 * 1024)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state & 0xff) as u8
+            })
+            .collect();
+        let body = Bytes::from(body);
+        let (out, compressed) = compress_body(body.clone());
+        assert!(!compressed);
+        assert_eq!(out, body);
+    }
+}

@@ -1,0 +1,309 @@
+//! From-scratch LZ4 block compression.
+//!
+//! The paper compresses message bodies larger than 1 MiB with LZ4 before they
+//! enter the shared-memory object store (§4.1). No third-party compression
+//! crate is used; this module implements the LZ4 *block* format directly:
+//!
+//! * a greedy hash-table matcher (16-bit hash of 4-byte windows),
+//! * sequences of `token | literals | 2-byte LE offset | extended match length`,
+//! * the standard end-of-block restrictions (final sequence is literal-only,
+//!   matches never extend into the last five bytes).
+//!
+//! The output of [`compress`] is a valid LZ4 block decodable by any conformant
+//! decoder, and [`decompress`] decodes any valid block (overlapping matches
+//! included).
+
+use std::fmt;
+
+/// Minimum match length encodable by the LZ4 block format.
+const MIN_MATCH: usize = 4;
+/// Matches may not extend into the final `LAST_LITERALS` bytes of the input.
+const LAST_LITERALS: usize = 5;
+/// The last match must start at least this many bytes before the end.
+const MF_LIMIT: usize = 12;
+/// Maximum back-reference distance (2-byte offset).
+const MAX_DISTANCE: usize = 65_535;
+
+/// Error produced when decompressing a malformed LZ4 block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lz4Error {
+    /// The compressed stream ended in the middle of a sequence.
+    Truncated,
+    /// A match offset was zero or pointed before the start of the output.
+    InvalidOffset { offset: usize, decoded: usize },
+}
+
+impl fmt::Display for Lz4Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lz4Error::Truncated => write!(f, "compressed stream ended mid-sequence"),
+            Lz4Error::InvalidOffset { offset, decoded } => {
+                write!(f, "match offset {offset} invalid with {decoded} bytes decoded")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Lz4Error {}
+
+#[inline]
+fn hash(v: u32) -> usize {
+    ((v.wrapping_mul(2_654_435_761) >> 16) & 0xffff) as usize
+}
+
+#[inline]
+fn read_u32(buf: &[u8], i: usize) -> u32 {
+    u32::from_le_bytes(buf[i..i + 4].try_into().expect("read_u32 in bounds"))
+}
+
+fn write_length(out: &mut Vec<u8>, mut len: usize) {
+    while len >= 255 {
+        out.push(255);
+        len -= 255;
+    }
+    out.push(len as u8);
+}
+
+fn emit_sequence(out: &mut Vec<u8>, literals: &[u8], offset: usize, match_len: usize) {
+    debug_assert!(offset > 0 && offset <= MAX_DISTANCE);
+    debug_assert!(match_len >= MIN_MATCH);
+    let lit_len = literals.len();
+    let ml_code = match_len - MIN_MATCH;
+    let token = ((lit_len.min(15) as u8) << 4) | (ml_code.min(15) as u8);
+    out.push(token);
+    if lit_len >= 15 {
+        write_length(out, lit_len - 15);
+    }
+    out.extend_from_slice(literals);
+    out.extend_from_slice(&(offset as u16).to_le_bytes());
+    if ml_code >= 15 {
+        write_length(out, ml_code - 15);
+    }
+}
+
+fn emit_final_literals(out: &mut Vec<u8>, literals: &[u8]) {
+    let lit_len = literals.len();
+    let token = (lit_len.min(15) as u8) << 4;
+    out.push(token);
+    if lit_len >= 15 {
+        write_length(out, lit_len - 15);
+    }
+    out.extend_from_slice(literals);
+}
+
+/// Compresses `input` into an LZ4 block.
+///
+/// The empty input compresses to a single zero token byte. The output is not
+/// guaranteed to be smaller than the input (e.g. for random data); callers that
+/// care should compare lengths, as [`crate::compress_body`] does.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let len = input.len();
+    let mut out = Vec::with_capacity(len / 2 + 16);
+    if len < MF_LIMIT {
+        emit_final_literals(&mut out, input);
+        return out;
+    }
+
+    // Hash table stores candidate position + 1 (0 = empty).
+    let mut table = vec![0u32; 1 << 16];
+    let mut anchor = 0usize;
+    let mut i = 0usize;
+    let match_limit = len - LAST_LITERALS;
+    // The last match must begin before `len - MF_LIMIT + 1`.
+    let search_end = len - MF_LIMIT + 1;
+
+    while i < search_end {
+        let h = hash(read_u32(input, i));
+        let candidate = table[h] as usize;
+        table[h] = (i + 1) as u32;
+        if candidate != 0 {
+            let cand = candidate - 1;
+            if i - cand <= MAX_DISTANCE && read_u32(input, cand) == read_u32(input, i) {
+                // Extend the match forward, but never into the last literals.
+                let mut ml = MIN_MATCH;
+                while i + ml < match_limit && input[cand + ml] == input[i + ml] {
+                    ml += 1;
+                }
+                emit_sequence(&mut out, &input[anchor..i], i - cand, ml);
+                i += ml;
+                anchor = i;
+                continue;
+            }
+        }
+        i += 1;
+    }
+
+    emit_final_literals(&mut out, &input[anchor..]);
+    out
+}
+
+fn read_length(input: &[u8], pos: &mut usize, base: usize) -> Result<usize, Lz4Error> {
+    let mut len = base;
+    if base == 15 {
+        loop {
+            let b = *input.get(*pos).ok_or(Lz4Error::Truncated)?;
+            *pos += 1;
+            len += b as usize;
+            if b != 255 {
+                break;
+            }
+        }
+    }
+    Ok(len)
+}
+
+/// Decompresses an LZ4 block produced by [`compress`] (or any conformant encoder).
+///
+/// # Errors
+///
+/// Returns [`Lz4Error`] when the stream is truncated or a match offset points
+/// outside the already-decoded output.
+pub fn decompress(input: &[u8]) -> Result<Vec<u8>, Lz4Error> {
+    let mut out = Vec::with_capacity(input.len() * 3);
+    let mut pos = 0usize;
+    if input.is_empty() {
+        return Err(Lz4Error::Truncated);
+    }
+    loop {
+        let token = *input.get(pos).ok_or(Lz4Error::Truncated)?;
+        pos += 1;
+        let lit_len = read_length(input, &mut pos, (token >> 4) as usize)?;
+        if pos + lit_len > input.len() {
+            return Err(Lz4Error::Truncated);
+        }
+        out.extend_from_slice(&input[pos..pos + lit_len]);
+        pos += lit_len;
+        if pos == input.len() {
+            // Final sequence carries literals only.
+            return Ok(out);
+        }
+        if pos + 2 > input.len() {
+            return Err(Lz4Error::Truncated);
+        }
+        let offset =
+            u16::from_le_bytes(input[pos..pos + 2].try_into().expect("2 bytes")) as usize;
+        pos += 2;
+        if offset == 0 || offset > out.len() {
+            return Err(Lz4Error::InvalidOffset { offset, decoded: out.len() });
+        }
+        let match_len = MIN_MATCH + read_length(input, &mut pos, (token & 0x0f) as usize)?;
+        // Byte-wise copy: offsets smaller than the match length replicate the
+        // most recent bytes (run-length style), so we cannot memcpy blindly.
+        let start = out.len() - offset;
+        for k in 0..match_len {
+            let b = out[start + k];
+            out.push(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) {
+        let c = compress(data);
+        let d = decompress(&c).unwrap();
+        assert_eq!(d, data, "round trip failed for len {}", data.len());
+    }
+
+    #[test]
+    fn empty_round_trips() {
+        round_trip(&[]);
+    }
+
+    #[test]
+    fn tiny_inputs_round_trip() {
+        for n in 0..MF_LIMIT + 4 {
+            round_trip(&vec![b'a'; n]);
+        }
+    }
+
+    #[test]
+    fn repetitive_input_compresses_well() {
+        let data = vec![0xabu8; 100_000];
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 100, "compressed {} of {}", c.len(), data.len());
+        round_trip(&data);
+    }
+
+    #[test]
+    fn text_like_input_round_trips() {
+        let data: Vec<u8> = b"the quick brown fox jumps over the lazy dog "
+            .iter()
+            .copied()
+            .cycle()
+            .take(10_000)
+            .collect();
+        let c = compress(&data);
+        assert!(c.len() < data.len());
+        round_trip(&data);
+    }
+
+    #[test]
+    fn pseudo_random_input_round_trips() {
+        let mut state = 1u64;
+        let data: Vec<u8> = (0..65_537)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 33) as u8
+            })
+            .collect();
+        round_trip(&data);
+    }
+
+    #[test]
+    fn overlapping_match_decodes() {
+        // "abcabcabc..." exercises offset < match_len (overlap copy).
+        let data: Vec<u8> = b"abc".iter().copied().cycle().take(1000).collect();
+        round_trip(&data);
+    }
+
+    #[test]
+    fn long_distance_matches_round_trip() {
+        // Two identical 8 KiB chunks separated by 60 KiB of filler sit just
+        // inside the 64 KiB window.
+        let chunk: Vec<u8> = (0..8192u32).map(|i| (i % 251) as u8).collect();
+        let mut data = chunk.clone();
+        data.extend(std::iter::repeat_n(0u8, 50_000));
+        data.extend_from_slice(&chunk);
+        round_trip(&data);
+    }
+
+    #[test]
+    fn decompress_rejects_empty() {
+        assert_eq!(decompress(&[]), Err(Lz4Error::Truncated));
+    }
+
+    #[test]
+    fn decompress_rejects_bad_offset() {
+        // Token: 1 literal, match follows; offset 5 with only 1 byte decoded.
+        let bad = [0x10u8, b'x', 5, 0, 0];
+        assert!(matches!(decompress(&bad), Err(Lz4Error::InvalidOffset { .. })));
+    }
+
+    #[test]
+    fn decompress_rejects_truncated_literals() {
+        // Token declares 10 literals but only 2 follow.
+        let bad = [0xa0u8, b'x', b'y'];
+        assert_eq!(decompress(&bad), Err(Lz4Error::Truncated));
+    }
+
+    #[test]
+    fn decompress_rejects_zero_offset() {
+        let bad = [0x10u8, b'x', 0, 0, 0];
+        assert!(matches!(decompress(&bad), Err(Lz4Error::InvalidOffset { offset: 0, .. })));
+    }
+
+    #[test]
+    fn rollout_like_payload_round_trips() {
+        // f32 payloads with small dynamic range, as produced by the codec.
+        let mut data = Vec::new();
+        for i in 0..30_000u32 {
+            data.extend_from_slice(&((i % 17) as f32 * 0.25).to_le_bytes());
+        }
+        let c = compress(&data);
+        assert!(c.len() < data.len());
+        round_trip(&data);
+    }
+}

@@ -1,0 +1,122 @@
+//! Real-time and virtual-time clocks.
+//!
+//! In real-time mode the simulator blocks calling threads with `thread::sleep`
+//! so wall-clock measurements reflect modeled network costs. In virtual mode
+//! (used by deterministic unit tests) "now" is a monotonically advancing
+//! counter and waiting merely advances it — no thread ever sleeps.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Selects how a [`Clock`] passes time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockMode {
+    /// Waiting blocks the calling thread (`thread::sleep`).
+    RealTime,
+    /// Waiting advances a virtual counter; nothing blocks. Single-threaded
+    /// determinism for unit tests.
+    Virtual,
+}
+
+#[derive(Debug)]
+struct Inner {
+    mode: ClockMode,
+    /// Virtual nanoseconds since clock creation (virtual mode only).
+    virtual_now: Mutex<u64>,
+    epoch: std::time::Instant,
+}
+
+/// A clock shared by every NIC of a cluster.
+#[derive(Debug, Clone)]
+pub struct Clock {
+    inner: Arc<Inner>,
+}
+
+impl Clock {
+    /// Creates a clock in the given mode.
+    pub fn new(mode: ClockMode) -> Self {
+        Clock {
+            inner: Arc::new(Inner {
+                mode,
+                virtual_now: Mutex::new(0),
+                epoch: std::time::Instant::now(),
+            }),
+        }
+    }
+
+    /// The clock's mode.
+    pub fn mode(&self) -> ClockMode {
+        self.inner.mode
+    }
+
+    /// Nanoseconds since the clock was created.
+    pub fn now_nanos(&self) -> u64 {
+        match self.inner.mode {
+            ClockMode::RealTime => self.inner.epoch.elapsed().as_nanos() as u64,
+            ClockMode::Virtual => *self.inner.virtual_now.lock(),
+        }
+    }
+
+    /// Blocks (real mode) or advances virtual time (virtual mode) until
+    /// `deadline_nanos` on this clock's timeline.
+    pub fn wait_until(&self, deadline_nanos: u64) {
+        match self.inner.mode {
+            ClockMode::RealTime => {
+                let now = self.now_nanos();
+                if deadline_nanos > now {
+                    std::thread::sleep(Duration::from_nanos(deadline_nanos - now));
+                }
+            }
+            ClockMode::Virtual => {
+                let mut now = self.inner.virtual_now.lock();
+                if deadline_nanos > *now {
+                    *now = deadline_nanos;
+                }
+            }
+        }
+    }
+
+    /// Convenience: waits for `d` from now.
+    pub fn wait(&self, d: Duration) {
+        let deadline = self.now_nanos().saturating_add(d.as_nanos() as u64);
+        self.wait_until(deadline);
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Clock::new(ClockMode::RealTime)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_advances_without_blocking() {
+        let c = Clock::new(ClockMode::Virtual);
+        assert_eq!(c.now_nanos(), 0);
+        let t0 = std::time::Instant::now();
+        c.wait(Duration::from_secs(3600));
+        assert!(t0.elapsed() < Duration::from_millis(100), "virtual wait must not sleep");
+        assert_eq!(c.now_nanos(), 3600 * 1_000_000_000);
+    }
+
+    #[test]
+    fn virtual_wait_until_is_monotonic() {
+        let c = Clock::new(ClockMode::Virtual);
+        c.wait_until(100);
+        c.wait_until(50); // must not move backwards
+        assert_eq!(c.now_nanos(), 100);
+    }
+
+    #[test]
+    fn real_clock_waits_approximately() {
+        let c = Clock::new(ClockMode::RealTime);
+        let t0 = std::time::Instant::now();
+        c.wait(Duration::from_millis(20));
+        assert!(t0.elapsed() >= Duration::from_millis(18));
+    }
+}

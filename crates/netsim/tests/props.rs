@@ -1,0 +1,86 @@
+//! Property-based tests of the cluster simulator (virtual time, so they run
+//! in microseconds regardless of the modeled durations).
+
+use netsim::{Cluster, ClusterSpec};
+use proptest::prelude::*;
+
+fn virtual_cluster(machines: usize, bw: f64, latency: f64) -> Cluster {
+    Cluster::new(
+        ClusterSpec::default()
+            .machines(machines)
+            .nic_bandwidth(bw)
+            .latency_secs(latency)
+            .virtual_time(true),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transfers_never_exceed_nic_bandwidth(
+        sizes in proptest::collection::vec(1usize..2_000_000, 1..20),
+        bw in 1e5f64..1e9,
+    ) {
+        let cluster = virtual_cluster(2, bw, 0.0);
+        let total: usize = sizes.iter().sum();
+        let mut last_end = 0u64;
+        for size in sizes {
+            let r = cluster.transfer(0, 1, size);
+            prop_assert!(r.end_nanos >= r.start_nanos);
+            prop_assert!(r.end_nanos >= last_end, "NIC serializes transfers");
+            last_end = r.end_nanos;
+        }
+        // Total elapsed must be at least total/bw (the physical lower bound).
+        let min_nanos = (total as f64 / bw * 1e9) as u64;
+        prop_assert!(last_end + 1 >= min_nanos, "elapsed {last_end} < physical bound {min_nanos}");
+    }
+
+    #[test]
+    fn intra_machine_is_always_free(size in 0usize..10_000_000, machines in 1usize..4) {
+        let cluster = virtual_cluster(machines, 1e6, 0.01);
+        let r = cluster.transfer(0, 0, size);
+        prop_assert_eq!(r.duration.as_nanos(), 0);
+    }
+
+    #[test]
+    fn latency_adds_exactly_once(size in 1usize..100_000, latency_ms in 1u64..50) {
+        let latency = latency_ms as f64 / 1e3;
+        let cluster = virtual_cluster(2, 1e9, latency);
+        let r = cluster.transfer(0, 1, size);
+        let expected_min = (latency * 1e9) as u64;
+        let bytes_nanos = (size as f64 / 1e9 * 1e9).ceil() as u64;
+        prop_assert!(r.duration.as_nanos() as u64 >= expected_min);
+        prop_assert!(
+            (r.duration.as_nanos() as u64) <= expected_min + 2 * bytes_nanos + 1000,
+            "latency should not compound: {:?}",
+            r.duration
+        );
+    }
+
+    #[test]
+    fn distinct_machine_pairs_do_not_interfere(size in 1usize..1_000_000) {
+        // 0→1 and 2→3 share no NIC; their transfers overlap fully in time.
+        let cluster = virtual_cluster(4, 1e6, 0.0);
+        let r1 = cluster.transfer(0, 1, size);
+        // Reset the virtual clock's notion of "now" is impossible, so compare
+        // durations instead: the second pair takes the same time even though
+        // the first pair just ran.
+        let r2 = cluster.transfer(2, 3, size);
+        let d1 = r1.end_nanos - r1.start_nanos;
+        let d2 = r2.end_nanos - r2.start_nanos;
+        prop_assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn stats_account_every_byte(sizes in proptest::collection::vec(1usize..100_000, 1..16)) {
+        let cluster = virtual_cluster(2, 1e8, 0.0);
+        let total: usize = sizes.iter().sum();
+        for size in &sizes {
+            cluster.transfer(0, 1, *size);
+        }
+        prop_assert_eq!(cluster.machine(0).tx().stats().bytes(), total as u64);
+        prop_assert_eq!(cluster.machine(1).rx().stats().bytes(), total as u64);
+        prop_assert_eq!(cluster.machine(0).tx().stats().transfers(), sizes.len() as u64);
+    }
+}

@@ -1,0 +1,39 @@
+//! Minimal dense neural-network substrate.
+//!
+//! The paper trains its policy/value networks with TensorFlow or PyTorch; this
+//! reproduction needs real (non-stubbed) DNN computation so that training time
+//! is genuine and the communication-computation overlap measured by the
+//! benchmarks is honest. `tinynn` provides exactly what the DRL algorithms in
+//! this repository need and nothing more:
+//!
+//! * [`tensor::Matrix`] — row-major 2-D `f32` tensors with the usual ops,
+//! * [`mlp::Mlp`] — multi-layer perceptrons with ReLU/Tanh hidden layers,
+//!   explicit forward/backward passes, and flat parameter (de)serialization
+//!   for parameter-broadcast messages,
+//! * [`optim`] — SGD (with momentum) and Adam,
+//! * [`ops`] — softmax/log-softmax/entropy and related numerics.
+//!
+//! Gradients are verified against finite differences in the test suite.
+//!
+//! # Examples
+//!
+//! ```
+//! use tinynn::{Mlp, Activation, Matrix, optim::Adam};
+//!
+//! // A 4 -> 32 -> 2 network, e.g. a CartPole policy head.
+//! let mut net = Mlp::new(&[4, 32, 2], Activation::Tanh, 7);
+//! let x = Matrix::zeros(1, 4);
+//! let out = net.forward(&x);
+//! assert_eq!(out.shape(), (1, 2));
+//! let mut opt = Adam::new(net.num_params(), 1e-3);
+//! let grads = net.backward(&x, &Matrix::ones(1, 2));
+//! opt.step(net.params_mut(), &grads);
+//! ```
+
+pub mod mlp;
+pub mod ops;
+pub mod optim;
+pub mod tensor;
+
+pub use mlp::{Activation, Mlp};
+pub use tensor::Matrix;

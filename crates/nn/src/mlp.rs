@@ -1,0 +1,351 @@
+//! Multi-layer perceptrons with explicit forward/backward passes.
+//!
+//! All parameters live in one flat `Vec<f32>`, which makes three things
+//! trivial: optimizer updates (`step` works on flat slices), parameter
+//! broadcast (the learner serializes `params()` straight into a message
+//! body), and hot-swapping weights on explorers (`set_params`).
+
+use crate::tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Hidden-layer activation function. Output layers are always linear; the
+/// algorithms apply softmax or other heads themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    fn apply(self, v: f32) -> f32 {
+        match self {
+            Activation::Relu => v.max(0.0),
+            Activation::Tanh => v.tanh(),
+        }
+    }
+
+    /// Derivative expressed in terms of the *activated* output `a`.
+    fn grad_from_output(self, a: f32) -> f32 {
+        match self {
+            Activation::Relu => {
+                if a > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => 1.0 - a * a,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LayerLayout {
+    input: usize,
+    output: usize,
+    w_off: usize,
+    b_off: usize,
+}
+
+/// A fully-connected network: `sizes[0] -> sizes[1] -> ... -> sizes.last()`.
+///
+/// Hidden layers use the configured [`Activation`]; the output layer is
+/// linear.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    sizes: Vec<usize>,
+    activation: Activation,
+    layout: Vec<LayerLayout>,
+    params: Vec<f32>,
+}
+
+/// Intermediate activations retained by [`Mlp::forward_cached`] for use in
+/// [`Mlp::backward_cached`].
+#[derive(Debug, Clone)]
+pub struct ForwardCache {
+    /// Activated output of every layer, `activations[i]` being the output of
+    /// layer `i` (the last entry is the network output).
+    activations: Vec<Matrix>,
+}
+
+impl Mlp {
+    /// Builds a network with Xavier-uniform initialization from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given or any size is zero.
+    pub fn new(sizes: &[usize], activation: Activation, seed: u64) -> Self {
+        assert!(sizes.len() >= 2, "an MLP needs at least an input and an output size");
+        assert!(sizes.iter().all(|&s| s > 0), "layer sizes must be positive");
+        let mut layout = Vec::with_capacity(sizes.len() - 1);
+        let mut off = 0usize;
+        for w in sizes.windows(2) {
+            let (input, output) = (w[0], w[1]);
+            layout.push(LayerLayout { input, output, w_off: off, b_off: off + input * output });
+            off += input * output + output;
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut params = vec![0.0f32; off];
+        for l in &layout {
+            let scale = (6.0 / (l.input + l.output) as f32).sqrt();
+            for p in &mut params[l.w_off..l.w_off + l.input * l.output] {
+                *p = rng.gen_range(-scale..=scale);
+            }
+            // Biases start at zero.
+        }
+        Mlp { sizes: sizes.to_vec(), activation, layout, params }
+    }
+
+    /// The layer sizes this network was built with.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Input feature count.
+    pub fn input_dim(&self) -> usize {
+        self.sizes[0]
+    }
+
+    /// Output feature count.
+    pub fn output_dim(&self) -> usize {
+        *self.sizes.last().expect("at least two sizes")
+    }
+
+    /// Total number of parameters.
+    pub fn num_params(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Flat parameter vector (weights then biases, layer by layer).
+    pub fn params(&self) -> &[f32] {
+        &self.params
+    }
+
+    /// Mutable flat parameter vector, for optimizers.
+    pub fn params_mut(&mut self) -> &mut [f32] {
+        &mut self.params
+    }
+
+    /// Replaces all parameters (e.g. applying a learner broadcast).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len() != self.num_params()`.
+    pub fn set_params(&mut self, params: &[f32]) {
+        assert_eq!(params.len(), self.params.len(), "parameter count mismatch");
+        self.params.copy_from_slice(params);
+    }
+
+    fn layer_forward(&self, l: &LayerLayout, x: &Matrix, activate: bool) -> Matrix {
+        let bs = x.rows();
+        let mut y = Matrix::zeros(bs, l.output);
+        let w = &self.params[l.w_off..l.w_off + l.input * l.output];
+        let b = &self.params[l.b_off..l.b_off + l.output];
+        let xd = x.as_slice();
+        let yd = y.as_mut_slice();
+        for i in 0..bs {
+            let x_row = i * l.input;
+            let y_row = i * l.output;
+            yd[y_row..y_row + l.output].copy_from_slice(b);
+            for k in 0..l.input {
+                let a = xd[x_row + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let w_row = k * l.output;
+                for j in 0..l.output {
+                    yd[y_row + j] += a * w[w_row + j];
+                }
+            }
+        }
+        if activate {
+            for v in y.as_mut_slice() {
+                *v = self.activation.apply(*v);
+            }
+        }
+        y
+    }
+
+    /// Inference pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.input_dim()`.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        self.forward_cached(x).0
+    }
+
+    /// Forward pass retaining per-layer activations for a later backward pass.
+    pub fn forward_cached(&self, x: &Matrix) -> (Matrix, ForwardCache) {
+        assert_eq!(x.cols(), self.input_dim(), "input width mismatch");
+        let mut activations = Vec::with_capacity(self.layout.len());
+        let mut cur = x.clone();
+        for (idx, l) in self.layout.iter().enumerate() {
+            let is_last = idx == self.layout.len() - 1;
+            cur = self.layer_forward(l, &cur, !is_last);
+            activations.push(cur.clone());
+        }
+        (cur, ForwardCache { activations })
+    }
+
+    /// Backpropagates `dout` (gradient of the loss w.r.t. the network output)
+    /// through the cached pass, returning flat parameter gradients aligned
+    /// with [`Mlp::params`].
+    pub fn backward_cached(&self, x: &Matrix, cache: &ForwardCache, dout: &Matrix) -> Vec<f32> {
+        assert_eq!(dout.shape(), (x.rows(), self.output_dim()), "dout shape mismatch");
+        let mut grads = vec![0.0f32; self.params.len()];
+        let mut delta = dout.clone();
+        for (idx, l) in self.layout.iter().enumerate().rev() {
+            // delta currently holds dL/dz for this layer's pre-activation
+            // EXCEPT for hidden layers, where it holds dL/da and must be
+            // multiplied by the activation derivative first.
+            if idx != self.layout.len() - 1 {
+                let a = &cache.activations[idx];
+                for (d, &av) in delta.as_mut_slice().iter_mut().zip(a.as_slice()) {
+                    *d *= self.activation.grad_from_output(av);
+                }
+            }
+            let input: &Matrix = if idx == 0 { x } else { &cache.activations[idx - 1] };
+            // dW = inputᵀ × delta
+            let dw = input.t_matmul(&delta);
+            grads[l.w_off..l.w_off + l.input * l.output].copy_from_slice(dw.as_slice());
+            // db = column sums of delta
+            let db = delta.col_sums();
+            grads[l.b_off..l.b_off + l.output].copy_from_slice(&db);
+            if idx > 0 {
+                // dX = delta × Wᵀ
+                let w = Matrix::from_vec(
+                    l.input,
+                    l.output,
+                    self.params[l.w_off..l.w_off + l.input * l.output].to_vec(),
+                );
+                delta = delta.matmul_t(&w);
+            }
+        }
+        grads
+    }
+
+    /// Convenience: forward + backward in one call.
+    pub fn backward(&self, x: &Matrix, dout: &Matrix) -> Vec<f32> {
+        let (_, cache) = self.forward_cached(x);
+        self.backward_cached(x, &cache, dout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff_check(activation: Activation) {
+        let mut net = Mlp::new(&[3, 5, 2], activation, 42);
+        let x = Matrix::from_vec(2, 3, vec![0.5, -0.2, 0.1, -0.7, 0.3, 0.9]);
+        // Loss = sum of outputs, so dL/dout = ones.
+        let dout = Matrix::ones(2, 2);
+        let grads = net.backward(&x, &dout);
+        let eps = 1e-3f32;
+        for i in (0..net.num_params()).step_by(7) {
+            let orig = net.params()[i];
+            net.params_mut()[i] = orig + eps;
+            let up: f32 = net.forward(&x).as_slice().iter().sum();
+            net.params_mut()[i] = orig - eps;
+            let down: f32 = net.forward(&x).as_slice().iter().sum();
+            net.params_mut()[i] = orig;
+            let numeric = (up - down) / (2.0 * eps);
+            assert!(
+                (numeric - grads[i]).abs() < 2e-2,
+                "param {i}: numeric {numeric} vs analytic {}",
+                grads[i]
+            );
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_differences_tanh() {
+        finite_diff_check(Activation::Tanh);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences_relu() {
+        finite_diff_check(Activation::Relu);
+    }
+
+    #[test]
+    fn params_round_trip() {
+        let net = Mlp::new(&[4, 8, 2], Activation::Relu, 1);
+        let mut other = Mlp::new(&[4, 8, 2], Activation::Relu, 2);
+        assert_ne!(net.params(), other.params());
+        other.set_params(net.params());
+        assert_eq!(net.params(), other.params());
+        let x = Matrix::ones(1, 4);
+        assert_eq!(net.forward(&x), other.forward(&x));
+    }
+
+    #[test]
+    fn output_shape_and_determinism() {
+        let net = Mlp::new(&[4, 16, 16, 3], Activation::Tanh, 9);
+        let x = Matrix::ones(5, 4);
+        let y1 = net.forward(&x);
+        let y2 = net.forward(&x);
+        assert_eq!(y1.shape(), (5, 3));
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn same_seed_same_network() {
+        let a = Mlp::new(&[2, 4, 1], Activation::Relu, 77);
+        let b = Mlp::new(&[2, 4, 1], Activation::Relu, 77);
+        assert_eq!(a.params(), b.params());
+    }
+
+    #[test]
+    fn training_reduces_loss_on_regression() {
+        use crate::ops::mse;
+        use crate::optim::Adam;
+        // Fit y = [x0 + x1, x0 - x1] on random points.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = Mlp::new(&[2, 32, 2], Activation::Tanh, 5);
+        let mut opt = Adam::new(net.num_params(), 1e-2);
+        let mut first_loss = None;
+        let mut last_loss = 0.0;
+        for _ in 0..300 {
+            let xs: Vec<f32> = (0..16).flat_map(|_| {
+                let a: f32 = rng.gen_range(-1.0..1.0);
+                let b: f32 = rng.gen_range(-1.0..1.0);
+                vec![a, b]
+            }).collect();
+            let x = Matrix::from_vec(16, 2, xs);
+            let mut t = Matrix::zeros(16, 2);
+            for r in 0..16 {
+                t.set(r, 0, x.get(r, 0) + x.get(r, 1));
+                t.set(r, 1, x.get(r, 0) - x.get(r, 1));
+            }
+            let (out, cache) = net.forward_cached(&x);
+            let (loss, dout) = mse(&out, &t);
+            let grads = net.backward_cached(&x, &cache, &dout);
+            opt.step(net.params_mut(), &grads);
+            first_loss.get_or_insert(loss);
+            last_loss = loss;
+        }
+        assert!(
+            last_loss < first_loss.unwrap() * 0.1,
+            "loss should drop 10x: {} -> {last_loss}",
+            first_loss.unwrap()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least an input and an output")]
+    fn one_size_rejected() {
+        let _ = Mlp::new(&[4], Activation::Relu, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn wrong_input_width_panics() {
+        let net = Mlp::new(&[4, 2], Activation::Relu, 0);
+        let _ = net.forward(&Matrix::ones(1, 3));
+    }
+}

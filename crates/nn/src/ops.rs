@@ -1,0 +1,166 @@
+//! Numerical helpers shared by the DRL algorithms: softmax family, entropy,
+//! and stable log/exp utilities.
+
+use crate::tensor::Matrix;
+
+/// Numerically stable softmax applied row-wise.
+pub fn softmax(logits: &Matrix) -> Matrix {
+    let mut out = logits.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+/// Numerically stable log-softmax applied row-wise.
+pub fn log_softmax(logits: &Matrix) -> Matrix {
+    let mut out = logits.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let log_sum = row.iter().map(|v| (v - max).exp()).sum::<f32>().ln() + max;
+        for v in row.iter_mut() {
+            *v -= log_sum;
+        }
+    }
+    out
+}
+
+/// Entropy of each row's categorical distribution given its logits.
+pub fn entropy(logits: &Matrix) -> Vec<f32> {
+    let probs = softmax(logits);
+    let logs = log_softmax(logits);
+    (0..logits.rows())
+        .map(|r| {
+            probs
+                .row(r)
+                .iter()
+                .zip(logs.row(r))
+                .map(|(&p, &lp)| if p > 0.0 { -p * lp } else { 0.0 })
+                .sum()
+        })
+        .collect()
+}
+
+/// Mean squared error between predictions and targets, plus the gradient of
+/// the mean w.r.t. predictions.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn mse(pred: &Matrix, target: &Matrix) -> (f32, Matrix) {
+    assert_eq!(pred.shape(), target.shape(), "mse shape mismatch");
+    let n = (pred.rows() * pred.cols()) as f32;
+    let mut grad = Matrix::zeros(pred.rows(), pred.cols());
+    let mut loss = 0.0;
+    for i in 0..pred.as_slice().len() {
+        let d = pred.as_slice()[i] - target.as_slice()[i];
+        loss += d * d;
+        grad.as_mut_slice()[i] = 2.0 * d / n;
+    }
+    (loss / n, grad)
+}
+
+/// Samples an index from a categorical distribution given probabilities.
+///
+/// `u` must be a uniform random number in `[0, 1)`.
+pub fn sample_categorical(probs: &[f32], u: f32) -> usize {
+    let mut acc = 0.0;
+    for (i, &p) in probs.iter().enumerate() {
+        acc += p;
+        if u < acc {
+            return i;
+        }
+    }
+    probs.len() - 1
+}
+
+/// Index of the maximum value (argmax); ties resolve to the first maximum.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn argmax(values: &[f32]) -> usize {
+    assert!(!values.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for (i, &v) in values.iter().enumerate() {
+        if v > values[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let m = Matrix::from_vec(2, 3, vec![1., 2., 3., -1., 0., 1.]);
+        let s = softmax(&m);
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = softmax(&Matrix::from_vec(1, 3, vec![1., 2., 3.]));
+        let b = softmax(&Matrix::from_vec(1, 3, vec![1001., 1002., 1003.]));
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let m = Matrix::from_vec(1, 4, vec![0.5, -1.0, 2.0, 0.0]);
+        let ls = log_softmax(&m);
+        let s = softmax(&m);
+        for (a, b) in ls.as_slice().iter().zip(s.as_slice()) {
+            assert!((a - b.ln()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn entropy_is_max_for_uniform() {
+        let uniform = entropy(&Matrix::from_vec(1, 4, vec![0.0; 4]))[0];
+        let peaked = entropy(&Matrix::from_vec(1, 4, vec![10.0, 0.0, 0.0, 0.0]))[0];
+        assert!((uniform - (4.0f32).ln()).abs() < 1e-5);
+        assert!(peaked < uniform);
+    }
+
+    #[test]
+    fn mse_and_gradient() {
+        let pred = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let target = Matrix::from_vec(1, 2, vec![0.0, 2.0]);
+        let (loss, grad) = mse(&pred, &target);
+        assert!((loss - 0.5).abs() < 1e-6);
+        assert_eq!(grad.as_slice(), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn sample_categorical_boundaries() {
+        let p = [0.25, 0.25, 0.5];
+        assert_eq!(sample_categorical(&p, 0.0), 0);
+        assert_eq!(sample_categorical(&p, 0.3), 1);
+        assert_eq!(sample_categorical(&p, 0.99), 2);
+        assert_eq!(sample_categorical(&p, 1.0), 2, "u at upper bound clamps");
+    }
+
+    #[test]
+    fn argmax_first_max_wins() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), 1);
+    }
+}

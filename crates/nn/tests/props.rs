@@ -1,0 +1,86 @@
+//! Property-based tests of the neural-network substrate.
+
+use proptest::prelude::*;
+use tinynn::optim::{clip_global_norm, Adam, Sgd};
+use tinynn::{Activation, Matrix, Mlp};
+
+fn arb_sizes() -> impl Strategy<Value = Vec<usize>> {
+    (1usize..6, 1usize..8, 1usize..8, 1usize..5)
+        .prop_map(|(i, h1, h2, o)| vec![i, h1, h2, o])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn forward_is_deterministic(sizes in arb_sizes(), seed in any::<u64>()) {
+        let net = Mlp::new(&sizes, Activation::Tanh, seed);
+        let x = Matrix::ones(3, sizes[0]);
+        prop_assert_eq!(net.forward(&x), net.forward(&x));
+    }
+
+    #[test]
+    fn params_round_trip_preserves_behavior(sizes in arb_sizes(), s1 in any::<u64>(), s2 in any::<u64>()) {
+        let a = Mlp::new(&sizes, Activation::Relu, s1);
+        let mut b = Mlp::new(&sizes, Activation::Relu, s2);
+        b.set_params(a.params());
+        let x = Matrix::ones(2, sizes[0]);
+        prop_assert_eq!(a.forward(&x), b.forward(&x));
+    }
+
+    #[test]
+    fn gradient_step_reduces_sum_loss(sizes in arb_sizes(), seed in any::<u64>()) {
+        // Loss = sum of outputs; stepping against the gradient must not
+        // increase it (for a small enough step).
+        let mut net = Mlp::new(&sizes, Activation::Tanh, seed);
+        let x = Matrix::ones(4, sizes[0]);
+        let before: f32 = net.forward(&x).as_slice().iter().sum();
+        let dout = Matrix::ones(4, *sizes.last().unwrap());
+        let grads = net.backward(&x, &dout);
+        let mut opt = Sgd::new(net.num_params(), 1e-4);
+        opt.step(net.params_mut(), &grads);
+        let after: f32 = net.forward(&x).as_slice().iter().sum();
+        prop_assert!(after <= before + 1e-4, "loss rose: {before} -> {after}");
+    }
+
+    #[test]
+    fn adam_steps_stay_finite(seed in any::<u64>(), grads in proptest::collection::vec(-10.0f32..10.0, 16)) {
+        let mut net = Mlp::new(&[4, 2], Activation::Relu, seed);
+        let mut opt = Adam::new(net.num_params(), 1e-2);
+        let mut g = grads;
+        g.resize(net.num_params(), 0.1);
+        for _ in 0..50 {
+            opt.step(net.params_mut(), &g);
+        }
+        prop_assert!(net.params().iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn clip_never_increases_norm(mut grads in proptest::collection::vec(-100.0f32..100.0, 1..64), max in 0.01f32..10.0) {
+        let before = grads.iter().map(|g| g * g).sum::<f32>().sqrt();
+        clip_global_norm(&mut grads, max);
+        let after = grads.iter().map(|g| g * g).sum::<f32>().sqrt();
+        prop_assert!(after <= before + 1e-4);
+        prop_assert!(after <= max + 1e-3);
+    }
+
+    #[test]
+    fn matmul_is_distributive_over_addition(
+        a in proptest::collection::vec(-2.0f32..2.0, 6),
+        b in proptest::collection::vec(-2.0f32..2.0, 6),
+        c in proptest::collection::vec(-2.0f32..2.0, 6),
+    ) {
+        // (A + B) C == AC + BC for 2x3 * 3x2 matrices.
+        let ma = Matrix::from_vec(2, 3, a);
+        let mb = Matrix::from_vec(2, 3, b);
+        let mc = Matrix::from_vec(3, 2, c);
+        let mut sum = ma.clone();
+        sum.add_assign(&mb);
+        let lhs = sum.matmul(&mc);
+        let mut rhs = ma.matmul(&mc);
+        rhs.add_assign(&mb.matmul(&mc));
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Population-based training: searching the learning rate (paper §4.3).
+//!
+//! ```text
+//! cargo run --release --example pbt_search
+//! ```
+//!
+//! Three IMPALA populations train CartPole in isolated broker sets with
+//! different learning rates. After each generation the center scheduler
+//! eliminates the worst population and respawns it with a mutation of the
+//! best population's learning rate — and the best population's weights, so
+//! the newcomer "can catch up with others at the beginning".
+
+use xingtian::config::{AlgorithmSpec, DeploymentConfig};
+use xingtian::pbt::{run_pbt, PbtConfig};
+
+fn main() {
+    let base = DeploymentConfig::cartpole(AlgorithmSpec::impala(), 2)
+        .with_rollout_len(100)
+        .with_max_seconds(120.0);
+    let outcome = run_pbt(PbtConfig {
+        base,
+        initial_lrs: vec![3e-2, 1e-3, 1e-5],
+        generations: 3,
+        steps_per_generation: 15_000,
+        mutation_factors: vec![0.5, 0.8, 1.25, 2.0],
+        seed: 7,
+    });
+
+    for (g, summary) in outcome.history.iter().enumerate() {
+        println!("generation {}:", g + 1);
+        for (slot, p) in summary.populations.iter().enumerate() {
+            let marker = if slot == summary.parent {
+                " <- best"
+            } else if slot == summary.eliminated {
+                " <- eliminated"
+            } else {
+                ""
+            };
+            println!("  pop{slot}: lr {:>9.1e}  return {:>7.1}{marker}", p.lr, p.score);
+        }
+        println!("  respawned with lr {:.1e} and the best population's weights", summary.new_lr);
+    }
+    println!("\nbest learning rate: {:.1e} (return {:.1})", outcome.best_lr, outcome.best_score);
+}

@@ -1,0 +1,184 @@
+//! End-to-end training runs across the full stack: environments → agents →
+//! the asynchronous channel → the learner → parameter broadcast, driven by
+//! the controller to a step goal.
+
+use xingtian::config::{AlgorithmSpec, DeploymentConfig};
+use xingtian::Deployment;
+
+/// Mean CartPole return of a uniform-random policy (measured ≈ 20-25).
+const RANDOM_BASELINE: f32 = 25.0;
+
+fn finish(config: DeploymentConfig) -> xingtian::RunReport {
+    Deployment::run(config).expect("deployment should run to completion")
+}
+
+#[test]
+fn impala_learns_cartpole_end_to_end() {
+    let report = finish(
+        DeploymentConfig::cartpole(AlgorithmSpec::impala(), 2)
+            .with_rollout_len(100)
+            .with_goal_steps(40_000)
+            .with_max_seconds(120.0),
+    );
+    assert!(report.steps_consumed >= 40_000);
+    assert!(report.train_sessions >= 100);
+    let ret = report.final_return(100).expect("episodes completed");
+    assert!(ret > RANDOM_BASELINE, "IMPALA should beat random play, got {ret}");
+}
+
+#[test]
+fn ppo_learns_cartpole_end_to_end() {
+    let report = finish(
+        DeploymentConfig::cartpole(AlgorithmSpec::ppo(), 4)
+            .with_rollout_len(100)
+            .with_goal_steps(40_000)
+            .with_max_seconds(180.0),
+    );
+    assert!(report.steps_consumed >= 40_000);
+    let ret = report.final_return(100).expect("episodes completed");
+    assert!(ret > RANDOM_BASELINE, "PPO should beat random play, got {ret}");
+}
+
+#[test]
+fn dqn_learns_cartpole_end_to_end() {
+    let mut config = DeploymentConfig::cartpole(AlgorithmSpec::dqn(), 1)
+        .with_rollout_len(4)
+        .with_goal_steps(30_000)
+        .with_max_seconds(180.0);
+    if let AlgorithmSpec::Dqn(c) = &mut config.algorithm {
+        c.warmup_steps = 500;
+        c.buffer_capacity = 50_000;
+        c.epsilon_decay_steps = 4_000;
+    }
+    let report = finish(config);
+    assert!(report.steps_consumed >= 30_000);
+    let ret = report.final_return(100).expect("episodes completed");
+    assert!(ret > RANDOM_BASELINE, "DQN should beat random play, got {ret}");
+}
+
+#[test]
+fn a2c_learns_cartpole_end_to_end() {
+    let report = finish(
+        DeploymentConfig::cartpole(AlgorithmSpec::a2c(), 4)
+            .with_rollout_len(100)
+            .with_goal_steps(40_000)
+            .with_max_seconds(180.0),
+    );
+    assert!(report.steps_consumed >= 40_000);
+    let ret = report.final_return(100).expect("episodes completed");
+    assert!(ret > RANDOM_BASELINE, "A2C should beat random play, got {ret}");
+}
+
+#[test]
+fn reinforce_learns_cartpole_end_to_end() {
+    let mut config = DeploymentConfig::cartpole(AlgorithmSpec::reinforce(), 2)
+        .with_rollout_len(100)
+        .with_goal_steps(30_000)
+        .with_max_seconds(180.0);
+    if let AlgorithmSpec::Reinforce(c) = &mut config.algorithm {
+        c.episodes_per_train = 4;
+        c.lr = 3e-3;
+    }
+    let report = finish(config);
+    assert!(report.steps_consumed >= 30_000);
+    let ret = report.final_return(100).expect("episodes completed");
+    assert!(ret > RANDOM_BASELINE, "REINFORCE should beat random play, got {ret}");
+}
+
+#[test]
+fn double_dqn_with_prioritized_replay_learns_cartpole() {
+    let mut config = DeploymentConfig::cartpole(AlgorithmSpec::dqn(), 1)
+        .with_rollout_len(4)
+        .with_goal_steps(30_000)
+        .with_max_seconds(180.0);
+    if let AlgorithmSpec::Dqn(c) = &mut config.algorithm {
+        c.double = true;
+        c.prioritized = Some((0.6, 0.4));
+        c.warmup_steps = 500;
+        c.buffer_capacity = 50_000;
+        c.epsilon_decay_steps = 4_000;
+    }
+    let report = finish(config);
+    assert!(report.steps_consumed >= 30_000);
+    let ret = report.final_return(100).expect("episodes completed");
+    assert!(ret > RANDOM_BASELINE, "DDQN+PER should beat random play, got {ret}");
+}
+
+#[test]
+fn on_policy_learner_waits_are_recorded() {
+    let report = finish(
+        DeploymentConfig::cartpole(AlgorithmSpec::ppo(), 2)
+            .with_rollout_len(50)
+            .with_goal_steps(2_000)
+            .with_max_seconds(60.0),
+    );
+    // Every PPO training session records a wait sample and rollout messages
+    // record their transmission latency.
+    assert!(report.learner_wait.len() as u64 >= report.train_sessions);
+    assert!(!report.rollout_latency.is_empty());
+    assert!(report.mean_train_time.as_nanos() > 0);
+}
+
+#[test]
+fn checkpoints_are_written_and_restorable() {
+    use xingtian::checkpoint::{load_latest, CheckpointConfig};
+    let dir = std::env::temp_dir().join(format!("xt-e2e-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = DeploymentConfig::cartpole(AlgorithmSpec::impala(), 2)
+        .with_rollout_len(50)
+        .with_goal_steps(3_000)
+        .with_max_seconds(60.0)
+        .with_checkpoint(CheckpointConfig::new(&dir, 5));
+    let report = finish(config);
+    let blob = load_latest(&dir).expect("a checkpoint was written");
+    assert!(blob.version > 0);
+    assert_eq!(blob.params.len(), report.final_params.len());
+
+    // Restoring the checkpoint into a fresh deployment must work end to end.
+    let mut restore = DeploymentConfig::cartpole(AlgorithmSpec::impala(), 2)
+        .with_rollout_len(50)
+        .with_goal_steps(500)
+        .with_max_seconds(60.0);
+    restore.initial_params = Some(blob.params);
+    let restored = finish(restore);
+    assert!(restored.steps_consumed >= 500);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn deployment_respects_wall_clock_cap() {
+    // An unreachable goal must still terminate via the deadline.
+    let report = finish(
+        DeploymentConfig::cartpole(AlgorithmSpec::impala(), 1)
+            .with_rollout_len(50)
+            .with_goal_steps(u64::MAX / 2)
+            .with_max_seconds(3.0),
+    );
+    assert!(report.wall_time.as_secs_f64() < 30.0, "deadline enforced");
+}
+
+#[test]
+fn warm_start_carries_learning_forward() {
+    // Train a first stage, then a second stage seeded with its weights; the
+    // second stage must start from trained behavior (PBT's weight
+    // inheritance, paper §4.3).
+    let first = finish(
+        DeploymentConfig::cartpole(AlgorithmSpec::impala(), 2)
+            .with_rollout_len(100)
+            .with_goal_steps(40_000)
+            .with_max_seconds(120.0),
+    );
+    let first_return = first.final_return(100).unwrap();
+    let mut second_config = DeploymentConfig::cartpole(AlgorithmSpec::impala(), 2)
+        .with_rollout_len(100)
+        .with_goal_steps(4_000)
+        .with_max_seconds(60.0)
+        .with_seed(99);
+    second_config.initial_params = Some(first.final_params);
+    let second = finish(second_config);
+    let early_return = second.final_return(1000).unwrap();
+    assert!(
+        early_return > RANDOM_BASELINE.min(first_return * 0.3),
+        "warm-started run should act trained from the start: {early_return} (stage 1 ended at {first_return})"
+    );
+}

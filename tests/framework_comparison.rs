@@ -1,0 +1,65 @@
+//! Cross-framework comparisons that pin the paper's architectural claims at
+//! test scale (release-mode figure binaries measure the full-size versions).
+
+use baselines::padlite::{run_pad_dummy, PadMode};
+use baselines::raylite::{run_ray_dummy, run_raylite};
+use baselines::CostModel;
+use xingtian::config::{AlgorithmSpec, DeploymentConfig};
+use xingtian::dummy::{run_dummy, DummyConfig};
+use xingtian::Deployment;
+
+#[test]
+fn xingtian_transmits_an_order_of_magnitude_faster_than_reverb() {
+    // Paper §5.1: "at least one order of magnitude more data per second than
+    // Acme with Launchpad and Reverb". The Reverb path is sleep-calibrated,
+    // so this ordering is robust even in debug builds.
+    let cfg = DummyConfig { rounds: 4, ..DummyConfig::single_machine(2, 128 * 1024) };
+    let xt = run_dummy(cfg.clone());
+    let pad = run_pad_dummy(cfg, &CostModel::default(), PadMode::WithReverb);
+    assert!(
+        xt.throughput_mb_s() > 10.0 * pad.throughput_mb_s(),
+        "XT {:.1} MB/s vs Reverb {:.2} MB/s",
+        xt.throughput_mb_s(),
+        pad.throughput_mb_s()
+    );
+}
+
+#[test]
+fn direct_launchpad_beats_reverb_but_not_xingtian() {
+    // Paper §5.1's secondary observation about the solely-Launchpad variant.
+    let cfg = DummyConfig { rounds: 4, ..DummyConfig::single_machine(2, 128 * 1024) };
+    let xt = run_dummy(cfg.clone());
+    let direct = run_pad_dummy(cfg.clone(), &CostModel::default(), PadMode::Direct);
+    let reverb = run_pad_dummy(cfg, &CostModel::default(), PadMode::WithReverb);
+    assert!(direct.throughput_mb_s() > reverb.throughput_mb_s());
+    assert!(xt.throughput_mb_s() > direct.throughput_mb_s());
+}
+
+#[test]
+fn pull_model_pays_rpc_costs_xingtian_does_not() {
+    // With the calibrated 15 ms pull overhead, 2 explorers × 10 rounds must
+    // cost raylite ≥ 300 ms of pure waiting that the push channel avoids.
+    let cfg = DummyConfig { rounds: 10, ..DummyConfig::single_machine(2, 16 * 1024) };
+    let xt = run_dummy(cfg.clone());
+    let ray = run_ray_dummy(cfg, &CostModel::default());
+    assert!(ray.elapsed.as_millis() >= 300, "raylite elapsed {:?}", ray.elapsed);
+    assert!(xt.elapsed < ray.elapsed, "push beats pull end to end");
+}
+
+#[test]
+fn both_frameworks_train_the_same_algorithm_to_similar_returns() {
+    // Fig. 6's claim at smoke scale: identical algorithm code converges under
+    // either framework; XingTian is never *worse* by a wide margin.
+    let config = DeploymentConfig::cartpole(AlgorithmSpec::impala(), 2)
+        .with_rollout_len(100)
+        .with_goal_steps(30_000)
+        .with_max_seconds(120.0);
+    let xt = Deployment::run(config.clone()).expect("XingTian run");
+    let ray = run_raylite(config, CostModel::zero_overhead()).expect("raylite run");
+    let xt_ret = xt.final_return(100).expect("episodes");
+    let ray_ret = ray.final_return(100).expect("episodes");
+    assert!(
+        xt_ret > 0.5 * ray_ret,
+        "XingTian ({xt_ret}) should be comparable or better than raylite ({ray_ret})"
+    );
+}

@@ -1,0 +1,64 @@
+//! Distributed deployments over the simulated cluster: rollouts crossing
+//! machines through the broker fabric, NIC accounting, and learner placement.
+
+use netsim::{Cluster, ClusterSpec};
+use xingtian::config::{AlgorithmSpec, DeploymentConfig};
+use xingtian::Deployment;
+
+fn two_machine_config() -> DeploymentConfig {
+    let mut config = DeploymentConfig::atari("Qbert", AlgorithmSpec::impala(), 4)
+        .with_obs_dim(64)
+        .with_step_latency_us(0)
+        .with_rollout_len(50)
+        .with_goal_steps(5_000)
+        .with_max_seconds(60.0);
+    config.cluster = ClusterSpec::default().machines(2).nic_bandwidth(500e6);
+    config.explorers_per_machine = vec![2, 2];
+    config.learner_machine = 0;
+    config
+}
+
+#[test]
+fn training_works_across_machines() {
+    let report = Deployment::run(two_machine_config()).expect("two-machine run");
+    assert!(report.steps_consumed >= 5_000);
+    assert!(report.train_sessions >= 10);
+    assert!(!report.episode_returns.is_empty());
+}
+
+#[test]
+fn remote_only_explorers_still_feed_the_learner() {
+    let mut config = two_machine_config();
+    config.explorers_per_machine = vec![0, 4]; // everything remote
+    let report = Deployment::run(config).expect("remote-explorer run");
+    assert!(report.steps_consumed >= 5_000);
+}
+
+#[test]
+fn learner_can_live_on_a_non_center_machine() {
+    let mut config = two_machine_config();
+    config.learner_machine = 1;
+    config.explorers_per_machine = vec![4, 0];
+    let report = Deployment::run(config).expect("learner on machine 1");
+    assert!(report.steps_consumed >= 5_000);
+}
+
+#[test]
+fn four_machine_spread_works() {
+    let config = two_machine_config().spread_across(4);
+    let report = Deployment::run(config).expect("four-machine run");
+    assert!(report.steps_consumed >= 5_000);
+}
+
+#[test]
+fn nic_accounts_for_cross_machine_rollouts() {
+    // Use the cluster directly to verify the accounting the deployment
+    // relies on: cross-machine transfers hit the tx NIC of the sender.
+    let cluster = Cluster::new(
+        ClusterSpec::default().machines(2).nic_bandwidth(1e9).latency_secs(0.0).virtual_time(true),
+    );
+    cluster.transfer(1, 0, 123_456);
+    assert_eq!(cluster.machine(1).tx().stats().bytes(), 123_456);
+    assert_eq!(cluster.machine(0).rx().stats().bytes(), 123_456);
+    assert_eq!(cluster.machine(0).tx().stats().bytes(), 0);
+}
