@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus a bench-harness smoke test. Run from the repo root.
+#
+#   ./ci.sh          # release build + full test suite + bench smoke
+#
+# The tier-1 contract (ROADMAP.md): `cargo build --release` and
+# `cargo test -q` must pass. The root package only carries examples, so the
+# workspace flag is what actually builds and tests every crate.
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== tier-1: release build (workspace) =="
+cargo build --release --workspace
+
+echo "== tier-1: tests (workspace) =="
+cargo test -q --workspace
+
+echo "== bench smoke: channel + telemetry micro-benches compile and run =="
+cargo bench -p xt-bench --bench channel -- --test
+cargo bench -p xt-bench --bench telemetry -- --test
+
+echo "ci.sh: all green"

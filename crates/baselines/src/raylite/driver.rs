@@ -21,6 +21,7 @@ use xingtian_algos::payload::RolloutBatch;
 use xingtian_algos::{DqnAlgorithm, ReplayBuffer};
 use xingtian_comm::TransmissionStats;
 use xingtian_message::codec::{Decode, Encode};
+use xt_telemetry::{EventKind, HistogramHandle, Telemetry};
 
 struct Driver {
     cluster: Cluster,
@@ -35,6 +36,12 @@ struct Driver {
     timeline: ThroughputTimeline,
     wait_stats: TransmissionStats,
     pull_stats: std::sync::Arc<TransmissionStats>,
+    telemetry: Telemetry,
+    /// Synthetic message ids for lifecycle events: raylite pulls have no
+    /// channel headers, so the driver mints one id per pull.
+    next_msg_id: std::sync::atomic::AtomicU64,
+    wait_hist: HistogramHandle,
+    pull_hist: HistogramHandle,
     steps_consumed: u64,
     train_sessions: u64,
     train_time: Duration,
@@ -47,9 +54,15 @@ impl Driver {
 
     /// Pulls a staged worker response onto the driver (critical path).
     fn pull_payload(&self, resp: &WorkerResponse) -> Bytes {
+        let id = self.next_msg_id.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let len = resp.payload.len() as u64;
+        self.telemetry.emit(EventKind::SendEnqueued, id, len);
+        self.telemetry.emit(EventKind::Routed, id, 1);
         let t0 = Instant::now();
         let bytes = rpc::pull(&self.cluster, resp.machine, self.learner_machine, &resp.payload, &self.costs);
         self.pull_stats.record(t0.elapsed());
+        self.pull_hist.record_duration(t0.elapsed());
+        self.telemetry.emit(EventKind::Fetched, id, bytes.len() as u64);
         bytes
     }
 
@@ -59,6 +72,7 @@ impl Driver {
         self.steps_consumed += steps as u64;
         self.timeline.record(steps as u64);
         self.wait_stats.record(wait);
+        self.wait_hist.record_duration(wait);
     }
 }
 
@@ -68,6 +82,21 @@ impl Driver {
 ///
 /// Returns a description of the failure if the configuration is invalid.
 pub fn run_raylite(config: DeploymentConfig, costs: CostModel) -> Result<RunReport, String> {
+    run_raylite_with_telemetry(config, costs, Telemetry::disabled())
+}
+
+/// Like [`run_raylite`], but records pull lifecycle events and learner-wait /
+/// pull-latency histograms into `telemetry` so raylite runs produce the same
+/// per-stage breakdowns as XingTian runs.
+///
+/// # Errors
+///
+/// Returns a description of the failure if the configuration is invalid.
+pub fn run_raylite_with_telemetry(
+    config: DeploymentConfig,
+    costs: CostModel,
+    telemetry: Telemetry,
+) -> Result<RunReport, String> {
     config.validate()?;
     let probe = build_env(&config.env, 0, config.obs_dim_override, config.step_latency_us)?;
     let obs_dim = probe.observation_dim();
@@ -125,6 +154,10 @@ pub fn run_raylite(config: DeploymentConfig, costs: CostModel) -> Result<RunRepo
         timeline: ThroughputTimeline::new(),
         wait_stats: TransmissionStats::new(),
         pull_stats: std::sync::Arc::new(TransmissionStats::new()),
+        next_msg_id: std::sync::atomic::AtomicU64::new(1),
+        wait_hist: telemetry.histogram("learner.wait_ns"),
+        pull_hist: telemetry.histogram("raylite.pull_ns"),
+        telemetry,
         steps_consumed: 0,
         train_sessions: 0,
         train_time: Duration::ZERO,

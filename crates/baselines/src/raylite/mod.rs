@@ -20,5 +20,5 @@ pub mod driver;
 pub mod dummy;
 pub mod worker;
 
-pub use driver::run_raylite;
+pub use driver::{run_raylite, run_raylite_with_telemetry};
 pub use dummy::run_ray_dummy;

@@ -1,0 +1,76 @@
+//! Overhead of the xt-telemetry subsystem on the channel's hot path.
+//!
+//! The acceptance bar for the subsystem is that a *disabled* handle costs
+//! nothing measurable: `emit` on a disabled handle must compile down to a
+//! branch on a `None`, and an instrumented endpoint round trip with telemetry
+//! disabled must be indistinguishable from the pre-instrumentation baseline.
+//! The enabled variants quantify the price of actually recording.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use netsim::Cluster;
+use std::hint::black_box;
+use xingtian_comm::{Broker, CommConfig};
+use xingtian_message::{MessageKind, ProcessId};
+use xt_telemetry::{EventKind, Telemetry};
+
+fn bench_emit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_emit");
+    let disabled = Telemetry::disabled();
+    group.bench_function("disabled", |b| {
+        b.iter(|| disabled.emit(black_box(EventKind::SendEnqueued), black_box(1), black_box(64)))
+    });
+    let enabled = Telemetry::with_capacity(1 << 16);
+    group.bench_function("enabled", |b| {
+        b.iter(|| enabled.emit(black_box(EventKind::SendEnqueued), black_box(1), black_box(64)))
+    });
+    group.finish();
+}
+
+fn bench_metric_handles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_metrics");
+    let disabled = Telemetry::disabled();
+    let enabled = Telemetry::with_capacity(1 << 10);
+    let counter_off = disabled.counter("bench.counter");
+    let counter_on = enabled.counter("bench.counter");
+    group.bench_function("counter_disabled", |b| b.iter(|| counter_off.add(black_box(3))));
+    group.bench_function("counter_enabled", |b| b.iter(|| counter_on.add(black_box(3))));
+    let hist_off = disabled.histogram("bench.hist");
+    let hist_on = enabled.histogram("bench.hist");
+    group.bench_function("histogram_disabled", |b| b.iter(|| hist_off.record(black_box(12345))));
+    group.bench_function("histogram_enabled", |b| b.iter(|| hist_on.record(black_box(12345))));
+    group.finish();
+}
+
+/// End-to-end endpoint round trip through the instrumented channel, with the
+/// telemetry handle disabled vs enabled: the difference is the whole
+/// subsystem's hot-path cost as seen by a workhorse thread.
+fn bench_channel_round_trip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_channel");
+    group.sample_size(30);
+    for (label, telemetry) in
+        [("disabled", Telemetry::disabled()), ("enabled", Telemetry::with_capacity(1 << 16))]
+    {
+        let broker = Broker::with_telemetry(0, Cluster::single(), CommConfig::default(), telemetry);
+        let producer = broker.endpoint(ProcessId::explorer(0));
+        let consumer = broker.endpoint(ProcessId::learner(0));
+        let body = Bytes::from(vec![5u8; 16 * 1024]);
+        group.bench_function(format!("round_trip_16k_{label}"), |b| {
+            b.iter(|| {
+                producer.send_to(
+                    vec![ProcessId::learner(0)],
+                    MessageKind::Rollout,
+                    body.clone(),
+                );
+                consumer.recv().expect("delivered")
+            })
+        });
+        producer.close();
+        consumer.close();
+        broker.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_emit, bench_metric_handles, bench_channel_round_trip);
+criterion_main!(benches);

@@ -181,14 +181,20 @@ pub fn paper_regime(algo: &str) -> (u32, u64) {
     }
 }
 
+/// Ring capacity used by the figure harness: large enough to retain the full
+/// lifecycle of tens of thousands of messages per run.
+const FIGURE_RING_CAPACITY: usize = 1 << 18;
+
 /// Runs one algorithm under XingTian and under the RLLib-style baseline,
 /// printing the throughput timeline and the Fig. 8–10 latency decomposition
-/// (transmission latency, the learner's actual wait, training time). With
-/// `cdf`, also prints the wait-time CDF that Fig. 8(c) plots.
+/// (per-stage message lifecycle from xt-telemetry spans, the learner's actual
+/// wait, training time). With `cdf`, also prints the wait-time CDF that
+/// Fig. 8(c) plots. Raw CSVs land under `results/<algo>-<env>/`.
 pub fn throughput_figure(algo: &str, envs: &[&str], args: &HarnessArgs, cdf: bool) {
-    use baselines::raylite::run_raylite;
+    use baselines::raylite::run_raylite_with_telemetry;
     use baselines::CostModel;
     use xingtian::Deployment;
+    use xt_telemetry::Telemetry;
 
     let obs_dim = if args.full { None } else { Some(args.obs_dim.unwrap_or(512)) };
     let seconds = args.seconds.unwrap_or(if args.full { 3600.0 } else { 45.0 });
@@ -200,8 +206,12 @@ pub fn throughput_figure(algo: &str, envs: &[&str], args: &HarnessArgs, cdf: boo
             .with_step_latency_us(latency_us)
             .with_goal_steps(steps)
             .with_max_seconds(seconds);
-        let xt = Deployment::run(config.clone()).expect("XingTian run");
-        let ray = run_raylite(config, CostModel::default()).expect("raylite run");
+        let xt_tel = Telemetry::with_capacity(FIGURE_RING_CAPACITY);
+        let xt =
+            Deployment::run_with_telemetry(config.clone(), xt_tel.clone()).expect("XingTian run");
+        let ray_tel = Telemetry::with_capacity(FIGURE_RING_CAPACITY);
+        let ray = run_raylite_with_telemetry(config, CostModel::default(), ray_tel.clone())
+            .expect("raylite run");
 
         header(&format!("{algo} on {env}: throughput (steps/s, {seconds:.0}s budget)"));
         println!(
@@ -226,6 +236,11 @@ pub fn throughput_figure(algo: &str, envs: &[&str], args: &HarnessArgs, cdf: boo
         println!("XingTian trans latency (mean): {}", fmt_dur(xt.rollout_latency.mean()));
         println!("XingTian actual wait  (mean): {}", fmt_dur(xt.learner_wait.mean()));
         println!("train time            (mean): {}", fmt_dur(xt.mean_train_time));
+
+        header(&format!("{algo} on {env}: per-stage message lifecycle (xt-telemetry)"));
+        print_stage_breakdown("XingTian", &xt_tel);
+        print_stage_breakdown("raylite", &ray_tel);
+
         if cdf {
             header(&format!("{algo} on {env}: CDF of XingTian learner wait"));
             for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.9661, 0.99] {
@@ -238,7 +253,76 @@ pub fn throughput_figure(algo: &str, envs: &[&str], args: &HarnessArgs, cdf: boo
                 );
             }
         }
+
+        write_figure_csvs(algo, env, &xt_tel, &ray_tel);
     }
+}
+
+/// Prints one system's stage-resolved latency table from its telemetry ring.
+fn print_stage_breakdown(system: &str, telemetry: &xt_telemetry::Telemetry) {
+    let breakdown = telemetry.stage_breakdown();
+    println!(
+        "{system}: {} spans assembled from {} events ({} dropped by ring)",
+        telemetry.spans().len(),
+        telemetry.total_events(),
+        telemetry.dropped_events()
+    );
+    for (name, h) in breakdown.stages() {
+        if h.count() == 0 {
+            continue;
+        }
+        println!(
+            "  {name:<9} n={:<7} mean={:<9} p50={:<9} p99={}",
+            h.count(),
+            fmt_dur(Duration::from_nanos(h.mean())),
+            fmt_dur(Duration::from_nanos(h.quantile(0.5))),
+            fmt_dur(Duration::from_nanos(h.quantile(0.99))),
+        );
+    }
+}
+
+/// Dumps the raw telemetry of one figure run as CSV/JSON under
+/// `results/<algo>-<env>/` so the paper's plots can be regenerated offline
+/// (see EXPERIMENTS.md).
+fn write_figure_csvs(
+    algo: &str,
+    env: &str,
+    xt_tel: &xt_telemetry::Telemetry,
+    ray_tel: &xt_telemetry::Telemetry,
+) {
+    use xt_telemetry::export;
+
+    let dir = format!("results/{}-{}", algo.to_ascii_lowercase(), env.to_ascii_lowercase());
+    let mut outputs = vec![
+        (
+            format!("{dir}/xt_stage_summary.csv"),
+            export::stage_summary_csv(&xt_tel.stage_breakdown()),
+        ),
+        (
+            format!("{dir}/ray_stage_summary.csv"),
+            export::stage_summary_csv(&ray_tel.stage_breakdown()),
+        ),
+    ];
+    if let Some(registry) = xt_tel.registry() {
+        outputs.push((format!("{dir}/xt_metrics.json"), export::registry_json(registry)));
+    }
+    if let Some(registry) = ray_tel.registry() {
+        outputs.push((format!("{dir}/ray_metrics.json"), export::registry_json(registry)));
+    }
+    // Wait-time CDF thresholds follow Fig. 8(c)'s axis: 1 ms – 1 s.
+    let points: Vec<u64> = (0..=10).map(|i| 1_000_000u64 << i).collect();
+    for (label, tel) in [("xt", xt_tel), ("ray", ray_tel)] {
+        let wait = tel.histogram("learner.wait_ns");
+        if let Some(h) = wait.histogram() {
+            outputs.push((format!("{dir}/{label}_wait_cdf.csv"), export::cdf_csv(h, &points)));
+        }
+    }
+    for (path, content) in &outputs {
+        if let Err(e) = export::write_file(path, content) {
+            eprintln!("warning: could not write {path}: {e}");
+        }
+    }
+    println!("telemetry CSVs written to {dir}/");
 }
 
 fn series_str(series: &[(f64, f64)]) -> String {

@@ -18,6 +18,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use xingtian_message::{compress_body_with_threshold, Header, Message, ProcessId};
+use xt_telemetry::{EventKind, Telemetry};
 
 #[derive(Debug)]
 pub(crate) struct BrokerShared {
@@ -26,6 +27,7 @@ pub(crate) struct BrokerShared {
     pub(crate) config: CommConfig,
     pub(crate) store: Arc<ObjectStore>,
     pub(crate) table: Arc<RoutingTable>,
+    pub(crate) telemetry: Telemetry,
     comm_tx: Mutex<Option<Sender<Header>>>,
     uplinks: Arc<Mutex<HashMap<MachineId, Sender<RemoteEnvelope>>>>,
     threads: Mutex<Vec<JoinHandle<()>>>,
@@ -55,6 +57,25 @@ impl Broker {
     ///
     /// Panics if `machine` is out of range for `cluster`.
     pub fn new(machine: MachineId, cluster: Cluster, config: CommConfig) -> Self {
+        Broker::with_telemetry(machine, cluster, config, Telemetry::disabled())
+    }
+
+    /// Creates a broker whose channel stages report lifecycle events and
+    /// metrics into `telemetry`. Pass the *same* (cloned) handle to every
+    /// broker of a deployment so cross-machine spans assemble into one trace;
+    /// for clusters, stamp the handle from the cluster clock
+    /// (`Telemetry::with_time_source(cap, cluster.time_source())`) so event
+    /// timestamps and NIC transfer receipts share a timeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machine` is out of range for `cluster`.
+    pub fn with_telemetry(
+        machine: MachineId,
+        cluster: Cluster,
+        config: CommConfig,
+        telemetry: Telemetry,
+    ) -> Self {
         assert!(machine < cluster.len(), "machine {machine} out of range");
         let (comm_tx, comm_rx) = unbounded();
         let store = Arc::new(ObjectStore::new());
@@ -65,9 +86,10 @@ impl Broker {
             let store = Arc::clone(&store);
             let table = Arc::clone(&table);
             let uplinks = Arc::clone(&uplinks);
+            let telemetry = telemetry.clone();
             std::thread::Builder::new()
                 .name(format!("xt-router-m{machine}"))
-                .spawn(move || run_router(machine, comm_rx, store, table, uplinks))
+                .spawn(move || run_router(machine, comm_rx, store, table, uplinks, telemetry))
                 .expect("spawn router thread")
         };
         Broker {
@@ -77,11 +99,17 @@ impl Broker {
                 config,
                 store,
                 table,
+                telemetry,
                 comm_tx: Mutex::new(Some(comm_tx)),
                 uplinks,
                 threads: Mutex::new(vec![router]),
             }),
         }
+    }
+
+    /// The telemetry handle this broker reports into (disabled by default).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.shared.telemetry
     }
 
     /// The machine this broker runs on.
@@ -159,6 +187,7 @@ impl Broker {
         // Control-plane traffic (lifecycle commands, statistics) bypasses the
         // segment's capacity gate: it must flow even when the data plane is
         // fully back-pressured, or a stalled learner could never be shut down.
+        let stored_len = body.len() as u64;
         let object_id = match header.kind {
             xingtian_message::MessageKind::Control | xingtian_message::MessageKind::Stats => {
                 self.shared.store.insert_priority(body, fanout)
@@ -166,6 +195,7 @@ impl Broker {
             _ => self.shared.store.insert(body, fanout),
         };
         header.object_id = Some(object_id);
+        self.shared.telemetry.emit(EventKind::StoreInserted, header.id, stored_len);
         let guard = self.shared.comm_tx.lock();
         match guard.as_ref() {
             Some(tx) => tx.send(header).is_ok(),
@@ -242,6 +272,8 @@ pub fn connect_brokers(brokers: &[Broker]) {
                 store: Arc::clone(&b.shared.store),
                 table: Arc::clone(&b.shared.table),
             };
+            let telemetry = a.shared.telemetry.clone();
+            let uplink_bytes = telemetry.counter("comm.uplink_bytes");
             let handle = std::thread::Builder::new()
                 .name(format!("xt-uplink-m{from}-m{to}"))
                 .spawn(move || {
@@ -249,7 +281,15 @@ pub fn connect_brokers(brokers: &[Broker]) {
                         // Pay the NIC cost once per target machine; the body
                         // then re-enters the normal local delivery path on
                         // the far side.
-                        cluster.transfer(from, to, envelope.body.len());
+                        let bytes = envelope.body.len();
+                        let receipt = cluster.transfer(from, to, bytes);
+                        // The receipt's endpoints are cluster-clock nanos;
+                        // with_telemetry documents that telemetry for a
+                        // cluster deployment is stamped from that same clock.
+                        let id = envelope.header.id;
+                        telemetry.emit_at(EventKind::NicTxStart, id, bytes as u64, receipt.start_nanos);
+                        telemetry.emit_at(EventKind::NicTxEnd, id, to as u64, receipt.end_nanos);
+                        uplink_bytes.add(bytes as u64);
                         deliver_local(
                             &delivery.store,
                             &delivery.table,
@@ -345,6 +385,46 @@ mod tests {
         assert_eq!(&got.body[..], b"across the wire");
         // The body crossed the simulated NIC exactly once.
         assert_eq!(b0.cluster().machine(0).tx().stats().transfers(), 1);
+        drop(explorer);
+        drop(learner);
+        b0.shutdown();
+        b1.shutdown();
+    }
+
+    #[test]
+    fn cross_machine_delivery_records_full_telemetry_lifecycle() {
+        let cluster = Cluster::new(
+            netsim::ClusterSpec::default().machines(2).nic_bandwidth(1e9).latency_secs(0.0),
+        );
+        // One handle for the whole deployment, stamped from the cluster
+        // clock so NicTx receipts share the event timeline.
+        let telemetry = Telemetry::with_time_source(1 << 10, cluster.time_source());
+        let b0 = Broker::with_telemetry(0, cluster.clone(), CommConfig::default(), telemetry.clone());
+        let b1 = Broker::with_telemetry(1, cluster, CommConfig::default(), telemetry.clone());
+        let explorer = b0.endpoint(ProcessId::explorer(0));
+        let learner = b1.endpoint(ProcessId::learner(0));
+        connect_brokers(&[b0.clone(), b1.clone()]);
+        explorer.send(rollout_msg(b"traced"));
+        let got = learner.recv().expect("remote delivery");
+        let spans = telemetry.spans();
+        let span = spans.iter().find(|s| s.msg_id == got.header.id).expect("span for message");
+        assert!(span.is_complete(), "all stages recorded: {span:?}");
+        assert!(span.nic_nanos.is_some(), "NIC hop recorded: {span:?}");
+        let kinds: Vec<EventKind> = span.events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::SendEnqueued,
+                EventKind::StoreInserted,
+                EventKind::Routed,
+                EventKind::NicTxStart,
+                EventKind::NicTxEnd,
+                EventKind::Fetched,
+                EventKind::Consumed,
+            ],
+        );
+        assert_eq!(telemetry.counter("comm.routed_messages").get(), 1);
+        assert_eq!(telemetry.counter("comm.uplink_bytes").get(), 6);
         drop(explorer);
         drop(learner);
         b0.shutdown();

@@ -24,6 +24,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 use xingtian_message::{decompress_body, Body, Header, Message, MessageKind, ProcessId};
+use xt_telemetry::{EventKind, Telemetry};
 
 /// A process's handle on the asynchronous communication channel.
 #[derive(Debug)]
@@ -37,6 +38,7 @@ pub struct Endpoint {
     delivery_stats: Arc<TransmissionStats>,
     bytes_received: Arc<AtomicU64>,
     messages_received: Arc<AtomicU64>,
+    telemetry: Telemetry,
     threads: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -60,6 +62,7 @@ impl Endpoint {
         let delivery_stats = Arc::new(TransmissionStats::new());
         let bytes_received = Arc::new(AtomicU64::new(0));
         let messages_received = Arc::new(AtomicU64::new(0));
+        let telemetry = broker.telemetry().clone();
 
         let mut threads = Vec::with_capacity(2);
 
@@ -85,6 +88,8 @@ impl Endpoint {
             let delivery_stats = Arc::clone(&delivery_stats);
             let bytes_received = Arc::clone(&bytes_received);
             let messages_received = Arc::clone(&messages_received);
+            let telemetry = telemetry.clone();
+            let delivery_hist = telemetry.histogram("comm.delivery_ns");
             let handle = std::thread::Builder::new()
                 .name(format!("xt-recv-{pid}"))
                 .spawn(move || {
@@ -119,6 +124,8 @@ impl Endpoint {
                             body
                         };
                         delivery_stats.record(header.created_at.elapsed());
+                        delivery_hist.record_duration(header.created_at.elapsed());
+                        telemetry.emit(EventKind::Fetched, header.id, body.len() as u64);
                         bytes_received.fetch_add(body.len() as u64, Ordering::Relaxed);
                         messages_received.fetch_add(1, Ordering::Relaxed);
                         if !recv_buf.push(Message { header, body }) {
@@ -139,6 +146,7 @@ impl Endpoint {
             delivery_stats,
             bytes_received,
             messages_received,
+            telemetry,
             threads: Mutex::new(threads),
         }
     }
@@ -152,7 +160,12 @@ impl Endpoint {
     ///
     /// Returns `false` if the endpoint has been closed.
     pub fn send(&self, msg: Message) -> bool {
-        self.send_buf.push(msg)
+        let (id, len) = (msg.header.id, msg.body.len() as u64);
+        let ok = self.send_buf.push(msg);
+        if ok {
+            self.telemetry.emit(EventKind::SendEnqueued, id, len);
+        }
+        ok
     }
 
     /// Convenience: builds and sends a message from this endpoint.
@@ -163,17 +176,25 @@ impl Endpoint {
 
     /// Blocks until a message arrives or the endpoint is closed.
     pub fn recv(&self) -> Option<Message> {
-        self.recv_buf.pop()
+        self.consumed(self.recv_buf.pop())
     }
 
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Option<Message> {
-        self.recv_buf.try_pop()
+        self.consumed(self.recv_buf.try_pop())
     }
 
     /// Receive with a timeout.
     pub fn recv_timeout(&self, timeout: Duration) -> Option<Message> {
-        self.recv_buf.pop_timeout(timeout)
+        self.consumed(self.recv_buf.pop_timeout(timeout))
+    }
+
+    #[inline]
+    fn consumed(&self, msg: Option<Message>) -> Option<Message> {
+        if let Some(m) = &msg {
+            self.telemetry.emit(EventKind::Consumed, m.header.id, 0);
+        }
+        msg
     }
 
     /// Messages already delivered and waiting in the receive buffer.
@@ -185,6 +206,12 @@ impl Endpoint {
     /// can use this for flow control when the channel is congested.
     pub fn send_backlog(&self) -> usize {
         self.send_buf.len()
+    }
+
+    /// The telemetry handle shared with this endpoint's broker. Disabled
+    /// (zero-cost) unless the broker was built with `Broker::with_telemetry`.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Producer-to-receive-buffer latency statistics for messages delivered to

@@ -116,9 +116,17 @@ pub(crate) fn run_router(
     store: Arc<ObjectStore>,
     table: Arc<RoutingTable>,
     uplinks: Arc<Mutex<HashMap<MachineId, Sender<RemoteEnvelope>>>>,
+    telemetry: xt_telemetry::Telemetry,
 ) {
+    let routed_messages = telemetry.counter("comm.routed_messages");
     while let Ok(header) = comm_rx.recv() {
         let (local, remote) = table.split(here, &header.dst);
+        telemetry.emit(
+            xt_telemetry::EventKind::Routed,
+            header.id,
+            (local.len() + remote.len()) as u64,
+        );
+        routed_messages.inc();
         // Local destinations: hand the object id straight to their ID queues.
         push_headers(&store, &table, &header, &local);
         // Remote machines: fetch one credit per machine and forward the body

@@ -2,16 +2,24 @@
 //!
 //! Figures 8–10 of the paper report, per algorithm, (a) how long a message of
 //! rollout size takes to transmit, (b) how long the learner *actually* waits
-//! for rollouts before training, and (c) a CDF of those waits. This module
-//! records per-message latencies cheaply so those figures can be regenerated.
+//! for rollouts before training, and (c) a CDF of those waits.
+//!
+//! [`TransmissionStats`] is a thin duration-typed wrapper over
+//! [`xt_telemetry::Histogram`]: recording is a handful of relaxed atomic adds
+//! (no lock, no allocation, bounded memory regardless of sample count),
+//! unlike the earlier `Mutex<Vec<u64>>` version whose storage grew with every
+//! message and whose quantiles cloned and sorted the whole vector. Means are
+//! still exact; quantiles and the CDF are interpolated within log-scale
+//! buckets (relative error bounded by one power of two — see
+//! `xt_telemetry::hist`).
 
-use parking_lot::Mutex;
 use std::time::Duration;
+use xt_telemetry::Histogram;
 
 /// A concurrent recorder of durations with summary statistics and quantiles.
 #[derive(Debug, Default)]
 pub struct TransmissionStats {
-    samples_nanos: Mutex<Vec<u64>>,
+    hist: Histogram,
 }
 
 impl TransmissionStats {
@@ -20,69 +28,51 @@ impl TransmissionStats {
         TransmissionStats::default()
     }
 
-    /// Records one duration sample.
+    /// Records one duration sample. Wait-free.
     pub fn record(&self, d: Duration) {
-        self.samples_nanos.lock().push(d.as_nanos() as u64);
+        self.hist.record_duration(d);
     }
 
     /// Number of samples recorded.
     pub fn len(&self) -> usize {
-        self.samples_nanos.lock().len()
+        self.hist.count() as usize
     }
 
     /// True when no samples have been recorded.
     pub fn is_empty(&self) -> bool {
-        self.samples_nanos.lock().is_empty()
+        self.hist.is_empty()
     }
 
-    /// Mean of the recorded samples, or zero if empty.
+    /// Exact mean of the recorded samples, or zero if empty.
     pub fn mean(&self) -> Duration {
-        let samples = self.samples_nanos.lock();
-        if samples.is_empty() {
-            return Duration::ZERO;
-        }
-        let sum: u128 = samples.iter().map(|&n| u128::from(n)).sum();
-        Duration::from_nanos((sum / samples.len() as u128) as u64)
+        Duration::from_nanos(self.hist.mean())
     }
 
     /// The `q`-quantile (0.0 ≤ q ≤ 1.0) of the recorded samples, or zero if
-    /// empty.
+    /// empty. Bucket-interpolated: the estimate lies in the same log-scale
+    /// bucket as the exact order statistic.
     ///
     /// # Panics
     ///
     /// Panics if `q` is outside `[0, 1]`.
     pub fn quantile(&self, q: f64) -> Duration {
-        assert!((0.0..=1.0).contains(&q), "quantile must be within [0, 1]");
-        let mut samples = self.samples_nanos.lock().clone();
-        if samples.is_empty() {
-            return Duration::ZERO;
-        }
-        samples.sort_unstable();
-        let idx = ((samples.len() - 1) as f64 * q).round() as usize;
-        Duration::from_nanos(samples[idx])
+        Duration::from_nanos(self.hist.quantile(q))
     }
 
     /// Fraction of samples at or below `threshold` (the CDF evaluated at
     /// `threshold`), or 0.0 if empty.
     pub fn cdf_at(&self, threshold: Duration) -> f64 {
-        let samples = self.samples_nanos.lock();
-        if samples.is_empty() {
-            return 0.0;
-        }
-        let t = threshold.as_nanos() as u64;
-        samples.iter().filter(|&&s| s <= t).count() as f64 / samples.len() as f64
+        self.hist.cdf_at(threshold.as_nanos().min(u128::from(u64::MAX)) as u64)
     }
 
-    /// Snapshot of all samples (sorted ascending), for plotting full CDFs.
-    pub fn sorted_samples(&self) -> Vec<Duration> {
-        let mut samples = self.samples_nanos.lock().clone();
-        samples.sort_unstable();
-        samples.into_iter().map(Duration::from_nanos).collect()
+    /// The underlying histogram, for telemetry exporters.
+    pub fn histogram(&self) -> &Histogram {
+        &self.hist
     }
 
     /// Clears all recorded samples.
     pub fn reset(&self) {
-        self.samples_nanos.lock().clear();
+        self.hist.reset();
     }
 }
 
@@ -95,27 +85,36 @@ mod tests {
     }
 
     #[test]
-    fn mean_and_quantiles() {
+    fn mean_is_exact_quantiles_are_bucket_bounded() {
         let s = TransmissionStats::new();
         for n in [10u64, 20, 30, 40, 50] {
             s.record(ms(n));
         }
         assert_eq!(s.len(), 5);
-        assert_eq!(s.mean(), ms(30));
-        assert_eq!(s.quantile(0.0), ms(10));
-        assert_eq!(s.quantile(0.5), ms(30));
-        assert_eq!(s.quantile(1.0), ms(50));
+        assert_eq!(s.mean(), ms(30), "mean is tracked exactly");
+        // Quantile estimates land in the log-bucket of the exact order
+        // statistic: bucket of v is [2^b, 2^(b+1)) with 2^b <= v.
+        let in_bucket_of = |estimate: Duration, exact: Duration| {
+            let e = estimate.as_nanos() as f64;
+            let x = exact.as_nanos() as f64;
+            e >= x / 2.0 && e <= x * 2.0
+        };
+        assert!(in_bucket_of(s.quantile(0.0), ms(10)), "{:?}", s.quantile(0.0));
+        assert!(in_bucket_of(s.quantile(0.5), ms(30)), "{:?}", s.quantile(0.5));
+        assert!(in_bucket_of(s.quantile(1.0), ms(50)), "{:?}", s.quantile(1.0));
     }
 
     #[test]
-    fn cdf_counts_fraction() {
+    fn cdf_is_monotone_and_saturates() {
         let s = TransmissionStats::new();
         for n in [5u64, 10, 15, 20] {
             s.record(ms(n));
         }
-        assert_eq!(s.cdf_at(ms(10)), 0.5);
-        assert_eq!(s.cdf_at(ms(4)), 0.0);
-        assert_eq!(s.cdf_at(ms(100)), 1.0);
+        let points: Vec<f64> =
+            [1u64, 5, 10, 15, 20, 100].iter().map(|&t| s.cdf_at(ms(t))).collect();
+        assert!(points.windows(2).all(|w| w[0] <= w[1]), "monotone: {points:?}");
+        assert_eq!(s.cdf_at(ms(1)), 0.0, "below every sample");
+        assert_eq!(s.cdf_at(ms(100)), 1.0, "above every sample");
     }
 
     #[test]
@@ -136,7 +135,27 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "quantile must be within")]
+    fn recording_is_concurrent() {
+        let s = std::sync::Arc::new(TransmissionStats::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = std::sync::Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        s.record(ms(7));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.len(), 4000);
+        assert_eq!(s.mean(), ms(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
     fn quantile_out_of_range_panics() {
         TransmissionStats::new().quantile(1.5);
     }

@@ -246,6 +246,26 @@ mod tests {
     }
 
     #[test]
+    fn broadcast_entry_is_freed_after_every_destination_fetches() {
+        // Regression test for multi-destination broadcast: an entry inserted
+        // with fanout n must hold the segment for exactly n fetches — the
+        // n-th fetch frees it, leaving zero live entries and zero live bytes.
+        let s = ObjectStore::new();
+        let fanout = 5;
+        let body = Bytes::from(vec![7u8; 1024]);
+        let id = s.insert(body.clone(), fanout);
+        for i in 0..fanout {
+            assert_eq!(s.live_bytes(), 1024, "entry alive before fetch {i}");
+            let got = s.fetch(id).expect("credit available");
+            assert_eq!(got, body);
+        }
+        assert!(s.is_empty(), "all credits spent: entry must be freed");
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.live_bytes(), 0, "broadcast leak: bytes still live");
+        assert!(s.fetch(id).is_none(), "over-fetch must not resurrect");
+    }
+
+    #[test]
     fn ids_are_unique_under_concurrency() {
         let s = std::sync::Arc::new(ObjectStore::new());
         let mut handles = Vec::new();

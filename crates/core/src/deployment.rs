@@ -184,6 +184,25 @@ impl Deployment {
     /// Returns [`DeployError`] if the configuration is inconsistent or names
     /// an unknown environment.
     pub fn run(config: DeploymentConfig) -> Result<RunReport, DeployError> {
+        Deployment::run_with_telemetry(config, xt_telemetry::Telemetry::disabled())
+    }
+
+    /// Like [`Deployment::run`], but threads `telemetry` through every broker
+    /// and endpoint so the run records message-lifecycle events and metrics.
+    ///
+    /// All brokers share the one handle, and callers who want NIC transfer
+    /// events on the same timeline as endpoint events should build it from
+    /// the cluster clock:
+    /// `Telemetry::with_time_source(cap, cluster.time_source())`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError`] if the configuration is inconsistent or names
+    /// an unknown environment.
+    pub fn run_with_telemetry(
+        config: DeploymentConfig,
+        telemetry: xt_telemetry::Telemetry,
+    ) -> Result<RunReport, DeployError> {
         config.validate().map_err(DeployError)?;
         let probe = build_env(&config.env, 0, config.obs_dim_override, config.step_latency_us)
             .map_err(DeployError)?;
@@ -194,7 +213,9 @@ impl Deployment {
 
         let cluster = Cluster::new(config.cluster.clone());
         let brokers: Vec<Broker> = (0..cluster.len())
-            .map(|m| Broker::new(m, cluster.clone(), config.comm.clone()))
+            .map(|m| {
+                Broker::with_telemetry(m, cluster.clone(), config.comm.clone(), telemetry.clone())
+            })
             .collect();
 
         // Endpoints are created before the fabric so that route tables merge.

@@ -53,6 +53,7 @@ impl ExplorerProcess {
         let controller = ProcessId::controller(0);
         let mut tracker = EpisodeTracker::new(100);
         let mut steps: Vec<RolloutStep> = Vec::with_capacity(self.rollout_len);
+        let batches_counter = self.endpoint.telemetry().counter("explorer.batches_sent");
         let mut batches_sent = 0u64;
         let mut steps_since_stats = 0u64;
         let mut returns_since_stats: Vec<f32> = Vec::new();
@@ -119,6 +120,7 @@ impl ExplorerProcess {
                     Bytes::from(batch.to_bytes()),
                 );
                 batches_sent += 1;
+                batches_counter.inc();
                 steps.reserve(self.rollout_len);
 
                 let stats = StatsMsg {

@@ -50,6 +50,8 @@ impl LearnerProcess {
         let controller = ProcessId::controller(0);
         let mut timeline = ThroughputTimeline::new();
         let wait_stats = TransmissionStats::new();
+        let wait_hist = self.endpoint.telemetry().histogram("learner.wait_ns");
+        let sessions_counter = self.endpoint.telemetry().counter("learner.train_sessions");
         let mut steps_consumed = 0u64;
         let mut train_sessions = 0u64;
         let mut train_time = Duration::ZERO;
@@ -84,6 +86,8 @@ impl LearnerProcess {
                 steps_consumed += report.steps_consumed as u64;
                 timeline.record(report.steps_consumed as u64);
                 wait_stats.record(waited);
+                wait_hist.record_duration(waited);
+                sessions_counter.inc();
                 waited = Duration::ZERO;
                 if let Some(ckpt) = &mut self.checkpointer {
                     ckpt.on_session(&self.algorithm.param_blob());

@@ -90,6 +90,15 @@ impl Default for Clock {
     }
 }
 
+/// A `Clock` can stamp telemetry events, so traces of simulated deployments
+/// share the cluster's timeline — deterministic under virtual time, and
+/// consistent with NIC transfer receipts in both modes.
+impl xt_telemetry::TimeSource for Clock {
+    fn now_nanos(&self) -> u64 {
+        Clock::now_nanos(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -147,6 +147,13 @@ impl Cluster {
         &self.inner.clock
     }
 
+    /// A boxed [`xt_telemetry::TimeSource`] view of the cluster clock, for
+    /// building a `Telemetry` handle whose event timestamps live on the same
+    /// timeline as NIC [`TransferReceipt`]s.
+    pub fn time_source(&self) -> Box<dyn xt_telemetry::TimeSource> {
+        Box::new(self.inner.clock.clone())
+    }
+
     /// Number of machines.
     pub fn len(&self) -> usize {
         self.inner.machines.len()

@@ -1,72 +1,20 @@
-//! Cumulative transfer counters for NICs and links.
+//! Link statistics.
+//!
+//! [`LinkStats`] now lives in `xt-telemetry` (every layer of the workspace
+//! shares one counters implementation); this module re-exports it so existing
+//! `netsim::stats::LinkStats` / `netsim::LinkStats` paths keep working.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
-/// Lock-free counters describing the traffic a NIC has carried.
-#[derive(Debug, Default)]
-pub struct LinkStats {
-    bytes: AtomicU64,
-    transfers: AtomicU64,
-    busy_nanos: AtomicU64,
-}
-
-impl LinkStats {
-    /// Creates zeroed counters.
-    pub fn new() -> Self {
-        LinkStats::default()
-    }
-
-    /// Records one transfer of `bytes` occupying the link for `nanos`.
-    pub fn record(&self, bytes: usize, nanos: u64) {
-        self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
-        self.transfers.fetch_add(1, Ordering::Relaxed);
-        self.busy_nanos.fetch_add(nanos, Ordering::Relaxed);
-    }
-
-    /// Total bytes carried.
-    pub fn bytes(&self) -> u64 {
-        self.bytes.load(Ordering::Relaxed)
-    }
-
-    /// Number of transfers carried.
-    pub fn transfers(&self) -> u64 {
-        self.transfers.load(Ordering::Relaxed)
-    }
-
-    /// Total nanoseconds the link was occupied.
-    pub fn busy_nanos(&self) -> u64 {
-        self.busy_nanos.load(Ordering::Relaxed)
-    }
-
-    /// Average achieved bandwidth in bytes/second over occupied time, or 0.0
-    /// if nothing has been transferred.
-    pub fn mean_bandwidth(&self) -> f64 {
-        let busy = self.busy_nanos();
-        if busy == 0 {
-            return 0.0;
-        }
-        self.bytes() as f64 / (busy as f64 / 1e9)
-    }
-}
+pub use xt_telemetry::LinkStats;
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn counters_accumulate() {
+    fn reexported_link_stats_record() {
         let s = LinkStats::new();
-        s.record(1000, 1_000_000);
-        s.record(3000, 3_000_000);
-        assert_eq!(s.bytes(), 4000);
-        assert_eq!(s.transfers(), 2);
-        assert_eq!(s.busy_nanos(), 4_000_000);
-        let bw = s.mean_bandwidth();
-        assert!((bw - 1e6).abs() < 1.0, "bw {bw}");
-    }
-
-    #[test]
-    fn empty_stats_report_zero_bandwidth() {
-        assert_eq!(LinkStats::new().mean_bandwidth(), 0.0);
+        s.record(100, 1_000);
+        assert_eq!(s.bytes(), 100);
+        assert_eq!(s.transfers(), 1);
     }
 }

@@ -1,0 +1,299 @@
+//! Log-bucketed latency histogram.
+//!
+//! Fixed 64 power-of-two buckets over `u64` values (nanoseconds in
+//! practice): bucket `b` covers `[2^b, 2^(b+1))`, with bucket 0 also holding
+//! zero. [`Histogram::record`] is wait-free — a handful of relaxed atomic
+//! ops, no allocation, no lock — which is what lets the communication hot
+//! path stay instrumented permanently.
+//!
+//! The exact sum and count are tracked alongside the buckets, so `mean` is
+//! exact; `quantile` and `cdf_at` interpolate inside a bucket and are
+//! therefore accurate to within one power-of-two bucket (property-tested in
+//! `tests/props.rs`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of buckets; covers the entire `u64` range.
+pub const BUCKETS: usize = 64;
+
+/// Index of the bucket holding `v`: `floor(log2(v))`, with 0 and 1 sharing
+/// bucket 0.
+pub fn bucket_index(v: u64) -> usize {
+    (63 - (v | 1).leading_zeros()) as usize
+}
+
+/// Inclusive lower edge of bucket `b`.
+pub fn bucket_lo(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else {
+        1u64 << b
+    }
+}
+
+/// Exclusive upper edge of bucket `b` (saturates at `u64::MAX` for the top
+/// bucket).
+pub fn bucket_hi(b: usize) -> u64 {
+    if b >= 63 {
+        u64::MAX
+    } else {
+        1u64 << (b + 1)
+    }
+}
+
+/// A concurrent, allocation-free, log-bucketed histogram.
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value. Wait-free, no allocation, no lock.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration as nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Exact sum of all recorded values (wraps only past 2^64 total).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Exact mean, or 0 if empty.
+    pub fn mean(&self) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            0
+        } else {
+            self.sum() / n
+        }
+    }
+
+    /// Smallest recorded value, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        let v = self.min.load(Ordering::Relaxed);
+        if v == u64::MAX && self.is_empty() {
+            0
+        } else {
+            v
+        }
+    }
+
+    /// Largest recorded value, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts (index `b` covers `[bucket_lo(b), bucket_hi(b))`).
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|b| self.buckets[b].load(Ordering::Relaxed))
+    }
+
+    /// The `q`-quantile (0.0 ≤ q ≤ 1.0), linearly interpolated inside the
+    /// bucket holding that rank and clamped to the exact recorded min/max
+    /// (so e.g. p99 never exceeds `max()`); 0 if empty. The estimate always
+    /// lies inside (or on the upper edge of) the bucket containing the exact
+    /// quantile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be within [0, 1]");
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        // Same rank convention as sorting the samples and taking
+        // round(q * (n - 1)).
+        let rank = (q * (total - 1) as f64).round() as u64;
+        let mut seen = 0u64;
+        for (b, &c) in counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if rank < seen + c {
+                let lo = bucket_lo(b) as f64;
+                let hi = bucket_hi(b) as f64;
+                let frac = (rank - seen) as f64 / c as f64;
+                // Interpolation can overshoot the extremes of what was
+                // actually recorded; the exact min/max bound every quantile.
+                let est = (lo + frac * (hi - lo)) as u64;
+                return est.clamp(self.min(), self.max());
+            }
+            seen += c;
+        }
+        self.max()
+    }
+
+    /// Fraction of recorded values ≤ `v` (CDF), interpolating inside the
+    /// bucket containing `v`; 0.0 if empty.
+    pub fn cdf_at(&self, v: u64) -> f64 {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let vb = bucket_index(v);
+        let below: u64 = counts.iter().take(vb).sum();
+        let lo = bucket_lo(vb) as f64;
+        let hi = bucket_hi(vb) as f64;
+        let frac = ((v as f64 - lo + 1.0) / (hi - lo)).clamp(0.0, 1.0);
+        (below as f64 + frac * counts[vb] as f64) / total as f64
+    }
+
+    /// Clears everything back to the empty state. Not atomic with respect to
+    /// concurrent `record`s (counts recorded mid-reset may survive).
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("mean", &self.mean())
+            .field("min", &self.min())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_consistent() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(u64::MAX), 63);
+        for b in 0..BUCKETS {
+            assert_eq!(bucket_index(bucket_lo(b).max(1)), b);
+            if b < 63 {
+                assert_eq!(bucket_index(bucket_hi(b)), b + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let h = Histogram::new();
+        for v in [10_000_000u64, 20_000_000, 30_000_000, 40_000_000, 50_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.mean(), 30_000_000);
+        assert_eq!(h.min(), 10_000_000);
+        assert_eq!(h.max(), 50_000_000);
+    }
+
+    #[test]
+    fn quantile_lands_in_the_right_bucket() {
+        let h = Histogram::new();
+        let samples = [10u64, 20, 30, 40, 50, 1000, 2000, 4000];
+        for &v in &samples {
+            h.record(v);
+        }
+        // Exact median of 8 samples at rank round(0.5*7)=4 is 50.
+        let est = h.quantile(0.5);
+        assert_eq!(bucket_index(est), bucket_index(50));
+        // p0 and p100 collapse to the extreme buckets.
+        assert_eq!(bucket_index(h.quantile(0.0)), bucket_index(10));
+        assert!(h.quantile(1.0) >= 2048, "p100 in the top occupied bucket");
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let mut prev = 0.0;
+        for v in [1u64, 10, 100, 500, 999, 2000] {
+            let c = h.cdf_at(v);
+            assert!((0.0..=1.0).contains(&c));
+            assert!(c >= prev, "cdf must be monotone");
+            prev = c;
+        }
+        assert_eq!(h.cdf_at(u64::MAX), 1.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.cdf_at(100), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let h = Histogram::new();
+        h.record(42);
+        h.reset();
+        assert!(h.is_empty());
+        assert_eq!(h.sum(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be within")]
+    fn quantile_out_of_range_panics() {
+        Histogram::new().quantile(1.5);
+    }
+}

@@ -1,0 +1,192 @@
+//! Named counters, gauges, and histograms.
+//!
+//! The registry takes a lock only on first lookup of a name; the returned
+//! `Arc` handles are cached by callers, so steady-state updates are plain
+//! relaxed atomics — no lock, no allocation.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::hist::Histogram;
+
+/// Monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous level (queue depth, live bytes, credits).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Replaces the level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Moves the level by `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Name-addressed collection of metrics.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<HashMap<String, Arc<Counter>>>,
+    gauges: RwLock<HashMap<String, Arc<Gauge>>>,
+    histograms: RwLock<HashMap<String, Arc<Histogram>>>,
+}
+
+fn get_or_insert<T: Default>(map: &RwLock<HashMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(found) = map.read().unwrap_or_else(|e| e.into_inner()).get(name) {
+        return Arc::clone(found);
+    }
+    let mut map = map.write().unwrap_or_else(|e| e.into_inner());
+    Arc::clone(map.entry(name.to_string()).or_default())
+}
+
+fn sorted_snapshot<T, V>(
+    map: &RwLock<HashMap<String, Arc<T>>>,
+    f: impl Fn(&Arc<T>) -> V,
+) -> Vec<(String, V)> {
+    let mut items: Vec<(String, V)> = map
+        .read()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .map(|(k, v)| (k.clone(), f(v)))
+        .collect();
+    items.sort_by(|a, b| a.0.cmp(&b.0));
+    items
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_insert(&self.counters, name)
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_insert(&self.gauges, name)
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        get_or_insert(&self.histograms, name)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counter_values(&self) -> Vec<(String, u64)> {
+        sorted_snapshot(&self.counters, |c| c.get())
+    }
+
+    /// All gauges, sorted by name.
+    pub fn gauge_values(&self) -> Vec<(String, i64)> {
+        sorted_snapshot(&self.gauges, |g| g.get())
+    }
+
+    /// All histograms (shared handles), sorted by name.
+    pub fn histogram_values(&self) -> Vec<(String, Arc<Histogram>)> {
+        sorted_snapshot(&self.histograms, Arc::clone)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_metric() {
+        let r = Registry::new();
+        let a = r.counter("msgs");
+        let b = r.counter("msgs");
+        a.inc();
+        b.add(4);
+        assert_eq!(r.counter("msgs").get(), 5);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn gauges_move_both_ways() {
+        let r = Registry::new();
+        let g = r.gauge("depth");
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn snapshots_are_sorted_by_name() {
+        let r = Registry::new();
+        r.counter("zeta").inc();
+        r.counter("alpha").add(2);
+        r.histogram("lat").record(5);
+        let counters = r.counter_values();
+        assert_eq!(counters[0].0, "alpha");
+        assert_eq!(counters[1].0, "zeta");
+        assert_eq!(r.histogram_values()[0].1.count(), 1);
+    }
+
+    #[test]
+    fn concurrent_updates_sum_exactly() {
+        let r = Arc::new(Registry::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    let c = r.counter("hits");
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(r.counter("hits").get(), 80_000);
+    }
+}

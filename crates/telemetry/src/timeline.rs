@@ -1,0 +1,104 @@
+//! Consumption-rate timeline (moved here from `xingtian::stats` so every
+//! layer — core, baselines, bench — shares one implementation).
+
+use std::time::Instant;
+
+/// Records (time, steps) consumption events and derives a steps/second
+/// timeline, the quantity plotted in the paper's Figs. 8–10 throughput
+/// panels.
+#[derive(Debug)]
+pub struct ThroughputTimeline {
+    start: Instant,
+    events: Vec<(f64, u64)>,
+}
+
+impl ThroughputTimeline {
+    /// Starts an empty timeline at "now".
+    pub fn new() -> Self {
+        ThroughputTimeline { start: Instant::now(), events: Vec::new() }
+    }
+
+    /// Records that `steps` rollout steps were consumed at "now".
+    pub fn record(&mut self, steps: u64) {
+        self.events.push((self.start.elapsed().as_secs_f64(), steps));
+    }
+
+    /// Records `steps` at an explicit elapsed time (tests, virtual clocks).
+    pub fn record_at(&mut self, elapsed_secs: f64, steps: u64) {
+        self.events.push((elapsed_secs, steps));
+    }
+
+    /// Total steps recorded.
+    pub fn total_steps(&self) -> u64 {
+        self.events.iter().map(|&(_, s)| s).sum()
+    }
+
+    /// Elapsed seconds from creation to the last event (0.0 if empty).
+    pub fn span_secs(&self) -> f64 {
+        self.events.last().map_or(0.0, |&(t, _)| t)
+    }
+
+    /// Mean throughput in steps/second over the recorded span.
+    pub fn mean_throughput(&self) -> f64 {
+        let span = self.span_secs();
+        if span <= 0.0 {
+            return 0.0;
+        }
+        self.total_steps() as f64 / span
+    }
+
+    /// Steps/second aggregated into `bucket_secs`-wide buckets, as `(bucket
+    /// start time, steps/s)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_secs` is not positive.
+    pub fn series(&self, bucket_secs: f64) -> Vec<(f64, f64)> {
+        assert!(bucket_secs > 0.0, "bucket width must be positive");
+        let span = self.span_secs();
+        if span <= 0.0 {
+            return Vec::new();
+        }
+        let buckets = (span / bucket_secs).ceil() as usize;
+        let mut sums = vec![0u64; buckets.max(1)];
+        for &(t, s) in &self.events {
+            let b = ((t / bucket_secs) as usize).min(sums.len() - 1);
+            sums[b] += s;
+        }
+        sums.iter()
+            .enumerate()
+            .map(|(i, &s)| (i as f64 * bucket_secs, s as f64 / bucket_secs))
+            .collect()
+    }
+}
+
+impl Default for ThroughputTimeline {
+    fn default() -> Self {
+        ThroughputTimeline::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_totals_and_series() {
+        let mut t = ThroughputTimeline::new();
+        t.record_at(0.5, 100);
+        t.record_at(1.5, 300);
+        t.record_at(1.9, 100);
+        assert_eq!(t.total_steps(), 500);
+        let series = t.series(1.0);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0], (0.0, 100.0));
+        assert_eq!(series[1], (1.0, 400.0));
+    }
+
+    #[test]
+    fn empty_timeline_is_zero() {
+        let t = ThroughputTimeline::new();
+        assert_eq!(t.mean_throughput(), 0.0);
+        assert!(t.series(1.0).is_empty());
+    }
+}

@@ -1,0 +1,163 @@
+//! Property tests for the log-bucketed histogram and a deterministic
+//! virtual-clock test of span assembly under concurrent ring writers.
+
+use proptest::prelude::*;
+use xt_telemetry::hist::{bucket_hi, bucket_index, bucket_lo};
+use xt_telemetry::{EventKind, Histogram, Telemetry};
+
+/// Exact quantile of a sorted sample, using the histogram's rank convention:
+/// `round(q * (n - 1))`, 0-indexed.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+proptest! {
+    /// The histogram's quantile estimate must land inside the power-of-two
+    /// bucket that holds the exact quantile — never farther off.
+    #[test]
+    fn quantile_is_within_one_bucket_of_exact(
+        mut values in proptest::collection::vec(0u64..1_000_000_000, 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let exact = exact_quantile(&values, q);
+        let est = h.quantile(q);
+        let b = bucket_index(exact);
+        prop_assert!(
+            est >= bucket_lo(b) && est <= bucket_hi(b),
+            "estimate {est} outside bucket [{}, {}] of exact {exact}",
+            bucket_lo(b),
+            bucket_hi(b),
+        );
+    }
+
+    /// Mean is exact (tracked as an atomic sum, not reconstructed from
+    /// buckets).
+    #[test]
+    fn mean_is_exact(values in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let exact = values.iter().sum::<u64>() / values.len() as u64;
+        prop_assert_eq!(h.mean(), exact);
+    }
+
+    /// The CDF is monotone non-decreasing and hits 1.0 at the maximum.
+    #[test]
+    fn cdf_is_monotone(values in proptest::collection::vec(1u64..1_000_000, 1..100)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let max = *values.iter().max().unwrap();
+        let mut points = vec![0u64, 1, 10, 1_000, 100_000, max, max + 1, u64::MAX];
+        points.sort_unstable();
+        let mut prev = 0.0f64;
+        for p in points {
+            let c = h.cdf_at(p);
+            prop_assert!(c >= prev, "cdf regressed at {p}: {c} < {prev}");
+            prev = c;
+        }
+        prop_assert!((h.cdf_at(u64::MAX) - 1.0).abs() < 1e-9);
+    }
+}
+
+/// Deterministic virtual-clock test: events stamped from a netsim virtual
+/// cluster clock by several concurrent writer threads must assemble into
+/// spans whose events come out in lifecycle order with the exact simulated
+/// timestamps.
+#[test]
+fn virtual_clock_spans_order_events_under_concurrent_writers() {
+    use netsim::{Cluster, ClusterSpec};
+
+    let cluster = Cluster::new(ClusterSpec::default().machines(2).virtual_time(true));
+    let telemetry = Telemetry::with_time_source(1 << 12, cluster.time_source());
+
+    // Each writer thread walks its own set of messages through the full
+    // lifecycle, stamping explicit virtual timestamps. Threads interleave
+    // arbitrarily; timestamps are deterministic functions of (msg, stage).
+    const WRITERS: u64 = 4;
+    const MSGS_PER_WRITER: u64 = 50;
+    let stages = [
+        EventKind::SendEnqueued,
+        EventKind::StoreInserted,
+        EventKind::Routed,
+        EventKind::Fetched,
+        EventKind::Consumed,
+    ];
+    let handles: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let telemetry = telemetry.clone();
+            std::thread::spawn(move || {
+                for m in 0..MSGS_PER_WRITER {
+                    let msg_id = w * MSGS_PER_WRITER + m;
+                    for (s, &kind) in stages.iter().enumerate() {
+                        // 100 ns per stage, 1 µs per message: disjoint and
+                        // strictly increasing along each lifecycle.
+                        let t = msg_id * 1_000 + s as u64 * 100;
+                        telemetry.emit_at(kind, msg_id, 0, t);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let spans = telemetry.spans();
+    assert_eq!(spans.len(), (WRITERS * MSGS_PER_WRITER) as usize);
+    assert_eq!(telemetry.dropped_events(), 0, "ring sized to hold everything");
+    for (i, span) in spans.iter().enumerate() {
+        // Spans come back ordered by first timestamp = msg id here.
+        assert_eq!(span.msg_id, i as u64);
+        let kinds: Vec<EventKind> = span.events.iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, stages.to_vec(), "lifecycle order for msg {i}");
+        assert!(
+            span.events.windows(2).all(|w| w[0].t_nanos < w[1].t_nanos),
+            "timestamps strictly increasing for msg {i}"
+        );
+        assert_eq!(span.serialize_nanos, Some(100));
+        assert_eq!(span.store_nanos, Some(100));
+        assert_eq!(span.route_nanos, Some(100));
+        assert_eq!(span.wait_nanos, Some(100));
+        assert_eq!(span.total_nanos, 400);
+        assert!(span.is_complete());
+    }
+}
+
+/// The cluster clock's transfer receipts and `emit`-stamped events share one
+/// timeline: an event emitted after a virtual transfer completes must carry a
+/// timestamp at or past the receipt's end.
+#[test]
+fn cluster_receipts_and_emitted_events_share_the_timeline() {
+    use netsim::{Cluster, ClusterSpec};
+
+    let cluster = Cluster::new(
+        ClusterSpec::default().machines(2).nic_bandwidth(1e6).latency_secs(0.0).virtual_time(true),
+    );
+    let telemetry = Telemetry::with_time_source(1 << 8, cluster.time_source());
+
+    telemetry.emit(EventKind::SendEnqueued, 1, 0);
+    let receipt = cluster.transfer(0, 1, 1_000_000); // 1 s at 1 MB/s
+    telemetry.emit_at(EventKind::NicTxStart, 1, 0, receipt.start_nanos);
+    telemetry.emit_at(EventKind::NicTxEnd, 1, 0, receipt.end_nanos);
+    telemetry.emit(EventKind::Fetched, 1, 0);
+
+    let spans = telemetry.spans();
+    assert_eq!(spans.len(), 1);
+    let span = &spans[0];
+    assert_eq!(span.nic_nanos, Some(1_000_000_000));
+    let fetched = span.first(EventKind::Fetched).unwrap();
+    assert!(
+        fetched >= receipt.end_nanos,
+        "emit after the transfer must stamp at/past the receipt end ({fetched} < {})",
+        receipt.end_nanos
+    );
+}

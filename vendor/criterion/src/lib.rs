@@ -1,0 +1,327 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock benchmarking harness exposing the API surface the
+//! workspace's benches use. Mode selection mirrors real criterion:
+//!
+//! * `cargo bench` passes `--bench` → **measure mode**: calibrate an
+//!   iteration count per sample, take `sample_size` samples, report the
+//!   mean/min/max time per iteration (plus throughput when declared);
+//! * no `--bench`, or an explicit `--test` (as in `cargo bench -- --test` or
+//!   `cargo test`) → **smoke mode**: run every benchmark body once so the
+//!   code paths are exercised without burning time.
+//!
+//! There are no statistics beyond mean/min/max and no plots; numbers are
+//! printed to stdout in a stable single-line format.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock spent measuring one benchmark (all samples together).
+const MEASURE_BUDGET: Duration = Duration::from_millis(900);
+
+/// The benchmark driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    test_mode: bool,
+    default_sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { test_mode: true, default_sample_size: 100, filter: None }
+    }
+}
+
+impl Criterion {
+    /// Applies CLI mode flags the way cargo invokes bench binaries:
+    /// `--bench` selects measure mode, `--test` forces smoke mode, and the
+    /// first free argument is a substring filter on benchmark names.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut measure = false;
+        let mut test = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => measure = true,
+                "--test" => test = true,
+                s if !s.starts_with('-') && self.filter.is_none() => {
+                    self.filter = Some(s.to_string());
+                }
+                _ => {}
+            }
+        }
+        self.test_mode = test || !measure;
+        self
+    }
+
+    /// Overrides the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.default_sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        self.run(name.to_string(), sample_size, None, &mut f);
+        self
+    }
+
+    fn run<F>(&self, id: String, sample_size: usize, throughput: Option<Throughput>, f: &mut F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.test_mode {
+            let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+            f(&mut b);
+            println!("test {id} ... ok (smoke)");
+            return;
+        }
+
+        // Calibrate: time a single iteration, then size each sample so the
+        // whole benchmark fits the measurement budget.
+        let mut calib = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut calib);
+        let per_iter = calib.elapsed.max(Duration::from_nanos(1));
+        let budget_per_sample = MEASURE_BUDGET / sample_size.max(1) as u32;
+        let iters_per_sample =
+            (budget_per_sample.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut samples = Vec::with_capacity(sample_size);
+        for _ in 0..sample_size {
+            let mut b = Bencher { iters: iters_per_sample, elapsed: Duration::ZERO };
+            f(&mut b);
+            samples.push(b.elapsed.as_secs_f64() / iters_per_sample as f64);
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(0.0f64, f64::max);
+        let rate = throughput
+            .map(|t| match t {
+                Throughput::Bytes(n) => format!("  {}/s", human_bytes(n as f64 / mean)),
+                Throughput::Elements(n) => format!("  {:.0} elem/s", n as f64 / mean),
+            })
+            .unwrap_or_default();
+        println!(
+            "bench {id:<48} {:>12}/iter  [min {} max {}]{rate}",
+            human_time(mean),
+            human_time(min),
+            human_time(max),
+        );
+    }
+
+    /// Prints the closing line (called by `criterion_main!`).
+    pub fn final_summary(&self) {
+        if self.test_mode {
+            println!("(criterion smoke mode: each benchmark body ran once)");
+        }
+    }
+}
+
+fn human_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+fn human_bytes(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2} GiB", rate / (1u64 << 30) as f64)
+    } else if rate >= 1e6 {
+        format!("{:.2} MiB", rate / (1u64 << 20) as f64)
+    } else {
+        format!("{:.2} KiB", rate / 1024.0)
+    }
+}
+
+/// One group of benchmarks sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    criterion: &'a Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares input volume so the report includes a rate.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, name: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, name.into_benchmark_id());
+        self.criterion.run(id, self.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.into_benchmark_id());
+        self.criterion.run(id, self.sample_size, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush offline).
+    pub fn finish(&mut self) {}
+}
+
+/// Times the closure handed to [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for the harness-chosen number of iterations, timing the
+    /// whole batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A benchmark name with an attached parameter, e.g. `insert_fetch/4096`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Declared input volume for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Declares a benchmark group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Declares `main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_body_once() {
+        let mut c = Criterion::default();
+        let mut runs = 0u32;
+        c.bench_function("counts_runs", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        assert_eq!(runs, 1, "smoke mode runs the body exactly once");
+    }
+
+    #[test]
+    fn group_settings_chain() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).throughput(Throughput::Bytes(1024));
+        group.bench_with_input(BenchmarkId::new("id", 7), &3u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn human_units_render() {
+        assert!(human_time(5e-9).contains("ns"));
+        assert!(human_time(5e-5).contains("µs"));
+        assert!(human_time(5e-2).contains("ms"));
+        assert!(human_bytes(2e9).contains("GiB"));
+    }
+}

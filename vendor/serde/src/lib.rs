@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! Supplies marker traits and (behind the `derive` feature) the inert
+//! `Serialize`/`Deserialize` derives from the vendored `serde_derive`. No
+//! actual serialization happens offline; the traits exist so bounds and
+//! derive attributes in the workspace keep compiling unchanged.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that could be serialized (no-op offline).
+pub trait Serialize {}
+
+/// Marker for types that could be deserialized (no-op offline).
+pub trait Deserialize<'de>: Sized {}
+
+impl<T: ?Sized> Serialize for T {}
+
+impl<'de, T> Deserialize<'de> for T {}

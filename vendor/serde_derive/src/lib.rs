@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as type-level
+//! annotation (no wire format is ever produced offline), so both derives
+//! expand to nothing. Registering the `serde` helper attribute keeps field
+//! annotations such as `#[serde(skip)]` inert instead of a compile error.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
