@@ -16,8 +16,14 @@ cargo build --release --workspace
 echo "== tier-1: tests (workspace) =="
 cargo test -q --workspace
 
+echo "== bench gate: every bench target compiles =="
+cargo bench --no-run --workspace
+
 echo "== bench smoke: channel + telemetry micro-benches compile and run =="
 cargo bench -p xt-bench --bench channel -- --test
 cargo bench -p xt-bench --bench telemetry -- --test
+
+echo "== release smoke: lz4/chunk differential round-trip tests =="
+cargo test --release -q -p xingtian-message --test differential
 
 echo "ci.sh: all green"

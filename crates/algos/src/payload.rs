@@ -39,6 +39,15 @@ impl Encode for RolloutStep {
         self.value.encode(out);
         self.next_observation.encode(out);
     }
+    fn encoded_size(&self) -> usize {
+        self.observation.encoded_size()
+            + self.action.encoded_size()
+            + self.reward.encoded_size()
+            + self.done.encoded_size()
+            + self.behavior_logits.encoded_size()
+            + self.value.encoded_size()
+            + self.next_observation.encoded_size()
+    }
 }
 
 impl Decode for RolloutStep {
@@ -91,6 +100,13 @@ impl Encode for RolloutBatch {
         }
         self.bootstrap_observation.encode(out);
     }
+    fn encoded_size(&self) -> usize {
+        self.explorer.encoded_size()
+            + self.param_version.encoded_size()
+            + self.steps.len().encoded_size()
+            + self.steps.iter().map(Encode::encoded_size).sum::<usize>()
+            + self.bootstrap_observation.encoded_size()
+    }
 }
 
 impl Decode for RolloutBatch {
@@ -123,6 +139,9 @@ impl Encode for ParamBlob {
     fn encode(&self, out: &mut Vec<u8>) {
         self.version.encode(out);
         self.params.encode(out);
+    }
+    fn encoded_size(&self) -> usize {
+        self.version.encoded_size() + self.params.encoded_size()
     }
 }
 

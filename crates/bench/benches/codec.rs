@@ -46,6 +46,9 @@ fn bench_codec(c: &mut Criterion) {
     group.bench_function("decode_params_450k", |b| {
         b.iter(|| ParamBlob::from_bytes(&blob_bytes).unwrap())
     });
+    // Baseline: a plain memcpy of the same bytes. The acceptance bar for the
+    // zero-copy decode path is to land within 1.5x of this.
+    group.bench_function("memcpy_params_450k", |b| b.iter(|| blob_bytes.to_vec()));
     group.finish();
 }
 

@@ -17,8 +17,18 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use xingtian_message::{compress_body_with_threshold, Header, Message, ProcessId};
+use xingtian_message::{Body, CompressionKind, Header, Message, ProcessId};
 use xt_telemetry::{EventKind, Telemetry};
+
+/// A large body handed to the broker's compression offload thread: the
+/// sender thread returns the moment this is enqueued, so one 40 MB parameter
+/// blob no longer head-of-line blocks every message queued behind it.
+#[derive(Debug)]
+struct OffloadJob {
+    header: Header,
+    body: Body,
+    fanout: usize,
+}
 
 #[derive(Debug)]
 pub(crate) struct BrokerShared {
@@ -29,6 +39,7 @@ pub(crate) struct BrokerShared {
     pub(crate) table: Arc<RoutingTable>,
     pub(crate) telemetry: Telemetry,
     comm_tx: Mutex<Option<Sender<Header>>>,
+    offload_tx: Mutex<Option<Sender<OffloadJob>>>,
     uplinks: Arc<Mutex<HashMap<MachineId, Sender<RemoteEnvelope>>>>,
     threads: Mutex<Vec<JoinHandle<()>>>,
 }
@@ -92,6 +103,45 @@ impl Broker {
                 .spawn(move || run_router(machine, comm_rx, store, table, uplinks, telemetry))
                 .expect("spawn router thread")
         };
+        // Compression offload thread: large bodies are chunk-compressed here
+        // (fanning across the shared worker pool) instead of inside the
+        // sender thread that submitted them. It holds its own clone of
+        // `comm_tx`, so shutdown must close the offload queue first — the
+        // router's queue only disconnects once this thread exits.
+        let (offload_tx, offload_rx) = unbounded::<OffloadJob>();
+        let offload = {
+            let store = Arc::clone(&store);
+            let comm_tx = comm_tx.clone();
+            let telemetry = telemetry.clone();
+            std::thread::Builder::new()
+                .name(format!("xt-compress-m{machine}"))
+                .spawn(move || {
+                    let compress_ns = telemetry.histogram("comm.compress_ns");
+                    let compress_ratio = telemetry.histogram("comm.compress_ratio");
+                    let pool = crate::pool::shared_pool();
+                    while let Ok(OffloadJob { mut header, body, fanout }) = offload_rx.recv() {
+                        let raw_len = body.len();
+                        let start = std::time::Instant::now();
+                        let container = crate::pool::compress_chunked_parallel(pool, &body);
+                        compress_ns.record_duration(start.elapsed());
+                        let body = if container.len() < raw_len {
+                            header.compression = CompressionKind::Lz4Chunked;
+                            Body::from(container)
+                        } else {
+                            body
+                        };
+                        // Stored-vs-raw size in percent (100 = incompressible).
+                        compress_ratio.record((body.len() * 100 / raw_len.max(1)) as u64);
+                        let stored_len = body.len() as u64;
+                        header.object_id = Some(store.insert(body, fanout));
+                        telemetry.emit(EventKind::StoreInserted, header.id, stored_len);
+                        if comm_tx.send(header).is_err() {
+                            break; // router gone: broker is shutting down
+                        }
+                    }
+                })
+                .expect("spawn compression offload thread")
+        };
         Broker {
             shared: Arc::new(BrokerShared {
                 machine,
@@ -101,8 +151,9 @@ impl Broker {
                 table,
                 telemetry,
                 comm_tx: Mutex::new(Some(comm_tx)),
+                offload_tx: Mutex::new(Some(offload_tx)),
                 uplinks,
-                threads: Mutex::new(vec![router]),
+                threads: Mutex::new(vec![router, offload]),
             }),
         }
     }
@@ -169,6 +220,13 @@ impl Broker {
     /// config, stores it with the correct fan-out, and enqueues the header for
     /// the router. Returns `false` if the broker is shut down or the message
     /// has no routable destination.
+    ///
+    /// Bodies above the compression threshold are handed to the broker's
+    /// offload thread and compressed there (chunk-parallel), so this returns
+    /// as soon as the job is enqueued — the calling sender thread is never
+    /// blocked behind a multi-MB compression. Messages that take the offload
+    /// path may be stored after smaller messages submitted later; per-sender
+    /// FIFO is preserved among same-path messages.
     pub fn submit(&self, msg: Message) -> bool {
         let Message { mut header, body } = msg;
         let (local, remote) = self.shared.table.split(self.shared.machine, &header.dst);
@@ -176,14 +234,15 @@ impl Broker {
         if fanout == 0 {
             return false;
         }
-        let body = match self.shared.config.compression {
-            Compression::Off => body,
-            Compression::Threshold(t) => {
-                let (body, compressed) = compress_body_with_threshold(body, t);
-                header.compressed = compressed;
-                body
+        if let Compression::Threshold(t) = self.shared.config.compression {
+            if body.len() > t {
+                let guard = self.shared.offload_tx.lock();
+                return match guard.as_ref() {
+                    Some(tx) => tx.send(OffloadJob { header, body, fanout }).is_ok(),
+                    None => false,
+                };
             }
-        };
+        }
         // Control-plane traffic (lifecycle commands, statistics) bypasses the
         // segment's capacity gate: it must flow even when the data plane is
         // fully back-pressured, or a stalled learner could never be shut down.
@@ -215,10 +274,15 @@ impl Broker {
         self.shared.threads.lock().push(handle);
     }
 
-    /// Shuts the broker down: closes the communicator queue and all uplinks,
-    /// then joins the router and uplink threads. In-flight messages already
-    /// routed to ID queues remain fetchable by receivers. Idempotent.
+    /// Shuts the broker down: closes the offload and communicator queues and
+    /// all uplinks, then joins the offload, router, and uplink threads.
+    /// In-flight messages already routed to ID queues remain fetchable by
+    /// receivers. Idempotent.
     pub fn shutdown(&self) {
+        // Offload queue first: the offload thread holds a `comm_tx` clone, so
+        // the router only observes disconnect after that thread drains and
+        // exits. (Joins below enforce the ordering.)
+        self.shared.offload_tx.lock().take();
         self.shared.comm_tx.lock().take();
         self.shared.uplinks.lock().clear();
         let threads: Vec<_> = self.shared.threads.lock().drain(..).collect();

@@ -23,7 +23,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
-use xingtian_message::{decompress_body, Body, Header, Message, MessageKind, ProcessId};
+use xingtian_message::{decompress_body, Body, CompressionKind, Header, Message, MessageKind, ProcessId};
 use xt_telemetry::{EventKind, Telemetry};
 
 /// A process's handle on the asynchronous communication channel.
@@ -90,6 +90,7 @@ impl Endpoint {
             let messages_received = Arc::clone(&messages_received);
             let telemetry = telemetry.clone();
             let delivery_hist = telemetry.histogram("comm.delivery_ns");
+            let decompress_hist = telemetry.histogram("comm.decompress_ns");
             let handle = std::thread::Builder::new()
                 .name(format!("xt-recv-{pid}"))
                 .spawn(move || {
@@ -112,10 +113,25 @@ impl Endpoint {
                         // paper's "zero-copy communication among processes".
                         // Compressed bodies decompress into a fresh local
                         // buffer here.
-                        let body: Body = if header.compressed {
-                            match decompress_body(&body) {
+                        let body: Body = if header.compression.is_compressed() {
+                            let start = std::time::Instant::now();
+                            // Chunked bodies fan their frames across the
+                            // shared worker pool; legacy single-block bodies
+                            // (and any future kinds) take the serial decoder.
+                            let result = match header.compression {
+                                CompressionKind::Lz4Chunked => {
+                                    crate::pool::decompress_chunked_parallel(
+                                        crate::pool::shared_pool(),
+                                        &body,
+                                    )
+                                    .map(Body::from)
+                                }
+                                kind => decompress_body(&body, kind),
+                            };
+                            match result {
                                 Ok(raw) => {
-                                    header.compressed = false;
+                                    decompress_hist.record_duration(start.elapsed());
+                                    header.compression = CompressionKind::None;
                                     raw
                                 }
                                 Err(_) => continue, // corrupt body: drop
@@ -161,11 +177,13 @@ impl Endpoint {
     /// Returns `false` if the endpoint has been closed.
     pub fn send(&self, msg: Message) -> bool {
         let (id, len) = (msg.header.id, msg.body.len() as u64);
-        let ok = self.send_buf.push(msg);
-        if ok {
-            self.telemetry.emit(EventKind::SendEnqueued, id, len);
-        }
-        ok
+        // Stamp before the push: once the message is in the buffer the drain
+        // thread can complete the whole lifecycle (advancing the virtual
+        // clock across the NIC) before this thread runs again, which would
+        // give SendEnqueued a later timestamp than StoreInserted..Fetched.
+        // A closed endpoint leaves one stray SendEnqueued (incomplete span).
+        self.telemetry.emit(EventKind::SendEnqueued, id, len);
+        self.send_buf.push(msg)
     }
 
     /// Convenience: builds and sends a message from this endpoint.
@@ -305,7 +323,7 @@ mod tests {
         let payload = Bytes::from(vec![3u8; 4 * 1024 * 1024]); // > 1 MiB threshold
         e.send_to(vec![ProcessId::learner(0)], MessageKind::Rollout, payload.clone());
         let m = l.recv_timeout(Duration::from_secs(5)).expect("delivered");
-        assert!(!m.header.compressed);
+        assert_eq!(m.header.compression, CompressionKind::None);
         assert_eq!(m.body, payload);
         broker.shutdown();
     }

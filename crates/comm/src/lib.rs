@@ -55,6 +55,7 @@
 pub mod broker;
 pub mod buffer;
 pub mod endpoint;
+pub mod pool;
 pub mod router;
 pub mod stats;
 pub mod store;
@@ -62,6 +63,7 @@ pub mod store;
 pub use broker::{connect_brokers, Broker};
 pub use buffer::Buffer;
 pub use endpoint::Endpoint;
+pub use pool::WorkPool;
 pub use stats::TransmissionStats;
 pub use store::{ObjectId, ObjectStore};
 

@@ -1,0 +1,272 @@
+//! Shared worker pool for chunk-parallel LZ4 (de)compression.
+//!
+//! The chunk container (`xingtian_message::chunk`) makes every 256 KiB span of
+//! a large body an independent LZ4 frame; this module supplies the threads
+//! that crunch those frames concurrently. One process-wide [`WorkPool`]
+//! (sized to the machine, capped at 8) is shared by all brokers — compression
+//! jobs from the broker's offload thread and decompression jobs from every
+//! endpoint receiver thread interleave on the same workers.
+//!
+//! Only *leaf* chunk jobs ever enter the pool; the orchestrating thread
+//! (offload or receiver) never blocks inside a pool slot. Instead it
+//! participates in the partition itself — every `(workers + 1)`-th chunk is
+//! processed inline by the caller — so a pool saturated by another message
+//! can delay a caller but never deadlock it, and on a single-core machine
+//! the caller simply does all the work itself.
+
+use bytes::Bytes;
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use std::sync::OnceLock;
+use xingtian_message::chunk::{self, ChunkError, ChunkedBuilder};
+use xingtian_message::lz4;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed set of detached worker threads consuming chunk jobs from an
+/// unbounded queue. Workers exit when the pool (all senders) is dropped;
+/// the process-wide [`shared_pool`] lives for the program's lifetime.
+pub struct WorkPool {
+    tx: Sender<Job>,
+    workers: usize,
+}
+
+impl std::fmt::Debug for WorkPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkPool").field("workers", &self.workers).finish_non_exhaustive()
+    }
+}
+
+impl WorkPool {
+    /// Starts `workers.max(1)` worker threads named `xt-lz4-{i}`.
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (tx, rx) = unbounded::<Job>();
+        for w in 0..workers {
+            let rx: Receiver<Job> = rx.clone();
+            std::thread::Builder::new()
+                .name(format!("xt-lz4-{w}"))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        job();
+                    }
+                })
+                .expect("spawn lz4 worker thread");
+        }
+        WorkPool { tx, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    fn submit(&self, job: Job) {
+        assert!(self.tx.send(job).is_ok(), "lz4 worker pool alive");
+    }
+}
+
+/// The process-wide pool, created on first use and sized to
+/// `available_parallelism` (capped at 8 — chunk jobs are memory-bandwidth
+/// bound well before that).
+pub fn shared_pool() -> &'static WorkPool {
+    static POOL: OnceLock<WorkPool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let n = std::thread::available_parallelism().map_or(1, |n| n.get());
+        WorkPool::new(n.clamp(1, 8))
+    })
+}
+
+/// Compresses `body` into a chunk container, fanning the per-chunk LZ4 work
+/// across `pool` while the calling thread compresses its own share.
+///
+/// The output is byte-identical to [`chunk::compress_chunked`] of the same
+/// input: chunking is deterministic and each frame depends only on its own
+/// span. Like the serial path, the container is returned even when it is not
+/// smaller than `body` (per-chunk raw fallback bounds the overhead); callers
+/// decide whether to keep it.
+pub fn compress_chunked_parallel(pool: &WorkPool, body: &Bytes) -> Vec<u8> {
+    let spans: Vec<_> = chunk::chunk_spans(body.len()).collect();
+    if spans.len() <= 1 {
+        return chunk::compress_chunked(body);
+    }
+    let stride = pool.workers() + 1;
+    let (res_tx, res_rx) = unbounded::<(usize, Vec<u8>)>();
+    let mut offloaded = 0usize;
+    for (idx, span) in spans.iter().enumerate() {
+        if idx % stride == 0 {
+            continue; // caller's share
+        }
+        // A `Bytes` clone shares the buffer (no copy); the worker indexes the
+        // span itself. `lz4::compress` reuses the worker's thread-local
+        // context, so steady-state jobs allocate only their output.
+        let body = body.clone();
+        let span = span.clone();
+        let res_tx = res_tx.clone();
+        offloaded += 1;
+        pool.submit(Box::new(move || {
+            let _ = res_tx.send((idx, lz4::compress(&body[span])));
+        }));
+    }
+    let mut frames: Vec<Option<Vec<u8>>> = vec![None; spans.len()];
+    let mut ctx = lz4::CompressContext::new();
+    for (idx, span) in spans.iter().enumerate() {
+        if idx % stride == 0 {
+            frames[idx] = Some(ctx.compress(&body[span.clone()]));
+        }
+    }
+    for _ in 0..offloaded {
+        let (idx, frame) = res_rx.recv().expect("lz4 worker delivered its frame");
+        frames[idx] = Some(frame);
+    }
+    let mut builder = ChunkedBuilder::new(body.len());
+    for (idx, span) in spans.iter().enumerate() {
+        builder.push_chunk(&body[span.clone()], frames[idx].as_deref());
+    }
+    builder.finish()
+}
+
+/// Decompresses a chunk container, fanning compressed frames across `pool`
+/// while the calling thread decodes its own share. Raw-stored chunks are
+/// copied during assembly (they need no decode work).
+///
+/// Workers decode into private buffers rather than disjoint slices of the
+/// final body: the wild-copy decompressor may overshoot its logical end by up
+/// to a word, which is harmless slop in a private buffer but would race with
+/// a neighboring chunk's writer in a shared one.
+///
+/// # Errors
+///
+/// Any [`ChunkError`]; all in-flight chunk results are collected before an
+/// error returns, so no worker is left writing into freed state.
+pub fn decompress_chunked_parallel(pool: &WorkPool, body: &Bytes) -> Result<Vec<u8>, ChunkError> {
+    let parsed = chunk::parse_chunked(body)?;
+    let compressed_idx: Vec<usize> = (0..parsed.chunks.len())
+        .filter(|&i| parsed.chunks[i].compressed)
+        .collect();
+    if compressed_idx.len() <= 1 {
+        return chunk::decompress_chunked(body);
+    }
+    let stride = pool.workers() + 1;
+    let (res_tx, res_rx) = unbounded::<(usize, Result<Vec<u8>, ChunkError>)>();
+    let mut offloaded = 0usize;
+    for (j, &idx) in compressed_idx.iter().enumerate() {
+        if j % stride == 0 {
+            continue; // caller's share
+        }
+        let body = body.clone();
+        let payload = parsed.chunks[idx].payload.clone();
+        let uncompressed_len = parsed.chunks[idx].uncompressed_len;
+        let res_tx = res_tx.clone();
+        offloaded += 1;
+        pool.submit(Box::new(move || {
+            let result =
+                lz4::decompress_sized(&body[payload], uncompressed_len).map_err(ChunkError::from);
+            let _ = res_tx.send((idx, result));
+        }));
+    }
+    let mut decoded: Vec<Option<Vec<u8>>> = vec![None; parsed.chunks.len()];
+    let mut first_err: Option<ChunkError> = None;
+    for (j, &idx) in compressed_idx.iter().enumerate() {
+        if j % stride == 0 {
+            match lz4::decompress_sized(
+                &body[parsed.chunks[idx].payload.clone()],
+                parsed.chunks[idx].uncompressed_len,
+            ) {
+                Ok(buf) => decoded[idx] = Some(buf),
+                Err(e) => first_err = first_err.or(Some(ChunkError::from(e))),
+            }
+        }
+    }
+    for _ in 0..offloaded {
+        let (idx, result) = res_rx.recv().expect("lz4 worker delivered its result");
+        match result {
+            Ok(buf) => decoded[idx] = Some(buf),
+            Err(e) => first_err = first_err.or(Some(e)),
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    // Assemble: every chunk covers a disjoint span and the spans sum to
+    // total_len (validated by parse_chunked + decompress_sized), so each
+    // output byte is written exactly once.
+    let mut out: Vec<u8> = Vec::with_capacity(parsed.total_len);
+    unsafe {
+        let base = out.as_mut_ptr();
+        for (idx, chunk) in parsed.chunks.iter().enumerate() {
+            let src: &[u8] = match &decoded[idx] {
+                Some(buf) => buf,
+                None => &body[chunk.payload.clone()], // raw-stored chunk
+            };
+            debug_assert_eq!(src.len(), chunk.uncompressed_len);
+            std::ptr::copy_nonoverlapping(src.as_ptr(), base.add(chunk.output_offset), src.len());
+        }
+        out.set_len(parsed.total_len);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xingtian_message::chunk::CHUNK_SIZE;
+
+    fn mixed_payload(len: usize) -> Bytes {
+        // Alternating compressible / incompressible chunks so both the
+        // lz4-frame and raw-stored assembly paths run.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let data: Vec<u8> = (0..len)
+            .map(|i| {
+                if (i / CHUNK_SIZE) % 2 == 0 {
+                    (i % 13) as u8
+                } else {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    (state & 0xff) as u8
+                }
+            })
+            .collect();
+        Bytes::from(data)
+    }
+
+    #[test]
+    fn parallel_compress_matches_serial_bytes() {
+        let pool = WorkPool::new(3);
+        for len in [100usize, CHUNK_SIZE, 4 * CHUNK_SIZE + 17, 9 * CHUNK_SIZE] {
+            let body = mixed_payload(len);
+            let parallel = compress_chunked_parallel(&pool, &body);
+            let serial = chunk::compress_chunked(&body);
+            assert_eq!(parallel, serial, "len {len}");
+        }
+    }
+
+    #[test]
+    fn parallel_decompress_round_trips() {
+        let pool = WorkPool::new(3);
+        for len in [0usize, 1, CHUNK_SIZE + 1, 7 * CHUNK_SIZE + 123] {
+            let body = mixed_payload(len);
+            let container = Bytes::from(compress_chunked_parallel(&pool, &body));
+            let restored = decompress_chunked_parallel(&pool, &container).unwrap();
+            assert_eq!(Bytes::from(restored), body, "len {len}");
+        }
+    }
+
+    #[test]
+    fn parallel_decompress_rejects_corrupt_container() {
+        let pool = WorkPool::new(2);
+        let body = Bytes::from(vec![5u8; 4 * CHUNK_SIZE]);
+        let mut container = compress_chunked_parallel(&pool, &body);
+        container.truncate(container.len() - 1); // lose the final frame byte
+        let container = Bytes::from(container);
+        assert!(decompress_chunked_parallel(&pool, &container).is_err());
+    }
+
+    #[test]
+    fn shared_pool_is_singleton() {
+        let a = shared_pool() as *const WorkPool;
+        let b = shared_pool() as *const WorkPool;
+        assert_eq!(a, b);
+        assert!(shared_pool().workers() >= 1);
+    }
+}

@@ -15,6 +15,9 @@ impl Encode for ControlCommand {
             ControlCommand::Shutdown => out.push(0),
         }
     }
+    fn encoded_size(&self) -> usize {
+        1
+    }
 }
 
 impl Decode for ControlCommand {
@@ -48,6 +51,11 @@ impl Encode for StatsMsg {
         self.source.encode(out);
         self.steps.encode(out);
         self.episode_returns.encode(out);
+    }
+    fn encoded_size(&self) -> usize {
+        self.source.encoded_size()
+            + self.steps.encoded_size()
+            + self.episode_returns.encoded_size()
     }
 }
 

@@ -93,6 +93,12 @@ impl<'a> Reader<'a> {
             if shift >= 64 {
                 return Err(DecodeError::VarintOverflow);
             }
+            // The 10th byte (shift 63) contributes a single bit; any higher
+            // payload bits would be shifted out of range. `<< 63` would drop
+            // them silently, decoding a wrong value — reject instead.
+            if shift == 63 && (b & 0x7e) != 0 {
+                return Err(DecodeError::VarintOverflow);
+            }
             out |= u64::from(b & 0x7f) << shift;
             if b & 0x80 == 0 {
                 return Ok(out);
@@ -124,15 +130,29 @@ pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
     }
 }
 
+/// Exact number of bytes [`write_varint`] emits for `v`.
+pub const fn varint_len(v: u64) -> usize {
+    // ceil(bits / 7), with 0 taking one byte.
+    (64 - (v | 1).leading_zeros() as usize).div_ceil(7)
+}
+
 /// Types that can serialize themselves into the codec's binary format.
 pub trait Encode {
     /// Appends the encoded form of `self` to `out`.
     fn encode(&self, out: &mut Vec<u8>);
 
-    /// Convenience: encodes into a fresh buffer.
+    /// Exact number of bytes [`encode`](Encode::encode) will append. Lets
+    /// [`to_bytes`](Encode::to_bytes) size its buffer in one allocation
+    /// instead of growing through the doubling schedule while a multi-MB
+    /// tensor streams in.
+    fn encoded_size(&self) -> usize;
+
+    /// Convenience: encodes into a fresh buffer, allocating exactly once.
     fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::new();
+        let size = self.encoded_size();
+        let mut out = Vec::with_capacity(size);
         self.encode(&mut out);
+        debug_assert_eq!(out.len(), size, "encoded_size() disagreed with encode()");
         out
     }
 }
@@ -159,6 +179,9 @@ macro_rules! impl_codec_le {
             fn encode(&self, out: &mut Vec<u8>) {
                 out.extend_from_slice(&self.to_le_bytes());
             }
+            fn encoded_size(&self) -> usize {
+                std::mem::size_of::<$t>()
+            }
         }
         impl Decode for $t {
             fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
@@ -175,6 +198,9 @@ impl Encode for u8 {
     fn encode(&self, out: &mut Vec<u8>) {
         out.push(*self);
     }
+    fn encoded_size(&self) -> usize {
+        1
+    }
 }
 
 impl Decode for u8 {
@@ -186,6 +212,9 @@ impl Decode for u8 {
 impl Encode for bool {
     fn encode(&self, out: &mut Vec<u8>) {
         out.push(u8::from(*self));
+    }
+    fn encoded_size(&self) -> usize {
+        1
     }
 }
 
@@ -203,6 +232,9 @@ impl Encode for usize {
     fn encode(&self, out: &mut Vec<u8>) {
         write_varint(out, *self as u64);
     }
+    fn encoded_size(&self) -> usize {
+        varint_len(*self as u64)
+    }
 }
 
 impl Decode for usize {
@@ -215,6 +247,9 @@ impl Encode for String {
     fn encode(&self, out: &mut Vec<u8>) {
         write_varint(out, self.len() as u64);
         out.extend_from_slice(self.as_bytes());
+    }
+    fn encoded_size(&self) -> usize {
+        varint_len(self.len() as u64) + self.len()
     }
 }
 
@@ -236,6 +271,9 @@ impl<T: Encode> Encode for Option<T> {
             }
         }
     }
+    fn encoded_size(&self) -> usize {
+        1 + self.as_ref().map_or(0, Encode::encoded_size)
+    }
 }
 
 impl<T: Decode> Decode for Option<T> {
@@ -248,21 +286,62 @@ impl<T: Decode> Decode for Option<T> {
     }
 }
 
+/// Bulk little-endian decode of `len` 4-byte words into a fresh `Vec<T>`.
+///
+/// On little-endian targets this is one allocation plus one memcpy; on
+/// big-endian targets it falls back to the caller-supplied per-element loop.
+/// `bytes.len()` must equal `len * 4`.
+macro_rules! decode_words_le {
+    ($t:ty, $bytes:expr, $len:expr) => {{
+        let (bytes, len): (&[u8], usize) = ($bytes, $len);
+        debug_assert_eq!(bytes.len(), len * 4);
+        if cfg!(target_endian = "little") {
+            let mut out: Vec<$t> = Vec::with_capacity(len);
+            // SAFETY: `bytes` holds exactly `len * 4` initialized bytes, the
+            // destination has capacity for `len` words, and every bit pattern
+            // is a valid `$t`. The regions cannot overlap (fresh allocation).
+            unsafe {
+                std::ptr::copy_nonoverlapping(
+                    bytes.as_ptr(),
+                    out.as_mut_ptr().cast::<u8>(),
+                    len * 4,
+                );
+                out.set_len(len);
+            }
+            out
+        } else {
+            bytes
+                .chunks_exact(4)
+                .map(|c| <$t>::from_le_bytes(c.try_into().expect("chunks_exact(4)")))
+                .collect()
+        }
+    }};
+}
+
+/// Bulk little-endian encode of a 4-byte-word slice (the mirror of
+/// [`decode_words_le`]).
+macro_rules! encode_words_le {
+    ($vals:expr, $out:expr) => {{
+        if cfg!(target_endian = "little") {
+            let bytes = unsafe {
+                std::slice::from_raw_parts($vals.as_ptr().cast::<u8>(), $vals.len() * 4)
+            };
+            $out.extend_from_slice(bytes);
+        } else {
+            for v in $vals.iter() {
+                $out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+    }};
+}
+
 impl Encode for Vec<f32> {
     fn encode(&self, out: &mut Vec<u8>) {
         write_varint(out, self.len() as u64);
-        // Fast path: f32 slices are memcpy'd as little-endian words. On
-        // little-endian targets this is a single extend; on big-endian targets
-        // we still write canonical little-endian bytes.
-        if cfg!(target_endian = "little") {
-            let bytes =
-                unsafe { std::slice::from_raw_parts(self.as_ptr().cast::<u8>(), self.len() * 4) };
-            out.extend_from_slice(bytes);
-        } else {
-            for v in self {
-                out.extend_from_slice(&v.to_le_bytes());
-            }
-        }
+        encode_words_le!(self, out);
+    }
+    fn encoded_size(&self) -> usize {
+        varint_len(self.len() as u64) + self.len() * 4
     }
 }
 
@@ -277,11 +356,7 @@ impl Decode for Vec<f32> {
             return Err(DecodeError::LengthOverflow { declared: need, remaining: r.remaining() });
         }
         let bytes = r.take(need)?;
-        let mut out = Vec::with_capacity(len);
-        for chunk in bytes.chunks_exact(4) {
-            out.push(f32::from_le_bytes(chunk.try_into().expect("chunks_exact(4)")));
-        }
-        Ok(out)
+        Ok(decode_words_le!(f32, bytes, len))
     }
 }
 
@@ -289,6 +364,9 @@ impl Encode for Vec<u8> {
     fn encode(&self, out: &mut Vec<u8>) {
         write_varint(out, self.len() as u64);
         out.extend_from_slice(self);
+    }
+    fn encoded_size(&self) -> usize {
+        varint_len(self.len() as u64) + self.len()
     }
 }
 
@@ -302,23 +380,22 @@ impl Decode for Vec<u8> {
 impl Encode for Vec<u32> {
     fn encode(&self, out: &mut Vec<u8>) {
         write_varint(out, self.len() as u64);
-        for v in self {
-            v.encode(out);
-        }
+        encode_words_le!(self, out);
+    }
+    fn encoded_size(&self) -> usize {
+        varint_len(self.len() as u64) + self.len() * 4
     }
 }
 
 impl Decode for Vec<u32> {
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
         let len = r.varint()? as usize;
-        if len.saturating_mul(4) > r.remaining() {
-            return Err(DecodeError::LengthOverflow { declared: len * 4, remaining: r.remaining() });
+        let need = len.saturating_mul(4);
+        if need > r.remaining() {
+            return Err(DecodeError::LengthOverflow { declared: need, remaining: r.remaining() });
         }
-        let mut out = Vec::with_capacity(len);
-        for _ in 0..len {
-            out.push(u32::decode(r)?);
-        }
-        Ok(out)
+        let bytes = r.take(need)?;
+        Ok(decode_words_le!(u32, bytes, len))
     }
 }
 
@@ -328,6 +405,10 @@ impl Encode for Vec<usize> {
         for v in self {
             write_varint(out, *v as u64);
         }
+    }
+    fn encoded_size(&self) -> usize {
+        varint_len(self.len() as u64)
+            + self.iter().map(|v| varint_len(*v as u64)).sum::<usize>()
     }
 }
 
@@ -352,6 +433,7 @@ mod tests {
 
     fn round_trip<T: Encode + Decode + PartialEq + std::fmt::Debug>(v: T) {
         let bytes = v.to_bytes();
+        assert_eq!(bytes.len(), v.encoded_size(), "encoded_size mismatch");
         let back = T::from_bytes(&bytes).unwrap();
         assert_eq!(back, v);
     }
@@ -392,6 +474,69 @@ mod tests {
             let mut r = Reader::new(&out);
             assert_eq!(r.varint().unwrap(), v);
             assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn varint_len_matches_write_varint() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, (1 << 35) - 1, 1 << 35, u64::MAX - 1, u64::MAX]
+        {
+            let mut out = Vec::new();
+            write_varint(&mut out, v);
+            assert_eq!(out.len(), varint_len(v), "v = {v}");
+        }
+    }
+
+    #[test]
+    fn varint_rejects_noncanonical_tenth_byte() {
+        // Ten continuation bytes whose final byte carries bits above 2^63:
+        // the old decoder shifted them out silently and returned a wrong
+        // value; they must error instead.
+        for last in [0x02u8, 0x7f, 0x42] {
+            let mut buf = vec![0x80u8; 9];
+            buf.push(last);
+            let mut r = Reader::new(&buf);
+            assert_eq!(r.varint(), Err(DecodeError::VarintOverflow), "last = {last:#04x}");
+        }
+        // u64::MAX itself (final byte 0x01) stays decodable.
+        let mut buf = vec![0xffu8; 9];
+        buf.push(0x01);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.varint().unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn varint_rejects_eleven_bytes() {
+        let buf = [0x80u8; 11];
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.varint(), Err(DecodeError::VarintOverflow));
+    }
+
+    #[test]
+    fn huge_u32_vec_length_errors_without_overflow() {
+        // A declared element count near usize::MAX must produce a clean
+        // LengthOverflow: the old code computed `len * 4` unchecked when
+        // building the error, overflowing in debug builds.
+        let mut buf = Vec::new();
+        write_varint(&mut buf, u64::MAX);
+        buf.push(0);
+        assert!(matches!(
+            Vec::<u32>::from_bytes(&buf),
+            Err(DecodeError::LengthOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn bulk_word_decode_matches_per_element() {
+        let vals: Vec<u32> = (0..1000u32).map(|i| i.wrapping_mul(2_654_435_761).wrapping_add(i)).collect();
+        round_trip(vals);
+        let vals: Vec<f32> = (0..1000).map(|i| i as f32 * -0.37).collect();
+        let bytes = vals.to_bytes();
+        let mut r = Reader::new(&bytes);
+        let len = r.varint().unwrap() as usize;
+        let raw = r.take(len * 4).unwrap();
+        for (i, chunk) in raw.chunks_exact(4).enumerate() {
+            assert_eq!(f32::from_le_bytes(chunk.try_into().unwrap()), vals[i]);
         }
     }
 

@@ -92,6 +92,30 @@ pub enum MessageKind {
     Dummy,
 }
 
+/// How a message body stored in the object store is compressed.
+///
+/// Replaces the old `compressed: bool` header flag so receivers can tell a
+/// legacy single-block LZ4 body from the chunked container introduced by the
+/// data-plane fast path (and route each to the right decoder).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CompressionKind {
+    /// Body stored verbatim.
+    #[default]
+    None,
+    /// Legacy: the whole body is one LZ4 block (no length prefix).
+    Lz4Block,
+    /// The body is a chunk container of independent LZ4 frames
+    /// (`xingtian_message::chunk`).
+    Lz4Chunked,
+}
+
+impl CompressionKind {
+    /// True if the stored body differs from the logical body.
+    pub fn is_compressed(self) -> bool {
+        !matches!(self, CompressionKind::None)
+    }
+}
+
 static NEXT_MESSAGE_ID: AtomicU64 = AtomicU64::new(1);
 
 /// Routing metadata attached to every message.
@@ -116,8 +140,8 @@ pub struct Header {
     pub object_id: Option<u64>,
     /// Uncompressed body length in bytes.
     pub len: usize,
-    /// Whether the stored body is LZ4-compressed.
-    pub compressed: bool,
+    /// How the stored body is compressed.
+    pub compression: CompressionKind,
     /// Per-sender sequence number (used by on-policy algorithms to match
     /// rollout versions with parameter versions).
     pub seq: u64,
@@ -138,7 +162,7 @@ impl Header {
             kind,
             object_id: None,
             len: 0,
-            compressed: false,
+            compression: CompressionKind::None,
             seq: 0,
             param_version: 0,
             created_at: Instant::now(),

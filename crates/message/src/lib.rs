@@ -27,46 +27,57 @@
 //! assert_eq!(msg.body.len(), 128);
 //! ```
 
+pub mod chunk;
 pub mod codec;
 pub mod header;
 pub mod lz4;
 pub mod message;
 
-pub use header::{Header, MessageKind, ProcessId, ProcessRole};
+pub use chunk::ChunkError;
+pub use header::{CompressionKind, Header, MessageKind, ProcessId, ProcessRole};
 pub use message::{Body, Message, COMPRESSION_THRESHOLD};
 
 use bytes::Bytes;
 
-/// Compress `body` with LZ4 if it exceeds `threshold` bytes.
+/// Compress `body` if it exceeds `threshold` bytes.
 ///
-/// Returns the (possibly compressed) body and a flag indicating whether
-/// compression was applied. Mirrors the paper's default policy of compressing
-/// message bodies larger than 1 MiB when they enter the shared-memory object
-/// store (§4.1).
-pub fn compress_body_with_threshold(body: Bytes, threshold: usize) -> (Bytes, bool) {
+/// Bodies above the threshold are encoded as a chunked LZ4 container
+/// ([`chunk`]) so they can be (de)compressed in parallel and decoded with an
+/// exact pre-sized allocation. Returns the (possibly compressed) body and the
+/// [`CompressionKind`] to record in the header. Mirrors the paper's default
+/// policy of compressing message bodies larger than 1 MiB when they enter the
+/// shared-memory object store (§4.1).
+pub fn compress_body_with_threshold(body: Bytes, threshold: usize) -> (Bytes, CompressionKind) {
     if body.len() > threshold {
-        let compressed = lz4::compress(&body);
+        let compressed = chunk::compress_chunked(&body);
         // Only keep the compressed form if it actually saved space; incompressible
         // payloads (already-compressed or random data) are sent verbatim.
         if compressed.len() < body.len() {
-            return (Bytes::from(compressed), true);
+            return (Bytes::from(compressed), CompressionKind::Lz4Chunked);
         }
     }
-    (body, false)
+    (body, CompressionKind::None)
 }
 
 /// Compress `body` with the paper's default 1 MiB threshold.
-pub fn compress_body(body: Bytes) -> (Bytes, bool) {
+pub fn compress_body(body: Bytes) -> (Bytes, CompressionKind) {
     compress_body_with_threshold(body, COMPRESSION_THRESHOLD)
 }
 
-/// Decompress a body previously produced by [`compress_body`].
+/// Decompress a stored body according to its header's [`CompressionKind`].
+///
+/// Handles both the chunked container written by [`compress_body`] and legacy
+/// single-block LZ4 bodies produced before the chunked format existed.
 ///
 /// # Errors
 ///
-/// Returns [`lz4::Lz4Error`] if the compressed stream is malformed.
-pub fn decompress_body(body: &Bytes) -> Result<Bytes, lz4::Lz4Error> {
-    lz4::decompress(body).map(Bytes::from)
+/// Returns [`ChunkError`] if the stored bytes are malformed.
+pub fn decompress_body(body: &Bytes, kind: CompressionKind) -> Result<Bytes, ChunkError> {
+    match kind {
+        CompressionKind::None => Ok(body.clone()),
+        CompressionKind::Lz4Block => Ok(Bytes::from(lz4::decompress(body)?)),
+        CompressionKind::Lz4Chunked => Ok(Bytes::from(chunk::decompress_chunked(body)?)),
+    }
 }
 
 #[cfg(test)]
@@ -76,18 +87,28 @@ mod tests {
     #[test]
     fn compress_small_body_is_identity() {
         let body = Bytes::from(vec![7u8; 64]);
-        let (out, compressed) = compress_body(body.clone());
-        assert!(!compressed);
+        let (out, kind) = compress_body(body.clone());
+        assert_eq!(kind, CompressionKind::None);
         assert_eq!(out, body);
     }
 
     #[test]
     fn compress_large_body_round_trips() {
         let body = Bytes::from(vec![42u8; 2 * 1024 * 1024]);
-        let (out, compressed) = compress_body(body.clone());
-        assert!(compressed);
+        let (out, kind) = compress_body(body.clone());
+        assert_eq!(kind, CompressionKind::Lz4Chunked);
         assert!(out.len() < body.len());
-        let restored = decompress_body(&out).unwrap();
+        let restored = decompress_body(&out, kind).unwrap();
+        assert_eq!(restored, body);
+    }
+
+    #[test]
+    fn legacy_single_block_body_still_decodes() {
+        // Bodies compressed by pre-chunking versions were one bare LZ4 block;
+        // the descriptor keeps them decodable.
+        let body = Bytes::from(vec![42u8; 2 * 1024 * 1024]);
+        let legacy = Bytes::from(lz4::compress(&body));
+        let restored = decompress_body(&legacy, CompressionKind::Lz4Block).unwrap();
         assert_eq!(restored, body);
     }
 
@@ -104,8 +125,8 @@ mod tests {
             })
             .collect();
         let body = Bytes::from(body);
-        let (out, compressed) = compress_body(body.clone());
-        assert!(!compressed);
+        let (out, kind) = compress_body(body.clone());
+        assert_eq!(kind, CompressionKind::None);
         assert_eq!(out, body);
     }
 }
