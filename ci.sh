@@ -16,6 +16,9 @@ cargo build --release --workspace
 echo "== tier-1: tests (workspace) =="
 cargo test -q --workspace
 
+echo "== lint gate: clippy, warnings are errors =="
+cargo clippy --workspace --all-targets -- -D warnings
+
 echo "== bench gate: every bench target compiles =="
 cargo bench --no-run --workspace
 

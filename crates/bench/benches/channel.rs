@@ -41,6 +41,87 @@ fn bench_store(c: &mut Criterion) {
     group.finish();
 }
 
+/// Messages sent back-to-back before draining, so the router sees a burst
+/// (the regime the batched drain targets) while bounded receive buffers
+/// (default capacity 8) never fill.
+const BURST: usize = 4;
+
+/// Broadcast fan-out on one machine: one learner pushes a parameter message
+/// to `n` explorer endpoints. Throughput is reported in *deliveries* per
+/// second (`n × BURST` elements per iteration) — the control-plane msgs/sec
+/// number quoted in EXPERIMENTS.md.
+fn bench_fanout_local(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fanout_local");
+    group.sample_size(10);
+    for n in [1usize, 64, 256] {
+        let broker = Broker::new(0, Cluster::single(), CommConfig::uncompressed());
+        let learner = broker.endpoint(ProcessId::learner(0));
+        let explorers: Vec<_> =
+            (0..n).map(|i| broker.endpoint(ProcessId::explorer(i as u32))).collect();
+        let dst: Vec<ProcessId> = (0..n as u32).map(ProcessId::explorer).collect();
+        let body = Bytes::from(vec![5u8; 1024]);
+        group.throughput(Throughput::Elements((n * BURST) as u64));
+        group.bench_function(BenchmarkId::new("broadcast", n), |b| {
+            b.iter(|| {
+                for _ in 0..BURST {
+                    learner.send_to(dst.clone(), MessageKind::Parameters, body.clone());
+                }
+                for e in &explorers {
+                    for _ in 0..BURST {
+                        e.recv().unwrap();
+                    }
+                }
+            })
+        });
+        drop(explorers);
+        drop(learner);
+        broker.shutdown();
+    }
+    group.finish();
+}
+
+/// Broadcast fan-out across two machines (half the explorers remote), with a
+/// fast simulated NIC so the measurement stays control-plane bound: routing,
+/// store accounting, uplink grouping, and remote re-homing.
+fn bench_fanout_cross(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fanout_cross");
+    group.sample_size(10);
+    for n in [64usize, 256] {
+        let cluster = Cluster::new(
+            netsim::ClusterSpec::default().machines(2).nic_bandwidth(1e12).latency_secs(0.0),
+        );
+        let b0 = Broker::new(0, cluster.clone(), CommConfig::uncompressed());
+        let b1 = Broker::new(1, cluster, CommConfig::uncompressed());
+        let learner = b0.endpoint(ProcessId::learner(0));
+        let mut explorers = Vec::new();
+        for i in 0..n as u32 {
+            let broker = if (i as usize) < n / 2 { &b0 } else { &b1 };
+            explorers.push(broker.endpoint(ProcessId::explorer(i)));
+        }
+        xingtian_comm::connect_brokers(&[b0.clone(), b1.clone()]);
+        let dst: Vec<ProcessId> = (0..n as u32).map(ProcessId::explorer).collect();
+        let body = Bytes::from(vec![5u8; 1024]);
+        group.throughput(Throughput::Elements((n * BURST) as u64));
+        group.bench_function(BenchmarkId::new("broadcast", n), |b| {
+            b.iter(|| {
+                for _ in 0..BURST {
+                    learner.send_to(dst.clone(), MessageKind::Parameters, body.clone());
+                }
+                for e in &explorers {
+                    for _ in 0..BURST {
+                        e.recv().unwrap();
+                    }
+                }
+            })
+        });
+        drop(explorers);
+        drop(learner);
+        b0.shutdown();
+        b1.shutdown();
+    }
+    group.finish();
+}
+
 fn bench_endpoint(c: &mut Criterion) {
     let mut group = c.benchmark_group("endpoint");
     group.sample_size(30);
@@ -63,5 +144,12 @@ fn bench_endpoint(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_buffer, bench_store, bench_endpoint);
+criterion_group!(
+    benches,
+    bench_buffer,
+    bench_store,
+    bench_endpoint,
+    bench_fanout_local,
+    bench_fanout_cross
+);
 criterion_main!(benches);

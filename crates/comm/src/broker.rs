@@ -6,15 +6,27 @@
 //! different machines communicate once their brokers are connected with
 //! [`connect_brokers`] (the "fabric among brokers in different machines" of
 //! paper §3.2.2).
+//!
+//! # Control-plane fast path
+//!
+//! [`Broker::submit`] is lock-free: it resolves the destination split from a
+//! routing snapshot, inserts the body into the sharded store, and enqueues a
+//! [`RouterCmd`] on a channel sender it holds directly — no per-message mutex
+//! anywhere on the submit path. Shutdown is signalled with an explicit
+//! [`RouterCmd::Shutdown`] sentinel instead of tearing the sender out from
+//! under concurrent submitters.
 
 use crate::endpoint::Endpoint;
-use crate::router::{deliver_local, run_router, RemoteEnvelope, RoutingTable};
+use crate::router::{
+    deliver_local, run_router, Delivery, RemoteEnvelope, RouterCmd, RoutingTable, SplitPlan,
+};
 use crate::store::ObjectStore;
 use crate::{CommConfig, Compression};
 use crossbeam_channel::{unbounded, Sender};
 use netsim::{Cluster, MachineId};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use xingtian_message::{Body, CompressionKind, Header, Message, ProcessId};
@@ -22,12 +34,14 @@ use xt_telemetry::{EventKind, Telemetry};
 
 /// A large body handed to the broker's compression offload thread: the
 /// sender thread returns the moment this is enqueued, so one 40 MB parameter
-/// blob no longer head-of-line blocks every message queued behind it.
+/// blob no longer head-of-line blocks every message queued behind it. The
+/// split plan was computed at submission, so offloaded messages spend the
+/// same credits they were admitted with.
 #[derive(Debug)]
 struct OffloadJob {
     header: Header,
     body: Body,
-    fanout: usize,
+    plan: SplitPlan,
 }
 
 #[derive(Debug)]
@@ -38,9 +52,20 @@ pub(crate) struct BrokerShared {
     pub(crate) store: Arc<ObjectStore>,
     pub(crate) table: Arc<RoutingTable>,
     pub(crate) telemetry: Telemetry,
-    comm_tx: Mutex<Option<Sender<Header>>>,
+    /// Held directly (not behind a mutex): `submit` sends lock-free and
+    /// shutdown uses the `RouterCmd::Shutdown` sentinel.
+    comm_tx: Sender<RouterCmd>,
+    /// Set first thing in `shutdown`; `submit` refuses new messages once set.
+    closed: AtomicBool,
     offload_tx: Mutex<Option<Sender<OffloadJob>>>,
-    uplinks: Arc<Mutex<HashMap<MachineId, Sender<RemoteEnvelope>>>>,
+    uplinks: Arc<Mutex<HashMap<MachineId, Sender<Vec<RemoteEnvelope>>>>>,
+    /// Routing tables of connected peer brokers, so routes registered after
+    /// the fabric exists still propagate (holding tables, not peer `Broker`s,
+    /// avoids reference cycles between mutually-connected brokers).
+    peers: Mutex<HashMap<MachineId, Arc<RoutingTable>>>,
+    router_thread: Mutex<Option<JoinHandle<()>>>,
+    offload_thread: Mutex<Option<JoinHandle<()>>>,
+    /// Uplink forwarder threads (populated by [`connect_brokers`]).
     threads: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -91,7 +116,7 @@ impl Broker {
         let (comm_tx, comm_rx) = unbounded();
         let store = Arc::new(ObjectStore::new());
         let table = Arc::new(RoutingTable::default());
-        let uplinks: Arc<Mutex<HashMap<MachineId, Sender<RemoteEnvelope>>>> =
+        let uplinks: Arc<Mutex<HashMap<MachineId, Sender<Vec<RemoteEnvelope>>>>> =
             Arc::new(Mutex::new(HashMap::new()));
         let router = {
             let store = Arc::clone(&store);
@@ -100,14 +125,15 @@ impl Broker {
             let telemetry = telemetry.clone();
             std::thread::Builder::new()
                 .name(format!("xt-router-m{machine}"))
-                .spawn(move || run_router(machine, comm_rx, store, table, uplinks, telemetry))
+                .spawn(move || run_router(comm_rx, store, table, uplinks, telemetry))
                 .expect("spawn router thread")
         };
         // Compression offload thread: large bodies are chunk-compressed here
         // (fanning across the shared worker pool) instead of inside the
-        // sender thread that submitted them. It holds its own clone of
-        // `comm_tx`, so shutdown must close the offload queue first — the
-        // router's queue only disconnects once this thread exits.
+        // sender thread that submitted them. It holds its own `comm_tx`
+        // clone; shutdown closes the offload queue and joins this thread
+        // before sending the router its shutdown sentinel, so every offloaded
+        // message still reaches the router.
         let (offload_tx, offload_rx) = unbounded::<OffloadJob>();
         let offload = {
             let store = Arc::clone(&store);
@@ -119,7 +145,7 @@ impl Broker {
                     let compress_ns = telemetry.histogram("comm.compress_ns");
                     let compress_ratio = telemetry.histogram("comm.compress_ratio");
                     let pool = crate::pool::shared_pool();
-                    while let Ok(OffloadJob { mut header, body, fanout }) = offload_rx.recv() {
+                    while let Ok(OffloadJob { mut header, body, plan }) = offload_rx.recv() {
                         let raw_len = body.len();
                         let start = std::time::Instant::now();
                         let container = crate::pool::compress_chunked_parallel(pool, &body);
@@ -133,9 +159,14 @@ impl Broker {
                         // Stored-vs-raw size in percent (100 = incompressible).
                         compress_ratio.record((body.len() * 100 / raw_len.max(1)) as u64);
                         let stored_len = body.len() as u64;
-                        header.object_id = Some(store.insert(body, fanout));
+                        header.object_id = Some(store.insert(body, plan.fanout()));
                         telemetry.emit(EventKind::StoreInserted, header.id, stored_len);
-                        if comm_tx.send(header).is_err() {
+                        let delivery = Delivery {
+                            header: Arc::new(header),
+                            local: plan.local,
+                            remote: plan.remote,
+                        };
+                        if comm_tx.send(RouterCmd::Deliver(delivery)).is_err() {
                             break; // router gone: broker is shutting down
                         }
                     }
@@ -150,10 +181,14 @@ impl Broker {
                 store,
                 table,
                 telemetry,
-                comm_tx: Mutex::new(Some(comm_tx)),
+                comm_tx,
+                closed: AtomicBool::new(false),
                 offload_tx: Mutex::new(Some(offload_tx)),
                 uplinks,
-                threads: Mutex::new(vec![router, offload]),
+                peers: Mutex::new(HashMap::new()),
+                router_thread: Mutex::new(Some(router)),
+                offload_thread: Mutex::new(Some(offload)),
+                threads: Mutex::new(Vec::new()),
             }),
         }
     }
@@ -184,11 +219,16 @@ impl Broker {
         self.shared.table.dropped()
     }
 
-    /// Registers that `pid` lives on `machine`. Called automatically by
-    /// [`Broker::endpoint`] for local processes and by [`connect_brokers`]
-    /// when fabrics are established.
+    /// Registers that `pid` lives on `machine`, propagating the route to
+    /// every connected peer broker so endpoints registered *after*
+    /// [`connect_brokers`] are immediately reachable from other machines.
+    /// Called automatically by [`Broker::endpoint`] for local processes and
+    /// by [`connect_brokers`] when fabrics are established.
     pub fn register_route(&self, pid: ProcessId, machine: MachineId) {
-        self.shared.table.routes.lock().insert(pid, machine);
+        self.shared.table.add_route(pid, machine);
+        for peer in self.shared.peers.lock().values() {
+            peer.add_route(pid, machine);
+        }
     }
 
     /// Creates the communication endpoint for local process `pid`: its ID
@@ -199,27 +239,25 @@ impl Broker {
     /// Panics if `pid` already has an endpoint on this broker.
     pub fn endpoint(&self, pid: ProcessId) -> Endpoint {
         let (id_tx, id_rx) = unbounded();
-        {
-            let mut queues = self.shared.table.id_queues.lock();
-            assert!(!queues.contains_key(&pid), "endpoint for {pid} already exists");
-            queues.insert(pid, id_tx);
-        }
+        assert!(
+            self.shared.table.add_id_queue(pid, id_tx),
+            "endpoint for {pid} already exists"
+        );
         self.register_route(pid, self.shared.machine);
-        // Propagate the new route to every connected peer broker.
-        // (Peers learn of later-connected routes via connect_brokers.)
         Endpoint::spawn(pid, self.clone(), id_rx)
     }
 
-    /// Removes the ID queue of `pid`; its receiver thread will observe the
-    /// disconnect and exit.
+    /// Removes the ID queue of `pid`; its receiver thread is woken with a
+    /// close sentinel and exits.
     pub(crate) fn remove_endpoint(&self, pid: ProcessId) {
-        self.shared.table.id_queues.lock().remove(&pid);
+        self.shared.table.remove_id_queue(pid);
     }
 
-    /// Accepts a message from a local sender thread: compresses the body per
-    /// config, stores it with the correct fan-out, and enqueues the header for
-    /// the router. Returns `false` if the broker is shut down or the message
-    /// has no routable destination.
+    /// Accepts a message from a local sender thread: splits its destinations
+    /// against the routing snapshot (once — the router reuses the plan),
+    /// compresses the body per config, stores it with the correct fan-out,
+    /// and enqueues the delivery for the router. Returns `false` if the
+    /// broker is shut down or the message has no routable destination.
     ///
     /// Bodies above the compression threshold are handed to the broker's
     /// offload thread and compressed there (chunk-parallel), so this returns
@@ -228,17 +266,20 @@ impl Broker {
     /// path may be stored after smaller messages submitted later; per-sender
     /// FIFO is preserved among same-path messages.
     pub fn submit(&self, msg: Message) -> bool {
+        if self.shared.closed.load(Ordering::Acquire) {
+            return false;
+        }
         let Message { mut header, body } = msg;
-        let (local, remote) = self.shared.table.split(self.shared.machine, &header.dst);
-        let fanout = local.len() + remote.len();
-        if fanout == 0 {
+        let plan = self.shared.table.split(self.shared.machine, &header.dst);
+        self.shared.table.add_dropped(plan.unknown as u64);
+        if plan.fanout() == 0 {
             return false;
         }
         if let Compression::Threshold(t) = self.shared.config.compression {
             if body.len() > t {
                 let guard = self.shared.offload_tx.lock();
                 return match guard.as_ref() {
-                    Some(tx) => tx.send(OffloadJob { header, body, fanout }).is_ok(),
+                    Some(tx) => tx.send(OffloadJob { header, body, plan }).is_ok(),
                     None => false,
                 };
             }
@@ -249,17 +290,15 @@ impl Broker {
         let stored_len = body.len() as u64;
         let object_id = match header.kind {
             xingtian_message::MessageKind::Control | xingtian_message::MessageKind::Stats => {
-                self.shared.store.insert_priority(body, fanout)
+                self.shared.store.insert_priority(body, plan.fanout())
             }
-            _ => self.shared.store.insert(body, fanout),
+            _ => self.shared.store.insert(body, plan.fanout()),
         };
         header.object_id = Some(object_id);
         self.shared.telemetry.emit(EventKind::StoreInserted, header.id, stored_len);
-        let guard = self.shared.comm_tx.lock();
-        match guard.as_ref() {
-            Some(tx) => tx.send(header).is_ok(),
-            None => false,
-        }
+        let delivery =
+            Delivery { header: Arc::new(header), local: plan.local, remote: plan.remote };
+        self.shared.comm_tx.send(RouterCmd::Deliver(delivery)).is_ok()
     }
 
     pub(crate) fn store_arc(&self) -> Arc<ObjectStore> {
@@ -274,16 +313,25 @@ impl Broker {
         self.shared.threads.lock().push(handle);
     }
 
-    /// Shuts the broker down: closes the offload and communicator queues and
-    /// all uplinks, then joins the offload, router, and uplink threads.
-    /// In-flight messages already routed to ID queues remain fetchable by
-    /// receivers. Idempotent.
+    /// Shuts the broker down: closes the offload queue and joins the offload
+    /// thread, sends the router its drain-then-exit sentinel and joins it,
+    /// then closes all uplinks and joins the uplink threads. In-flight
+    /// messages already routed to ID queues remain fetchable by receivers.
+    /// Idempotent.
     pub fn shutdown(&self) {
-        // Offload queue first: the offload thread holds a `comm_tx` clone, so
-        // the router only observes disconnect after that thread drains and
-        // exits. (Joins below enforce the ordering.)
+        self.shared.closed.store(true, Ordering::Release);
+        // Offload first: it feeds the router, and joining it guarantees every
+        // offloaded delivery precedes the shutdown sentinel in the queue.
         self.shared.offload_tx.lock().take();
-        self.shared.comm_tx.lock().take();
+        if let Some(h) = self.shared.offload_thread.lock().take() {
+            let _ = h.join();
+        }
+        // Router drains everything already queued, then exits.
+        let _ = self.shared.comm_tx.send(RouterCmd::Shutdown);
+        if let Some(h) = self.shared.router_thread.lock().take() {
+            let _ = h.join();
+        }
+        // Dropping the uplink senders disconnects the forwarder threads.
         self.shared.uplinks.lock().clear();
         let threads: Vec<_> = self.shared.threads.lock().drain(..).collect();
         for t in threads {
@@ -293,11 +341,13 @@ impl Broker {
 }
 
 /// Connects a set of brokers (one per machine) into a fully-connected fabric
-/// and synchronizes their routing tables.
+/// and synchronizes their routing tables. Brokers remember their peers, so
+/// endpoints registered *after* this call propagate their routes to every
+/// connected machine automatically (no reconnection required).
 ///
 /// For every ordered pair `(a, b)` an uplink thread is started on `a` that
-/// forwards [`RemoteEnvelope`]s over the simulated NIC link and delivers them
-/// into `b`'s object store and ID queues.
+/// forwards bursts of [`RemoteEnvelope`]s over the simulated NIC link and
+/// delivers them into `b`'s object store and ID queues.
 ///
 /// # Panics
 ///
@@ -306,12 +356,21 @@ pub fn connect_brokers(brokers: &[Broker]) {
     // Merge routing tables: every broker learns every process location.
     let mut merged: HashMap<ProcessId, MachineId> = HashMap::new();
     for b in brokers {
-        for (&pid, &m) in b.shared.table.routes.lock().iter() {
+        for (&pid, &m) in b.shared.table.routes.load().iter() {
             merged.insert(pid, m);
         }
     }
     for b in brokers {
-        b.shared.table.routes.lock().extend(merged.iter().map(|(&p, &m)| (p, m)));
+        b.shared.table.add_routes(&merged);
+    }
+    // Remember peers so later route registrations propagate.
+    for a in brokers {
+        let mut peers = a.shared.peers.lock();
+        for b in brokers {
+            if a.shared.machine != b.shared.machine {
+                peers.insert(b.shared.machine, Arc::clone(&b.shared.table));
+            }
+        }
     }
     // Build uplinks for every ordered pair.
     for a in brokers {
@@ -327,7 +386,7 @@ pub fn connect_brokers(brokers: &[Broker]) {
             if a.shared.uplinks.lock().contains_key(&b.shared.machine) {
                 continue;
             }
-            let (tx, rx) = unbounded::<RemoteEnvelope>();
+            let (tx, rx) = unbounded::<Vec<RemoteEnvelope>>();
             a.shared.uplinks.lock().insert(b.shared.machine, tx);
             let cluster = a.shared.cluster.clone();
             let from = a.shared.machine;
@@ -341,26 +400,34 @@ pub fn connect_brokers(brokers: &[Broker]) {
             let handle = std::thread::Builder::new()
                 .name(format!("xt-uplink-m{from}-m{to}"))
                 .spawn(move || {
-                    while let Ok(envelope) = rx.recv() {
-                        // Pay the NIC cost once per target machine; the body
-                        // then re-enters the normal local delivery path on
-                        // the far side.
-                        let bytes = envelope.body.len();
-                        let receipt = cluster.transfer(from, to, bytes);
-                        // The receipt's endpoints are cluster-clock nanos;
-                        // with_telemetry documents that telemetry for a
-                        // cluster deployment is stamped from that same clock.
-                        let id = envelope.header.id;
-                        telemetry.emit_at(EventKind::NicTxStart, id, bytes as u64, receipt.start_nanos);
-                        telemetry.emit_at(EventKind::NicTxEnd, id, to as u64, receipt.end_nanos);
-                        uplink_bytes.add(bytes as u64);
-                        deliver_local(
-                            &delivery.store,
-                            &delivery.table,
-                            envelope.header,
-                            envelope.body,
-                            &envelope.dst,
-                        );
+                    while let Ok(burst) = rx.recv() {
+                        for envelope in burst {
+                            // Pay the NIC cost once per target machine; the
+                            // body then re-enters the normal local delivery
+                            // path on the far side.
+                            let bytes = envelope.body.len();
+                            let receipt = cluster.transfer(from, to, bytes);
+                            // The receipt's endpoints are cluster-clock nanos;
+                            // with_telemetry documents that telemetry for a
+                            // cluster deployment is stamped from that same
+                            // clock.
+                            let id = envelope.header.id;
+                            telemetry.emit_at(
+                                EventKind::NicTxStart,
+                                id,
+                                bytes as u64,
+                                receipt.start_nanos,
+                            );
+                            telemetry.emit_at(EventKind::NicTxEnd, id, to as u64, receipt.end_nanos);
+                            uplink_bytes.add(bytes as u64);
+                            deliver_local(
+                                &delivery.store,
+                                &delivery.table,
+                                envelope.header,
+                                envelope.body,
+                                &envelope.dst,
+                            );
+                        }
                     }
                 })
                 .expect("spawn uplink thread");
@@ -384,7 +451,17 @@ mod tests {
     fn submit_without_destination_is_rejected() {
         let broker = Broker::new(0, Cluster::single(), CommConfig::default());
         assert!(!broker.submit(rollout_msg(b"data")), "no learner endpoint registered");
+        assert_eq!(broker.dropped(), 1, "unroutable destination is accounted");
+        assert!(broker.store().is_empty(), "nothing stored for an unroutable message");
         broker.shutdown();
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_rejected() {
+        let broker = Broker::new(0, Cluster::single(), CommConfig::default());
+        let _learner = broker.endpoint(ProcessId::learner(0));
+        broker.shutdown();
+        assert!(!broker.submit(rollout_msg(b"late")), "closed broker refuses messages");
     }
 
     #[test]
@@ -409,7 +486,7 @@ mod tests {
         let explorers: Vec<_> = (0..4).map(|i| broker.endpoint(ProcessId::explorer(i))).collect();
         let h = Header::new(
             ProcessId::learner(0),
-            (0..4).map(ProcessId::explorer).collect(),
+            (0..4).map(ProcessId::explorer).collect::<Vec<_>>(),
             MessageKind::Parameters,
         );
         learner.send(Message::new(h, Bytes::from_static(b"weights")));
@@ -449,6 +526,33 @@ mod tests {
         assert_eq!(&got.body[..], b"across the wire");
         // The body crossed the simulated NIC exactly once.
         assert_eq!(b0.cluster().machine(0).tx().stats().transfers(), 1);
+        drop(explorer);
+        drop(learner);
+        b0.shutdown();
+        b1.shutdown();
+    }
+
+    #[test]
+    fn endpoint_registered_after_connect_is_reachable() {
+        // Regression test for silent route loss: an endpoint created *after*
+        // connect_brokers must have its route propagated to peer brokers
+        // without re-running connect_brokers.
+        let cluster = Cluster::new(
+            netsim::ClusterSpec::default().machines(2).nic_bandwidth(1e9).latency_secs(0.0),
+        );
+        let b0 = Broker::new(0, cluster.clone(), CommConfig::default());
+        let b1 = Broker::new(1, cluster, CommConfig::default());
+        connect_brokers(&[b0.clone(), b1.clone()]);
+        // Both endpoints join after the fabric exists.
+        let explorer = b0.endpoint(ProcessId::explorer(0));
+        let learner = b1.endpoint(ProcessId::learner(0));
+        explorer.send(rollout_msg(b"late joiner"));
+        let got = learner.recv_timeout(std::time::Duration::from_secs(10)).expect(
+            "post-connect endpoint must be routable from peer machines",
+        );
+        assert_eq!(&got.body[..], b"late joiner");
+        assert_eq!(b0.dropped(), 0);
+        assert_eq!(b1.dropped(), 0);
         drop(explorer);
         drop(learner);
         b0.shutdown();
@@ -508,7 +612,7 @@ mod tests {
         connect_brokers(&[b0.clone(), b1.clone()]);
         let h = Header::new(
             ProcessId::learner(0),
-            (0..4).map(ProcessId::explorer).collect(),
+            (0..4).map(ProcessId::explorer).collect::<Vec<_>>(),
             MessageKind::Parameters,
         );
         learner.send(Message::new(h, Bytes::from_static(b"w")));

@@ -1,32 +1,42 @@
 //! Intra-process send/receive buffers.
 //!
-//! A [`Buffer`] is the paper's send-buffer / receive-buffer structure: a
-//! *header queue* plus a *data list* holding the matching bodies. Workhorse
-//! threads only ever touch these local buffers; the monitoring threads of the
-//! channel move data between buffers and the shared-memory communicator.
+//! A [`Buffer`] is the paper's send-buffer / receive-buffer structure: the
+//! staging area between a workhorse thread (rollout worker or trainer) and the
+//! monitoring threads of the channel. Workhorse threads only ever touch these
+//! local buffers; the monitoring threads move data between buffers and the
+//! shared-memory communicator.
+//!
+//! The buffer stages whole [`Message`]s on a single channel. An earlier
+//! design mirrored the paper's header-queue + data-list split literally — a
+//! header channel plus a `Mutex<HashMap>` of bodies — which cost every `push`
+//! two lock acquisitions and every `pop` a map lookup, and could strand a body
+//! if its header was dropped between the two structures. Within one process
+//! the split buys nothing (both halves live in the same address space), so the
+//! hot path now touches exactly one synchronization point: the channel. The
+//! paper-faithful header/body split still happens where it matters — at the
+//! broker, between the ID queues and the shared object store.
 //!
 //! `pop` blocks until a message arrives (the event-driven `Queue.get` pattern
 //! of paper §4.1) or the buffer is closed.
 
 use crossbeam_channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use parking_lot::Mutex;
-use std::collections::HashMap;
 use std::time::Duration;
-use xingtian_message::{Body, Header, Message};
+use xingtian_message::Message;
 
-/// A header queue paired with a body list, safe to share across threads.
+/// A staging queue for complete messages, safe to share across threads.
 #[derive(Debug)]
 pub struct Buffer {
-    header_tx: Mutex<Option<Sender<Header>>>,
-    header_rx: Receiver<Header>,
-    bodies: Mutex<HashMap<u64, Body>>,
+    /// `None` once closed; dropping the sender disconnects blocked poppers.
+    tx: Mutex<Option<Sender<Message>>>,
+    rx: Receiver<Message>,
 }
 
 impl Buffer {
     /// Creates an empty, open, unbounded buffer.
     pub fn new() -> Self {
         let (tx, rx) = unbounded();
-        Buffer { header_tx: Mutex::new(Some(tx)), header_rx: rx, bodies: Mutex::new(HashMap::new()) }
+        Buffer { tx: Mutex::new(Some(tx)), rx }
     }
 
     /// Creates a buffer holding at most `capacity` staged messages:
@@ -40,46 +50,30 @@ impl Buffer {
     pub fn with_capacity(capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be positive");
         let (tx, rx) = bounded(capacity);
-        Buffer { header_tx: Mutex::new(Some(tx)), header_rx: rx, bodies: Mutex::new(HashMap::new()) }
+        Buffer { tx: Mutex::new(Some(tx)), rx }
     }
 
-    /// Stages a message: body into the data list, header into the header
-    /// queue. On a bounded buffer this blocks while the buffer is full (and
-    /// keeps checking for closure so shutdown always unblocks it).
+    /// Stages a message. On a bounded buffer this blocks while the buffer is
+    /// full (re-checking for closure so shutdown always unblocks it).
     ///
     /// Returns `false` (dropping the message) if the buffer has been closed.
     pub fn push(&self, msg: Message) -> bool {
-        let Message { header, body } = msg;
-        // Clone the sender out of the lock so a blocking send cannot hold it.
-        let Some(tx) = self.header_tx.lock().clone() else { return false };
-        let id = header.id;
-        self.bodies.lock().insert(id, body);
-        let mut header = Some(header);
+        // Clone the sender out of the lock so a blocking send cannot hold it;
+        // this is the only lock the fast path takes.
+        let Some(tx) = self.tx.lock().clone() else { return false };
+        let mut msg = Some(msg);
         loop {
-            match tx.send_timeout(header.take().expect("header present until sent"), Duration::from_millis(50)) {
+            match tx.send_timeout(msg.take().expect("message present until sent"), Duration::from_millis(50)) {
                 Ok(()) => return true,
-                Err(crossbeam_channel::SendTimeoutError::Timeout(h)) => {
+                Err(crossbeam_channel::SendTimeoutError::Timeout(m)) => {
                     if self.is_closed() {
-                        self.bodies.lock().remove(&id);
                         return false;
                     }
-                    header = Some(h);
+                    msg = Some(m);
                 }
-                Err(crossbeam_channel::SendTimeoutError::Disconnected(_)) => {
-                    self.bodies.lock().remove(&id);
-                    return false;
-                }
+                Err(crossbeam_channel::SendTimeoutError::Disconnected(_)) => return false,
             }
         }
-    }
-
-    fn claim_body(&self, header: &Header) -> Message {
-        let body = self
-            .bodies
-            .lock()
-            .remove(&header.id)
-            .expect("buffer invariant: every queued header has a staged body");
-        Message { header: header.clone(), body }
     }
 
     /// Blocks until a message is available or the buffer is closed.
@@ -87,45 +81,44 @@ impl Buffer {
     /// Returns `None` only after [`Buffer::close`] and once the queue has
     /// drained.
     pub fn pop(&self) -> Option<Message> {
-        let header = self.header_rx.recv().ok()?;
-        Some(self.claim_body(&header))
+        self.rx.recv().ok()
     }
 
     /// Non-blocking pop.
     pub fn try_pop(&self) -> Option<Message> {
-        match self.header_rx.try_recv() {
-            Ok(header) => Some(self.claim_body(&header)),
+        match self.rx.try_recv() {
+            Ok(msg) => Some(msg),
             Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
         }
     }
 
     /// Blocks up to `timeout` for a message.
     pub fn pop_timeout(&self, timeout: Duration) -> Option<Message> {
-        match self.header_rx.recv_timeout(timeout) {
-            Ok(header) => Some(self.claim_body(&header)),
+        match self.rx.recv_timeout(timeout) {
+            Ok(msg) => Some(msg),
             Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
         }
     }
 
     /// Number of staged messages.
     pub fn len(&self) -> usize {
-        self.header_rx.len()
+        self.rx.len()
     }
 
     /// True when no messages are staged.
     pub fn is_empty(&self) -> bool {
-        self.header_rx.is_empty()
+        self.rx.is_empty()
     }
 
     /// Closes the buffer: subsequent `push` calls drop their message, and
     /// `pop` returns `None` once the remaining messages drain. Idempotent.
     pub fn close(&self) {
-        self.header_tx.lock().take();
+        self.tx.lock().take();
     }
 
     /// True once [`Buffer::close`] has been called.
     pub fn is_closed(&self) -> bool {
-        self.header_tx.lock().is_none()
+        self.tx.lock().is_none()
     }
 }
 
@@ -140,7 +133,7 @@ mod tests {
     use super::*;
     use bytes::Bytes;
     use std::sync::Arc;
-    use xingtian_message::{MessageKind, ProcessId};
+    use xingtian_message::{Header, MessageKind, ProcessId};
 
     fn msg(tag: u8) -> Message {
         let h = Header::new(ProcessId::explorer(0), vec![ProcessId::learner(0)], MessageKind::Rollout);
@@ -212,5 +205,33 @@ mod tests {
             counts[m.body[0] as usize] += 1;
         }
         assert_eq!(counts, [100, 100, 100, 100]);
+    }
+
+    #[test]
+    fn close_unblocks_pushers_without_leaking_bodies() {
+        // Producers block on a full bounded buffer; close() must wake every
+        // one of them (returning false), and afterwards exactly the staged
+        // messages — no more, no fewer — are poppable. With the single-channel
+        // design a rejected push cannot strand its body anywhere.
+        let b = Arc::new(Buffer::with_capacity(2));
+        assert!(b.push(msg(0)));
+        assert!(b.push(msg(1)));
+        let mut handles = Vec::new();
+        for t in 0..4u8 {
+            let b = Arc::clone(&b);
+            handles.push(std::thread::spawn(move || b.push(msg(t))));
+        }
+        // Give the pushers time to block on the full buffer, then close.
+        std::thread::sleep(Duration::from_millis(100));
+        b.close();
+        for h in handles {
+            assert!(!h.join().unwrap(), "blocked push observes closure and drops its message");
+        }
+        let mut drained = 0;
+        while b.pop().is_some() {
+            drained += 1;
+        }
+        assert_eq!(drained, 2, "exactly the pre-close messages drain");
+        assert!(b.is_empty(), "no stranded bodies after close");
     }
 }

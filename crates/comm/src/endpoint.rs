@@ -16,6 +16,7 @@
 
 use crate::broker::Broker;
 use crate::buffer::Buffer;
+use crate::router::IdQueueMsg;
 use crate::stats::TransmissionStats;
 use crossbeam_channel::Receiver;
 use parking_lot::Mutex;
@@ -43,7 +44,7 @@ pub struct Endpoint {
 }
 
 impl Endpoint {
-    pub(crate) fn spawn(pid: ProcessId, broker: Broker, id_rx: Receiver<Header>) -> Self {
+    pub(crate) fn spawn(pid: ProcessId, broker: Broker, id_rx: Receiver<IdQueueMsg>) -> Self {
         let send_buf = Arc::new(Buffer::new());
         // Workhorse endpoints get bounded receive buffers so that a stalled
         // consumer backpressures the whole channel (receiver thread blocks →
@@ -97,14 +98,25 @@ impl Endpoint {
                     // On exit, burn the store credits of anything still queued
                     // for this endpoint so a departed consumer cannot leave
                     // the shared segment full (and senders blocked) forever.
-                    let drain = |id_rx: &Receiver<Header>, store: &crate::store::ObjectStore| {
-                        while let Ok(h) = id_rx.try_recv() {
-                            if let Some(id) = h.object_id {
-                                let _ = store.fetch(id);
+                    let drain = |id_rx: &Receiver<IdQueueMsg>, store: &crate::store::ObjectStore| {
+                        while let Ok(msg) = id_rx.try_recv() {
+                            if let IdQueueMsg::Deliver(h) = msg {
+                                if let Some(id) = h.object_id {
+                                    let _ = store.drop_credit(id);
+                                }
                             }
                         }
                     };
-                    while let Ok(mut header) = id_rx.recv() {
+                    while let Ok(msg) = id_rx.recv() {
+                        // The queue delivers shared headers (one Arc per
+                        // destination, not one deep copy); this endpoint takes
+                        // its own mutable copy only here, at the final hop.
+                        let shared = match msg {
+                            IdQueueMsg::Deliver(h) => h,
+                            IdQueueMsg::Close => break,
+                        };
+                        let mut header = (*shared).clone();
+                        drop(shared);
                         let Some(id) = header.object_id else { continue };
                         let Some(body) = store.fetch(id) else { continue };
                         // Move the body into this process's local buffer.

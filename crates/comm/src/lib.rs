@@ -23,14 +23,22 @@
 //! endpoints. Bodies live in the [`store::ObjectStore`] and move by reference
 //! (O(1) `Bytes` clones); only headers flow through queues.
 //!
+//! The control plane is built for fan-out: the object store is lock-striped
+//! with per-entry atomic fetch credits, the routing tables are read-mostly
+//! [`snapshot::SnapshotCell`] snapshots loaded without locks on every message,
+//! broadcasts enqueue one shared `Arc<Header>` per destination, and the router
+//! drains its queue in batches, grouping remote traffic per machine per burst.
+//!
 //! The public surface:
 //!
-//! * [`Buffer`] — intra-process send/receive staging (header queue + body list).
+//! * [`Buffer`] — intra-process send/receive staging.
 //! * [`ObjectStore`] — zero-copy shared body store with fan-out refcounts.
 //! * [`Broker`] — per-machine communication hub: communicator, router thread,
 //!   and fabric links to peer brokers over a [`netsim::Cluster`].
 //! * [`Endpoint`] — what an explorer/learner process holds: its buffers plus
 //!   the sender/receiver monitoring threads.
+//! * [`SnapshotCell`] — the lock-free-read snapshot primitive behind the
+//!   routing tables.
 //!
 //! # Examples
 //!
@@ -57,6 +65,7 @@ pub mod buffer;
 pub mod endpoint;
 pub mod pool;
 pub mod router;
+pub mod snapshot;
 pub mod stats;
 pub mod store;
 
@@ -64,6 +73,8 @@ pub use broker::{connect_brokers, Broker};
 pub use buffer::Buffer;
 pub use endpoint::Endpoint;
 pub use pool::WorkPool;
+pub use router::SplitPlan;
+pub use snapshot::SnapshotCell;
 pub use stats::TransmissionStats;
 pub use store::{ObjectId, ObjectStore};
 

@@ -217,7 +217,7 @@ mod tests {
         let mut state = 0x1234_5678_9abc_def0u64;
         let data: Vec<u8> = (0..len)
             .map(|i| {
-                if (i / CHUNK_SIZE) % 2 == 0 {
+                if (i / CHUNK_SIZE).is_multiple_of(2) {
                     (i % 13) as u8
                 } else {
                     state ^= state << 13;

@@ -6,9 +6,30 @@
 //! pushed into their ID queues; destinations on other machines get the body
 //! forwarded once per machine over the inter-broker fabric. The router never
 //! inspects or interprets bodies — it is *algorithm agnostic* (paper §3.2.1).
+//!
+//! # Control-plane fast path
+//!
+//! Three properties keep the per-message cost flat as fan-out grows:
+//!
+//! * **Snapshot routing.** `routes` and `id_queues` are [`SnapshotCell`]
+//!   snapshots: [`RoutingTable::split`] and [`push_headers`] take zero locks
+//!   per message; the rare writers (endpoint registration, fabric merges) pay
+//!   the copy instead.
+//! * **Split once.** The sender thread computes the local/remote split and
+//!   ships the resulting [`Delivery`] plan to the router, so the destination
+//!   list is resolved exactly once per message and store fetch credits always
+//!   match the plan (no re-split drift between submission and routing).
+//! * **O(n) broadcast.** ID queues carry `Arc<Header>`: an n-way broadcast
+//!   enqueues n pointer clones of one header instead of n deep copies of an
+//!   n-entry destination list.
+//!
+//! The router also drains the command queue in bursts, grouping remote
+//! envelopes per target machine per burst so each uplink is located once per
+//! burst rather than once per message.
 
+use crate::snapshot::SnapshotCell;
 use crate::store::ObjectStore;
-use crossbeam_channel::{Receiver, Sender};
+use crossbeam_channel::{Receiver, Sender, TryRecvError};
 use netsim::MachineId;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -16,40 +37,139 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use xingtian_message::{Header, ProcessId};
 
-/// Routing state shared between a broker and its router thread.
+/// What flows through a per-process ID queue.
+#[derive(Debug)]
+pub(crate) enum IdQueueMsg {
+    /// A delivered header whose object id refers to the local store.
+    Deliver(Arc<Header>),
+    /// Endpoint teardown: the receiver thread must exit now. (ID-queue
+    /// senders live inside retained routing snapshots, so a receiver cannot
+    /// rely on sender-drop for its shutdown signal.)
+    Close,
+}
+
+/// A command for the router thread.
+#[derive(Debug)]
+pub(crate) enum RouterCmd {
+    /// Route one message according to its pre-computed plan.
+    Deliver(Delivery),
+    /// Drain whatever is already queued, then exit.
+    Shutdown,
+}
+
+/// A message plus its split plan, computed once by the submitting thread.
+#[derive(Debug)]
+pub(crate) struct Delivery {
+    pub(crate) header: Arc<Header>,
+    pub(crate) local: Vec<ProcessId>,
+    pub(crate) remote: Vec<(MachineId, Vec<ProcessId>)>,
+}
+
+/// The local/remote partition of a destination list.
+#[derive(Debug, Default)]
+pub struct SplitPlan {
+    /// Destinations hosted on this machine.
+    pub local: Vec<ProcessId>,
+    /// Destinations grouped by hosting remote machine.
+    pub remote: Vec<(MachineId, Vec<ProcessId>)>,
+    /// Destinations with no registered route.
+    pub unknown: usize,
+}
+
+impl SplitPlan {
+    /// Store fetch credits this plan consumes: one per local destination plus
+    /// one per remote machine (the body crosses the wire once per machine).
+    pub fn fanout(&self) -> usize {
+        self.local.len() + self.remote.len()
+    }
+}
+
+/// Routing state shared between a broker, its router thread, and (after
+/// [`crate::connect_brokers`]) peer brokers that propagate route updates.
 #[derive(Debug, Default)]
 pub struct RoutingTable {
-    /// Process → hosting machine.
-    pub(crate) routes: Mutex<HashMap<ProcessId, MachineId>>,
-    /// Local ID queues, one per local process.
-    pub(crate) id_queues: Mutex<HashMap<ProcessId, Sender<Header>>>,
+    /// Process → hosting machine. Read lock-free on every submit.
+    pub(crate) routes: SnapshotCell<HashMap<ProcessId, MachineId>>,
+    /// Local ID queues, one per local process. Read lock-free on every
+    /// delivery.
+    pub(crate) id_queues: SnapshotCell<HashMap<ProcessId, Sender<IdQueueMsg>>>,
     /// Dropped-message counter (destination unknown or queue closed).
     pub(crate) dropped: AtomicU64,
 }
 
 impl RoutingTable {
-    /// Splits a destination list into (local destinations, remote machine →
-    /// destinations) from the point of view of machine `here`.
-    ///
-    /// Destinations with no registered route are counted as dropped.
-    pub fn split(
-        &self,
-        here: MachineId,
-        dst: &[ProcessId],
-    ) -> (Vec<ProcessId>, HashMap<MachineId, Vec<ProcessId>>) {
-        let routes = self.routes.lock();
-        let mut local = Vec::new();
-        let mut remote: HashMap<MachineId, Vec<ProcessId>> = HashMap::new();
+    /// Splits a destination list into local destinations and per-remote-
+    /// machine groups from the point of view of machine `here`, reading one
+    /// routing snapshot (no locks). Unroutable destinations are tallied in
+    /// the plan; the caller decides whether that counts as a drop.
+    pub fn split(&self, here: MachineId, dst: &[ProcessId]) -> SplitPlan {
+        let routes = self.routes.load();
+        let mut plan = SplitPlan::default();
         for &d in dst {
             match routes.get(&d) {
-                Some(&m) if m == here => local.push(d),
-                Some(&m) => remote.entry(m).or_default().push(d),
-                None => {
-                    self.dropped.fetch_add(1, Ordering::Relaxed);
-                }
+                Some(&m) if m == here => plan.local.push(d),
+                Some(&m) => match plan.remote.iter_mut().find(|(rm, _)| *rm == m) {
+                    Some((_, group)) => group.push(d),
+                    None => plan.remote.push((m, vec![d])),
+                },
+                None => plan.unknown += 1,
             }
         }
-        (local, remote)
+        plan
+    }
+
+    /// Registers `pid` as living on `machine` (publishes a new routes
+    /// snapshot).
+    pub(crate) fn add_route(&self, pid: ProcessId, machine: MachineId) {
+        self.routes.update(|routes| {
+            let mut next = routes.clone();
+            next.insert(pid, machine);
+            (next, ())
+        });
+    }
+
+    /// Bulk route merge (publishes one snapshot for the whole batch).
+    pub(crate) fn add_routes(&self, entries: &HashMap<ProcessId, MachineId>) {
+        self.routes.update(|routes| {
+            let mut next = routes.clone();
+            next.extend(entries.iter().map(|(&p, &m)| (p, m)));
+            (next, ())
+        });
+    }
+
+    /// Registers the ID queue of local process `pid`. Returns `false` (and
+    /// registers nothing) if `pid` already has a queue.
+    pub(crate) fn add_id_queue(&self, pid: ProcessId, tx: Sender<IdQueueMsg>) -> bool {
+        self.id_queues.update(|queues| {
+            if queues.contains_key(&pid) {
+                (queues.clone(), false)
+            } else {
+                let mut next = queues.clone();
+                next.insert(pid, tx);
+                (next, true)
+            }
+        })
+    }
+
+    /// Unregisters `pid`'s ID queue, waking its receiver thread with a close
+    /// sentinel.
+    pub(crate) fn remove_id_queue(&self, pid: ProcessId) {
+        self.id_queues.update(|queues| {
+            if let Some(tx) = queues.get(&pid) {
+                let _ = tx.send(IdQueueMsg::Close);
+                let mut next = queues.clone();
+                next.remove(&pid);
+                (next, ())
+            } else {
+                (queues.clone(), ())
+            }
+        });
+    }
+
+    pub(crate) fn add_dropped(&self, n: u64) {
+        if n > 0 {
+            self.dropped.fetch_add(n, Ordering::Relaxed);
+        }
     }
 
     /// Number of messages dropped for lack of a route or a closed queue.
@@ -84,72 +204,125 @@ pub(crate) fn deliver_local(
     }
     let object_id = store.insert(body, dst.len());
     header.object_id = Some(object_id);
-    push_headers(store, table, &header, dst);
+    let queues = table.id_queues.load();
+    push_headers(store, table, &queues, &Arc::new(header), dst);
 }
 
 /// Pushes `header` (whose object id already refers to `store`) into the ID
-/// queue of every process in `dst`. Reclaims store credits for closed queues.
+/// queue of every process in `dst`, using a pre-loaded queue snapshot.
+/// Reclaims store credits for unroutable destinations and closed queues.
 pub(crate) fn push_headers(
     store: &ObjectStore,
     table: &RoutingTable,
-    header: &Header,
+    queues: &HashMap<ProcessId, Sender<IdQueueMsg>>,
+    header: &Arc<Header>,
     dst: &[ProcessId],
 ) {
-    let queues = table.id_queues.lock();
     for &d in dst {
-        let delivered = queues.get(&d).map(|q| q.send(header.clone()).is_ok()).unwrap_or(false);
+        let delivered = queues
+            .get(&d)
+            .map(|q| q.send(IdQueueMsg::Deliver(Arc::clone(header))).is_ok())
+            .unwrap_or(false);
         if !delivered {
-            table.dropped.fetch_add(1, Ordering::Relaxed);
+            table.add_dropped(1);
             // Burn the fetch credit this destination would have used so the
             // store entry does not leak.
             if let Some(id) = header.object_id {
-                let _ = store.fetch(id);
+                store.drop_credit(id);
             }
         }
     }
 }
 
-/// Runs the router loop until the communicator's header queue disconnects.
+/// How many queued commands the router folds into one drain burst. Within a
+/// burst remote envelopes are grouped per machine and each ID-queue snapshot
+/// is loaded once.
+const DRAIN_BATCH: usize = 64;
+
+/// Runs the router loop until it receives [`RouterCmd::Shutdown`] or every
+/// command sender disconnects.
 pub(crate) fn run_router(
-    here: MachineId,
-    comm_rx: Receiver<Header>,
+    comm_rx: Receiver<RouterCmd>,
     store: Arc<ObjectStore>,
     table: Arc<RoutingTable>,
-    uplinks: Arc<Mutex<HashMap<MachineId, Sender<RemoteEnvelope>>>>,
+    uplinks: Arc<Mutex<HashMap<MachineId, Sender<Vec<RemoteEnvelope>>>>>,
     telemetry: xt_telemetry::Telemetry,
 ) {
     let routed_messages = telemetry.counter("comm.routed_messages");
-    while let Ok(header) = comm_rx.recv() {
-        let (local, remote) = table.split(here, &header.dst);
-        telemetry.emit(
-            xt_telemetry::EventKind::Routed,
-            header.id,
-            (local.len() + remote.len()) as u64,
-        );
-        routed_messages.inc();
-        // Local destinations: hand the object id straight to their ID queues.
-        push_headers(&store, &table, &header, &local);
-        // Remote machines: fetch one credit per machine and forward the body
-        // over the fabric. The uplink thread pays the NIC cost so routing of
-        // subsequent local traffic is never blocked behind a slow link.
-        for (machine, dst) in remote {
-            let Some(id) = header.object_id else {
-                table.dropped.fetch_add(dst.len() as u64, Ordering::Relaxed);
-                continue;
-            };
-            let Some(body) = store.fetch(id) else {
-                table.dropped.fetch_add(dst.len() as u64, Ordering::Relaxed);
-                continue;
-            };
-            let envelope = RemoteEnvelope { header: header.clone(), body, dst };
-            let sent = uplinks
-                .lock()
-                .get(&machine)
-                .map(|tx| tx.send(envelope).is_ok())
-                .unwrap_or(false);
-            if !sent {
-                table.dropped.fetch_add(1, Ordering::Relaxed);
+    let mut batch: Vec<RouterCmd> = Vec::with_capacity(DRAIN_BATCH);
+    let mut per_machine: HashMap<MachineId, Vec<RemoteEnvelope>> = HashMap::new();
+    loop {
+        // Block for the first command, then opportunistically drain a burst.
+        match comm_rx.recv() {
+            Ok(cmd) => batch.push(cmd),
+            Err(_) => return,
+        }
+        loop {
+            if batch.len() >= DRAIN_BATCH {
+                break;
             }
+            match comm_rx.try_recv() {
+                Ok(cmd) => batch.push(cmd),
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+            }
+        }
+        // One ID-queue snapshot per burst.
+        let queues = table.id_queues.load();
+        let mut shutdown = false;
+        for cmd in batch.drain(..) {
+            let delivery = match cmd {
+                RouterCmd::Deliver(d) => d,
+                RouterCmd::Shutdown => {
+                    // Keep draining: FIFO guarantees every message submitted
+                    // before shutdown precedes the sentinel, and racing
+                    // stragglers behind it still have store credits to settle.
+                    shutdown = true;
+                    continue;
+                }
+            };
+            let Delivery { header, local, remote } = delivery;
+            telemetry.emit(
+                xt_telemetry::EventKind::Routed,
+                header.id,
+                (local.len() + remote.len()) as u64,
+            );
+            routed_messages.inc();
+            // Local destinations: hand the object id straight to their ID
+            // queues (one Arc clone each).
+            push_headers(&store, &table, &queues, &header, &local);
+            // Remote machines: spend one credit per machine and group the
+            // envelope under its uplink; the whole burst flushes below.
+            for (machine, dst) in remote {
+                let Some(id) = header.object_id else {
+                    table.add_dropped(dst.len() as u64);
+                    continue;
+                };
+                let Some(body) = store.fetch(id) else {
+                    table.add_dropped(dst.len() as u64);
+                    continue;
+                };
+                let envelope = RemoteEnvelope { header: (*header).clone(), body, dst };
+                per_machine.entry(machine).or_default().push(envelope);
+            }
+        }
+        // Flush remote groups: one uplink lookup per machine per burst. The
+        // uplink thread pays the NIC cost so routing of subsequent local
+        // traffic is never blocked behind a slow link.
+        if !per_machine.is_empty() {
+            let uplinks = uplinks.lock();
+            for (machine, envelopes) in per_machine.drain() {
+                let n_dst: u64 = envelopes.iter().map(|e| e.dst.len() as u64).sum();
+                let sent = uplinks.get(&machine).map(|tx| tx.send(envelopes).is_ok()).unwrap_or(false);
+                if !sent {
+                    // The per-machine credits were already spent by the
+                    // fetches above, so nothing leaks in the store; every
+                    // destination on the dead uplink counts as dropped.
+                    table.add_dropped(n_dst);
+                }
+            }
+        }
+        if shutdown {
+            return;
         }
     }
 }
@@ -162,27 +335,28 @@ mod tests {
     #[test]
     fn split_partitions_by_machine() {
         let table = RoutingTable::default();
-        {
-            let mut routes = table.routes.lock();
-            routes.insert(ProcessId::explorer(0), 0);
-            routes.insert(ProcessId::explorer(1), 1);
-            routes.insert(ProcessId::learner(0), 0);
-        }
-        let (local, remote) = table.split(
+        table.add_route(ProcessId::explorer(0), 0);
+        table.add_route(ProcessId::explorer(1), 1);
+        table.add_route(ProcessId::learner(0), 0);
+        let plan = table.split(
             0,
             &[ProcessId::explorer(0), ProcessId::explorer(1), ProcessId::learner(0)],
         );
-        assert_eq!(local, vec![ProcessId::explorer(0), ProcessId::learner(0)]);
-        assert_eq!(remote[&1], vec![ProcessId::explorer(1)]);
+        assert_eq!(plan.local, vec![ProcessId::explorer(0), ProcessId::learner(0)]);
+        assert_eq!(plan.remote, vec![(1, vec![ProcessId::explorer(1)])]);
+        assert_eq!(plan.unknown, 0);
+        assert_eq!(plan.fanout(), 3);
     }
 
     #[test]
-    fn unknown_destination_counts_as_dropped() {
+    fn split_counts_unknown_without_tallying_drops() {
         let table = RoutingTable::default();
-        let (local, remote) = table.split(0, &[ProcessId::explorer(9)]);
-        assert!(local.is_empty());
-        assert!(remote.is_empty());
-        assert_eq!(table.dropped(), 1);
+        let plan = table.split(0, &[ProcessId::explorer(9)]);
+        assert!(plan.local.is_empty());
+        assert!(plan.remote.is_empty());
+        assert_eq!(plan.unknown, 1);
+        assert_eq!(plan.fanout(), 0);
+        assert_eq!(table.dropped(), 0, "split itself does not account drops");
     }
 
     #[test]
@@ -191,7 +365,7 @@ mod tests {
         let table = RoutingTable::default();
         let (tx, rx) = unbounded();
         drop(rx); // queue closed
-        table.id_queues.lock().insert(ProcessId::learner(0), tx);
+        assert!(table.add_id_queue(ProcessId::learner(0), tx));
         let id = store.insert(bytes::Bytes::from_static(b"x"), 1);
         let mut header = Header::new(
             ProcessId::explorer(0),
@@ -199,8 +373,86 @@ mod tests {
             xingtian_message::MessageKind::Rollout,
         );
         header.object_id = Some(id);
-        push_headers(&store, &table, &header, &[ProcessId::learner(0)]);
+        let queues = table.id_queues.load();
+        push_headers(&store, &table, &queues, &Arc::new(header), &[ProcessId::learner(0)]);
         assert_eq!(table.dropped(), 1);
         assert!(store.is_empty(), "credit reclaimed; no leak");
+    }
+
+    #[test]
+    fn push_headers_reclaims_credits_for_unregistered_destinations() {
+        let store = ObjectStore::new();
+        let table = RoutingTable::default();
+        let id = store.insert(bytes::Bytes::from_static(b"y"), 1);
+        let mut header = Header::new(
+            ProcessId::explorer(0),
+            vec![ProcessId::learner(3)],
+            xingtian_message::MessageKind::Rollout,
+        );
+        header.object_id = Some(id);
+        let queues = table.id_queues.load();
+        push_headers(&store, &table, &queues, &Arc::new(header), &[ProcessId::learner(3)]);
+        assert_eq!(table.dropped(), 1);
+        assert!(store.is_empty(), "credit reclaimed; no leak");
+    }
+
+    #[test]
+    fn dead_uplink_reclaims_credits_and_counts_drops() {
+        // A remote group whose uplink is gone (disconnected or never built)
+        // must spend the machine's store credit and count every destination
+        // behind it as dropped — no store leak either way.
+        let store = Arc::new(ObjectStore::new());
+        let table = Arc::new(RoutingTable::default());
+        let (dead_tx, dead_rx) = unbounded::<Vec<RemoteEnvelope>>();
+        drop(dead_rx); // uplink thread gone
+        let uplinks = Arc::new(Mutex::new(HashMap::from([(1, dead_tx)])));
+        let (tx, rx) = unbounded();
+        // Machine 1: closed uplink. Machine 2: no uplink registered at all.
+        let mut header = Header::new(
+            ProcessId::learner(0),
+            vec![ProcessId::explorer(0), ProcessId::explorer(1)],
+            xingtian_message::MessageKind::Parameters,
+        );
+        header.object_id = Some(store.insert(bytes::Bytes::from_static(b"w"), 2));
+        tx.send(RouterCmd::Deliver(Delivery {
+            header: Arc::new(header),
+            local: Vec::new(),
+            remote: vec![(1, vec![ProcessId::explorer(0)]), (2, vec![ProcessId::explorer(1)])],
+        }))
+        .unwrap();
+        tx.send(RouterCmd::Shutdown).unwrap();
+        run_router(rx, Arc::clone(&store), Arc::clone(&table), uplinks, xt_telemetry::Telemetry::disabled());
+        assert_eq!(table.dropped(), 2, "one drop per unreachable destination");
+        assert!(store.is_empty(), "both machine credits settled; no leak");
+    }
+
+    #[test]
+    fn broadcast_enqueues_shared_header() {
+        // The O(n) broadcast property: every ID queue receives a clone of the
+        // *same* header allocation.
+        let store = ObjectStore::new();
+        let table = RoutingTable::default();
+        let mut rxs = Vec::new();
+        for i in 0..4 {
+            let (tx, rx) = unbounded();
+            assert!(table.add_id_queue(ProcessId::explorer(i), tx));
+            rxs.push(rx);
+        }
+        let dst: Vec<ProcessId> = (0..4).map(ProcessId::explorer).collect();
+        let mut header =
+            Header::new(ProcessId::learner(0), dst.clone(), xingtian_message::MessageKind::Parameters);
+        header.object_id = Some(store.insert(bytes::Bytes::from_static(b"w"), 4));
+        let header = Arc::new(header);
+        let queues = table.id_queues.load();
+        push_headers(&store, &table, &queues, &header, &dst);
+        for rx in &rxs {
+            match rx.try_recv().expect("delivered") {
+                IdQueueMsg::Deliver(h) => {
+                    assert!(Arc::ptr_eq(&h, &header), "queues share one header allocation")
+                }
+                IdQueueMsg::Close => panic!("unexpected close"),
+            }
+        }
+        assert_eq!(table.dropped(), 0);
     }
 }

@@ -6,11 +6,29 @@
 //! fetching clones the `Arc` (O(1), no payload copy), and the entry is freed
 //! once every destination of the message has fetched it, so broadcast
 //! parameters occupy memory exactly once regardless of explorer count.
+//!
+//! # Concurrency layout
+//!
+//! The store is built for 256-explorer fan-in/fan-out, so nothing on the
+//! fetch path crosses a store-wide lock:
+//!
+//! * entries live in [`SHARD_COUNT`] lock-striped shards keyed by object id
+//!   (ids are sequential, so consecutive objects stripe across shards);
+//! * each entry carries its remaining fetch credits in an `AtomicUsize` —
+//!   a fetch holds its shard lock only long enough to clone the entry `Arc`,
+//!   then spends the credit with one atomic decrement, so 256 destinations
+//!   fetching the same broadcast body never serialize behind a mutex while
+//!   the payload handle is cloned;
+//! * the capacity gate is a dedicated mutex: a waiter re-checks *and
+//!   reserves* while holding it, so concurrent inserts can no longer all pass
+//!   the check before any of them reserves (the old overshoot race that let
+//!   the segment transiently exceed its capacity by one body per waiter).
 
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Identifier of a body held in an [`ObjectStore`].
 pub type ObjectId = u64;
@@ -20,11 +38,24 @@ pub type ObjectId = u64;
 /// realistic workloads).
 pub const DEFAULT_CAPACITY: usize = 128 * 1024 * 1024;
 
+/// Number of lock stripes. 16 keeps the striping effective at 256 concurrent
+/// fetchers (sequential ids spread adjacent objects across all stripes) while
+/// the per-store footprint stays trivial.
+pub const SHARD_COUNT: usize = 16;
+
 #[derive(Debug)]
 struct Entry {
     body: Bytes,
-    /// How many fetches remain before the entry is dropped.
-    remaining: usize,
+    /// How many fetches remain before the entry is dropped. Spent with an
+    /// atomic decrement outside the shard lock.
+    remaining: AtomicUsize,
+}
+
+/// Capacity accounting, mutated only under the gate mutex so a check-then-
+/// reserve is atomic.
+#[derive(Debug)]
+struct Gate {
+    live: usize,
 }
 
 /// A process-shared body store.
@@ -40,12 +71,16 @@ struct Entry {
 /// aggressive senders instead of growing without bound.
 #[derive(Debug)]
 pub struct ObjectStore {
-    entries: Mutex<HashMap<ObjectId, Entry>>,
+    shards: Vec<Mutex<HashMap<ObjectId, Arc<Entry>>>>,
+    gate: Mutex<Gate>,
     space: Condvar,
     capacity: usize,
     next_id: AtomicU64,
+    /// Mirror of `Gate::live` (written only under the gate lock) so readers
+    /// can poll residency without contending with inserters.
     live_bytes: AtomicUsize,
     peak_bytes: AtomicUsize,
+    resident: AtomicUsize,
     inserted: AtomicU64,
 }
 
@@ -71,12 +106,14 @@ impl ObjectStore {
     pub fn with_capacity(capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be positive");
         ObjectStore {
-            entries: Mutex::new(HashMap::new()),
+            shards: (0..SHARD_COUNT).map(|_| Mutex::new(HashMap::new())).collect(),
+            gate: Mutex::new(Gate { live: 0 }),
             space: Condvar::new(),
             capacity,
             next_id: AtomicU64::new(0),
             live_bytes: AtomicUsize::new(0),
             peak_bytes: AtomicUsize::new(0),
+            resident: AtomicUsize::new(0),
             inserted: AtomicU64::new(0),
         }
     }
@@ -84,6 +121,11 @@ impl ObjectStore {
     /// The store's capacity in bytes.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    #[inline]
+    fn shard(&self, id: ObjectId) -> &Mutex<HashMap<ObjectId, Arc<Entry>>> {
+        &self.shards[(id as usize) % SHARD_COUNT]
     }
 
     /// Inserts `body` to be fetched by `fanout` destinations and returns its id.
@@ -116,57 +158,83 @@ impl ObjectStore {
     fn insert_inner(&self, body: Bytes, fanout: usize, wait_for_capacity: bool) -> ObjectId {
         assert!(fanout > 0, "fanout must be at least 1");
         let len = body.len();
-        // Reserve space first (blocking on the segment's capacity), then pay
-        // the write outside the lock.
+        // Check-and-reserve atomically under the gate so concurrent waiters
+        // cannot all observe free space and collectively overshoot. An object
+        // that can never fit is admitted once the store drains (live == 0), so
+        // oversized messages cannot deadlock the channel.
         {
-            let mut entries = self.entries.lock();
-            while wait_for_capacity
-                && self.live_bytes.load(Ordering::Relaxed) + len > self.capacity
-                && !entries.is_empty()
-            {
-                self.space.wait(&mut entries);
+            let mut gate = self.gate.lock();
+            while wait_for_capacity && gate.live > 0 && gate.live + len > self.capacity {
+                self.space.wait(&mut gate);
             }
-            let live = self.live_bytes.fetch_add(len, Ordering::Relaxed) + len;
-            self.peak_bytes.fetch_max(live, Ordering::Relaxed);
+            gate.live += len;
+            self.live_bytes.store(gate.live, Ordering::Relaxed);
+            self.peak_bytes.fetch_max(gate.live, Ordering::Relaxed);
         }
+        // Pay the segment write outside the gate.
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let body = Bytes::copy_from_slice(&body);
-        self.entries.lock().insert(id, Entry { body, remaining: fanout });
+        let entry = Arc::new(Entry { body, remaining: AtomicUsize::new(fanout) });
+        self.shard(id).lock().insert(id, entry);
+        self.resident.fetch_add(1, Ordering::Relaxed);
         self.inserted.fetch_add(1, Ordering::Relaxed);
         id
+    }
+
+    /// Releases `len` reserved bytes and wakes blocked inserters.
+    fn release(&self, len: usize) {
+        let mut gate = self.gate.lock();
+        gate.live -= len;
+        self.live_bytes.store(gate.live, Ordering::Relaxed);
+        self.space.notify_all();
     }
 
     /// Fetches a zero-copy clone of the object, releasing the entry when the
     /// last destination fetches it. Returns `None` for unknown (or already
     /// fully fetched) ids.
     pub fn fetch(&self, id: ObjectId) -> Option<Bytes> {
-        let mut entries = self.entries.lock();
-        let entry = entries.get_mut(&id)?;
-        entry.remaining -= 1;
+        let entry = self.shard(id).lock().get(&id).map(Arc::clone)?;
+        // Spend one credit without the lock. `checked_sub` refuses to go
+        // below zero, so an over-fetch racing the final removal cannot
+        // double-free or resurrect the entry.
+        let prev = entry
+            .remaining
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |r| r.checked_sub(1))
+            .ok()?;
         let body = entry.body.clone();
-        if entry.remaining == 0 {
-            entries.remove(&id);
-            self.live_bytes.fetch_sub(body.len(), Ordering::Relaxed);
-            self.space.notify_all();
+        if prev == 1 {
+            // We spent the last credit: exactly one fetcher observes this,
+            // so exactly one removal and one capacity release happen.
+            self.shard(id).lock().remove(&id);
+            self.resident.fetch_sub(1, Ordering::Relaxed);
+            self.release(body.len());
         }
         Some(body)
+    }
+
+    /// Spends one fetch credit without returning the body. Used by the router
+    /// to reclaim the credit of a destination that can no longer take
+    /// delivery (closed ID queue, unroutable destination), so the entry does
+    /// not leak. Returns `false` for unknown ids.
+    pub fn drop_credit(&self, id: ObjectId) -> bool {
+        self.fetch(id).is_some()
     }
 
     /// Reads the object without consuming a fetch credit. Used by routers that
     /// forward a body to a remote machine while local destinations still hold
     /// credits.
     pub fn peek(&self, id: ObjectId) -> Option<Bytes> {
-        self.entries.lock().get(&id).map(|e| e.body.clone())
+        self.shard(id).lock().get(&id).map(|e| e.body.clone())
     }
 
     /// Number of objects currently resident.
     pub fn len(&self) -> usize {
-        self.entries.lock().len()
+        self.resident.load(Ordering::Relaxed)
     }
 
     /// True when no objects are resident.
     pub fn is_empty(&self) -> bool {
-        self.entries.lock().is_empty()
+        self.len() == 0
     }
 
     /// Bytes currently resident.
@@ -239,6 +307,18 @@ mod tests {
     }
 
     #[test]
+    fn drop_credit_frees_like_fetch() {
+        let s = ObjectStore::new();
+        let id = s.insert(Bytes::from(vec![0u8; 64]), 2);
+        assert!(s.drop_credit(id));
+        assert_eq!(s.len(), 1, "one credit remains");
+        assert!(s.drop_credit(id));
+        assert!(s.is_empty(), "last credit frees the entry");
+        assert_eq!(s.live_bytes(), 0);
+        assert!(!s.drop_credit(id), "no double-free");
+    }
+
+    #[test]
     #[should_panic(expected = "fanout must be at least 1")]
     fn zero_fanout_rejected() {
         let s = ObjectStore::new();
@@ -267,10 +347,10 @@ mod tests {
 
     #[test]
     fn ids_are_unique_under_concurrency() {
-        let s = std::sync::Arc::new(ObjectStore::new());
+        let s = Arc::new(ObjectStore::new());
         let mut handles = Vec::new();
         for _ in 0..4 {
-            let s = std::sync::Arc::clone(&s);
+            let s = Arc::clone(&s);
             handles.push(std::thread::spawn(move || {
                 (0..250).map(|_| s.insert(Bytes::new(), 1)).collect::<Vec<_>>()
             }));
@@ -279,5 +359,90 @@ mod tests {
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), 1000);
+    }
+
+    #[test]
+    fn concurrent_broadcast_fetches_spend_each_credit_once() {
+        // All destinations race to fetch the same entry; exactly `fanout`
+        // fetches succeed and the entry frees exactly once.
+        let s = Arc::new(ObjectStore::new());
+        let fanout = 64;
+        let id = s.insert(Bytes::from(vec![3u8; 4096]), fanout);
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                (0..16).filter(|_| s.fetch(id).is_some()).count()
+            }));
+        }
+        let succeeded: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(succeeded, fanout, "every credit spent exactly once");
+        assert!(s.is_empty());
+        assert_eq!(s.live_bytes(), 0);
+    }
+
+    #[test]
+    fn capacity_gate_never_overshoots_under_contention() {
+        // Regression test for the check-then-reserve race: with the gate
+        // check and the reservation made atomically, the segment can never
+        // exceed capacity + one (oversized-alone) body, no matter how many
+        // inserters pile onto the gate at once.
+        let capacity = 10_000;
+        let max_body = 1_900;
+        let s = Arc::new(ObjectStore::with_capacity(capacity));
+        let mut producers = Vec::new();
+        for t in 0..8u64 {
+            let s = Arc::clone(&s);
+            producers.push(std::thread::spawn(move || {
+                let mut ids = Vec::new();
+                for i in 0..50usize {
+                    let len = 100 + ((t as usize * 131 + i * 977) % (max_body - 100));
+                    ids.push((s.insert(Bytes::from(vec![1u8; len]), 1), len));
+                }
+                ids
+            }));
+        }
+        // Consumer drains whatever appears so producers keep making progress.
+        let consumer = {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || {
+                let mut freed = 0usize;
+                let mut next = 0u64;
+                while freed < 8 * 50 {
+                    if s.fetch(next).is_some() {
+                        freed += 1;
+                        next += 1;
+                    } else if next < s.inserted() {
+                        // Entry exists but we raced its insertion; retry.
+                        std::thread::yield_now();
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            })
+        };
+        for p in producers {
+            p.join().unwrap();
+        }
+        consumer.join().unwrap();
+        assert!(s.is_empty());
+        assert_eq!(s.live_bytes(), 0);
+        assert!(
+            s.peak_bytes() <= capacity + max_body,
+            "capacity gate overshot: peak {} > {} + {}",
+            s.peak_bytes(),
+            capacity,
+            max_body
+        );
+    }
+
+    #[test]
+    fn oversized_object_admitted_alone() {
+        let s = ObjectStore::with_capacity(100);
+        // Larger than the whole segment: must not deadlock, admitted alone.
+        let id = s.insert(Bytes::from(vec![0u8; 400]), 1);
+        assert_eq!(s.live_bytes(), 400);
+        assert!(s.fetch(id).is_some());
+        assert_eq!(s.live_bytes(), 0);
     }
 }

@@ -186,3 +186,56 @@ fn bidirectional_traffic_flows_concurrently() {
     drop(learner);
     broker.shutdown();
 }
+
+#[test]
+fn broadcast_to_256_explorers_across_two_machines_drops_nothing() {
+    // The control-plane stress case the fast path is built for: a learner on
+    // machine 0 broadcasts parameters to 256 explorers split across two
+    // machines, several rounds. Every explorer sees every round exactly once
+    // and in order, nothing is dropped, and both object stores are empty once
+    // all credits are consumed (128 local fetches + one uplink fetch on the
+    // source; 128 fetches per envelope on the peer).
+    const EXPLORERS: u32 = 256;
+    const ROUNDS: u8 = 4;
+    let cluster = Cluster::new(
+        ClusterSpec::default().machines(2).nic_bandwidth(1e12).latency_secs(0.0),
+    );
+    let b0 = Broker::new(0, cluster.clone(), CommConfig::uncompressed());
+    let b1 = Broker::new(1, cluster, CommConfig::uncompressed());
+    let learner = b0.endpoint(ProcessId::learner(0));
+    let explorers: Vec<_> = (0..EXPLORERS)
+        .map(|i| {
+            let broker = if i % 2 == 0 { &b0 } else { &b1 };
+            broker.endpoint(ProcessId::explorer(i))
+        })
+        .collect();
+    connect_brokers(&[b0.clone(), b1.clone()]);
+
+    let dst: Vec<ProcessId> = (0..EXPLORERS).map(ProcessId::explorer).collect();
+    for round in 0..ROUNDS {
+        assert!(learner.send_to(
+            dst.clone(),
+            MessageKind::Parameters,
+            Bytes::from(vec![round; 1024]),
+        ));
+    }
+    for e in &explorers {
+        for round in 0..ROUNDS {
+            let m = e
+                .recv_timeout(Duration::from_secs(60))
+                .unwrap_or_else(|| panic!("{} missed round {round}", e.pid()));
+            assert_eq!(m.body[0], round, "rounds arrive in order at {}", e.pid());
+            assert_eq!(m.body.len(), 1024);
+        }
+        assert!(e.try_recv().is_none(), "exactly one copy per round at {}", e.pid());
+    }
+    assert_eq!(b0.dropped(), 0, "source broker dropped nothing");
+    assert_eq!(b1.dropped(), 0, "peer broker dropped nothing");
+    assert!(b0.store().is_empty(), "every source-store credit was consumed");
+    assert!(b1.store().is_empty(), "every peer-store credit was consumed");
+
+    drop(learner);
+    drop(explorers);
+    b0.shutdown();
+    b1.shutdown();
+}

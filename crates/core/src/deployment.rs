@@ -218,13 +218,15 @@ impl Deployment {
             })
             .collect();
 
-        // Endpoints are created before the fabric so that route tables merge.
+        // Connect the fabric first: endpoints registered afterwards propagate
+        // their routes to every peer broker live, so deployments can grow
+        // (or restart processes) without re-running a table merge.
+        connect_brokers(&brokers);
         let learner_ep = brokers[config.learner_machine].endpoint(ProcessId::learner(0));
         let controller_ep = brokers[config.learner_machine].endpoint(ProcessId::controller(0));
         let explorer_eps: Vec<_> = (0..num_explorers)
             .map(|i| brokers[config.explorer_machine(i)].endpoint(ProcessId::explorer(i)))
             .collect();
-        connect_brokers(&brokers);
 
         let mut algorithm = build_algorithm(
             &config.algorithm,

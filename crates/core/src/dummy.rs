@@ -94,6 +94,8 @@ pub fn run_dummy(config: DummyConfig) -> DummyResult {
     let cluster = Cluster::new(config.cluster.clone());
     let brokers: Vec<Broker> =
         (0..cluster.len()).map(|m| Broker::new(m, cluster.clone(), config.comm.clone())).collect();
+    // Fabric first: endpoint routes created below propagate to peers live.
+    connect_brokers(&brokers);
     let learner_ep = brokers[config.learner_machine].endpoint(ProcessId::learner(0));
 
     let mut explorer_eps = Vec::new();
@@ -104,7 +106,6 @@ pub fn run_dummy(config: DummyConfig) -> DummyResult {
             next_index += 1;
         }
     }
-    connect_brokers(&brokers);
 
     // Incompressible-ish payload: a distinct byte pattern per message index
     // would defeat dedup; a simple ramp suffices since compression is off by

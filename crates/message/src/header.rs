@@ -10,6 +10,7 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The role a process plays in a DRL algorithm deployment.
@@ -130,8 +131,10 @@ pub struct Header {
     /// Producing process.
     pub src: ProcessId,
     /// Consuming processes. Rollouts have one destination (the learner);
-    /// parameter broadcasts list every target explorer.
-    pub dst: Vec<ProcessId>,
+    /// parameter broadcasts list every target explorer. Shared so that a
+    /// 256-way broadcast clones one pointer, not 256 copies of a 256-entry
+    /// list — header clones are O(1) regardless of fan-out.
+    pub dst: Arc<[ProcessId]>,
     /// Payload kind.
     pub kind: MessageKind,
     /// Object-store id of the body, attached by the sender thread once the body
@@ -154,11 +157,11 @@ pub struct Header {
 
 impl Header {
     /// Creates a header with a fresh globally unique id.
-    pub fn new(src: ProcessId, dst: Vec<ProcessId>, kind: MessageKind) -> Self {
+    pub fn new(src: ProcessId, dst: impl Into<Arc<[ProcessId]>>, kind: MessageKind) -> Self {
         Header {
             id: NEXT_MESSAGE_ID.fetch_add(1, Ordering::Relaxed),
             src,
-            dst,
+            dst: dst.into(),
             kind,
             object_id: None,
             len: 0,

@@ -8,7 +8,7 @@
 use std::fmt::Write as _;
 use std::path::Path;
 
-use crate::hist::{bucket_hi, bucket_lo, Histogram, BUCKETS};
+use crate::hist::{bucket_hi, bucket_lo, Histogram};
 use crate::metrics::Registry;
 use crate::span::{MessageSpan, StageBreakdown};
 
@@ -64,13 +64,13 @@ pub fn histogram_csv(h: &Histogram) -> String {
     let total: u64 = counts.iter().sum();
     let mut out = String::from("bucket_lo_ns,bucket_hi_ns,count,cum_fraction\n");
     let mut cum = 0u64;
-    for b in 0..BUCKETS {
-        if counts[b] == 0 {
+    for (b, &count) in counts.iter().enumerate() {
+        if count == 0 {
             continue;
         }
-        cum += counts[b];
+        cum += count;
         let frac = if total == 0 { 0.0 } else { cum as f64 / total as f64 };
-        let _ = writeln!(out, "{},{},{},{:.6}", bucket_lo(b), bucket_hi(b), counts[b], frac);
+        let _ = writeln!(out, "{},{},{},{:.6}", bucket_lo(b), bucket_hi(b), count, frac);
     }
     out
 }

@@ -102,12 +102,7 @@ impl Histogram {
 
     /// Exact mean, or 0 if empty.
     pub fn mean(&self) -> u64 {
-        let n = self.count();
-        if n == 0 {
-            0
-        } else {
-            self.sum() / n
-        }
+        self.sum().checked_div(self.count()).unwrap_or(0)
     }
 
     /// Smallest recorded value, or 0 if empty.

@@ -26,7 +26,7 @@ fn traffic_strategy() -> impl Strategy<Value = Traffic> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(24))]
 
     #[test]
     fn every_message_is_delivered_exactly_once(t in traffic_strategy()) {
