@@ -29,4 +29,9 @@ cargo bench -p xt-bench --bench telemetry -- --test
 echo "== release smoke: lz4/chunk differential round-trip tests =="
 cargo test --release -q -p xingtian-message --test differential
 
+echo "== perf smoke: train-step fast path under catastrophic-regression bound =="
+# Loose bound: the fast path runs IMPALA's 500x1024 step in ~5 ms on one
+# container core; 20 ms only trips on an order-of-magnitude slip.
+cargo run --release -p xt-bench --bin trainstep -- --gate 20
+
 echo "ci.sh: all green"

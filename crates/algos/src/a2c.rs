@@ -9,15 +9,16 @@
 //! contributes independent of the optimizer sophistication.
 
 use crate::api::{ActionSelection, Agent, Algorithm, SyncMode, TrainReport};
-use crate::batch::taken_log_probs;
-use crate::gae::{gae, normalize, GaeInput};
+use crate::gae::{gae_into, normalize, GaeInput};
+use crate::par::{ParGrad, Shard};
 use crate::payload::{ParamBlob, RolloutBatch};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use tinynn::ops::{log_softmax, mse, sample_categorical, softmax};
+use tinynn::ops::{row_stats, sample_categorical, softmax_row_into};
 use tinynn::optim::{clip_global_norm, Adam};
-use tinynn::{Activation, Matrix, Mlp};
+use tinynn::{Activation, Mlp, Workspace};
+use xingtian_comm::pool::{shared_pool, WorkPool};
 
 /// A2C hyperparameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -92,17 +93,45 @@ pub struct A2cAlgorithm {
     opt_value: Adam,
     staged: Vec<RolloutBatch>,
     staged_steps: usize,
+    spent: Vec<RolloutBatch>,
     version: u64,
+    pool: Option<&'static WorkPool>,
+    par: ParGrad,
+    ws: Workspace,
+    pgrads: Vec<f32>,
+    vgrads: Vec<f32>,
 }
 
 impl A2cAlgorithm {
-    /// Creates the learner state for `config`.
+    /// Creates the learner state for `config`, sharding the policy-gradient
+    /// step over the process-wide worker pool.
     pub fn new(config: A2cConfig) -> Self {
+        Self::with_pool(config, Some(shared_pool()))
+    }
+
+    /// Like [`A2cAlgorithm::new`] but with an explicit worker pool; `None`
+    /// computes every shard on the calling thread (bitwise-identical result).
+    pub fn with_pool(config: A2cConfig, pool: Option<&'static WorkPool>) -> Self {
         let policy = Mlp::new(&config.policy_sizes(), Activation::Tanh, config.seed);
         let value = Mlp::new(&config.value_sizes(), Activation::Tanh, config.seed ^ 0xF00D);
         let opt_policy = Adam::new(policy.num_params(), config.lr);
         let opt_value = Adam::new(value.num_params(), config.lr);
-        A2cAlgorithm { config, policy, value, opt_policy, opt_value, staged: Vec::new(), staged_steps: 0, version: 0 }
+        A2cAlgorithm {
+            config,
+            policy,
+            value,
+            opt_policy,
+            opt_value,
+            staged: Vec::new(),
+            staged_steps: 0,
+            spent: Vec::new(),
+            version: 0,
+            pool,
+            par: ParGrad::new(),
+            ws: Workspace::new(),
+            pgrads: Vec::new(),
+            vgrads: Vec::new(),
+        }
     }
 
     fn iteration_batch(&self) -> usize {
@@ -113,7 +142,10 @@ impl A2cAlgorithm {
 impl Algorithm for A2cAlgorithm {
     fn on_rollout(&mut self, batch: RolloutBatch) {
         if batch.param_version != self.version {
-            return; // on-policy: stale rollouts are unusable
+            // On-policy: stale rollouts are unusable, but their storage is
+            // recyclable.
+            self.spent.push(batch);
+            return;
         }
         self.staged_steps += batch.len();
         self.staged.push(batch);
@@ -127,87 +159,142 @@ impl Algorithm for A2cAlgorithm {
         let steps_consumed = self.staged_steps;
         self.staged_steps = 0;
 
-        // Assemble the iteration batch with per-segment GAE.
+        // Assemble the iteration batch with per-segment GAE (written straight
+        // into the iteration tail, no per-segment vectors).
         let mut obs_data: Vec<f32> = Vec::new();
         let mut actions: Vec<u32> = Vec::new();
         let mut advantages: Vec<f32> = Vec::new();
         let mut returns: Vec<f32> = Vec::new();
+        let mut seg: (Vec<f32>, Vec<f32>, Vec<bool>) = (Vec::new(), Vec::new(), Vec::new());
         for b in &staged {
-            let rewards: Vec<f32> = b.steps.iter().map(|s| s.reward).collect();
-            let values: Vec<f32> = b.steps.iter().map(|s| s.value).collect();
-            let dones: Vec<bool> = b.steps.iter().map(|s| s.done).collect();
+            seg.0.clear();
+            seg.1.clear();
+            seg.2.clear();
+            for s in &b.steps {
+                seg.0.push(s.reward);
+                seg.1.push(s.value);
+                seg.2.push(s.done);
+            }
             let bootstrap_value = if b.bootstrap_observation.is_empty() {
                 0.0
             } else {
-                let x = Matrix::from_vec(1, b.bootstrap_observation.len(), b.bootstrap_observation.clone());
-                self.value.forward(&x).get(0, 0)
+                self.value.forward_ws(&b.bootstrap_observation, 1, &mut self.ws)[0]
             };
-            let out = gae(&GaeInput {
-                rewards: &rewards,
-                values: &values,
-                dones: &dones,
-                bootstrap_value,
-                gamma: self.config.gamma,
-                lambda: self.config.lambda,
-            });
+            let off = advantages.len();
+            advantages.resize(off + b.steps.len(), 0.0);
+            returns.resize(off + b.steps.len(), 0.0);
+            gae_into(
+                &GaeInput {
+                    rewards: &seg.0,
+                    values: &seg.1,
+                    dones: &seg.2,
+                    bootstrap_value,
+                    gamma: self.config.gamma,
+                    lambda: self.config.lambda,
+                },
+                &mut advantages[off..],
+                &mut returns[off..],
+            );
             for s in &b.steps {
                 obs_data.extend_from_slice(&s.observation);
                 actions.push(s.action);
             }
-            advantages.extend(out.advantages);
-            returns.extend(out.returns);
         }
         normalize(&mut advantages);
+        // Everything needed has been copied out; the batches' step storage
+        // goes back to the framework for decode recycling.
+        self.spent.extend(staged);
         let n = actions.len();
-        let obs = Matrix::from_vec(n, self.config.obs_dim, obs_data);
 
-        // Single vanilla policy-gradient step: -Â log π(a|s) − c_e H.
-        let (logits, pcache) = self.policy.forward_cached(&obs);
-        let probs = softmax(&logits);
-        let logs = log_softmax(&logits);
-        let target_lp = taken_log_probs(&logits, &actions);
-        let mut dlogits = Matrix::zeros(n, self.config.num_actions);
-        let mut policy_loss = 0.0f32;
-        for i in 0..n {
-            let a = actions[i] as usize;
-            let adv = advantages[i];
-            policy_loss -= adv * target_lp[i] / n as f32;
-            let mut h = 0.0f32;
-            for j in 0..self.config.num_actions {
-                let p = probs.get(i, j);
-                if p > 0.0 {
-                    h -= p * logs.get(i, j);
+        // Single vanilla policy-gradient step, sharded over the pool:
+        // -Â log π(a|s) − c_e H, with deterministic gradient reduction.
+        let Self { config, policy, value, opt_policy, opt_value, par, pool, pgrads, vgrads, .. } =
+            self;
+        let dim = config.obs_dim;
+        let na = config.num_actions;
+        let ec = config.entropy_coef;
+        let inv_n = 1.0 / n as f32;
+        let obs: &[f32] = &obs_data;
+        let actions: &[u32] = &actions;
+        let advantages: &[f32] = &advantages;
+        let returns: &[f32] = &returns;
+
+        pgrads.resize(policy.num_params(), 0.0);
+        let pnet: &Mlp = policy;
+        let policy_loss = par.run(*pool, n, &mut [], 0, Some(pgrads), |rows, _out, shard, grads| {
+            let x = &obs[rows.start * dim..rows.end * dim];
+            let rn = rows.len();
+            let Shard { ws_a, scratch, .. } = shard;
+            if scratch.len() < rn * na {
+                scratch.resize(rn * na, 0.0);
+            }
+            let dlogits = &mut scratch[..rn * na];
+            let mut loss = 0.0f32;
+            {
+                let logits = pnet.forward_ws(x, rn, ws_a);
+                for (row, i) in rows.enumerate() {
+                    let zrow = &logits[row * na..(row + 1) * na];
+                    let stats = row_stats(zrow);
+                    let log_z = stats.log_z();
+                    let h = stats.entropy();
+                    let inv_sum = 1.0 / stats.sum;
+                    let a = actions[i] as usize;
+                    let adv = advantages[i];
+                    loss -= adv * (zrow[a] - log_z) * inv_n;
+                    loss -= ec * h * inv_n;
+                    let drow = &mut dlogits[row * na..(row + 1) * na];
+                    for (j, (d, &z)) in drow.iter_mut().zip(zrow).enumerate() {
+                        let p = (z - stats.max).exp() * inv_sum;
+                        let indicator = if j == a { 1.0 } else { 0.0 };
+                        let g = -adv * (indicator - p) + ec * p * ((z - log_z) + h);
+                        *d = g * inv_n;
+                    }
                 }
             }
-            for j in 0..self.config.num_actions {
-                let p = probs.get(i, j);
-                let indicator = if j == a { 1.0 } else { 0.0 };
-                let mut g = -adv * (indicator - p);
-                g += self.config.entropy_coef * p * (logs.get(i, j) + h);
-                dlogits.set(i, j, g / n as f32);
-            }
-            policy_loss -= self.config.entropy_coef * h / n as f32;
-        }
-        let mut pgrads = self.policy.backward_cached(&obs, &pcache, &dlogits);
-        clip_global_norm(&mut pgrads, self.config.max_grad_norm);
-        self.opt_policy.step(self.policy.params_mut(), &pgrads);
+            pnet.backward_ws(x, rn, dlogits, ws_a, grads);
+            loss
+        });
+        clip_global_norm(pgrads, config.max_grad_norm);
+        opt_policy.step(policy.params_mut(), pgrads);
 
         // Critic regression to the GAE returns.
-        let (v, vcache) = self.value.forward_cached(&obs);
-        let targets = Matrix::from_vec(n, 1, returns);
-        let (vloss, mut dv) = mse(&v, &targets);
-        dv.scale(self.config.value_coef);
-        let mut vgrads = self.value.backward_cached(&obs, &vcache, &dv);
-        clip_global_norm(&mut vgrads, self.config.max_grad_norm);
-        self.opt_value.step(self.value.params_mut(), &vgrads);
+        vgrads.resize(value.num_params(), 0.0);
+        let vnet: &Mlp = value;
+        let vc = config.value_coef;
+        let vloss = par.run(*pool, n, &mut [], 0, Some(vgrads), |rows, _out, shard, grads| {
+            let x = &obs[rows.start * dim..rows.end * dim];
+            let rn = rows.len();
+            let Shard { ws_a, scratch, .. } = shard;
+            if scratch.len() < rn {
+                scratch.resize(rn, 0.0);
+            }
+            let dv = &mut scratch[..rn];
+            let mut loss = 0.0f32;
+            {
+                let v = vnet.forward_ws(x, rn, ws_a);
+                for (row, i) in rows.enumerate() {
+                    let d = v[row] - returns[i];
+                    loss += d * d * inv_n;
+                    dv[row] = vc * 2.0 * d * inv_n;
+                }
+            }
+            vnet.backward_ws(x, rn, dv, ws_a, grads);
+            loss
+        });
+        clip_global_norm(vgrads, config.max_grad_norm);
+        opt_value.step(value.params_mut(), vgrads);
 
         self.version += 1;
         Some(TrainReport {
             steps_consumed,
-            loss: policy_loss + self.config.value_coef * vloss,
+            loss: policy_loss + vc * vloss,
             version: self.version,
             notify: (0..self.config.num_explorers).collect(),
         })
+    }
+
+    fn take_spent(&mut self) -> Option<RolloutBatch> {
+        self.spent.pop()
     }
 
     fn param_blob(&self) -> ParamBlob {
@@ -244,6 +331,8 @@ pub struct A2cAgent {
     value: Mlp,
     version: u64,
     rng: StdRng,
+    ws: Workspace,
+    probs: Vec<f32>,
 }
 
 impl A2cAgent {
@@ -252,18 +341,21 @@ impl A2cAgent {
         let policy = Mlp::new(&config.policy_sizes(), Activation::Tanh, config.seed);
         let value = Mlp::new(&config.value_sizes(), Activation::Tanh, config.seed ^ 0xF00D);
         let rng = StdRng::seed_from_u64(explorer_seed.wrapping_mul(0xA2C).wrapping_add(3));
-        A2cAgent { policy, value, version: 0, rng }
+        A2cAgent { policy, value, version: 0, rng, ws: Workspace::new(), probs: Vec::new() }
     }
 }
 
 impl Agent for A2cAgent {
     fn act(&mut self, observation: &[f32]) -> ActionSelection {
-        let x = Matrix::from_vec(1, observation.len(), observation.to_vec());
-        let logits = self.policy.forward(&x);
-        let probs = softmax(&logits);
-        let action = sample_categorical(probs.row(0), self.rng.gen::<f32>());
-        let value = self.value.forward(&x).get(0, 0);
-        ActionSelection { action, logits: logits.row(0).to_vec(), value }
+        let logits: Vec<f32> = self.policy.forward_ws(observation, 1, &mut self.ws).to_vec();
+        if self.probs.len() < logits.len() {
+            self.probs.resize(logits.len(), 0.0);
+        }
+        let probs = &mut self.probs[..logits.len()];
+        softmax_row_into(&logits, probs);
+        let action = sample_categorical(probs, self.rng.gen::<f32>());
+        let value = self.value.forward_ws(observation, 1, &mut self.ws)[0];
+        ActionSelection { action, logits, value }
     }
 
     fn apply_params(&mut self, blob: &ParamBlob) {
@@ -286,6 +378,8 @@ impl Agent for A2cAgent {
 mod tests {
     use super::*;
     use crate::payload::RolloutStep;
+    use tinynn::ops::softmax;
+    use tinynn::Matrix;
 
     fn tiny_config() -> A2cConfig {
         let mut c = A2cConfig::new(3, 2);

@@ -47,6 +47,15 @@ pub trait Algorithm: Send {
     /// on-policy batch incomplete, ...).
     fn try_train(&mut self) -> Option<TrainReport>;
 
+    /// Hands back one rollout batch whose step data has been fully consumed,
+    /// so the framework can recycle its allocations into the receive path
+    /// (see `BatchDecoder`). `None` when nothing is spent. Algorithms that
+    /// retain step storage (replay buffers) never return batches; the
+    /// default does exactly that.
+    fn take_spent(&mut self) -> Option<RolloutBatch> {
+        None
+    }
+
     /// Snapshot of all trainable parameters for broadcast.
     fn param_blob(&self) -> ParamBlob;
 

@@ -1,7 +1,7 @@
 //! Helpers for turning rollout batches into training tensors.
 
 use crate::payload::RolloutStep;
-use tinynn::ops::log_softmax;
+use tinynn::ops::row_stats;
 use tinynn::Matrix;
 
 /// Stacks the observations of `steps` into a `(len, obs_dim)` matrix.
@@ -45,23 +45,47 @@ pub fn next_observation_matrix(steps: &[&RolloutStep]) -> Matrix {
 ///
 /// Panics if any step lacks behavior logits.
 pub fn behavior_log_probs(steps: &[&RolloutStep]) -> Vec<f32> {
-    steps
-        .iter()
-        .map(|s| {
-            assert!(
-                !s.behavior_logits.is_empty(),
-                "behavior logits required (actor-critic rollouts record them)"
-            );
-            let m = Matrix::from_vec(1, s.behavior_logits.len(), s.behavior_logits.clone());
-            log_softmax(&m).get(0, s.action as usize)
-        })
-        .collect()
+    let mut out = Vec::with_capacity(steps.len());
+    for s in steps {
+        out.push(behavior_log_prob(s));
+    }
+    out
+}
+
+/// Appends one log-probability per step to `out` — the allocation-free
+/// staging path (no per-step matrices, one fused [`row_stats`] pass each).
+///
+/// # Panics
+///
+/// Panics if any step lacks behavior logits.
+pub fn behavior_log_probs_into(steps: &[RolloutStep], out: &mut Vec<f32>) {
+    out.reserve(steps.len());
+    for s in steps {
+        out.push(behavior_log_prob(s));
+    }
+}
+
+fn behavior_log_prob(s: &RolloutStep) -> f32 {
+    assert!(
+        !s.behavior_logits.is_empty(),
+        "behavior logits required (actor-critic rollouts record them)"
+    );
+    s.behavior_logits[s.action as usize] - row_stats(&s.behavior_logits).log_z()
 }
 
 /// Log-probability of each taken action under `logits` (one row per step).
+///
+/// One fused pass per row — the full log-softmax matrix is never
+/// materialized.
 pub fn taken_log_probs(logits: &Matrix, actions: &[u32]) -> Vec<f32> {
-    let ls = log_softmax(logits);
-    actions.iter().enumerate().map(|(i, &a)| ls.get(i, a as usize)).collect()
+    actions
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| {
+            let row = logits.row(i);
+            row[a as usize] - row_stats(row).log_z()
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -96,6 +120,28 @@ mod tests {
         // log softmax of [1,3] at index 1 = -ln(1 + e^{-2}).
         let expect = -(1.0f32 + (-2.0f32).exp()).ln();
         assert!((lp - expect).abs() < 1e-5);
+    }
+
+    #[test]
+    fn behavior_log_probs_into_appends_without_matrices() {
+        let a = step(vec![0.0], 1, vec![1.0, 3.0]);
+        let b = step(vec![0.0], 0, vec![-0.5, 0.25]);
+        let steps = vec![a, b];
+        let refs: Vec<&_> = steps.iter().collect();
+        let expect = behavior_log_probs(&refs);
+        let mut out = vec![7.0f32]; // pre-existing content is preserved
+        behavior_log_probs_into(&steps, &mut out);
+        assert_eq!(out[0], 7.0);
+        assert_eq!(&out[1..], &expect[..]);
+    }
+
+    #[test]
+    fn taken_log_probs_match_row_log_softmax() {
+        let logits = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 0.5]);
+        let lp = taken_log_probs(&logits, &[2, 0]);
+        let ls = tinynn::ops::log_softmax(&logits);
+        assert!((lp[0] - ls.get(0, 2)).abs() < 1e-6);
+        assert!((lp[1] - ls.get(1, 0)).abs() < 1e-6);
     }
 
     #[test]

@@ -7,9 +7,14 @@
 //! In XingTian the replay buffer lives inside the learner's trainer thread, so
 //! sampling is a local operation (§3.2.1); the baselines host the same buffer
 //! behind an RPC boundary instead.
+//!
+//! The training step runs on the allocation-free workspace path: sampled
+//! transitions are gathered into a persistent [`TrainBufs`] staging arena
+//! (structure-of-arrays), targets and gradients are computed in reused
+//! buffers, and after warmup a uniform-replay session performs zero heap
+//! allocations.
 
 use crate::api::{ActionSelection, Agent, Algorithm, SyncMode, TrainReport};
-use crate::batch::{next_observation_matrix, observation_matrix};
 use crate::payload::{ParamBlob, RolloutBatch, RolloutStep};
 use crate::replay::{PrioritizedReplay, ReplayBuffer};
 use rand::rngs::StdRng;
@@ -17,7 +22,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use tinynn::ops::argmax;
 use tinynn::optim::Adam;
-use tinynn::{Activation, Matrix, Mlp};
+use tinynn::{Activation, Mlp, Workspace};
 
 /// DQN hyperparameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -126,6 +131,65 @@ impl Replay {
     }
 }
 
+/// Persistent staging arena for the training step. All buffers grow once to
+/// the batch high-water mark and are reused for every subsequent session, so
+/// a warmed-up uniform-replay session touches the heap zero times.
+#[derive(Debug, Default)]
+struct TrainBufs {
+    /// Flat `(n, obs_dim)` gather of sampled observations.
+    obs: Vec<f32>,
+    /// Flat `(n, obs_dim)` next observations (zeros where terminal — their
+    /// target is masked anyway).
+    next_obs: Vec<f32>,
+    actions: Vec<u32>,
+    rewards: Vec<f32>,
+    dones: Vec<bool>,
+    /// Bellman targets, one per row.
+    targets: Vec<f32>,
+    /// dL/dQ, `(n, num_actions)`, sparse (one entry per row).
+    dout: Vec<f32>,
+    /// |TD error| per row — the new priorities under prioritized replay.
+    td: Vec<f32>,
+    /// Flat parameter gradients for the online network.
+    grads: Vec<f32>,
+    /// Uniform-replay sample indices.
+    sample_idx: Vec<usize>,
+    /// Importance weights (prioritized replay only).
+    weights: Vec<f32>,
+    /// Workspace for the online network's cached training pass.
+    q_ws: Workspace,
+    /// Workspace for the target network's bootstrap forward.
+    tgt_ws: Workspace,
+    /// Workspace for the online network's bootstrap forward (Double DQN).
+    online_ws: Workspace,
+}
+
+impl TrainBufs {
+    fn clear(&mut self) {
+        self.obs.clear();
+        self.next_obs.clear();
+        self.actions.clear();
+        self.rewards.clear();
+        self.dones.clear();
+    }
+
+    /// Appends one transition to the staging arrays.
+    fn stage(&mut self, s: &RolloutStep, dim: usize) {
+        assert_eq!(s.observation.len(), dim, "ragged observations");
+        self.obs.extend_from_slice(&s.observation);
+        match &s.next_observation {
+            Some(o) => {
+                assert_eq!(o.len(), dim, "ragged next observations");
+                self.next_obs.extend_from_slice(o);
+            }
+            None => self.next_obs.extend(std::iter::repeat_n(0.0, dim)),
+        }
+        self.actions.push(s.action);
+        self.rewards.push(s.reward);
+        self.dones.push(s.done);
+    }
+}
+
 /// Learner-side DQN: in-learner replay buffer, online and target Q networks.
 #[derive(Debug)]
 pub struct DqnAlgorithm {
@@ -134,6 +198,7 @@ pub struct DqnAlgorithm {
     target: Mlp,
     opt: Adam,
     replay: Replay,
+    bufs: TrainBufs,
     inserts_since_train: u64,
     sessions: u64,
     version: u64,
@@ -157,6 +222,7 @@ impl DqnAlgorithm {
             target,
             opt,
             replay,
+            bufs: TrainBufs::default(),
             inserts_since_train: 0,
             sessions: 0,
             version: 0,
@@ -181,76 +247,94 @@ impl DqnAlgorithm {
     /// a separate replay actor (as RLLib does) sample remotely and hand the
     /// batch to this method, so both run byte-identical update math.
     pub fn train_on_steps(&mut self, sampled: &[RolloutStep]) -> TrainReport {
-        let refs: Vec<&RolloutStep> = sampled.iter().collect();
-        self.train_weighted(&refs, None).0
+        assert!(!sampled.is_empty(), "cannot stack an empty batch");
+        let dim = self.config.obs_dim;
+        self.bufs.clear();
+        for s in sampled {
+            self.bufs.stage(s, dim);
+        }
+        self.train_staged(sampled.len(), false)
     }
 
-    /// One update with optional per-sample importance weights. Returns the
-    /// report and the per-sample |TD error| (new priorities).
-    fn train_weighted(
-        &mut self,
-        refs: &[&RolloutStep],
-        weights: Option<&[f32]>,
-    ) -> (TrainReport, Vec<f32>) {
-        let obs = observation_matrix(refs);
-        let next_obs = next_observation_matrix(refs);
+    /// One update over the `n` staged transitions, reading importance weights
+    /// from `bufs.weights` when `weighted`. Leaves per-row |TD error| in
+    /// `bufs.td` for re-prioritization. Allocation-free after warmup.
+    fn train_staged(&mut self, n: usize, weighted: bool) -> TrainReport {
+        let DqnAlgorithm { config, q, target, opt, bufs, sessions, version, .. } = self;
+        let TrainBufs {
+            obs,
+            next_obs,
+            actions,
+            rewards,
+            dones,
+            targets,
+            dout,
+            td,
+            grads,
+            weights,
+            q_ws,
+            tgt_ws,
+            online_ws,
+            ..
+        } = bufs;
+        let na = config.num_actions;
 
         // Bootstrap values: standard DQN takes max_a Q_target(s', a); Double
         // DQN selects the action with the online network and evaluates it
         // with the target network, decoupling selection from evaluation.
-        let next_q_target = self.target.forward(&next_obs);
-        let next_q_online = self.config.double.then(|| self.q.forward(&next_obs));
-        let targets: Vec<f32> = refs
-            .iter()
-            .enumerate()
-            .map(|(i, s)| {
-                if s.done {
-                    return s.reward;
+        targets.clear();
+        let next_q_target = target.forward_ws(next_obs, n, tgt_ws);
+        let next_q_online = config.double.then(|| q.forward_ws(next_obs, n, online_ws));
+        for i in 0..n {
+            if dones[i] {
+                targets.push(rewards[i]);
+                continue;
+            }
+            let bootstrap = match &next_q_online {
+                Some(online) => {
+                    let a_star = argmax(&online[i * na..(i + 1) * na]);
+                    next_q_target[i * na + a_star]
                 }
-                let bootstrap = match &next_q_online {
-                    Some(online) => {
-                        let a_star = tinynn::ops::argmax(online.row(i));
-                        next_q_target.get(i, a_star)
-                    }
-                    None => {
-                        next_q_target.row(i).iter().cloned().fold(f32::NEG_INFINITY, f32::max)
-                    }
-                };
-                s.reward + self.config.gamma * bootstrap
-            })
-            .collect();
+                None => {
+                    next_q_target[i * na..(i + 1) * na].iter().cloned().fold(f32::NEG_INFINITY, f32::max)
+                }
+            };
+            targets.push(rewards[i] + config.gamma * bootstrap);
+        }
 
-        let (q_values, cache) = self.q.forward_cached(&obs);
-        let n = refs.len() as f32;
-        let mut dout = Matrix::zeros(q_values.rows(), q_values.cols());
+        let q_values = q.forward_ws(obs, n, q_ws);
+        let nf = n as f32;
+        dout.clear();
+        dout.resize(n * na, 0.0);
+        td.clear();
         let mut loss = 0.0f32;
-        let mut td_errors = Vec::with_capacity(refs.len());
-        for (i, s) in refs.iter().enumerate() {
-            let a = s.action as usize;
-            let w = weights.map_or(1.0, |w| w[i]);
-            let diff = q_values.get(i, a) - targets[i];
-            td_errors.push(diff.abs());
+        for i in 0..n {
+            let a = actions[i] as usize;
+            let w = if weighted { weights[i] } else { 1.0 };
+            let diff = q_values[i * na + a] - targets[i];
+            td.push(diff.abs());
             loss += w * diff * diff;
-            dout.set(i, a, 2.0 * w * diff / n);
+            dout[i * na + a] = 2.0 * w * diff / nf;
         }
-        loss /= n;
-        let grads = self.q.backward_cached(&obs, &cache, &dout);
-        self.opt.step(self.q.params_mut(), &grads);
+        loss /= nf;
+        let nparams = q.num_params();
+        if grads.len() < nparams {
+            grads.resize(nparams, 0.0);
+        }
+        q.backward_ws(obs, n, dout, q_ws, &mut grads[..nparams]);
+        opt.step(q.params_mut(), &grads[..nparams]);
 
-        self.sessions += 1;
-        self.version += 1;
-        if self.sessions.is_multiple_of(self.config.target_sync_every) {
-            self.target.set_params(self.q.params());
+        *sessions += 1;
+        *version += 1;
+        if sessions.is_multiple_of(config.target_sync_every) {
+            target.set_params(q.params());
         }
-        let notify = if self.sessions.is_multiple_of(self.config.broadcast_every) {
-            (0..self.config.num_explorers).collect()
+        let notify = if sessions.is_multiple_of(config.broadcast_every) {
+            (0..config.num_explorers).collect()
         } else {
             Vec::new()
         };
-        (
-            TrainReport { steps_consumed: refs.len(), loss, version: self.version, notify },
-            td_errors,
-        )
+        TrainReport { steps_consumed: n, loss, version: *version, notify }
     }
 }
 
@@ -279,32 +363,45 @@ impl Algorithm for DqnAlgorithm {
         // back — exactly what the paper's learner does when it catches up.
         self.inserts_since_train -= self.config.train_every_inserts;
 
+        let n = self.config.batch_size;
         let beta = self.config.prioritized.map_or(0.4, |(_, b)| b);
-        // Sample first (ending the buffer borrow), train, then re-prioritize.
-        let (sampled, picks): (Vec<RolloutStep>, Option<Vec<(usize, f32)>>) =
-            match &mut self.replay {
+        // Sample indices, then gather straight into the staging arena — no
+        // per-step clones and no index borrow outliving the buffer.
+        let prioritized = {
+            let DqnAlgorithm { config, replay, bufs, rng, .. } = self;
+            let dim = config.obs_dim;
+            bufs.clear();
+            match replay {
                 Replay::Uniform(buffer) => {
-                    let s = buffer
-                        .sample(self.config.batch_size, &mut self.rng)
-                        .into_iter()
-                        .cloned()
-                        .collect();
-                    (s, None)
+                    bufs.sample_idx.clear();
+                    buffer.sample_indices_into(n, rng, &mut bufs.sample_idx);
+                    for k in 0..n {
+                        let idx = bufs.sample_idx[k];
+                        bufs.stage(buffer.get(idx), dim);
+                    }
+                    false
                 }
                 Replay::Prioritized(buffer) => {
-                    let picks = buffer.sample(self.config.batch_size, beta, &mut self.rng);
-                    let s = picks.iter().map(|&(i, _)| buffer.get(i).clone()).collect();
-                    (s, Some(picks))
+                    let picks = buffer.sample(n, beta, rng);
+                    bufs.sample_idx.clear();
+                    bufs.weights.clear();
+                    for &(idx, w) in &picks {
+                        bufs.sample_idx.push(idx);
+                        bufs.weights.push(w);
+                        bufs.stage(buffer.get(idx), dim);
+                    }
+                    true
                 }
-            };
-        let refs: Vec<&RolloutStep> = sampled.iter().collect();
-        let weights: Option<Vec<f32>> =
-            picks.as_ref().map(|p| p.iter().map(|&(_, w)| w).collect());
-        let (report, td_errors) = self.train_weighted(&refs, weights.as_deref());
-        if let (Some(picks), Replay::Prioritized(buffer)) = (picks, &mut self.replay) {
+            }
+        };
+        let report = self.train_staged(n, prioritized);
+        if prioritized {
             // Re-prioritize by the fresh TD errors.
-            for (&(idx, _), &td) in picks.iter().zip(&td_errors) {
-                buffer.update_priority(idx, f64::from(td));
+            let DqnAlgorithm { replay, bufs, .. } = self;
+            if let Replay::Prioritized(buffer) = replay {
+                for (&idx, &td) in bufs.sample_idx.iter().zip(&bufs.td) {
+                    buffer.update_priority(idx, f64::from(td));
+                }
             }
         }
         Some(report)
@@ -337,6 +434,7 @@ impl Algorithm for DqnAlgorithm {
 pub struct DqnAgent {
     config: DqnConfig,
     q: Mlp,
+    ws: Workspace,
     version: u64,
     steps: u64,
     rng: StdRng,
@@ -348,7 +446,7 @@ impl DqnAgent {
     pub fn new(config: DqnConfig, explorer_seed: u64) -> Self {
         let q = Mlp::new(&config.q_sizes(), Activation::Relu, config.seed);
         let rng = StdRng::seed_from_u64(explorer_seed.wrapping_mul(0x9e3779b9).wrapping_add(1));
-        DqnAgent { config, q, version: 0, steps: 0, rng }
+        DqnAgent { config, q, ws: Workspace::new(), version: 0, steps: 0, rng }
     }
 
     /// Current exploration rate.
@@ -365,8 +463,7 @@ impl Agent for DqnAgent {
         let action = if self.rng.gen::<f32>() < eps {
             self.rng.gen_range(0..self.config.num_actions)
         } else {
-            let x = Matrix::from_vec(1, observation.len(), observation.to_vec());
-            argmax(self.q.forward(&x).row(0))
+            argmax(self.q.forward_ws(observation, 1, &mut self.ws))
         };
         ActionSelection { action, logits: Vec::new(), value: 0.0 }
     }
@@ -391,6 +488,7 @@ impl Agent for DqnAgent {
 mod tests {
     use super::*;
     use crate::payload::RolloutStep;
+    use tinynn::Matrix;
 
     fn tiny_config() -> DqnConfig {
         let mut c = DqnConfig::new(4, 2);
@@ -532,6 +630,29 @@ mod tests {
         assert!(last.is_finite());
         assert!(last < 1.0, "PER training should reduce loss, got {last}");
         assert_eq!(alg.replay_len(), 100);
+    }
+
+    #[test]
+    fn train_on_steps_matches_try_train_math() {
+        // The externally-sampled entry point must run the same staged update
+        // as the in-learner path: two identical learners fed the same batch
+        // through the two entry points end with identical parameters.
+        let mut c = tiny_config();
+        c.warmup_steps = 0;
+        c.broadcast_every = 1_000_000;
+        let steps: Vec<RolloutStep> = (0..8).map(|i| transition(i as f32 % 2.0, i % 3 == 2)).collect();
+        let mut a = DqnAlgorithm::new(c.clone());
+        let report = a.train_on_steps(&steps);
+        assert_eq!(report.steps_consumed, 8);
+        assert_eq!(report.version, 1);
+        let mut b = DqnAlgorithm::new(c);
+        b.bufs.clear();
+        for s in &steps {
+            b.bufs.stage(s, 4);
+        }
+        let r2 = b.train_staged(8, false);
+        assert_eq!(report.loss, r2.loss);
+        assert_eq!(a.q.params(), b.q.params(), "entry points share update math");
     }
 
     #[test]

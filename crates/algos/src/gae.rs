@@ -34,9 +34,24 @@ pub struct GaeOutput {
 /// Panics if the input slices differ in length.
 pub fn gae(input: &GaeInput<'_>) -> GaeOutput {
     let n = input.rewards.len();
+    let mut advantages = vec![0.0f32; n];
+    let mut returns = vec![0.0f32; n];
+    gae_into(input, &mut advantages, &mut returns);
+    GaeOutput { advantages, returns }
+}
+
+/// Allocation-free [`gae`]: one backward pass writing advantages and returns
+/// into caller-owned slices (fully overwritten).
+///
+/// # Panics
+///
+/// Panics if any slice's length differs from `input.rewards.len()`.
+pub fn gae_into(input: &GaeInput<'_>, advantages: &mut [f32], returns: &mut [f32]) {
+    let n = input.rewards.len();
     assert_eq!(input.values.len(), n, "values length mismatch");
     assert_eq!(input.dones.len(), n, "dones length mismatch");
-    let mut advantages = vec![0.0f32; n];
+    assert_eq!(advantages.len(), n, "advantages length mismatch");
+    assert_eq!(returns.len(), n, "returns length mismatch");
     let mut last_adv = 0.0f32;
     for t in (0..n).rev() {
         let not_done = if input.dones[t] { 0.0 } else { 1.0 };
@@ -44,9 +59,8 @@ pub fn gae(input: &GaeInput<'_>) -> GaeOutput {
         let delta = input.rewards[t] + input.gamma * next_value * not_done - input.values[t];
         last_adv = delta + input.gamma * input.lambda * not_done * last_adv;
         advantages[t] = last_adv;
+        returns[t] = last_adv + input.values[t];
     }
-    let returns = advantages.iter().zip(input.values).map(|(a, v)| a + v).collect();
-    GaeOutput { advantages, returns }
 }
 
 /// Normalizes a slice to zero mean and unit standard deviation, in place.
@@ -137,6 +151,27 @@ mod tests {
             lambda: 0.9,
         });
         assert!((out.returns[0] - (out.advantages[0] + 0.7)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gae_into_matches_gae() {
+        let rewards = [1.0f32, -0.5, 2.0, 0.0, 1.5];
+        let values = [0.3f32, 0.1, -0.2, 0.4, 0.0];
+        let dones = [false, true, false, false, false];
+        let input = GaeInput {
+            rewards: &rewards,
+            values: &values,
+            dones: &dones,
+            bootstrap_value: 0.8,
+            gamma: 0.97,
+            lambda: 0.9,
+        };
+        let out = gae(&input);
+        let mut adv = [f32::NAN; 5];
+        let mut ret = [f32::NAN; 5];
+        gae_into(&input, &mut adv, &mut ret);
+        assert_eq!(out.advantages, adv);
+        assert_eq!(out.returns, ret);
     }
 
     #[test]

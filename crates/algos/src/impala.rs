@@ -8,16 +8,18 @@
 //! +70.71% throughput headline (paper Fig. 8).
 
 use crate::api::{ActionSelection, Agent, Algorithm, SyncMode, TrainReport};
-use crate::batch::{behavior_log_probs, observation_matrix, taken_log_probs};
+use crate::batch::behavior_log_probs_into;
+use crate::par::{ParGrad, Shard};
 use crate::payload::{ParamBlob, RolloutBatch};
-use crate::vtrace::{vtrace, VtraceInput};
+use crate::vtrace::{vtrace_into, VtraceInput};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
-use tinynn::ops::{log_softmax, mse, sample_categorical, softmax};
+use tinynn::ops::{row_stats, sample_categorical, softmax_row_into};
 use tinynn::optim::{clip_global_norm, Adam};
-use tinynn::{Activation, Matrix, Mlp};
+use tinynn::{Activation, Mlp, Workspace};
+use xingtian_comm::pool::{shared_pool, WorkPool};
 
 /// IMPALA hyperparameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -95,12 +97,37 @@ pub struct ImpalaAlgorithm {
     opt_value: Adam,
     queue: VecDeque<RolloutBatch>,
     dropped_batches: u64,
+    spent: Vec<RolloutBatch>,
     version: u64,
+    pool: Option<&'static WorkPool>,
+    par: ParGrad,
+    ws: Workspace,
+    pgrads: Vec<f32>,
+    vgrads: Vec<f32>,
+    // Persistent staging buffers (SoA view of the current batch plus the
+    // V-trace intermediates) — allocation-free after warmup.
+    obs_buf: Vec<f32>,
+    actions: Vec<u32>,
+    rewards: Vec<f32>,
+    dones: Vec<bool>,
+    behavior_lp: Vec<f32>,
+    values: Vec<f32>,
+    target_lp: Vec<f32>,
+    vs: Vec<f32>,
+    pg_adv: Vec<f32>,
+    fwd_out: Vec<f32>,
 }
 
 impl ImpalaAlgorithm {
-    /// Creates the learner state for `config`.
+    /// Creates the learner state for `config`, sharding the training step
+    /// over the process-wide worker pool.
     pub fn new(config: ImpalaConfig) -> Self {
+        Self::with_pool(config, Some(shared_pool()))
+    }
+
+    /// Like [`ImpalaAlgorithm::new`] but with an explicit worker pool; `None`
+    /// computes every shard on the calling thread (bitwise-identical result).
+    pub fn with_pool(config: ImpalaConfig, pool: Option<&'static WorkPool>) -> Self {
         let policy = Mlp::new(&config.policy_sizes(), Activation::Tanh, config.seed);
         let value = Mlp::new(&config.value_sizes(), Activation::Tanh, config.seed ^ 0xF00D);
         let opt_policy = Adam::new(policy.num_params(), config.lr);
@@ -113,7 +140,23 @@ impl ImpalaAlgorithm {
             opt_value,
             queue: VecDeque::new(),
             dropped_batches: 0,
+            spent: Vec::new(),
             version: 0,
+            pool,
+            par: ParGrad::new(),
+            ws: Workspace::new(),
+            pgrads: Vec::new(),
+            vgrads: Vec::new(),
+            obs_buf: Vec::new(),
+            actions: Vec::new(),
+            rewards: Vec::new(),
+            dones: Vec::new(),
+            behavior_lp: Vec::new(),
+            values: Vec::new(),
+            target_lp: Vec::new(),
+            vs: Vec::new(),
+            pg_adv: Vec::new(),
+            fwd_out: Vec::new(),
         }
     }
 
@@ -131,96 +174,202 @@ impl ImpalaAlgorithm {
 impl Algorithm for ImpalaAlgorithm {
     fn on_rollout(&mut self, batch: RolloutBatch) {
         if batch.is_empty() {
+            self.spent.push(batch);
             return;
         }
         self.queue.push_back(batch);
         while self.queue.len() > self.config.max_queue {
-            self.queue.pop_front();
+            if let Some(dropped) = self.queue.pop_front() {
+                self.spent.push(dropped);
+            }
             self.dropped_batches += 1;
         }
     }
 
     fn try_train(&mut self) -> Option<TrainReport> {
         let batch = self.queue.pop_front()?;
-        let refs: Vec<&_> = batch.steps.iter().collect();
-        let obs = observation_matrix(&refs);
-        let actions: Vec<u32> = batch.steps.iter().map(|s| s.action).collect();
-        let rewards: Vec<f32> = batch.steps.iter().map(|s| s.reward).collect();
-        let dones: Vec<bool> = batch.steps.iter().map(|s| s.done).collect();
-        let behavior_lp = behavior_log_probs(&refs);
+        let n = batch.len();
+        let Self {
+            config,
+            policy,
+            value,
+            opt_policy,
+            opt_value,
+            par,
+            pool,
+            ws,
+            pgrads,
+            vgrads,
+            obs_buf,
+            actions,
+            rewards,
+            dones,
+            behavior_lp,
+            values,
+            target_lp,
+            vs,
+            pg_adv,
+            fwd_out,
+            ..
+        } = self;
+        let dim = config.obs_dim;
+        let na = config.num_actions;
+        let ec = config.entropy_coef;
+        let vc = config.value_coef;
+        let inv_n = 1.0 / n as f32;
 
-        // Values under the *current* value net (V-trace requirement).
-        let (values_m, vcache) = self.value.forward_cached(&obs);
-        let values: Vec<f32> = (0..values_m.rows()).map(|i| values_m.get(i, 0)).collect();
+        // Stage the batch as SoA buffers (reused across training steps).
+        obs_buf.clear();
+        actions.clear();
+        rewards.clear();
+        dones.clear();
+        behavior_lp.clear();
+        for s in &batch.steps {
+            assert_eq!(s.observation.len(), dim, "ragged observations");
+            obs_buf.extend_from_slice(&s.observation);
+            actions.push(s.action);
+            rewards.push(s.reward);
+            dones.push(s.done);
+        }
+        behavior_log_probs_into(&batch.steps, behavior_lp);
+        let obs: &[f32] = obs_buf;
+        let actions: &[u32] = actions;
+        let pnet: &Mlp = policy;
+        let vnet: &Mlp = value;
+
+        // Phase 1 (parallel): forward both nets per shard, caching the
+        // activations in the shard workspaces for the backward phases. Each
+        // row emits [V(s_t), log π(a_t|s_t)] — the inputs V-trace needs.
+        // Values come from the *current* value net (V-trace requirement).
+        if fwd_out.len() < n * 2 {
+            fwd_out.resize(n * 2, 0.0);
+        }
+        par.run(*pool, n, &mut fwd_out[..n * 2], 2, None, |rows, out_rows, shard, _grads| {
+            let x = &obs[rows.start * dim..rows.end * dim];
+            let rn = rows.len();
+            let Shard { ws_a, ws_b, .. } = shard;
+            let v = vnet.forward_ws(x, rn, ws_b);
+            let logits = pnet.forward_ws(x, rn, ws_a);
+            for (row, i) in rows.enumerate() {
+                let zrow = &logits[row * na..(row + 1) * na];
+                out_rows[row * 2] = v[row];
+                out_rows[row * 2 + 1] = zrow[actions[i] as usize] - row_stats(zrow).log_z();
+            }
+            0.0
+        });
+        values.resize(n, 0.0);
+        target_lp.resize(n, 0.0);
+        for i in 0..n {
+            values[i] = fwd_out[i * 2];
+            target_lp[i] = fwd_out[i * 2 + 1];
+        }
         let bootstrap_value = if batch.bootstrap_observation.is_empty() {
             0.0
         } else {
-            let x = Matrix::from_vec(1, batch.bootstrap_observation.len(), batch.bootstrap_observation.clone());
-            self.value.forward(&x).get(0, 0)
+            // The learner-level workspace: shard workspaces must keep their
+            // phase-1 activations alive for the backward phases.
+            vnet.forward_ws(&batch.bootstrap_observation, 1, ws)[0]
         };
 
-        let (logits, pcache) = self.policy.forward_cached(&obs);
-        let target_lp = taken_log_probs(&logits, &actions);
-        let vt = vtrace(&VtraceInput {
-            behavior_log_probs: &behavior_lp,
-            target_log_probs: &target_lp,
-            rewards: &rewards,
-            values: &values,
-            dones: &dones,
-            bootstrap_value,
-            gamma: self.config.gamma,
-            rho_bar: self.config.rho_bar,
-            c_bar: self.config.c_bar,
-        });
+        // Phase 2 (sequential): the V-trace recursion is a global backward
+        // scan over the batch — inherently serial, one allocation-free pass.
+        vs.resize(n, 0.0);
+        pg_adv.resize(n, 0.0);
+        vtrace_into(
+            &VtraceInput {
+                behavior_log_probs: behavior_lp,
+                target_log_probs: target_lp,
+                rewards,
+                values,
+                dones,
+                bootstrap_value,
+                gamma: config.gamma,
+                rho_bar: config.rho_bar,
+                c_bar: config.c_bar,
+            },
+            vs,
+            pg_adv,
+        );
+        let target_lp: &[f32] = target_lp;
+        let pg_adv: &[f32] = pg_adv;
+        let vs: &[f32] = vs;
 
-        let n = batch.len();
-        let probs = softmax(&logits);
-        let logs = log_softmax(&logits);
-        let mut dlogits = Matrix::zeros(n, self.config.num_actions);
-        let mut policy_loss = 0.0f32;
-        for i in 0..n {
-            let a = actions[i] as usize;
-            let adv = vt.pg_advantages[i];
-            policy_loss -= adv * target_lp[i] / n as f32;
-            let mut h = 0.0f32;
-            for j in 0..self.config.num_actions {
-                let p = probs.get(i, j);
-                if p > 0.0 {
-                    h -= p * logs.get(i, j);
+        // Phase 3 (parallel): policy backward over the phase-1 activations.
+        pgrads.resize(policy.num_params(), 0.0);
+        let policy_loss = par.run(*pool, n, &mut [], 0, Some(pgrads), |rows, _out, shard, grads| {
+            let x = &obs[rows.start * dim..rows.end * dim];
+            let rn = rows.len();
+            let Shard { ws_a, scratch, .. } = shard;
+            if scratch.len() < rn * na {
+                scratch.resize(rn * na, 0.0);
+            }
+            let dlogits = &mut scratch[..rn * na];
+            let mut loss = 0.0f32;
+            {
+                let logits = pnet.cached_output(ws_a, rn);
+                for (row, i) in rows.enumerate() {
+                    let zrow = &logits[row * na..(row + 1) * na];
+                    let stats = row_stats(zrow);
+                    let log_z = stats.log_z();
+                    let h = stats.entropy();
+                    let inv_sum = 1.0 / stats.sum;
+                    let a = actions[i] as usize;
+                    let adv = pg_adv[i];
+                    loss -= adv * target_lp[i] * inv_n;
+                    loss -= ec * h * inv_n;
+                    let drow = &mut dlogits[row * na..(row + 1) * na];
+                    for (j, (d, &z)) in drow.iter_mut().zip(zrow).enumerate() {
+                        let p = (z - stats.max).exp() * inv_sum;
+                        let indicator = if j == a { 1.0 } else { 0.0 };
+                        // d/dlogits of -(adv · log π(a|s)): -adv (δ_aj − p_j),
+                        // plus the entropy-bonus gradient as in PPO.
+                        let g = -adv * (indicator - p) + ec * p * ((z - log_z) + h);
+                        *d = g * inv_n;
+                    }
                 }
             }
-            for j in 0..self.config.num_actions {
-                let p = probs.get(i, j);
-                let indicator = if j == a { 1.0 } else { 0.0 };
-                // d/dlogits of -(adv · log π(a|s)): -adv (δ_aj − p_j).
-                let mut g = -adv * (indicator - p);
-                // Entropy bonus gradient, as in PPO.
-                g += self.config.entropy_coef * p * (logs.get(i, j) + h);
-                dlogits.set(i, j, g / n as f32);
-            }
-            policy_loss -= self.config.entropy_coef * h / n as f32;
-        }
-        let mut pgrads = self.policy.backward_cached(&obs, &pcache, &dlogits);
-        clip_global_norm(&mut pgrads, self.config.max_grad_norm);
-        self.opt_policy.step(self.policy.params_mut(), &pgrads);
+            pnet.backward_ws(x, rn, dlogits, ws_a, grads);
+            loss
+        });
+        clip_global_norm(pgrads, config.max_grad_norm);
+        opt_policy.step(policy.params_mut(), pgrads);
 
-        // Critic regression to the V-trace targets.
-        let targets = Matrix::from_vec(n, 1, vt.vs.clone());
-        let (vloss, mut dv) = mse(&values_m, &targets);
-        dv.scale(self.config.value_coef);
-        let mut vgrads = self.value.backward_cached(&obs, &vcache, &dv);
-        clip_global_norm(&mut vgrads, self.config.max_grad_norm);
-        self.opt_value.step(self.value.params_mut(), &vgrads);
+        // Phase 4 (parallel): critic regression to the V-trace targets, also
+        // over the phase-1 activations.
+        vgrads.resize(value.num_params(), 0.0);
+        let vloss = par.run(*pool, n, &mut [], 0, Some(vgrads), |rows, _out, shard, grads| {
+            let x = &obs[rows.start * dim..rows.end * dim];
+            let rn = rows.len();
+            let Shard { ws_b, scratch, .. } = shard;
+            if scratch.len() < rn {
+                scratch.resize(rn, 0.0);
+            }
+            let dv = &mut scratch[..rn];
+            let mut loss = 0.0f32;
+            {
+                let v = vnet.cached_output(ws_b, rn);
+                for (row, i) in rows.enumerate() {
+                    let d = v[row] - vs[i];
+                    loss += d * d * inv_n;
+                    dv[row] = vc * 2.0 * d * inv_n;
+                }
+            }
+            vnet.backward_ws(x, rn, dv, ws_b, grads);
+            loss
+        });
+        clip_global_norm(vgrads, config.max_grad_norm);
+        opt_value.step(value.params_mut(), vgrads);
 
         self.version += 1;
-        Some(TrainReport {
-            steps_consumed: n,
-            loss: policy_loss + self.config.value_coef * vloss,
-            version: self.version,
-            // Paper: "sends updated DNN parameters exactly to the explorers it
-            // gets rollouts from".
-            notify: vec![batch.explorer],
-        })
+        // Paper: "sends updated DNN parameters exactly to the explorers it
+        // gets rollouts from".
+        let notify = vec![batch.explorer];
+        self.spent.push(batch);
+        Some(TrainReport { steps_consumed: n, loss: policy_loss + vc * vloss, version: self.version, notify })
+    }
+
+    fn take_spent(&mut self) -> Option<RolloutBatch> {
+        self.spent.pop()
     }
 
     fn param_blob(&self) -> ParamBlob {
@@ -257,6 +406,8 @@ pub struct ImpalaAgent {
     value: Mlp,
     version: u64,
     rng: StdRng,
+    ws: Workspace,
+    probs: Vec<f32>,
 }
 
 impl ImpalaAgent {
@@ -265,18 +416,21 @@ impl ImpalaAgent {
         let policy = Mlp::new(&config.policy_sizes(), Activation::Tanh, config.seed);
         let value = Mlp::new(&config.value_sizes(), Activation::Tanh, config.seed ^ 0xF00D);
         let rng = StdRng::seed_from_u64(explorer_seed.wrapping_mul(0xC0FFEE).wrapping_add(13));
-        ImpalaAgent { policy, value, version: 0, rng }
+        ImpalaAgent { policy, value, version: 0, rng, ws: Workspace::new(), probs: Vec::new() }
     }
 }
 
 impl Agent for ImpalaAgent {
     fn act(&mut self, observation: &[f32]) -> ActionSelection {
-        let x = Matrix::from_vec(1, observation.len(), observation.to_vec());
-        let logits = self.policy.forward(&x);
-        let probs = softmax(&logits);
-        let action = sample_categorical(probs.row(0), self.rng.gen::<f32>());
-        let value = self.value.forward(&x).get(0, 0);
-        ActionSelection { action, logits: logits.row(0).to_vec(), value }
+        let logits: Vec<f32> = self.policy.forward_ws(observation, 1, &mut self.ws).to_vec();
+        if self.probs.len() < logits.len() {
+            self.probs.resize(logits.len(), 0.0);
+        }
+        let probs = &mut self.probs[..logits.len()];
+        softmax_row_into(&logits, probs);
+        let action = sample_categorical(probs, self.rng.gen::<f32>());
+        let value = self.value.forward_ws(observation, 1, &mut self.ws)[0];
+        ActionSelection { action, logits, value }
     }
 
     fn apply_params(&mut self, blob: &ParamBlob) {
@@ -299,6 +453,8 @@ impl Agent for ImpalaAgent {
 mod tests {
     use super::*;
     use crate::payload::RolloutStep;
+    use tinynn::ops::softmax;
+    use tinynn::Matrix;
 
     fn tiny_config() -> ImpalaConfig {
         let mut c = ImpalaConfig::new(3, 2);

@@ -10,16 +10,18 @@
 //! interaction (paper §3.2.1).
 
 use crate::api::{ActionSelection, Agent, Algorithm, SyncMode, TrainReport};
-use crate::batch::{behavior_log_probs, taken_log_probs};
-use crate::gae::{gae, normalize, GaeInput};
+use crate::batch::behavior_log_probs_into;
+use crate::gae::{gae_into, normalize, GaeInput};
+use crate::par::{ParGrad, Shard};
 use crate::payload::{ParamBlob, RolloutBatch};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use tinynn::ops::{log_softmax, mse, sample_categorical, softmax};
+use tinynn::ops::{row_stats, sample_categorical, softmax_row_into};
 use tinynn::optim::{clip_global_norm, Adam};
-use tinynn::{Activation, Matrix, Mlp};
+use tinynn::{Activation, Matrix, Mlp, Workspace};
+use xingtian_comm::pool::{shared_pool, WorkPool};
 
 /// PPO hyperparameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -104,13 +106,30 @@ pub struct PpoAlgorithm {
     opt_value: Adam,
     staged: Vec<RolloutBatch>,
     staged_steps: usize,
+    spent: Vec<RolloutBatch>,
     version: u64,
     rng: StdRng,
+    pool: Option<&'static WorkPool>,
+    par: ParGrad,
+    ws: Workspace,
+    mb_obs: Vec<f32>,
+    pgrads: Vec<f32>,
+    vgrads: Vec<f32>,
+    seg_rewards: Vec<f32>,
+    seg_values: Vec<f32>,
+    seg_dones: Vec<bool>,
 }
 
 impl PpoAlgorithm {
-    /// Creates the learner state for `config`.
+    /// Creates the learner state for `config`, sharding minibatch gradients
+    /// over the process-wide worker pool.
     pub fn new(config: PpoConfig) -> Self {
+        Self::with_pool(config, Some(shared_pool()))
+    }
+
+    /// Like [`PpoAlgorithm::new`] but with an explicit worker pool; `None`
+    /// computes every shard on the calling thread (bitwise-identical result).
+    pub fn with_pool(config: PpoConfig, pool: Option<&'static WorkPool>) -> Self {
         let policy = Mlp::new(&config.policy_sizes(), Activation::Tanh, config.seed);
         let value = Mlp::new(&config.value_sizes(), Activation::Tanh, config.seed ^ 0xF00D);
         let opt_policy = Adam::new(policy.num_params(), config.lr);
@@ -124,8 +143,18 @@ impl PpoAlgorithm {
             opt_value,
             staged: Vec::new(),
             staged_steps: 0,
+            spent: Vec::new(),
             version: 0,
             rng,
+            pool,
+            par: ParGrad::new(),
+            ws: Workspace::new(),
+            mb_obs: Vec::new(),
+            pgrads: Vec::new(),
+            vgrads: Vec::new(),
+            seg_rewards: Vec::new(),
+            seg_values: Vec::new(),
+            seg_dones: Vec::new(),
         }
     }
 
@@ -150,8 +179,10 @@ struct IterationData {
 
 impl Algorithm for PpoAlgorithm {
     fn on_rollout(&mut self, batch: RolloutBatch) {
-        // On-policy: rollouts generated by stale parameters cannot be used.
+        // On-policy: rollouts generated by stale parameters cannot be used —
+        // but their storage can (straight to the spent pool).
         if batch.param_version != self.version {
+            self.spent.push(batch);
             return;
         }
         self.staged_steps += batch.len();
@@ -167,40 +198,54 @@ impl Algorithm for PpoAlgorithm {
         self.staged_steps = 0;
 
         // Per-segment GAE with the behavior values recorded in the rollout;
-        // the bootstrap value comes from the current value net.
+        // the bootstrap value comes from the current value net. Segment
+        // scratch buffers and the advantage computation are allocation-free
+        // after warmup (`gae_into` writes straight into the iteration tail).
         let mut all_obs: Vec<f32> = Vec::new();
         let mut actions: Vec<u32> = Vec::new();
         let mut behavior_lp: Vec<f32> = Vec::new();
         let mut advantages: Vec<f32> = Vec::new();
         let mut returns: Vec<f32> = Vec::new();
         for b in &staged {
-            let refs: Vec<&_> = b.steps.iter().collect();
-            let rewards: Vec<f32> = b.steps.iter().map(|s| s.reward).collect();
-            let values: Vec<f32> = b.steps.iter().map(|s| s.value).collect();
-            let dones: Vec<bool> = b.steps.iter().map(|s| s.done).collect();
+            self.seg_rewards.clear();
+            self.seg_values.clear();
+            self.seg_dones.clear();
+            for s in &b.steps {
+                self.seg_rewards.push(s.reward);
+                self.seg_values.push(s.value);
+                self.seg_dones.push(s.done);
+            }
             let bootstrap_value = if b.bootstrap_observation.is_empty() {
                 0.0
             } else {
-                let x = Matrix::from_vec(1, b.bootstrap_observation.len(), b.bootstrap_observation.clone());
-                self.value.forward(&x).get(0, 0)
+                self.value.forward_ws(&b.bootstrap_observation, 1, &mut self.ws)[0]
             };
-            let out = gae(&GaeInput {
-                rewards: &rewards,
-                values: &values,
-                dones: &dones,
-                bootstrap_value,
-                gamma: self.config.gamma,
-                lambda: self.config.lambda,
-            });
-            behavior_lp.extend(behavior_log_probs(&refs));
+            let off = advantages.len();
+            let len = b.steps.len();
+            advantages.resize(off + len, 0.0);
+            returns.resize(off + len, 0.0);
+            gae_into(
+                &GaeInput {
+                    rewards: &self.seg_rewards,
+                    values: &self.seg_values,
+                    dones: &self.seg_dones,
+                    bootstrap_value,
+                    gamma: self.config.gamma,
+                    lambda: self.config.lambda,
+                },
+                &mut advantages[off..],
+                &mut returns[off..],
+            );
+            behavior_log_probs_into(&b.steps, &mut behavior_lp);
             for s in &b.steps {
                 all_obs.extend_from_slice(&s.observation);
                 actions.push(s.action);
             }
-            advantages.extend(out.advantages);
-            returns.extend(out.returns);
         }
         normalize(&mut advantages);
+        // Everything needed has been copied out; the batches' step storage
+        // goes back to the framework for decode recycling.
+        self.spent.extend(staged);
         let n = actions.len();
         let data = IterationData {
             obs: Matrix::from_vec(n, self.config.obs_dim, all_obs),
@@ -226,6 +271,10 @@ impl Algorithm for PpoAlgorithm {
             version: self.version,
             notify: (0..self.config.num_explorers).collect(),
         })
+    }
+
+    fn take_spent(&mut self) -> Option<RolloutBatch> {
+        self.spent.pop()
     }
 
     fn param_blob(&self) -> ParamBlob {
@@ -255,70 +304,104 @@ impl Algorithm for PpoAlgorithm {
 }
 
 impl PpoAlgorithm {
+    /// One minibatch step on the compute fast path: gather the minibatch
+    /// observations once, then run fused forward → loss-gradient → backward
+    /// shard closures over the worker pool ([`ParGrad`]), reducing gradients
+    /// deterministically. No per-step heap allocation after warmup on the
+    /// serial path; the pool path allocates only its job boxes.
     fn minibatch_update(&mut self, data: &IterationData, idx: &[usize]) -> f32 {
         let m = idx.len();
-        let dim = self.config.obs_dim;
-        let mut obs_data = Vec::with_capacity(m * dim);
+        let Self { config, policy, value, opt_policy, opt_value, par, pool, mb_obs, pgrads, vgrads, .. } =
+            self;
+        let dim = config.obs_dim;
+        let na = config.num_actions;
+        let (clip, ec, vc) = (config.clip, config.entropy_coef, config.value_coef);
+        let inv_m = 1.0 / m as f32;
+
+        mb_obs.clear();
         for &i in idx {
-            obs_data.extend_from_slice(data.obs.row(i));
+            mb_obs.extend_from_slice(data.obs.row(i));
         }
-        let obs = Matrix::from_vec(m, dim, obs_data);
-        let actions: Vec<u32> = idx.iter().map(|&i| data.actions[i]).collect();
+        let mb_obs: &[f32] = mb_obs;
 
         // ---- Policy update (clipped surrogate + entropy bonus) ----
-        let (logits, cache) = self.policy.forward_cached(&obs);
-        let probs = softmax(&logits);
-        let logs = log_softmax(&logits);
-        let target_lp = taken_log_probs(&logits, &actions);
-        let mut dlogits = Matrix::zeros(m, self.config.num_actions);
-        let mut policy_loss = 0.0f32;
-        for (row, &i) in idx.iter().enumerate() {
-            let a = data.actions[i] as usize;
-            let adv = data.advantages[i];
-            let ratio = (target_lp[row] - data.behavior_lp[i]).exp();
-            let clipped = ratio.clamp(1.0 - self.config.clip, 1.0 + self.config.clip);
-            policy_loss -= (ratio * adv).min(clipped * adv) / m as f32;
-            // Gradient flows through the unclipped ratio only when the
-            // clipping is not actively binding against the objective.
-            let active = !((ratio > 1.0 + self.config.clip && adv > 0.0)
-                || (ratio < 1.0 - self.config.clip && adv < 0.0));
-            // Entropy of this row (for the bonus and its gradient).
-            let mut h = 0.0f32;
-            for j in 0..self.config.num_actions {
-                let p = probs.get(row, j);
-                if p > 0.0 {
-                    h -= p * logs.get(row, j);
+        pgrads.resize(policy.num_params(), 0.0);
+        let pnet: &Mlp = policy;
+        let policy_loss = par.run(*pool, m, &mut [], 0, Some(pgrads), |rows, _out, shard, grads| {
+            let x = &mb_obs[rows.start * dim..rows.end * dim];
+            let rn = rows.len();
+            let Shard { ws_a, scratch, .. } = shard;
+            if scratch.len() < rn * na {
+                scratch.resize(rn * na, 0.0);
+            }
+            let dlogits = &mut scratch[..rn * na];
+            let mut loss = 0.0f32;
+            {
+                let logits = pnet.forward_ws(x, rn, ws_a);
+                for (row, &i) in idx[rows].iter().enumerate() {
+                    let zrow = &logits[row * na..(row + 1) * na];
+                    let stats = row_stats(zrow);
+                    let log_z = stats.log_z();
+                    let h = stats.entropy();
+                    let inv_sum = 1.0 / stats.sum;
+                    let a = data.actions[i] as usize;
+                    let adv = data.advantages[i];
+                    let ratio = ((zrow[a] - log_z) - data.behavior_lp[i]).exp();
+                    let clipped = ratio.clamp(1.0 - clip, 1.0 + clip);
+                    loss -= (ratio * adv).min(clipped * adv) * inv_m;
+                    loss -= ec * h * inv_m;
+                    // Gradient flows through the unclipped ratio only when the
+                    // clipping is not actively binding against the objective.
+                    let active = !((ratio > 1.0 + clip && adv > 0.0)
+                        || (ratio < 1.0 - clip && adv < 0.0));
+                    let drow = &mut dlogits[row * na..(row + 1) * na];
+                    for (j, (d, &z)) in drow.iter_mut().zip(zrow).enumerate() {
+                        let p = (z - stats.max).exp() * inv_sum;
+                        let indicator = if j == a { 1.0 } else { 0.0 };
+                        let mut g = 0.0f32;
+                        if active {
+                            // d/dlogits of -(ratio · adv): -adv · ratio · (δ_aj − p_j).
+                            g -= adv * ratio * (indicator - p);
+                        }
+                        // d/dlogits of -(c_e · H): +c_e · p_j (log p_j + H).
+                        g += ec * p * ((z - log_z) + h);
+                        *d = g * inv_m;
+                    }
                 }
             }
-            for j in 0..self.config.num_actions {
-                let p = probs.get(row, j);
-                let indicator = if j == a { 1.0 } else { 0.0 };
-                let mut g = 0.0f32;
-                if active {
-                    // d/dlogits of -(ratio * adv): -adv * ratio * (δ_aj − p_j).
-                    g -= adv * ratio * (indicator - p);
-                }
-                // d/dlogits of -(c_e · H): +c_e · p_j (log p_j + H).
-                g += self.config.entropy_coef * p * (logs.get(row, j) + h);
-                dlogits.set(row, j, g / m as f32);
-            }
-            policy_loss -= self.config.entropy_coef * h / m as f32;
-        }
-        let mut pgrads = self.policy.backward_cached(&obs, &cache, &dlogits);
-        clip_global_norm(&mut pgrads, self.config.max_grad_norm);
-        self.opt_policy.step(self.policy.params_mut(), &pgrads);
+            pnet.backward_ws(x, rn, dlogits, ws_a, grads);
+            loss
+        });
+        clip_global_norm(pgrads, config.max_grad_norm);
+        opt_policy.step(policy.params_mut(), pgrads);
 
         // ---- Value update (MSE to GAE returns) ----
-        let (v, vcache) = self.value.forward_cached(&obs);
-        let targets =
-            Matrix::from_vec(m, 1, idx.iter().map(|&i| data.returns[i]).collect::<Vec<_>>());
-        let (vloss, mut dv) = mse(&v, &targets);
-        dv.scale(self.config.value_coef);
-        let mut vgrads = self.value.backward_cached(&obs, &vcache, &dv);
-        clip_global_norm(&mut vgrads, self.config.max_grad_norm);
-        self.opt_value.step(self.value.params_mut(), &vgrads);
+        vgrads.resize(value.num_params(), 0.0);
+        let vnet: &Mlp = value;
+        let vloss = par.run(*pool, m, &mut [], 0, Some(vgrads), |rows, _out, shard, grads| {
+            let x = &mb_obs[rows.start * dim..rows.end * dim];
+            let rn = rows.len();
+            let Shard { ws_a, scratch, .. } = shard;
+            if scratch.len() < rn {
+                scratch.resize(rn, 0.0);
+            }
+            let dv = &mut scratch[..rn];
+            let mut loss = 0.0f32;
+            {
+                let v = vnet.forward_ws(x, rn, ws_a);
+                for (row, &i) in idx[rows].iter().enumerate() {
+                    let d = v[row] - data.returns[i];
+                    loss += d * d * inv_m;
+                    dv[row] = vc * 2.0 * d * inv_m;
+                }
+            }
+            vnet.backward_ws(x, rn, dv, ws_a, grads);
+            loss
+        });
+        clip_global_norm(vgrads, config.max_grad_norm);
+        opt_value.step(value.params_mut(), vgrads);
 
-        policy_loss + self.config.value_coef * vloss
+        policy_loss + vc * vloss
     }
 }
 
@@ -330,6 +413,8 @@ pub struct PpoAgent {
     value: Mlp,
     version: u64,
     rng: StdRng,
+    ws: Workspace,
+    probs: Vec<f32>,
 }
 
 impl PpoAgent {
@@ -338,18 +423,23 @@ impl PpoAgent {
         let policy = Mlp::new(&config.policy_sizes(), Activation::Tanh, config.seed);
         let value = Mlp::new(&config.value_sizes(), Activation::Tanh, config.seed ^ 0xF00D);
         let rng = StdRng::seed_from_u64(explorer_seed.wrapping_mul(31).wrapping_add(7));
-        PpoAgent { policy, value, version: 0, rng }
+        PpoAgent { policy, value, version: 0, rng, ws: Workspace::new(), probs: Vec::new() }
     }
 }
 
 impl Agent for PpoAgent {
     fn act(&mut self, observation: &[f32]) -> ActionSelection {
-        let x = Matrix::from_vec(1, observation.len(), observation.to_vec());
-        let logits = self.policy.forward(&x);
-        let probs = softmax(&logits);
-        let action = sample_categorical(probs.row(0), self.rng.gen::<f32>());
-        let value = self.value.forward(&x).get(0, 0);
-        ActionSelection { action, logits: logits.row(0).to_vec(), value }
+        // Workspace forward on the raw observation slice: the only heap
+        // allocation is the logits vector the selection must own.
+        let logits: Vec<f32> = self.policy.forward_ws(observation, 1, &mut self.ws).to_vec();
+        if self.probs.len() < logits.len() {
+            self.probs.resize(logits.len(), 0.0);
+        }
+        let probs = &mut self.probs[..logits.len()];
+        softmax_row_into(&logits, probs);
+        let action = sample_categorical(probs, self.rng.gen::<f32>());
+        let value = self.value.forward_ws(observation, 1, &mut self.ws)[0];
+        ActionSelection { action, logits, value }
     }
 
     fn apply_params(&mut self, blob: &ParamBlob) {
@@ -372,6 +462,7 @@ impl Agent for PpoAgent {
 mod tests {
     use super::*;
     use crate::payload::RolloutStep;
+    use tinynn::ops::softmax;
 
     fn tiny_config() -> PpoConfig {
         let mut c = PpoConfig::new(3, 2);

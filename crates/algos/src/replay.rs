@@ -69,6 +69,30 @@ impl ReplayBuffer {
         assert!(!self.is_empty(), "cannot sample from an empty replay buffer");
         (0..batch).map(|_| &self.steps[rng.gen_range(0..self.steps.len())]).collect()
     }
+
+    /// Appends `batch` uniformly sampled indices to `out` — the
+    /// allocation-free sampling path (the caller reuses `out` across training
+    /// sessions and gathers transitions via [`ReplayBuffer::get`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is empty.
+    pub fn sample_indices_into<R: Rng>(&self, batch: usize, rng: &mut R, out: &mut Vec<usize>) {
+        assert!(!self.is_empty(), "cannot sample from an empty replay buffer");
+        out.reserve(batch);
+        for _ in 0..batch {
+            out.push(rng.gen_range(0..self.steps.len()));
+        }
+    }
+
+    /// Accesses the transition at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn get(&self, idx: usize) -> &RolloutStep {
+        &self.steps[idx]
+    }
 }
 
 /// Prioritized experience replay (proportional variant, Schaul et al. 2016).
@@ -216,6 +240,24 @@ mod tests {
         let mut seen = [false; 10];
         for s in samples {
             seen[s.reward as usize] = true;
+        }
+        assert!(seen.iter().all(|&x| x), "all slots sampled at least once");
+    }
+
+    #[test]
+    fn sample_indices_into_matches_sample_distribution() {
+        let mut b = ReplayBuffer::new(10);
+        for i in 0..10 {
+            b.push(step(i as f32));
+        }
+        let mut idx = vec![99usize]; // pre-existing content is preserved
+        let mut rng = StdRng::seed_from_u64(3);
+        b.sample_indices_into(500, &mut rng, &mut idx);
+        assert_eq!(idx[0], 99);
+        assert_eq!(idx.len(), 501);
+        let mut seen = [false; 10];
+        for &i in &idx[1..] {
+            seen[b.get(i).reward as usize] = true;
         }
         assert!(seen.iter().all(|&x| x), "all slots sampled at least once");
     }

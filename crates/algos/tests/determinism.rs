@@ -1,0 +1,140 @@
+//! Pool-parallel minibatch gradients must be *bitwise* deterministic: the
+//! same rollouts drive the learner to identical parameters whether shards run
+//! serially on the caller, on a single worker, or spread over many workers.
+//! The fixed-shard-order reduction in `ParGrad` is what makes this hold — a
+//! first-come-first-served sum would reassociate floating-point adds.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xingtian_algos::api::Algorithm;
+use xingtian_algos::payload::{RolloutBatch, RolloutStep};
+use xingtian_algos::{
+    A2cAlgorithm, A2cConfig, ImpalaAlgorithm, ImpalaConfig, PpoAlgorithm, PpoConfig,
+};
+use xingtian_comm::pool::WorkPool;
+
+const DIM: usize = 6;
+const NA: usize = 3;
+
+fn make_steps(rng: &mut StdRng, n: usize) -> Vec<RolloutStep> {
+    (0..n)
+        .map(|i| RolloutStep {
+            observation: (0..DIM).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            action: rng.gen_range(0..NA as u32),
+            reward: rng.gen_range(-1.0..1.0),
+            done: i % 23 == 22,
+            behavior_logits: (0..NA).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            value: rng.gen_range(-1.0..1.0),
+            next_observation: None,
+        })
+        .collect()
+}
+
+fn bootstrap(rng: &mut StdRng) -> Vec<f32> {
+    (0..DIM).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+fn leaked_pool(workers: usize) -> &'static WorkPool {
+    Box::leak(Box::new(WorkPool::new(workers)))
+}
+
+fn bits(params: &[f32]) -> Vec<u32> {
+    params.iter().map(|p| p.to_bits()).collect()
+}
+
+/// Two training iterations of PPO (320-step batch → 5 gradient shards).
+fn ppo_params(pool: Option<&'static WorkPool>) -> Vec<u32> {
+    let mut c = PpoConfig::new(DIM, NA);
+    c.hidden = vec![32];
+    c.num_explorers = 2;
+    c.rollout_len = 160;
+    c.minibatch = 96;
+    c.epochs = 2;
+    let mut alg = PpoAlgorithm::with_pool(c.clone(), pool);
+    for iter in 0..2u64 {
+        let v = alg.version();
+        let mut rng = StdRng::seed_from_u64(100 + iter);
+        for e in 0..c.num_explorers {
+            alg.on_rollout(RolloutBatch {
+                explorer: e,
+                param_version: v,
+                steps: make_steps(&mut rng, c.rollout_len),
+                bootstrap_observation: bootstrap(&mut rng),
+            });
+        }
+        alg.try_train().expect("iteration batch complete");
+    }
+    bits(&alg.param_blob().params)
+}
+
+fn a2c_params(pool: Option<&'static WorkPool>) -> Vec<u32> {
+    let mut c = A2cConfig::new(DIM, NA);
+    c.hidden = vec![32];
+    c.num_explorers = 2;
+    c.rollout_len = 160;
+    let mut alg = A2cAlgorithm::with_pool(c.clone(), pool);
+    for iter in 0..2u64 {
+        let v = alg.version();
+        let mut rng = StdRng::seed_from_u64(300 + iter);
+        for e in 0..c.num_explorers {
+            alg.on_rollout(RolloutBatch {
+                explorer: e,
+                param_version: v,
+                steps: make_steps(&mut rng, c.rollout_len),
+                bootstrap_observation: bootstrap(&mut rng),
+            });
+        }
+        alg.try_train().expect("iteration batch complete");
+    }
+    bits(&alg.param_blob().params)
+}
+
+fn impala_params(pool: Option<&'static WorkPool>) -> Vec<u32> {
+    let mut c = ImpalaConfig::new(DIM, NA);
+    c.hidden = vec![32];
+    let mut alg = ImpalaAlgorithm::with_pool(c, pool);
+    for iter in 0..3u64 {
+        let mut rng = StdRng::seed_from_u64(500 + iter);
+        alg.on_rollout(RolloutBatch {
+            explorer: 0,
+            param_version: 0,
+            steps: make_steps(&mut rng, 320),
+            bootstrap_observation: bootstrap(&mut rng),
+        });
+        alg.try_train().expect("one batch is enough");
+    }
+    bits(&alg.param_blob().params)
+}
+
+#[test]
+fn ppo_training_is_bitwise_deterministic_across_worker_counts() {
+    let reference = ppo_params(None);
+    for workers in [1, 2, 5] {
+        assert_eq!(ppo_params(Some(leaked_pool(workers))), reference, "workers = {workers}");
+    }
+}
+
+#[test]
+fn a2c_training_is_bitwise_deterministic_across_worker_counts() {
+    let reference = a2c_params(None);
+    for workers in [1, 2, 5] {
+        assert_eq!(a2c_params(Some(leaked_pool(workers))), reference, "workers = {workers}");
+    }
+}
+
+#[test]
+fn impala_training_is_bitwise_deterministic_across_worker_counts() {
+    let reference = impala_params(None);
+    for workers in [1, 2, 5] {
+        assert_eq!(impala_params(Some(leaked_pool(workers))), reference, "workers = {workers}");
+    }
+}
+
+#[test]
+fn repeated_runs_are_bitwise_identical() {
+    // Same pool width twice: guards against hidden run-to-run state
+    // (scheduling order, buffer reuse) leaking into the math.
+    let a = ppo_params(Some(leaked_pool(3)));
+    let b = ppo_params(Some(leaked_pool(3)));
+    assert_eq!(a, b);
+}

@@ -1,9 +1,14 @@
 //! Microbenchmarks of the DNN substrate: the forward/backward passes that
-//! constitute the "training time" column of Table 1.
+//! constitute the "training time" column of Table 1, on both the legacy
+//! `Matrix` compat path and the workspace fast path (tiled FMA kernels, zero
+//! steady-state allocations), plus the full fused train step the learner
+//! actually runs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tinynn::optim::Adam;
-use tinynn::{Activation, Matrix, Mlp};
+use tinynn::{Activation, Matrix, Mlp, Workspace};
+use xingtian_algos::par::{ParGrad, Shard};
+use xingtian_comm::pool::shared_pool;
 
 fn bench_mlp(c: &mut Criterion) {
     let mut group = c.benchmark_group("mlp");
@@ -22,6 +27,68 @@ fn bench_mlp(c: &mut Criterion) {
             &x,
             |b, x| b.iter(|| net.backward(x, &dout)),
         );
+
+        // The same passes on the workspace fast path: persistent activations,
+        // no per-call allocation.
+        let mut ws = Workspace::new();
+        let mut grads = vec![0.0f32; net.num_params()];
+        let xs = vec![1.0f32; batch * obs_dim];
+        let douts = vec![1.0f32; batch * 9];
+        net.forward_ws(&xs, batch, &mut ws);
+        group.bench_function(BenchmarkId::new("forward_ws", format!("{obs_dim}x{batch}")), |b| {
+            b.iter(|| net.forward_ws(&xs, batch, &mut ws).len())
+        });
+        group.bench_function(BenchmarkId::new("backward_ws", format!("{obs_dim}x{batch}")), |b| {
+            b.iter(|| {
+                net.forward_ws(&xs, batch, &mut ws);
+                net.backward_ws(&xs, batch, &douts, &mut ws, &mut grads);
+            })
+        });
+    }
+    group.finish();
+}
+
+/// One full optimizer step (forward, MSE gradient, backward, Adam) on the
+/// pool-parallel fast path — the learner's inner loop at PPO/IMPALA shapes.
+fn bench_train_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_step");
+    group.sample_size(10);
+    let pool = shared_pool();
+    for (name, batch) in [("ppo_256x1024", 256usize), ("impala_500x1024", 500usize)] {
+        let (obs, actions) = (1024usize, 9usize);
+        let mut net = Mlp::new(&[obs, 64, 64, actions], Activation::Tanh, 7);
+        let mut opt = Adam::new(net.num_params(), 1e-3);
+        let mut par = ParGrad::new();
+        let mut grads = vec![0.0f32; net.num_params()];
+        let x = vec![0.3f32; batch * obs];
+        let target = vec![0.1f32; batch * actions];
+        let scale = 1.0 / (batch * actions) as f32;
+        group.bench_function(BenchmarkId::new("fast", name), |b| {
+            b.iter(|| {
+                let pnet: &Mlp = &net;
+                let loss =
+                    par.run(Some(pool), batch, &mut [], 0, Some(&mut grads), |rows, _o, shard, g| {
+                        let bsz = rows.len();
+                        let xs = &x[rows.start * obs..rows.end * obs];
+                        let ts = &target[rows.start * actions..rows.end * actions];
+                        let Shard { ws_a, scratch, .. } = shard;
+                        let out = pnet.forward_ws(xs, bsz, ws_a);
+                        if scratch.len() < bsz * actions {
+                            scratch.resize(bsz * actions, 0.0);
+                        }
+                        let mut loss = 0.0f32;
+                        for i in 0..bsz * actions {
+                            let d = out[i] - ts[i];
+                            loss += d * d * scale;
+                            scratch[i] = 2.0 * d * scale;
+                        }
+                        pnet.backward_ws(xs, bsz, &scratch[..bsz * actions], ws_a, g);
+                        loss
+                    });
+                opt.step(net.params_mut(), &grads);
+                loss
+            })
+        });
     }
     group.finish();
 }
@@ -35,5 +102,5 @@ fn bench_optim(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_mlp, bench_optim);
+criterion_group!(benches, bench_mlp, bench_train_step, bench_optim);
 criterion_main!(benches);

@@ -1,0 +1,151 @@
+//! Train-step throughput harness: one full optimizer step (forward, loss
+//! gradient, backward, Adam) at the batch shapes of Table 1's three
+//! algorithms. Each shape is timed twice — on the legacy `Matrix` compat path
+//! and on the compute fast path (tiled workspace kernels + pool-parallel
+//! [`ParGrad`] shards) — so before/after comparisons are a single command:
+//!
+//!     cargo run --release -p xt-bench --bin trainstep
+//!
+//! With `--gate <ms>` the process exits non-zero when any shape's *fast-path*
+//! train step is slower than the bound — ci.sh uses this as a
+//! catastrophic-regression smoke gate (the bound is loose; it guards
+//! order-of-magnitude slips, not percent-level noise).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use tinynn::optim::Adam;
+use tinynn::{Activation, Matrix, Mlp};
+use xingtian_algos::par::{ParGrad, Shard};
+use xingtian_comm::pool::{shared_pool, WorkPool};
+
+struct ShapeSpec {
+    name: &'static str,
+    batch: usize,
+    obs: usize,
+    actions: usize,
+}
+
+const SHAPES: &[ShapeSpec] = &[
+    ShapeSpec { name: "dqn/32x1024", batch: 32, obs: 1024, actions: 9 },
+    ShapeSpec { name: "ppo/256x1024", batch: 256, obs: 1024, actions: 9 },
+    ShapeSpec { name: "impala/500x1024", batch: 500, obs: 1024, actions: 9 },
+];
+
+/// Legacy path: per-call `Matrix` allocations, naive kernels.
+fn train_step_compat(net: &mut Mlp, opt: &mut Adam, x: &Matrix, target: &Matrix) -> f32 {
+    let (out, cache) = net.forward_cached(x);
+    let (loss, dout) = tinynn::ops::mse(&out, target);
+    let grads = net.backward_cached(x, &cache, &dout);
+    opt.step(net.params_mut(), &grads);
+    loss
+}
+
+/// Fast path: tiled workspace kernels, zero steady-state allocations,
+/// deterministic pool-parallel gradient shards.
+#[allow(clippy::too_many_arguments)]
+fn train_step_ws(
+    net: &mut Mlp,
+    opt: &mut Adam,
+    par: &mut ParGrad,
+    pool: Option<&WorkPool>,
+    spec: &ShapeSpec,
+    x: &[f32],
+    target: &[f32],
+    grads: &mut [f32],
+) -> f32 {
+    let (obs, actions) = (spec.obs, spec.actions);
+    let scale = 1.0 / (spec.batch * actions) as f32;
+    let pnet: &Mlp = net;
+    let loss = par.run(pool, spec.batch, &mut [], 0, Some(grads), |rows, _out, shard, g| {
+        let b = rows.len();
+        let xs = &x[rows.start * obs..rows.end * obs];
+        let ts = &target[rows.start * actions..rows.end * actions];
+        let Shard { ws_a, scratch, .. } = shard;
+        let out = pnet.forward_ws(xs, b, ws_a);
+        if scratch.len() < b * actions {
+            scratch.resize(b * actions, 0.0);
+        }
+        let mut loss = 0.0f32;
+        for i in 0..b * actions {
+            let d = out[i] - ts[i];
+            loss += d * d * scale;
+            scratch[i] = 2.0 * d * scale;
+        }
+        pnet.backward_ws(xs, b, &scratch[..b * actions], ws_a, g);
+        loss
+    });
+    opt.step(net.params_mut(), grads);
+    loss
+}
+
+fn time_ms(iters: usize, mut f: impl FnMut() -> f32) -> (f64, f32) {
+    let mut sink = 0.0f32;
+    for _ in 0..3 {
+        sink += f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        sink += f();
+    }
+    (start.elapsed().as_nanos() as f64 / iters as f64 / 1e6, sink)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let gate_ms: Option<f64> = args
+        .iter()
+        .position(|a| a == "--gate")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok());
+    let pool = shared_pool();
+
+    let mut worst_ms = 0.0f64;
+    for spec in SHAPES {
+        let sizes = [spec.obs, 64, 64, spec.actions];
+        let mut rng = StdRng::seed_from_u64(11);
+        let xm = Matrix::uniform(spec.batch, spec.obs, 1.0, &mut rng);
+        let tm = Matrix::uniform(spec.batch, spec.actions, 1.0, &mut rng);
+        let iters = if spec.batch <= 64 { 200 } else { 50 };
+
+        let mut net = Mlp::new(&sizes, Activation::Tanh, 7);
+        let mut opt = Adam::new(net.num_params(), 1e-3);
+        let (compat_ms, s0) =
+            time_ms(iters, || train_step_compat(&mut net, &mut opt, &xm, &tm));
+
+        let mut net = Mlp::new(&sizes, Activation::Tanh, 7);
+        let mut opt = Adam::new(net.num_params(), 1e-3);
+        let mut par = ParGrad::new();
+        let mut grads = vec![0.0f32; net.num_params()];
+        let (ws_ms, s1) = time_ms(iters, || {
+            train_step_ws(
+                &mut net,
+                &mut opt,
+                &mut par,
+                Some(pool),
+                spec,
+                xm.as_slice(),
+                tm.as_slice(),
+                &mut grads,
+            )
+        });
+
+        worst_ms = worst_ms.max(ws_ms);
+        println!(
+            "train_step/{:<16} compat {:>8.3} ms   fast {:>8.3} ms   speedup {:>5.2}x  [sinks {:.3}/{:.3}]",
+            spec.name,
+            compat_ms,
+            ws_ms,
+            compat_ms / ws_ms,
+            s0,
+            s1,
+        );
+    }
+    if let Some(bound) = gate_ms {
+        if worst_ms > bound {
+            eprintln!("trainstep gate FAILED: worst fast-path shape {worst_ms:.3} ms > bound {bound} ms");
+            std::process::exit(1);
+        }
+        println!("trainstep gate ok: worst fast-path shape {worst_ms:.3} ms <= bound {bound} ms");
+    }
+}

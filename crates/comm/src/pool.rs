@@ -63,6 +63,59 @@ impl WorkPool {
     fn submit(&self, job: Job) {
         assert!(self.tx.send(job).is_ok(), "lz4 worker pool alive");
     }
+
+    /// Runs a batch of borrowing jobs to completion across the pool, with
+    /// the calling thread participating: every `(workers + 1)`-th job runs
+    /// inline on the caller (same stride discipline as the chunk codecs), so
+    /// a saturated pool degrades to caller-does-everything rather than
+    /// deadlock.
+    ///
+    /// Unlike [`WorkPool::submit`]'s fire-and-forget jobs, these closures may
+    /// borrow from the caller's stack (`'scope`): the method blocks until
+    /// every job has finished before returning, so the borrows cannot be
+    /// outlived. Job panics are caught (on workers and inline alike), all
+    /// remaining completions are drained, and the first panic is then
+    /// propagated on the calling thread — no job is left running with a
+    /// dangling borrow and no pool worker is lost to an unwinding job.
+    pub fn run_scoped<'scope>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+        use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+        let stride = self.workers + 1;
+        let (done_tx, done_rx) = unbounded::<std::thread::Result<()>>();
+        let mut offloaded = 0usize;
+        let mut inline: Vec<Box<dyn FnOnce() + Send + 'scope>> = Vec::new();
+        for (idx, job) in jobs.into_iter().enumerate() {
+            if idx % stride == 0 {
+                inline.push(job); // caller's share
+                continue;
+            }
+            // SAFETY: only the lifetime bound changes. The job cannot outlive
+            // its borrows because this function drains exactly `offloaded`
+            // completion messages — each sent after its job has returned or
+            // unwound — before returning or propagating a panic.
+            let job: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(job) };
+            let done_tx = done_tx.clone();
+            offloaded += 1;
+            self.submit(Box::new(move || {
+                let result = catch_unwind(AssertUnwindSafe(job));
+                let _ = done_tx.send(result);
+            }));
+        }
+        let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for job in inline {
+            if let Err(p) = catch_unwind(AssertUnwindSafe(job)) {
+                first_panic.get_or_insert(p);
+            }
+        }
+        for _ in 0..offloaded {
+            let result = done_rx.recv().expect("scoped worker delivered completion");
+            if let Err(p) = result {
+                first_panic.get_or_insert(p);
+            }
+        }
+        if let Some(p) = first_panic {
+            resume_unwind(p);
+        }
+    }
 }
 
 /// The process-wide pool, created on first use and sized to
@@ -260,6 +313,42 @@ mod tests {
         container.truncate(container.len() - 1); // lose the final frame byte
         let container = Bytes::from(container);
         assert!(decompress_chunked_parallel(&pool, &container).is_err());
+    }
+
+    #[test]
+    fn run_scoped_runs_borrowing_jobs_to_completion() {
+        let pool = WorkPool::new(3);
+        let mut out = [0u32; 16];
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = out
+            .chunks_mut(2)
+            .enumerate()
+            .map(|(i, c)| {
+                Box::new(move || {
+                    for v in c.iter_mut() {
+                        *v = i as u32 + 1;
+                    }
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run_scoped(jobs);
+        for (i, pair) in out.chunks(2).enumerate() {
+            assert_eq!(pair, &[i as u32 + 1, i as u32 + 1], "chunk {i}");
+        }
+    }
+
+    #[test]
+    fn run_scoped_propagates_panics_and_keeps_workers_alive() {
+        let pool = WorkPool::new(2);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let jobs: Vec<Box<dyn FnOnce() + Send>> =
+                vec![Box::new(|| panic!("scoped job boom")), Box::new(|| {}), Box::new(|| {})];
+            pool.run_scoped(jobs);
+        }));
+        assert!(caught.is_err(), "job panic surfaces on the caller");
+        // The pool must still run jobs afterwards (workers not unwound).
+        let mut ran = false;
+        pool.run_scoped(vec![Box::new(|| ran = true)]);
+        assert!(ran);
     }
 
     #[test]

@@ -54,6 +54,7 @@ impl ExplorerProcess {
         let mut tracker = EpisodeTracker::new(100);
         let mut steps: Vec<RolloutStep> = Vec::with_capacity(self.rollout_len);
         let batches_counter = self.endpoint.telemetry().counter("explorer.batches_sent");
+        let infer_hist = self.endpoint.telemetry().histogram("learn.infer_ns");
         let mut batches_sent = 0u64;
         let mut steps_since_stats = 0u64;
         let mut returns_since_stats: Vec<f32> = Vec::new();
@@ -69,7 +70,9 @@ impl ExplorerProcess {
                 }
             }
 
+            let t_act = std::time::Instant::now();
             let selection = self.agent.act(&obs);
+            infer_hist.record_duration(t_act.elapsed());
             let step = self.env.step(selection.action);
             tracker.record_step(step.reward, step.done);
             steps_since_stats += 1;

@@ -12,7 +12,7 @@ use crate::stats::ThroughputTimeline;
 use bytes::Bytes;
 use std::time::{Duration, Instant};
 use xingtian_algos::api::Algorithm;
-use xingtian_algos::payload::RolloutBatch;
+use xingtian_algos::payload::BatchDecoder;
 use xingtian_comm::{Endpoint, TransmissionStats};
 use xingtian_message::codec::{Decode, Encode};
 use xingtian_message::{MessageKind, ProcessId};
@@ -51,7 +51,12 @@ impl LearnerProcess {
         let mut timeline = ThroughputTimeline::new();
         let wait_stats = TransmissionStats::new();
         let wait_hist = self.endpoint.telemetry().histogram("learner.wait_ns");
+        let train_hist = self.endpoint.telemetry().histogram("learn.train_ns");
         let sessions_counter = self.endpoint.telemetry().counter("learner.train_sessions");
+        // Rollout messages decode into recycled step storage: batches the
+        // algorithm has fully consumed flow back through `take_spent` and
+        // serve the next decode without reallocating.
+        let mut decoder = BatchDecoder::new();
         let mut steps_consumed = 0u64;
         let mut train_sessions = 0u64;
         let mut train_time = Duration::ZERO;
@@ -63,13 +68,13 @@ impl LearnerProcess {
             let t0 = Instant::now();
             let Some(msg) = self.endpoint.recv() else { break };
             waited += t0.elapsed();
-            if self.handle_message(msg.header.kind, &msg.body) {
+            if self.handle_message(msg.header.kind, &msg.body, &mut decoder) {
                 break;
             }
             // Drain whatever else has already arrived — data already staged
             // locally costs no wait.
             while let Some(extra) = self.endpoint.try_recv() {
-                if self.handle_message(extra.header.kind, &extra.body) {
+                if self.handle_message(extra.header.kind, &extra.body, &mut decoder) {
                     break 'outer;
                 }
             }
@@ -78,7 +83,9 @@ impl LearnerProcess {
                 let t = Instant::now();
                 let r = self.algorithm.try_train();
                 if r.is_some() {
-                    train_time += t.elapsed();
+                    let dt = t.elapsed();
+                    train_time += dt;
+                    train_hist.record_duration(dt);
                 }
                 r
             } {
@@ -108,6 +115,10 @@ impl LearnerProcess {
                     Bytes::from(stats.to_bytes()),
                 );
             }
+            // Recycle the step storage of batches the algorithm is done with.
+            while let Some(spent) = self.algorithm.take_spent() {
+                decoder.recycle(spent);
+            }
         }
 
         let final_params = self.algorithm.param_blob().params;
@@ -122,10 +133,10 @@ impl LearnerProcess {
     }
 
     /// Processes one incoming message. Returns `true` on shutdown.
-    fn handle_message(&mut self, kind: MessageKind, body: &Bytes) -> bool {
+    fn handle_message(&mut self, kind: MessageKind, body: &Bytes, decoder: &mut BatchDecoder) -> bool {
         match kind {
             MessageKind::Rollout => {
-                if let Ok(batch) = RolloutBatch::from_bytes(body) {
+                if let Ok(batch) = decoder.decode(body) {
                     self.algorithm.on_rollout(batch);
                 }
                 false

@@ -360,6 +360,44 @@ impl Decode for Vec<f32> {
     }
 }
 
+/// Decodes a length-prefixed `f32` tensor into a caller-owned buffer,
+/// replacing its contents — the allocation-free mirror of
+/// `Vec::<f32>::decode` for hot receive paths that recycle buffers. On
+/// little-endian targets this is a single memcpy; `out` only grows, so a
+/// warmed-up buffer is reused in place.
+///
+/// # Errors
+///
+/// Any [`DecodeError`] if the input is truncated or malformed.
+pub fn decode_f32s_into(r: &mut Reader<'_>, out: &mut Vec<f32>) -> Result<(), DecodeError> {
+    let len = r.varint()? as usize;
+    let need = len.checked_mul(4).ok_or(DecodeError::LengthOverflow {
+        declared: len,
+        remaining: r.remaining(),
+    })?;
+    if need > r.remaining() {
+        return Err(DecodeError::LengthOverflow { declared: need, remaining: r.remaining() });
+    }
+    let bytes = r.take(need)?;
+    out.clear();
+    if cfg!(target_endian = "little") {
+        out.reserve(len);
+        // SAFETY: `bytes` holds exactly `len * 4` initialized bytes, the
+        // destination has capacity for `len` words, and every bit pattern is
+        // a valid `f32`. The regions cannot overlap (`out` is caller-owned,
+        // `bytes` borrows the input).
+        unsafe {
+            std::ptr::copy_nonoverlapping(bytes.as_ptr(), out.as_mut_ptr().cast::<u8>(), need);
+            out.set_len(len);
+        }
+    } else {
+        out.extend(
+            bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().expect("chunks_exact(4)"))),
+        );
+    }
+    Ok(())
+}
+
 impl Encode for Vec<u8> {
     fn encode(&self, out: &mut Vec<u8>) {
         write_varint(out, self.len() as u64);
@@ -538,6 +576,22 @@ mod tests {
         for (i, chunk) in raw.chunks_exact(4).enumerate() {
             assert_eq!(f32::from_le_bytes(chunk.try_into().unwrap()), vals[i]);
         }
+    }
+
+    #[test]
+    fn decode_f32s_into_reuses_buffer() {
+        let vals: Vec<f32> = (0..64).map(|i| i as f32 * 0.125 - 3.0).collect();
+        let bytes = vals.to_bytes();
+        let mut out = vec![9.0f32; 128]; // stale content is replaced, capacity kept
+        let cap = out.capacity();
+        let mut r = Reader::new(&bytes);
+        decode_f32s_into(&mut r, &mut out).unwrap();
+        assert_eq!(out, vals);
+        assert_eq!(out.capacity(), cap, "no reallocation when capacity suffices");
+        assert!(r.is_empty());
+        // Truncated input errors without touching validity guarantees.
+        let mut r = Reader::new(&bytes[..bytes.len() - 2]);
+        assert!(decode_f32s_into(&mut r, &mut out).is_err());
     }
 
     #[test]

@@ -7,9 +7,13 @@
 //! this repository need and nothing more:
 //!
 //! * [`tensor::Matrix`] — row-major 2-D `f32` tensors with the usual ops,
+//! * [`kernel`] — register-tiled, cache-blocked GEMM kernels and fused
+//!   bias/activation layer ops behind both the `Matrix` API and the
+//!   allocation-free workspace path,
 //! * [`mlp::Mlp`] — multi-layer perceptrons with ReLU/Tanh hidden layers,
-//!   explicit forward/backward passes, and flat parameter (de)serialization
-//!   for parameter-broadcast messages,
+//!   explicit forward/backward passes (allocation-free after warmup via
+//!   [`mlp::Workspace`]), and flat parameter (de)serialization for
+//!   parameter-broadcast messages,
 //! * [`optim`] — SGD (with momentum) and Adam,
 //! * [`ops`] — softmax/log-softmax/entropy and related numerics.
 //!
@@ -30,10 +34,11 @@
 //! opt.step(net.params_mut(), &grads);
 //! ```
 
+pub mod kernel;
 pub mod mlp;
 pub mod ops;
 pub mod optim;
 pub mod tensor;
 
-pub use mlp::{Activation, Mlp};
+pub use mlp::{Activation, ForwardCache, Mlp, Workspace};
 pub use tensor::Matrix;

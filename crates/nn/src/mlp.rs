@@ -5,6 +5,7 @@
 //! broadcast (the learner serializes `params()` straight into a message
 //! body), and hot-swapping weights on explorers (`set_params`).
 
+use crate::kernel;
 use crate::tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -20,7 +21,8 @@ pub enum Activation {
 }
 
 impl Activation {
-    fn apply(self, v: f32) -> f32 {
+    /// Applies the activation to a single pre-activation value.
+    pub fn apply(self, v: f32) -> f32 {
         match self {
             Activation::Relu => v.max(0.0),
             Activation::Tanh => v.tanh(),
@@ -28,7 +30,7 @@ impl Activation {
     }
 
     /// Derivative expressed in terms of the *activated* output `a`.
-    fn grad_from_output(self, a: f32) -> f32 {
+    pub fn grad_from_output(self, a: f32) -> f32 {
         match self {
             Activation::Relu => {
                 if a > 0.0 {
@@ -69,6 +71,61 @@ pub struct ForwardCache {
     /// Activated output of every layer, `activations[i]` being the output of
     /// layer `i` (the last entry is the network output).
     activations: Vec<Matrix>,
+}
+
+/// Reusable scratch arena for the allocation-free training path.
+///
+/// One workspace serves one network at a time (per-layer buffers are resized
+/// by [`Mlp::forward_ws`]); after the first pass at a given batch size every
+/// subsequent `forward_ws`/`backward_ws` call performs **zero heap
+/// allocations** — buffers only grow, never shrink, so varying batch sizes
+/// settle at the high-water mark.
+///
+/// Lifetime rules: the activations cached by `forward_ws` stay valid until
+/// the next `forward_ws` call on this workspace, and `backward_ws` must be
+/// called with the same input and batch size as the `forward_ws` that
+/// preceded it.
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    /// Activated output of layer `i`, sized `batch × layout[i].output`.
+    acts: Vec<Vec<f32>>,
+    /// Logical lengths of `acts` entries for the current batch (buffers keep
+    /// their high-water capacity).
+    acts_len: Vec<usize>,
+    /// Ping-pong delta buffers for the backward pass.
+    delta_a: Vec<f32>,
+    delta_b: Vec<f32>,
+    /// Pack panel for [`kernel::gemm_nt`].
+    pack: Vec<f32>,
+}
+
+impl Workspace {
+    /// An empty workspace; buffers are grown on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grows buffers (never shrinks) to serve `net` at `batch` rows.
+    fn ensure(&mut self, net: &Mlp, batch: usize) {
+        if self.acts.len() < net.layout.len() {
+            self.acts.resize_with(net.layout.len(), Vec::new);
+        }
+        self.acts_len.resize(net.layout.len(), 0);
+        let mut max_width = 0usize;
+        for (i, l) in net.layout.iter().enumerate() {
+            let len = batch * l.output;
+            if self.acts[i].len() < len {
+                self.acts[i].resize(len, 0.0);
+            }
+            self.acts_len[i] = len;
+            max_width = max_width.max(l.output);
+        }
+        let delta_len = batch * max_width;
+        if self.delta_a.len() < delta_len {
+            self.delta_a.resize(delta_len, 0.0);
+            self.delta_b.resize(delta_len, 0.0);
+        }
+    }
 }
 
 impl Mlp {
@@ -139,34 +196,20 @@ impl Mlp {
         self.params.copy_from_slice(params);
     }
 
-    fn layer_forward(&self, l: &LayerLayout, x: &Matrix, activate: bool) -> Matrix {
-        let bs = x.rows();
-        let mut y = Matrix::zeros(bs, l.output);
-        let w = &self.params[l.w_off..l.w_off + l.input * l.output];
-        let b = &self.params[l.b_off..l.b_off + l.output];
-        let xd = x.as_slice();
-        let yd = y.as_mut_slice();
-        for i in 0..bs {
-            let x_row = i * l.input;
-            let y_row = i * l.output;
-            yd[y_row..y_row + l.output].copy_from_slice(b);
-            for k in 0..l.input {
-                let a = xd[x_row + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let w_row = k * l.output;
-                for j in 0..l.output {
-                    yd[y_row + j] += a * w[w_row + j];
-                }
-            }
-        }
-        if activate {
-            for v in y.as_mut_slice() {
-                *v = self.activation.apply(*v);
-            }
-        }
-        y
+    /// Weight slice of layer `l`.
+    fn w(&self, l: &LayerLayout) -> &[f32] {
+        &self.params[l.w_off..l.w_off + l.input * l.output]
+    }
+
+    /// Bias slice of layer `l`.
+    fn b(&self, l: &LayerLayout) -> &[f32] {
+        &self.params[l.b_off..l.b_off + l.output]
+    }
+
+    /// Fused forward for one layer: `out = act?(x × W + b)` in a single pass.
+    fn layer_forward_into(&self, l: &LayerLayout, batch: usize, x: &[f32], activate: bool, out: &mut [f32]) {
+        let act = if activate { Some(self.activation) } else { None };
+        kernel::gemm_bias_act(batch, l.input, l.output, x, self.w(l), Some(self.b(l)), act, out);
     }
 
     /// Inference pass.
@@ -179,53 +222,138 @@ impl Mlp {
     }
 
     /// Forward pass retaining per-layer activations for a later backward pass.
+    ///
+    /// This is the compatibility path that allocates the cache; hot loops
+    /// should use [`Mlp::forward_ws`] with a reused [`Workspace`] instead.
     pub fn forward_cached(&self, x: &Matrix) -> (Matrix, ForwardCache) {
         assert_eq!(x.cols(), self.input_dim(), "input width mismatch");
+        let batch = x.rows();
         let mut activations = Vec::with_capacity(self.layout.len());
-        let mut cur = x.clone();
         for (idx, l) in self.layout.iter().enumerate() {
             let is_last = idx == self.layout.len() - 1;
-            cur = self.layer_forward(l, &cur, !is_last);
-            activations.push(cur.clone());
+            let input: &Matrix = if idx == 0 { x } else { &activations[idx - 1] };
+            let mut y = Matrix::zeros(batch, l.output);
+            self.layer_forward_into(l, batch, input.as_slice(), !is_last, y.as_mut_slice());
+            activations.push(y);
         }
-        (cur, ForwardCache { activations })
+        let out = activations.last().expect("at least one layer").clone();
+        (out, ForwardCache { activations })
+    }
+
+    /// Allocation-free forward pass: runs the network over `batch` rows of
+    /// `x` (flat row-major, `batch × input_dim`), caching activations in
+    /// `ws`, and returns the output slice (`batch × output_dim`).
+    ///
+    /// After warmup (first call at a given batch high-water mark) this
+    /// performs zero heap allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != batch * self.input_dim()`.
+    pub fn forward_ws<'w>(&self, x: &[f32], batch: usize, ws: &'w mut Workspace) -> &'w [f32] {
+        assert_eq!(x.len(), batch * self.input_dim(), "input width mismatch");
+        ws.ensure(self, batch);
+        let last = self.layout.len() - 1;
+        for (idx, l) in self.layout.iter().enumerate() {
+            // Split so the input (layer idx-1) and output (layer idx)
+            // activation buffers can be borrowed disjointly.
+            let (prev, rest) = ws.acts.split_at_mut(idx);
+            let input: &[f32] = if idx == 0 { x } else { &prev[idx - 1][..ws.acts_len[idx - 1]] };
+            let out = &mut rest[0][..ws.acts_len[idx]];
+            self.layer_forward_into(l, batch, input, idx != last, out);
+        }
+        &ws.acts[last][..ws.acts_len[last]]
+    }
+
+    /// The network output cached in `ws` by the most recent
+    /// [`Mlp::forward_ws`] call on this network with this `batch`. Lets
+    /// multi-phase training steps (forward → global reduction → backward)
+    /// reread the forward results without re-running the pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ws` has not served a `forward_ws` of at least this size.
+    pub fn cached_output<'w>(&self, ws: &'w Workspace, batch: usize) -> &'w [f32] {
+        let last = self.layout.len() - 1;
+        &ws.acts[last][..batch * self.layout[last].output]
+    }
+
+    /// Allocation-free backward pass over the activations cached by the
+    /// immediately preceding [`Mlp::forward_ws`] call with the same `x` and
+    /// `batch`. Writes flat parameter gradients (aligned with
+    /// [`Mlp::params`]) into caller-owned `grads`, fully overwriting it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches of `x`, `dout`, or `grads`.
+    pub fn backward_ws(&self, x: &[f32], batch: usize, dout: &[f32], ws: &mut Workspace, grads: &mut [f32]) {
+        assert_eq!(x.len(), batch * self.input_dim(), "input width mismatch");
+        assert_eq!(dout.len(), batch * self.output_dim(), "dout shape mismatch");
+        assert_eq!(grads.len(), self.params.len(), "grads length mismatch");
+        let Workspace { acts, acts_len, delta_a, delta_b, pack } = ws;
+        self.backward_core(x, batch, acts, acts_len, dout, delta_a, delta_b, pack, grads);
     }
 
     /// Backpropagates `dout` (gradient of the loss w.r.t. the network output)
     /// through the cached pass, returning flat parameter gradients aligned
     /// with [`Mlp::params`].
+    ///
+    /// This is the compatibility path that allocates its scratch; hot loops
+    /// should use [`Mlp::backward_ws`] with a reused [`Workspace`] instead.
     pub fn backward_cached(&self, x: &Matrix, cache: &ForwardCache, dout: &Matrix) -> Vec<f32> {
         assert_eq!(dout.shape(), (x.rows(), self.output_dim()), "dout shape mismatch");
+        let batch = x.rows();
+        let mut ws = Workspace::new();
+        ws.ensure(self, batch);
+        for (buf, m) in ws.acts.iter_mut().zip(&cache.activations) {
+            buf[..m.as_slice().len()].copy_from_slice(m.as_slice());
+        }
         let mut grads = vec![0.0f32; self.params.len()];
-        let mut delta = dout.clone();
+        self.backward_ws(x.as_slice(), batch, dout.as_slice(), &mut ws, &mut grads);
+        grads
+    }
+
+    /// Shared backward-pass engine: `acts[i][..acts_len[i]]` is the activated
+    /// output of layer `i` for this batch. Every layer's gradient region in
+    /// `grads` is fully overwritten, so `grads` needs no zeroing by the
+    /// caller.
+    #[allow(clippy::too_many_arguments)] // internal engine behind two public wrappers
+    fn backward_core(
+        &self,
+        x: &[f32],
+        batch: usize,
+        acts: &[Vec<f32>],
+        acts_len: &[usize],
+        dout: &[f32],
+        delta_a: &mut [f32],
+        delta_b: &mut [f32],
+        pack: &mut Vec<f32>,
+        grads: &mut [f32],
+    ) {
+        let last = self.layout.len() - 1;
+        // Ping-pong: `cur` holds this layer's delta, `next` receives dX.
+        let mut cur = delta_a;
+        let mut next = delta_b;
+        cur[..dout.len()].copy_from_slice(dout);
         for (idx, l) in self.layout.iter().enumerate().rev() {
-            // delta currently holds dL/dz for this layer's pre-activation
-            // EXCEPT for hidden layers, where it holds dL/da and must be
-            // multiplied by the activation derivative first.
-            if idx != self.layout.len() - 1 {
-                let a = &cache.activations[idx];
-                for (d, &av) in delta.as_mut_slice().iter_mut().zip(a.as_slice()) {
-                    *d *= self.activation.grad_from_output(av);
-                }
+            let n = batch * l.output;
+            // For hidden layers `cur` holds dL/da; fold in the activation
+            // derivative (in terms of the activated output) in place.
+            if idx != last {
+                kernel::act_grad_mul(self.activation, &mut cur[..n], &acts[idx][..n]);
             }
-            let input: &Matrix = if idx == 0 { x } else { &cache.activations[idx - 1] };
+            let delta = &cur[..n];
+            let input: &[f32] = if idx == 0 { x } else { &acts[idx - 1][..acts_len[idx - 1]] };
             // dW = inputᵀ × delta
-            let dw = input.t_matmul(&delta);
-            grads[l.w_off..l.w_off + l.input * l.output].copy_from_slice(dw.as_slice());
+            kernel::gemm_tn(batch, l.input, l.output, input, delta, &mut grads[l.w_off..l.w_off + l.input * l.output]);
             // db = column sums of delta
-            let db = delta.col_sums();
-            grads[l.b_off..l.b_off + l.output].copy_from_slice(&db);
+            kernel::col_sums_into(batch, l.output, delta, &mut grads[l.b_off..l.b_off + l.output]);
             if idx > 0 {
                 // dX = delta × Wᵀ
-                let w = Matrix::from_vec(
-                    l.input,
-                    l.output,
-                    self.params[l.w_off..l.w_off + l.input * l.output].to_vec(),
-                );
-                delta = delta.matmul_t(&w);
+                kernel::gemm_nt(batch, l.output, l.input, delta, self.w(l), pack, &mut next[..batch * l.input]);
+                std::mem::swap(&mut cur, &mut next);
             }
         }
-        grads
     }
 
     /// Convenience: forward + backward in one call.

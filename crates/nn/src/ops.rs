@@ -3,19 +3,73 @@
 
 use crate::tensor::Matrix;
 
+/// Fused per-row softmax statistics: everything the softmax family needs
+/// from one logits row, computed in a single exp pass (plus the max scan).
+///
+/// With `m = max`, `e_j = exp(z_j − m)`:
+/// * `sum = Σ e_j`, so `p_j = e_j / sum` and `log p_j = z_j − (m + ln sum)`,
+/// * `dot = Σ e_j · (z_j − m)`, so the entropy is `ln sum − dot / sum`.
+#[derive(Debug, Clone, Copy)]
+pub struct RowStats {
+    /// Row maximum `m` (the shift that keeps `exp` in range).
+    pub max: f32,
+    /// `Σ exp(z_j − m)`.
+    pub sum: f32,
+    /// `Σ exp(z_j − m) · (z_j − m)`.
+    pub dot: f32,
+}
+
+impl RowStats {
+    /// `ln sum + max`: the log-partition `log Σ exp(z_j)`, so that
+    /// `log p_j = z_j − log_z()`.
+    pub fn log_z(self) -> f32 {
+        self.sum.ln() + self.max
+    }
+
+    /// Entropy of the row's categorical distribution.
+    pub fn entropy(self) -> f32 {
+        self.sum.ln() - self.dot / self.sum
+    }
+}
+
+/// Computes [`RowStats`] for one logits row.
+pub fn row_stats(row: &[f32]) -> RowStats {
+    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    let mut dot = 0.0;
+    for &z in row {
+        let c = z - max;
+        let e = c.exp();
+        sum += e;
+        dot += e * c;
+    }
+    RowStats { max, sum, dot }
+}
+
+/// Row-wise softmax of `row` into `out` (may alias via a prior copy; plain
+/// slices, no allocation).
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn softmax_row_into(row: &[f32], out: &mut [f32]) {
+    assert_eq!(row.len(), out.len(), "softmax row length mismatch");
+    let s = row_stats(row);
+    let inv = 1.0 / s.sum;
+    for (o, &z) in out.iter_mut().zip(row) {
+        *o = (z - s.max).exp() * inv;
+    }
+}
+
 /// Numerically stable softmax applied row-wise.
 pub fn softmax(logits: &Matrix) -> Matrix {
     let mut out = logits.clone();
     for r in 0..out.rows() {
         let row = out.row_mut(r);
-        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-        let mut sum = 0.0;
+        let s = row_stats(row);
+        let inv = 1.0 / s.sum;
         for v in row.iter_mut() {
-            *v = (*v - max).exp();
-            sum += *v;
-        }
-        for v in row.iter_mut() {
-            *v /= sum;
+            *v = (*v - s.max).exp() * inv;
         }
     }
     out
@@ -26,29 +80,20 @@ pub fn log_softmax(logits: &Matrix) -> Matrix {
     let mut out = logits.clone();
     for r in 0..out.rows() {
         let row = out.row_mut(r);
-        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-        let log_sum = row.iter().map(|v| (v - max).exp()).sum::<f32>().ln() + max;
+        let log_z = row_stats(row).log_z();
         for v in row.iter_mut() {
-            *v -= log_sum;
+            *v -= log_z;
         }
     }
     out
 }
 
 /// Entropy of each row's categorical distribution given its logits.
+///
+/// One fused pass per row via [`row_stats`] — no probability or log-prob
+/// matrices are materialized.
 pub fn entropy(logits: &Matrix) -> Vec<f32> {
-    let probs = softmax(logits);
-    let logs = log_softmax(logits);
-    (0..logits.rows())
-        .map(|r| {
-            probs
-                .row(r)
-                .iter()
-                .zip(logs.row(r))
-                .map(|(&p, &lp)| if p > 0.0 { -p * lp } else { 0.0 })
-                .sum()
-        })
-        .collect()
+    (0..logits.rows()).map(|r| row_stats(logits.row(r)).entropy()).collect()
 }
 
 /// Mean squared error between predictions and targets, plus the gradient of
@@ -59,25 +104,44 @@ pub fn entropy(logits: &Matrix) -> Vec<f32> {
 /// Panics on shape mismatch.
 pub fn mse(pred: &Matrix, target: &Matrix) -> (f32, Matrix) {
     assert_eq!(pred.shape(), target.shape(), "mse shape mismatch");
-    let n = (pred.rows() * pred.cols()) as f32;
     let mut grad = Matrix::zeros(pred.rows(), pred.cols());
+    let loss = mse_into(pred.as_slice(), target.as_slice(), grad.as_mut_slice());
+    (loss, grad)
+}
+
+/// Allocation-free [`mse`]: writes the gradient into caller-owned `grad`
+/// (fully overwritten) and returns the mean loss.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn mse_into(pred: &[f32], target: &[f32], grad: &mut [f32]) -> f32 {
+    assert_eq!(pred.len(), target.len(), "mse shape mismatch");
+    assert_eq!(pred.len(), grad.len(), "mse grad length mismatch");
+    let n = pred.len() as f32;
+    let scale = 2.0 / n;
     let mut loss = 0.0;
-    for i in 0..pred.as_slice().len() {
-        let d = pred.as_slice()[i] - target.as_slice()[i];
+    for ((g, &p), &t) in grad.iter_mut().zip(pred).zip(target) {
+        let d = p - t;
         loss += d * d;
-        grad.as_mut_slice()[i] = 2.0 * d / n;
+        *g = scale * d;
     }
-    (loss / n, grad)
+    loss / n
 }
 
 /// Samples an index from a categorical distribution given probabilities.
 ///
-/// `u` must be a uniform random number in `[0, 1)`.
+/// `u` must be a uniform random number in `[0, 1)`. The threshold is
+/// `u × Σp` rather than `u` itself, so probabilities whose floating-point
+/// sum drifts from 1.0 (softmax rounding) still sample every index with the
+/// intended weight instead of leaning on the final-index fallback.
 pub fn sample_categorical(probs: &[f32], u: f32) -> usize {
+    let total: f32 = probs.iter().sum();
+    let threshold = u * total;
     let mut acc = 0.0;
     for (i, &p) in probs.iter().enumerate() {
         acc += p;
-        if u < acc {
+        if threshold < acc {
             return i;
         }
     }
@@ -162,5 +226,54 @@ mod tests {
     #[test]
     fn argmax_first_max_wins() {
         assert_eq!(argmax(&[1.0, 3.0, 3.0]), 1);
+    }
+
+    #[test]
+    fn sample_categorical_renormalizes_drifted_sums() {
+        // Sum drifts below 1: without renormalization, u in [0.9, 1.0) would
+        // fall through to the last-index fallback regardless of the weights.
+        let low = [0.3, 0.3, 0.3];
+        assert_eq!(sample_categorical(&low, 0.32), 0);
+        assert_eq!(sample_categorical(&low, 0.34), 1);
+        assert_eq!(sample_categorical(&low, 0.95), 2);
+        // Sum drifts above 1: index weights stay proportional.
+        let high = [0.6, 0.6];
+        assert_eq!(sample_categorical(&high, 0.49), 0);
+        assert_eq!(sample_categorical(&high, 0.51), 1);
+    }
+
+    #[test]
+    fn row_stats_matches_materialized_softmax() {
+        let m = Matrix::from_vec(1, 4, vec![0.5, -1.0, 2.0, 0.3]);
+        let s = row_stats(m.row(0));
+        let probs = softmax(&m);
+        let logs = log_softmax(&m);
+        let naive_entropy: f32 =
+            probs.row(0).iter().zip(logs.row(0)).map(|(&p, &lp)| -p * lp).sum();
+        assert!((s.entropy() - naive_entropy).abs() < 1e-5);
+        for (&z, &lp) in m.row(0).iter().zip(logs.row(0)) {
+            assert!((z - s.log_z() - lp).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_row_into_matches_softmax() {
+        let m = Matrix::from_vec(1, 4, vec![1.0, -2.0, 0.5, 3.0]);
+        let mut out = vec![0.0; 4];
+        softmax_row_into(m.row(0), &mut out);
+        for (a, b) in out.iter().zip(softmax(&m).row(0)) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn mse_into_matches_mse() {
+        let pred = Matrix::from_vec(2, 2, vec![1.0, 2.0, -1.0, 0.5]);
+        let target = Matrix::from_vec(2, 2, vec![0.0, 2.0, 1.0, 0.5]);
+        let (loss, grad) = mse(&pred, &target);
+        let mut grad2 = vec![f32::NAN; 4];
+        let loss2 = mse_into(pred.as_slice(), target.as_slice(), &mut grad2);
+        assert_eq!(loss, loss2);
+        assert_eq!(grad.as_slice(), &grad2[..]);
     }
 }

@@ -92,7 +92,7 @@ impl Matrix {
         self.data[r * self.cols + c] = v;
     }
 
-    /// Matrix product `self × rhs`.
+    /// Matrix product `self × rhs`, via the tiled [`crate::kernel::gemm_nn`].
     ///
     /// # Panics
     ///
@@ -100,59 +100,27 @@ impl Matrix {
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.cols, rhs.rows, "matmul inner dimensions must agree");
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        // i-k-j loop order keeps the inner loop streaming over contiguous rows.
-        for i in 0..self.rows {
-            let out_row = i * rhs.cols;
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let rhs_row = k * rhs.cols;
-                for j in 0..rhs.cols {
-                    out.data[out_row + j] += a * rhs.data[rhs_row + j];
-                }
-            }
-        }
+        crate::kernel::gemm_nn(self.rows, self.cols, rhs.cols, &self.data, &rhs.data, &mut out.data);
         out
     }
 
-    /// `selfᵀ × rhs` without materializing the transpose.
+    /// `selfᵀ × rhs` without materializing the transpose, via the tiled
+    /// [`crate::kernel::gemm_tn`].
     pub fn t_matmul(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.rows, rhs.rows, "t_matmul leading dimensions must agree");
         let mut out = Matrix::zeros(self.cols, rhs.cols);
-        for i in 0..self.rows {
-            let lhs_row = i * self.cols;
-            let rhs_row = i * rhs.cols;
-            for k in 0..self.cols {
-                let a = self.data[lhs_row + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = k * rhs.cols;
-                for j in 0..rhs.cols {
-                    out.data[out_row + j] += a * rhs.data[rhs_row + j];
-                }
-            }
-        }
+        crate::kernel::gemm_tn(self.rows, self.cols, rhs.cols, &self.data, &rhs.data, &mut out.data);
         out
     }
 
-    /// `self × rhsᵀ` without materializing the transpose.
+    /// `self × rhsᵀ` without materializing the transpose, via the tiled
+    /// [`crate::kernel::gemm_nt`]. Allocates a fresh pack panel; hot paths
+    /// should call the kernel directly with a reused [`crate::Workspace`].
     pub fn matmul_t(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.cols, rhs.cols, "matmul_t trailing dimensions must agree");
         let mut out = Matrix::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let lhs_row = i * self.cols;
-            for j in 0..rhs.rows {
-                let rhs_row = j * rhs.cols;
-                let mut acc = 0.0;
-                for k in 0..self.cols {
-                    acc += self.data[lhs_row + k] * rhs.data[rhs_row + k];
-                }
-                out.data[i * rhs.rows + j] = acc;
-            }
-        }
+        let mut pack = Vec::new();
+        crate::kernel::gemm_nt(self.rows, self.cols, rhs.rows, &self.data, &rhs.data, &mut pack, &mut out.data);
         out
     }
 
