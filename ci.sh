@@ -34,4 +34,10 @@ echo "== perf smoke: train-step fast path under catastrophic-regression bound ==
 # container core; 20 ms only trips on an order-of-magnitude slip.
 cargo run --release -p xt-bench --bin trainstep -- --gate 20
 
+echo "== chaos smoke: seeded kill-one-explorer run on the virtual clock =="
+# Deterministic fault plan (seed 42): one explorer killed mid-run in a
+# 2-machine deployment, detected by heartbeat silence, respawned, zero
+# store leaks. Wall time is bounded by the controller deadline.
+cargo test --release -q -p xingtian --test chaos chaos_smoke_kill_one_explorer_virtual_clock
+
 echo "ci.sh: all green"

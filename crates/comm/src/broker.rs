@@ -17,11 +17,12 @@
 //! under concurrent submitters.
 
 use crate::endpoint::Endpoint;
+use crate::inject::{run_delay_line, InjectionStats, RouteInjector};
 use crate::router::{
     deliver_local, run_router, Delivery, RemoteEnvelope, RouterCmd, RoutingTable, SplitPlan,
 };
 use crate::store::ObjectStore;
-use crate::{CommConfig, Compression};
+use crate::{CommConfig, Compression, HeartbeatConfig};
 use crossbeam_channel::{unbounded, Sender};
 use netsim::{Cluster, MachineId};
 use parking_lot::Mutex;
@@ -65,6 +66,8 @@ pub(crate) struct BrokerShared {
     peers: Mutex<HashMap<MachineId, Arc<RoutingTable>>>,
     router_thread: Mutex<Option<JoinHandle<()>>>,
     offload_thread: Mutex<Option<JoinHandle<()>>>,
+    /// Delay-line thread, spawned lazily by the first [`Broker::set_injector`].
+    delay_thread: Mutex<Option<JoinHandle<()>>>,
     /// Uplink forwarder threads (populated by [`connect_brokers`]).
     threads: Mutex<Vec<JoinHandle<()>>>,
 }
@@ -188,6 +191,7 @@ impl Broker {
                 peers: Mutex::new(HashMap::new()),
                 router_thread: Mutex::new(Some(router)),
                 offload_thread: Mutex::new(Some(offload)),
+                delay_thread: Mutex::new(None),
                 threads: Mutex::new(Vec::new()),
             }),
         }
@@ -217,6 +221,36 @@ impl Broker {
     /// Messages dropped by the router (unknown destination or closed queue).
     pub fn dropped(&self) -> u64 {
         self.shared.table.dropped()
+    }
+
+    /// Installs (or replaces) the fault-injection policy consulted on every
+    /// final-hop delivery of this broker — local destinations of local
+    /// senders plus remote messages arriving for this machine. Lazily starts
+    /// the broker's delay-line thread, which executes
+    /// [`crate::inject::InjectDecision::Delay`] verdicts off the router
+    /// thread.
+    pub fn set_injector(&self, injector: Arc<dyn RouteInjector>) {
+        {
+            let mut delay_thread = self.shared.delay_thread.lock();
+            if delay_thread.is_none() {
+                let (tx, rx) = unbounded();
+                *self.shared.table.delay_tx.lock() = Some(tx);
+                let store = Arc::clone(&self.shared.store);
+                let table = Arc::clone(&self.shared.table);
+                let machine = self.shared.machine;
+                let handle = std::thread::Builder::new()
+                    .name(format!("xt-delay-m{machine}"))
+                    .spawn(move || run_delay_line(rx, store, table))
+                    .expect("spawn delay-line thread");
+                *delay_thread = Some(handle);
+            }
+        }
+        self.shared.table.injector.update(|_| (Some(Arc::clone(&injector)), ()));
+    }
+
+    /// Tallies of injected faults executed by this broker.
+    pub fn injection_stats(&self) -> InjectionStats {
+        self.shared.table.injection_stats()
     }
 
     /// Registers that `pid` lives on `machine`, propagating the route to
@@ -250,6 +284,17 @@ impl Broker {
     /// Removes the ID queue of `pid`; its receiver thread is woken with a
     /// close sentinel and exits.
     pub(crate) fn remove_endpoint(&self, pid: ProcessId) {
+        self.shared.table.remove_id_queue(pid);
+    }
+
+    /// Force-closes the endpoint of local process `pid` from the broker side:
+    /// its ID queue is removed, the receiver thread drains (settling store
+    /// credits of undelivered messages) and closes the receive buffer on its
+    /// way out, so a workhorse blocked in `recv`/`recv_timeout` observes the
+    /// closure promptly. Used by supervision to tear down the channel half of
+    /// a process that is gone or wedged. Safe to call for pids with no
+    /// endpoint (no-op).
+    pub fn close_endpoint(&self, pid: ProcessId) {
         self.shared.table.remove_id_queue(pid);
     }
 
@@ -289,7 +334,9 @@ impl Broker {
         // fully back-pressured, or a stalled learner could never be shut down.
         let stored_len = body.len() as u64;
         let object_id = match header.kind {
-            xingtian_message::MessageKind::Control | xingtian_message::MessageKind::Stats => {
+            xingtian_message::MessageKind::Control
+            | xingtian_message::MessageKind::Stats
+            | xingtian_message::MessageKind::Heartbeat => {
                 self.shared.store.insert_priority(body, plan.fanout())
             }
             _ => self.shared.store.insert(body, plan.fanout()),
@@ -307,6 +354,10 @@ impl Broker {
 
     pub(crate) fn endpoint_recv_capacity(&self) -> Option<usize> {
         self.shared.config.endpoint_recv_capacity
+    }
+
+    pub(crate) fn heartbeat_config(&self) -> Option<HeartbeatConfig> {
+        self.shared.config.heartbeat
     }
 
     pub(crate) fn track_thread(&self, handle: JoinHandle<()>) {
@@ -329,6 +380,15 @@ impl Broker {
         // Router drains everything already queued, then exits.
         let _ = self.shared.comm_tx.send(RouterCmd::Shutdown);
         if let Some(h) = self.shared.router_thread.lock().take() {
+            let _ = h.join();
+        }
+        // Delay line after the router: the router is the only local producer
+        // of delayed deliveries. Taking the sender disconnects the thread,
+        // which flushes everything still parked before exiting (no stranded
+        // store credits). Uplink threads that outlive it fall back to
+        // immediate delivery.
+        self.shared.table.delay_tx.lock().take();
+        if let Some(h) = self.shared.delay_thread.lock().take() {
             let _ = h.join();
         }
         // Dropping the uplink senders disconnects the forwarder threads.
@@ -397,6 +457,8 @@ pub fn connect_brokers(brokers: &[Broker]) {
             };
             let telemetry = a.shared.telemetry.clone();
             let uplink_bytes = telemetry.counter("comm.uplink_bytes");
+            let link_drops = telemetry.counter("comm.link_drops");
+            let src_table = Arc::clone(&a.shared.table);
             let handle = std::thread::Builder::new()
                 .name(format!("xt-uplink-m{from}-m{to}"))
                 .spawn(move || {
@@ -404,9 +466,20 @@ pub fn connect_brokers(brokers: &[Broker]) {
                         for envelope in burst {
                             // Pay the NIC cost once per target machine; the
                             // body then re-enters the normal local delivery
-                            // path on the far side.
+                            // path on the far side. A partitioned link loses
+                            // the message on the wire: the machine's store
+                            // credit was already spent by the router's fetch,
+                            // so nothing leaks — every destination behind the
+                            // severed link counts as dropped.
                             let bytes = envelope.body.len();
-                            let receipt = cluster.transfer(from, to, bytes);
+                            let receipt = match cluster.transfer_checked(from, to, bytes) {
+                                Ok(r) => r,
+                                Err(_down) => {
+                                    src_table.add_dropped(envelope.dst.len() as u64);
+                                    link_drops.inc();
+                                    continue;
+                                }
+                            };
                             // The receipt's endpoints are cluster-clock nanos;
                             // with_telemetry documents that telemetry for a
                             // cluster deployment is stamped from that same

@@ -67,15 +67,52 @@ impl Endpoint {
 
         let mut threads = Vec::with_capacity(2);
 
-        // Sender monitoring thread: send buffer -> broker.
+        // Sender monitoring thread: send buffer -> broker. With heartbeats
+        // enabled it doubles as the endpoint's liveness beacon: the thread is
+        // joined when the endpoint closes (including the implicit close when
+        // a panicking workhorse drops its endpoint during unwind), so the
+        // beacon stops for exactly the process deaths a detector must see.
         {
             let send_buf = Arc::clone(&send_buf);
             let broker = broker.clone();
+            let heartbeat = broker.heartbeat_config().filter(|_| pid.role != xingtian_message::ProcessRole::Broker);
             let handle = std::thread::Builder::new()
                 .name(format!("xt-send-{pid}"))
-                .spawn(move || {
-                    while let Some(msg) = send_buf.pop() {
-                        let _ = broker.submit(msg);
+                .spawn(move || match heartbeat {
+                    None => {
+                        while let Some(msg) = send_buf.pop() {
+                            let _ = broker.submit(msg);
+                        }
+                    }
+                    Some(hb) => {
+                        let beat = |seq: u64| {
+                            let header = Header::new(pid, vec![hb.monitor], MessageKind::Heartbeat)
+                                .with_seq(seq);
+                            broker.submit(Message::new(header, Body::new()))
+                        };
+                        let interval = hb.interval();
+                        let mut seq = 0u64;
+                        // Announce liveness immediately so the detector can
+                        // baseline this endpoint before the first interval.
+                        let _ = beat(seq);
+                        let mut last_beat = std::time::Instant::now();
+                        loop {
+                            match send_buf.pop_timeout(interval) {
+                                Some(msg) => {
+                                    let _ = broker.submit(msg);
+                                }
+                                // `pop_timeout` returns None on both timeout
+                                // and closed-and-drained; only the latter
+                                // ends the beacon.
+                                None if send_buf.is_closed() && send_buf.is_empty() => break,
+                                None => {}
+                            }
+                            if last_beat.elapsed() >= interval {
+                                seq += 1;
+                                let _ = beat(seq);
+                                last_beat = std::time::Instant::now();
+                            }
+                        }
                     }
                 })
                 .expect("spawn sender thread");
@@ -161,6 +198,14 @@ impl Endpoint {
                         }
                     }
                     drain(&id_rx, &store);
+                    // The receiver thread is the only producer into recv_buf:
+                    // once it exits, nothing will ever arrive again, so close
+                    // the buffer. A workhorse blocked in `recv`/`recv_timeout`
+                    // observes the closure promptly (staged messages still
+                    // drain first) instead of waiting out its full timeout —
+                    // this is what lets broker-side endpoint teardown
+                    // (`Broker::close_endpoint`) unblock a stuck consumer.
+                    recv_buf.close();
                 })
                 .expect("spawn receiver thread");
             threads.push(handle);
@@ -338,6 +383,72 @@ mod tests {
         assert_eq!(m.header.compression, CompressionKind::None);
         assert_eq!(m.body, payload);
         broker.shutdown();
+    }
+
+    #[test]
+    fn blocked_recv_timeout_observes_broker_side_close_promptly() {
+        // Satellite regression test: a workhorse blocked in `recv_timeout`
+        // must observe endpoint teardown within milliseconds, not wait out
+        // its full timeout. The broker-side path (`close_endpoint`) only
+        // sends the ID-queue close sentinel; the receiver thread must close
+        // the receive buffer on its way out for the blocked popper to wake.
+        let broker = Broker::new(0, Cluster::single(), CommConfig::default());
+        let l = Arc::new(broker.endpoint(ProcessId::learner(0)));
+        let l2 = Arc::clone(&l);
+        let waiter = std::thread::spawn(move || {
+            let t0 = std::time::Instant::now();
+            let got = l2.recv_timeout(Duration::from_secs(30));
+            (got.is_none(), t0.elapsed())
+        });
+        // Let the waiter actually block, then tear the endpoint down from
+        // the broker side.
+        std::thread::sleep(Duration::from_millis(50));
+        broker.close_endpoint(ProcessId::learner(0));
+        let (closed, waited) = waiter.join().unwrap();
+        assert!(closed, "closure surfaces as None, not a message");
+        assert!(
+            waited < Duration::from_secs(5),
+            "blocked receiver waited {waited:?} — did not observe close promptly"
+        );
+        broker.shutdown();
+    }
+
+    #[test]
+    fn staged_messages_drain_before_close_is_observed() {
+        // Closure must not eat messages that were already delivered.
+        let broker = Broker::new(0, Cluster::single(), CommConfig::default());
+        let e = broker.endpoint(ProcessId::explorer(0));
+        let l = broker.endpoint(ProcessId::learner(0));
+        assert!(e.send_to(vec![ProcessId::learner(0)], MessageKind::Rollout, Bytes::from_static(b"kept")));
+        let staged = l.recv_timeout(Duration::from_secs(5)).expect("delivered before close");
+        assert_eq!(&staged.body[..], b"kept");
+        broker.close_endpoint(ProcessId::learner(0));
+        assert!(l.recv_timeout(Duration::from_secs(5)).is_none());
+        broker.shutdown();
+    }
+
+    #[test]
+    fn heartbeats_flow_to_the_monitor() {
+        let monitor = ProcessId::broker(0);
+        let config = CommConfig::default().with_heartbeat(5, monitor);
+        let broker = Broker::new(0, Cluster::single(), config);
+        // Monitor first so no beat is ever unroutable; its own (Broker-role)
+        // endpoint does not beacon.
+        let mon = broker.endpoint(monitor);
+        let e = broker.endpoint(ProcessId::explorer(0));
+        let beat = mon.recv_timeout(Duration::from_secs(5)).expect("initial heartbeat");
+        assert_eq!(beat.header.kind, MessageKind::Heartbeat);
+        assert_eq!(beat.header.src, ProcessId::explorer(0));
+        let beat2 = mon.recv_timeout(Duration::from_secs(5)).expect("periodic heartbeat");
+        assert!(beat2.header.seq > beat.header.seq, "beats carry increasing seq");
+        // Closing the endpoint stops the beacon.
+        e.close();
+        while mon.recv_timeout(Duration::from_millis(100)).is_some() {}
+        assert!(mon.recv_timeout(Duration::from_millis(100)).is_none(), "no beats after close");
+        drop(mon);
+        broker.shutdown();
+        assert_eq!(broker.dropped(), 0, "every heartbeat was routable");
+        assert!(broker.store().is_empty());
     }
 
     #[test]

@@ -63,6 +63,7 @@
 pub mod broker;
 pub mod buffer;
 pub mod endpoint;
+pub mod inject;
 pub mod pool;
 pub mod router;
 pub mod snapshot;
@@ -72,6 +73,7 @@ pub mod store;
 pub use broker::{connect_brokers, Broker};
 pub use buffer::Buffer;
 pub use endpoint::Endpoint;
+pub use inject::{InjectDecision, InjectionStats, RouteInjector};
 pub use pool::WorkPool;
 pub use router::SplitPlan;
 pub use snapshot::SnapshotCell;
@@ -79,6 +81,7 @@ pub use stats::TransmissionStats;
 pub use store::{ObjectId, ObjectStore};
 
 use serde::{Deserialize, Serialize};
+use xingtian_message::ProcessId;
 
 /// Compression policy for message bodies entering the object store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -96,6 +99,29 @@ impl Default for Compression {
     }
 }
 
+/// Liveness-beacon configuration for the endpoints of a broker.
+///
+/// When set, every endpoint's sender thread emits a [`xingtian_message::MessageKind::Heartbeat`]
+/// message to `monitor` at least every `interval_ms` milliseconds, starting
+/// with one immediate beat at spawn. Heartbeats ride the ordinary channel
+/// (store → router → uplink), so they stop flowing for exactly the failures a
+/// detector should see: a dead process (its endpoint is gone), a closed
+/// endpoint, or a severed link between the process and the monitor's machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeartbeatConfig {
+    /// Beacon period in milliseconds.
+    pub interval_ms: u64,
+    /// The process that aggregates liveness (the failure detector's inbox).
+    pub monitor: ProcessId,
+}
+
+impl HeartbeatConfig {
+    /// The beacon period as a [`std::time::Duration`].
+    pub fn interval(&self) -> std::time::Duration {
+        std::time::Duration::from_millis(self.interval_ms)
+    }
+}
+
 /// Configuration of the communication channel.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CommConfig {
@@ -106,11 +132,18 @@ pub struct CommConfig {
     /// backpressure the channel end to end; `None` restores unbounded
     /// buffers. Control-plane endpoints are always unbounded.
     pub endpoint_recv_capacity: Option<usize>,
+    /// Endpoint liveness beacons (off by default: heartbeats to an
+    /// unregistered monitor would tally as routing drops).
+    pub heartbeat: Option<HeartbeatConfig>,
 }
 
 impl Default for CommConfig {
     fn default() -> Self {
-        CommConfig { compression: Compression::default(), endpoint_recv_capacity: Some(8) }
+        CommConfig {
+            compression: Compression::default(),
+            endpoint_recv_capacity: Some(8),
+            heartbeat: None,
+        }
     }
 }
 
@@ -119,5 +152,12 @@ impl CommConfig {
     /// transmission benchmarks, whose payloads are incompressible by design).
     pub fn uncompressed() -> Self {
         CommConfig { compression: Compression::Off, ..CommConfig::default() }
+    }
+
+    /// Enables liveness beacons to `monitor` every `interval_ms` milliseconds
+    /// (builder style).
+    pub fn with_heartbeat(mut self, interval_ms: u64, monitor: ProcessId) -> Self {
+        self.heartbeat = Some(HeartbeatConfig { interval_ms, monitor });
+        self
     }
 }

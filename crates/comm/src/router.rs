@@ -27,6 +27,7 @@
 //! envelopes per target machine per burst so each uplink is located once per
 //! burst rather than once per message.
 
+use crate::inject::{DelayedDelivery, InjectDecision, InjectionStats, RouteInjector};
 use crate::snapshot::SnapshotCell;
 use crate::store::ObjectStore;
 use crossbeam_channel::{Receiver, Sender, TryRecvError};
@@ -35,6 +36,7 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 use xingtian_message::{Header, ProcessId};
 
 /// What flows through a per-process ID queue.
@@ -95,6 +97,18 @@ pub struct RoutingTable {
     pub(crate) id_queues: SnapshotCell<HashMap<ProcessId, Sender<IdQueueMsg>>>,
     /// Dropped-message counter (destination unknown or queue closed).
     pub(crate) dropped: AtomicU64,
+    /// Fault-injection policy consulted per (message, destination) on the
+    /// final hop. `None` (the default) costs one snapshot load per delivery
+    /// batch and nothing else.
+    pub(crate) injector: SnapshotCell<Option<Arc<dyn RouteInjector>>>,
+    /// Feed into the broker's delay-line thread. Lives here (not in a
+    /// snapshot) so shutdown can take it out and actually disconnect the
+    /// thread — snapshot history would retain the sender forever.
+    pub(crate) delay_tx: Mutex<Option<Sender<DelayedDelivery>>>,
+    /// Injected-fault tallies (drops / extra duplicates / delays executed).
+    pub(crate) injected_dropped: AtomicU64,
+    pub(crate) injected_duplicated: AtomicU64,
+    pub(crate) injected_delayed: AtomicU64,
 }
 
 impl RoutingTable {
@@ -176,6 +190,15 @@ impl RoutingTable {
     pub fn dropped(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
     }
+
+    /// Injected-fault tallies executed by this table's routers.
+    pub fn injection_stats(&self) -> InjectionStats {
+        InjectionStats {
+            dropped: self.injected_dropped.load(Ordering::Relaxed),
+            duplicated: self.injected_duplicated.load(Ordering::Relaxed),
+            delayed: self.injected_delayed.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// A body and its header bound for a set of destinations on one remote machine.
@@ -211,6 +234,9 @@ pub(crate) fn deliver_local(
 /// Pushes `header` (whose object id already refers to `store`) into the ID
 /// queue of every process in `dst`, using a pre-loaded queue snapshot.
 /// Reclaims store credits for unroutable destinations and closed queues.
+/// This is the final hop of every delivery, local or remote — the one place
+/// an installed [`RouteInjector`] is consulted (exactly once per
+/// (message, destination) pair).
 pub(crate) fn push_headers(
     store: &ObjectStore,
     table: &RoutingTable,
@@ -218,18 +244,73 @@ pub(crate) fn push_headers(
     header: &Arc<Header>,
     dst: &[ProcessId],
 ) {
+    let injector = table.injector.load();
     for &d in dst {
-        let delivered = queues
-            .get(&d)
-            .map(|q| q.send(IdQueueMsg::Deliver(Arc::clone(header))).is_ok())
-            .unwrap_or(false);
-        if !delivered {
-            table.add_dropped(1);
-            // Burn the fetch credit this destination would have used so the
-            // store entry does not leak.
-            if let Some(id) = header.object_id {
-                store.drop_credit(id);
+        match injector.as_deref().map_or(InjectDecision::Deliver, |i| i.decide(header, d)) {
+            InjectDecision::Deliver => push_one(store, table, queues, header, d),
+            InjectDecision::Drop => {
+                table.injected_dropped.fetch_add(1, Ordering::Relaxed);
+                // Same settlement as an organic drop: burn the destination's
+                // fetch credit so the entry cannot leak.
+                if let Some(id) = header.object_id {
+                    store.drop_credit(id);
+                }
             }
+            InjectDecision::Duplicate(n) => {
+                // Mint the extra credits *before* enqueuing any copy: each
+                // copy spends one credit at fetch time. If the credits cannot
+                // be minted (entry already spent), fall back to one delivery.
+                let extra = header
+                    .object_id
+                    .map_or(0, |id| if store.add_credit(id, n as usize) { n } else { 0 });
+                table.injected_duplicated.fetch_add(extra as u64, Ordering::Relaxed);
+                for _ in 0..=extra {
+                    push_one(store, table, queues, header, d);
+                }
+            }
+            InjectDecision::Delay(delay) => {
+                let parked = {
+                    let guard = table.delay_tx.lock();
+                    guard.as_ref().is_some_and(|tx| {
+                        tx.send(DelayedDelivery {
+                            header: Arc::clone(header),
+                            dst: d,
+                            deliver_at: Instant::now() + delay,
+                        })
+                        .is_ok()
+                    })
+                };
+                if parked {
+                    table.injected_delayed.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    // No delay line (or it's gone): deliver immediately
+                    // rather than lose the message.
+                    push_one(store, table, queues, header, d);
+                }
+            }
+        }
+    }
+}
+
+/// Delivers one header to one destination queue, settling the store credit if
+/// the destination is unreachable.
+fn push_one(
+    store: &ObjectStore,
+    table: &RoutingTable,
+    queues: &HashMap<ProcessId, Sender<IdQueueMsg>>,
+    header: &Arc<Header>,
+    d: ProcessId,
+) {
+    let delivered = queues
+        .get(&d)
+        .map(|q| q.send(IdQueueMsg::Deliver(Arc::clone(header))).is_ok())
+        .unwrap_or(false);
+    if !delivered {
+        table.add_dropped(1);
+        // Burn the fetch credit this destination would have used so the
+        // store entry does not leak.
+        if let Some(id) = header.object_id {
+            store.drop_credit(id);
         }
     }
 }

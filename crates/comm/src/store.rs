@@ -220,6 +220,31 @@ impl ObjectStore {
         self.fetch(id).is_some()
     }
 
+    /// Grants `extra` additional fetch credits to a live entry. Used by
+    /// fault injection when a delivery is duplicated: every extra copy pushed
+    /// into an ID queue will spend a credit at fetch time, so the credits
+    /// must be minted *before* the copies are enqueued or the entry would be
+    /// freed early (or underflow). Returns `false` — granting nothing — for
+    /// unknown ids or entries whose last credit is already spent.
+    pub fn add_credit(&self, id: ObjectId, extra: usize) -> bool {
+        if extra == 0 {
+            return true;
+        }
+        let Some(entry) = self.shard(id).lock().get(&id).map(Arc::clone) else { return false };
+        // Refuse to resurrect an entry racing its final fetch: credits may
+        // only grow while at least one is still outstanding.
+        entry
+            .remaining
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |r| {
+                if r == 0 {
+                    None
+                } else {
+                    Some(r + extra)
+                }
+            })
+            .is_ok()
+    }
+
     /// Reads the object without consuming a fetch credit. Used by routers that
     /// forward a body to a remote machine while local destinations still hold
     /// credits.
@@ -316,6 +341,20 @@ mod tests {
         assert!(s.is_empty(), "last credit frees the entry");
         assert_eq!(s.live_bytes(), 0);
         assert!(!s.drop_credit(id), "no double-free");
+    }
+
+    #[test]
+    fn add_credit_extends_live_entries_only() {
+        let s = ObjectStore::new();
+        let id = s.insert(Bytes::from(vec![0u8; 16]), 1);
+        assert!(s.add_credit(id, 2), "live entry accepts extra credits");
+        assert!(s.fetch(id).is_some());
+        assert!(s.fetch(id).is_some());
+        assert!(s.fetch(id).is_some(), "original + 2 minted credits");
+        assert!(s.is_empty(), "last credit frees the entry");
+        assert!(!s.add_credit(id, 1), "spent entry cannot be resurrected");
+        assert!(s.fetch(id).is_none());
+        assert!(!s.add_credit(9999, 1), "unknown id refused");
     }
 
     #[test]

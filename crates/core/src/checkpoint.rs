@@ -107,13 +107,46 @@ pub fn load_checkpoint(path: impl AsRef<Path>) -> Result<ParamBlob, String> {
     ParamBlob::from_bytes(&bytes).map_err(|e| format!("corrupt checkpoint: {e}"))
 }
 
-/// Loads `latest.ckpt` from a checkpoint directory.
+/// Loads the newest restorable checkpoint from a checkpoint directory.
+///
+/// Prefers `latest.ckpt`; if that file is missing, truncated, or corrupt
+/// (e.g. the writer died mid-rename or the disk flipped bits), falls back to
+/// the versioned `checkpoint_v{N}.ckpt` files in descending version order and
+/// returns the first one that decodes. A crash can cost at most the
+/// checkpoints that were themselves damaged — never the whole history.
 ///
 /// # Errors
 ///
-/// Returns an error if no valid latest checkpoint exists.
+/// Returns an error if no file in the directory decodes as a checkpoint,
+/// naming the primary (`latest.ckpt`) failure.
 pub fn load_latest(dir: impl AsRef<Path>) -> Result<ParamBlob, String> {
-    load_checkpoint(dir.as_ref().join("latest.ckpt"))
+    let dir = dir.as_ref();
+    let primary = match load_checkpoint(dir.join("latest.ckpt")) {
+        Ok(blob) => return Ok(blob),
+        Err(e) => e,
+    };
+    // Fall back to versioned checkpoints, newest first.
+    let mut versioned: Vec<(u64, PathBuf)> = fs::read_dir(dir)
+        .map_err(|e| format!("{primary}; cannot scan {}: {e}", dir.display()))?
+        .filter_map(|entry| {
+            let path = entry.ok()?.path();
+            let name = path.file_name()?.to_str()?;
+            let version =
+                name.strip_prefix("checkpoint_v")?.strip_suffix(".ckpt")?.parse::<u64>().ok()?;
+            Some((version, path))
+        })
+        .collect();
+    versioned.sort_by_key(|&(version, _)| std::cmp::Reverse(version));
+    for (version, path) in &versioned {
+        if let Ok(blob) = load_checkpoint(path) {
+            eprintln!(
+                "checkpoint: latest.ckpt unusable ({primary}); restored v{version} from {}",
+                path.display()
+            );
+            return Ok(blob);
+        }
+    }
+    Err(format!("{primary}; no versioned checkpoint in {} decodes either", dir.display()))
 }
 
 #[cfg(test)]
@@ -171,6 +204,68 @@ mod tests {
         fs::create_dir_all(&dir).unwrap();
         fs::write(dir.join("latest.ckpt"), b"\xff\xfe").unwrap();
         assert!(load_latest(&dir).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Writes checkpoints v1..=3 and returns the directory.
+    fn dir_with_history(tag: &str) -> PathBuf {
+        let dir = tmpdir(tag);
+        let mut c = Checkpointer::new(CheckpointConfig::new(&dir, 1)).unwrap();
+        for v in 1..=3 {
+            c.on_session(&blob(v)).expect("every session checkpoints");
+        }
+        dir
+    }
+
+    #[test]
+    fn bit_flipped_latest_falls_back_to_newest_versioned() {
+        let dir = dir_with_history("bitflip");
+        // Flip a bit in the params-length varint: the decoder sees an
+        // inflated length and fails with a short read.
+        let mut bytes = fs::read(dir.join("latest.ckpt")).unwrap();
+        bytes[8] ^= 0x40;
+        fs::write(dir.join("latest.ckpt"), &bytes).unwrap();
+        assert!(load_checkpoint(dir.join("latest.ckpt")).is_err(), "corruption must bite");
+        let restored = load_latest(&dir).expect("versioned fallback");
+        assert_eq!(restored, blob(3));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_latest_falls_back_to_newest_versioned() {
+        let dir = dir_with_history("trunc");
+        let bytes = fs::read(dir.join("latest.ckpt")).unwrap();
+        fs::write(dir.join("latest.ckpt"), &bytes[..bytes.len() / 2]).unwrap();
+        assert!(load_checkpoint(dir.join("latest.ckpt")).is_err(), "truncation must bite");
+        let restored = load_latest(&dir).expect("versioned fallback");
+        assert_eq!(restored, blob(3));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fallback_skips_corrupt_versioned_checkpoints() {
+        let dir = dir_with_history("skip");
+        // Both latest and the newest versioned checkpoint are damaged; the
+        // loader must reach back to v2.
+        fs::write(dir.join("latest.ckpt"), b"").unwrap();
+        let mut bytes = fs::read(dir.join("checkpoint_v3.ckpt")).unwrap();
+        bytes[8] ^= 0x40;
+        fs::write(dir.join("checkpoint_v3.ckpt"), &bytes).unwrap();
+        let restored = load_latest(&dir).expect("reaches back past damaged v3");
+        assert_eq!(restored, blob(2));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn all_checkpoints_corrupt_is_an_error_naming_the_primary() {
+        let dir = dir_with_history("hopeless");
+        for name in ["latest.ckpt", "checkpoint_v1.ckpt", "checkpoint_v2.ckpt", "checkpoint_v3.ckpt"]
+        {
+            fs::write(dir.join(name), b"\x00").unwrap();
+        }
+        let err = load_latest(&dir).unwrap_err();
+        assert!(err.contains("corrupt checkpoint"), "primary failure named: {err}");
+        assert!(err.contains("no versioned checkpoint"), "fallback exhaustion named: {err}");
         let _ = fs::remove_dir_all(&dir);
     }
 }

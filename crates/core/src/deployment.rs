@@ -27,6 +27,12 @@ use xingtian_message::ProcessId;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DeployError(String);
 
+impl DeployError {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        DeployError(msg.into())
+    }
+}
+
 impl std::fmt::Display for DeployError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "deployment error: {}", self.0)
@@ -34,6 +40,19 @@ impl std::fmt::Display for DeployError {
 }
 
 impl std::error::Error for DeployError {}
+
+/// Spawns a named process thread, turning OS-level spawn failure (thread
+/// limits, exhausted stacks) into a [`DeployError`] the caller can surface
+/// instead of a panic that takes the whole deployment down.
+pub(crate) fn spawn_process<T: Send + 'static>(
+    name: String,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> Result<std::thread::JoinHandle<T>, DeployError> {
+    std::thread::Builder::new()
+        .name(name.clone())
+        .spawn(f)
+        .map_err(|e| DeployError(format!("cannot spawn {name}: {e}")))
+}
 
 /// Builds the environment for one explorer, honoring the observation
 /// override for synthetic games.
@@ -251,10 +270,9 @@ impl Deployment {
         };
         let start = Instant::now();
         let rollout_latency_src = learner_ep.delivery_stats_arc();
-        let learner_thread = std::thread::Builder::new()
-            .name("xt-learner".into())
-            .spawn(move || LearnerProcess { endpoint: learner_ep, algorithm, checkpointer }.run())
-            .expect("spawn learner");
+        let learner_thread = spawn_process("xt-learner".into(), move || {
+            LearnerProcess { endpoint: learner_ep, algorithm, checkpointer, probe: None }.run()
+        })?;
 
         let mut explorer_threads = Vec::new();
         for (i, endpoint) in explorer_eps.into_iter().enumerate() {
@@ -276,12 +294,10 @@ impl Deployment {
                 i,
             );
             let rollout_len = config.rollout_len;
-            let handle = std::thread::Builder::new()
-                .name(format!("xt-explorer-{i}"))
-                .spawn(move || {
-                    ExplorerProcess { index: i, endpoint, env, agent, rollout_len, sync }.run()
-                })
-                .expect("spawn explorer");
+            let handle = spawn_process(format!("xt-explorer-{i}"), move || {
+                ExplorerProcess { index: i, endpoint, env, agent, rollout_len, sync, probe: None }
+                    .run()
+            })?;
             explorer_threads.push(handle);
         }
 

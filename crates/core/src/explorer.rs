@@ -35,6 +35,9 @@ pub struct ExplorerProcess {
     pub rollout_len: usize,
     /// The deployment's synchronization discipline.
     pub sync: SyncMode,
+    /// Fault-injection kill switch, pulsed once per environment step
+    /// (`None` = not under chaos).
+    pub probe: Option<xt_fault::ProcessProbe>,
 }
 
 /// What an explorer reports when it shuts down.
@@ -68,6 +71,13 @@ impl ExplorerProcess {
                 if self.handle_message(&msg.header.kind, &msg.body) {
                     return ExplorerOutcome { tracker, batches_sent };
                 }
+            }
+
+            // Chaos hook: an armed probe panics here, mid-loop, exactly like
+            // an organic crash would — the endpoint drops during unwind and
+            // heartbeats stop.
+            if let Some(probe) = &self.probe {
+                probe.pulse();
             }
 
             let t_act = std::time::Instant::now();

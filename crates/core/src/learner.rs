@@ -25,6 +25,9 @@ pub struct LearnerProcess {
     pub algorithm: Box<dyn Algorithm>,
     /// Optional periodic checkpointing (paper §4.2).
     pub checkpointer: Option<Checkpointer>,
+    /// Fault-injection kill switch, pulsed once per completed training
+    /// session (`None` = not under chaos).
+    pub probe: Option<xt_fault::ProcessProbe>,
 }
 
 /// What the learner reports when it shuts down.
@@ -98,6 +101,13 @@ impl LearnerProcess {
                 waited = Duration::ZERO;
                 if let Some(ckpt) = &mut self.checkpointer {
                     ckpt.on_session(&self.algorithm.param_blob());
+                }
+                // Chaos hook, deliberately *after* the checkpoint hook: a
+                // learner killed on session N has persisted everything the
+                // checkpoint policy says it should, so recovery measures the
+                // policy, not the kill's timing luck.
+                if let Some(probe) = &self.probe {
+                    probe.pulse();
                 }
                 if !report.notify.is_empty() {
                     let blob = self.algorithm.param_blob();

@@ -25,7 +25,9 @@
 //! * [`pbt`] — population-based training on top of isolated broker sets
 //!   (paper §4.3);
 //! * [`checkpoint`] — periodic DNN checkpoints for fault tolerance (paper
-//!   §4.2).
+//!   §4.2);
+//! * [`supervisor`] — heartbeat-driven failure detection and supervised
+//!   recovery (respawn, checkpoint restore) under injected faults.
 //!
 //! # Examples
 //!
@@ -51,7 +53,9 @@ pub mod learner;
 pub mod messages;
 pub mod pbt;
 pub mod stats;
+pub mod supervisor;
 
 pub use config::{AlgorithmSpec, DeploymentConfig};
 pub use deployment::Deployment;
 pub use stats::RunReport;
+pub use supervisor::{RecoveryReport, SupervisionConfig, MONITOR};

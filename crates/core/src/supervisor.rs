@@ -1,0 +1,498 @@
+//! Supervised deployments: failure detection and process recovery.
+//!
+//! [`Deployment::run`] assumes every process survives to shutdown; a single
+//! explorer panic aborts the whole run. This module adds the fault-tolerance
+//! layer the paper attributes to the framework (§4.2): a supervisor thread
+//! owns every workhorse `JoinHandle`, a broker-level heartbeat stream feeds
+//! an [`xt_fault::FailureDetector`], and dead processes are respawned onto
+//! fresh endpoints whose routes propagate live through the broker fabric.
+//!
+//! Division of authority, deliberately split:
+//!
+//! * the **detector** is advisory — it watches heartbeat silence and publishes
+//!   liveness transitions to telemetry. Silence can mean a dead process *or* a
+//!   severed link; the two are indistinguishable from the monitor's chair.
+//! * the **supervisor** respawns only on proof of death: a `JoinHandle` that
+//!   joins with `Err` (the thread panicked and fully unwound, so its endpoint
+//!   is deregistered). Respawning a merely-partitioned process would register
+//!   a duplicate endpoint and corrupt routing. The respawn itself additionally
+//!   waits for the detector to confirm the death, so recovery provably flows
+//!   injection → detection → recovery and telemetry always shows the
+//!   `ProcessDown` before the respawned process's `ProcessUp`.
+//!
+//! Recovery paths:
+//!
+//! * **Explorer death** — respawn with a fresh endpoint (same `ProcessId`,
+//!   new generation seed). Registration re-propagates the route to every
+//!   peer broker, so cross-machine senders recover automatically. Budget
+//!   exhausted → degrade: training continues on the survivors.
+//! * **Learner death** — rebuild the algorithm, restore parameters from the
+//!   newest restorable checkpoint ([`crate::checkpoint::load_latest`] falls
+//!   back through versioned files), respawn. Rollouts buffered for the dead
+//!   incarnation are consumed by the new one; batches staler than the
+//!   restored parameters are ordinary off-policy data, and spent batches are
+//!   shed through `Algorithm::take_spent` recycling as usual.
+
+use crate::checkpoint::load_latest;
+use crate::config::DeploymentConfig;
+use crate::controller::{ControllerOutcome, ControllerProcess};
+use crate::deployment::{build_agent, build_algorithm, build_env, spawn_process, DeployError};
+use crate::explorer::{ExplorerOutcome, ExplorerProcess};
+use crate::learner::{LearnerOutcome, LearnerProcess};
+use crate::stats::RunReport;
+use crate::Deployment;
+use bytes::Bytes;
+use netsim::Cluster;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use xingtian_comm::{connect_brokers, Broker, Endpoint};
+use xingtian_message::codec::Encode;
+use xingtian_message::{MessageKind, ProcessId, ProcessRole};
+use xt_fault::{DetectorConfig, FailureDetector, FaultPlan, LivenessTransition};
+
+/// The failure detector's inbox. Broker-role endpoints do not beacon, so the
+/// monitor watches everyone without watching itself; the index keeps it clear
+/// of real broker-facing ids.
+pub const MONITOR: ProcessId = ProcessId { role: ProcessRole::Broker, index: u32::MAX };
+
+/// Supervision policy for [`Deployment::run_supervised`].
+#[derive(Debug, Clone)]
+pub struct SupervisionConfig {
+    /// Heartbeat beacon period for every endpoint (milliseconds).
+    pub heartbeat_interval_ms: u64,
+    /// Failure-detector tuning. Defaults match `heartbeat_interval_ms`.
+    pub detector: DetectorConfig,
+    /// How many times one explorer may be respawned before the deployment
+    /// degrades to running without it.
+    pub max_respawns_per_explorer: u32,
+    /// How many times the learner may be restored from checkpoint.
+    pub max_learner_restores: u32,
+    /// Supervisor poll period (milliseconds): heartbeat drain, detector
+    /// sweep, and join-handle reaping happen once per tick.
+    pub poll_interval_ms: u64,
+}
+
+impl Default for SupervisionConfig {
+    fn default() -> Self {
+        SupervisionConfig::with_heartbeat_interval_ms(20)
+    }
+}
+
+impl SupervisionConfig {
+    /// A policy built around a heartbeat period, with the detector timeout
+    /// derived from it.
+    pub fn with_heartbeat_interval_ms(interval_ms: u64) -> Self {
+        SupervisionConfig {
+            heartbeat_interval_ms: interval_ms,
+            detector: DetectorConfig::for_interval_ms(interval_ms),
+            max_respawns_per_explorer: 2,
+            max_learner_restores: 2,
+            poll_interval_ms: (interval_ms / 4).max(1),
+        }
+    }
+}
+
+/// What the supervisor did over one run, alongside the usual [`RunReport`].
+#[derive(Debug)]
+pub struct RecoveryReport {
+    /// Indices of explorers that were respawned, in respawn order (an index
+    /// appears once per respawn).
+    pub explorer_respawns: Vec<u32>,
+    /// How many times the learner was restored from checkpoint.
+    pub learner_restores: u32,
+    /// Parameter version of the last checkpoint a learner restore loaded.
+    pub restored_param_version: Option<u64>,
+    /// Liveness transitions the failure detector published, in order.
+    pub transitions: Vec<LivenessTransition>,
+    /// Processes still considered down when the run ended (degraded
+    /// explorers, or partitioned processes whose beats never resumed).
+    pub down_at_exit: Vec<ProcessId>,
+    /// Objects left in the brokers' stores after every process exited —
+    /// anything nonzero is a leak.
+    pub leaked_objects: usize,
+}
+
+/// Handles and bookkeeping for one supervised explorer slot.
+struct ExplorerSlot {
+    handle: Option<JoinHandle<ExplorerOutcome>>,
+    respawns: u32,
+    /// Outcomes of every finished incarnation (episode stats accumulate
+    /// across respawns).
+    outcomes: Vec<ExplorerOutcome>,
+    /// Death is proven (joined `Err`) but the respawn waits for the failure
+    /// detector to publish the matching `ProcessDown` first.
+    awaiting_detection: bool,
+}
+
+impl Deployment {
+    /// Runs `config` under supervision: heartbeat-driven failure detection,
+    /// panic recovery with respawn, and fault injection from `plan`.
+    ///
+    /// Pass [`FaultPlan::seeded`] with no faults for plain supervised
+    /// operation, or a populated plan for a chaos run — the plan's link
+    /// schedule runs on the cluster's virtual clock, its route rules are
+    /// installed on every broker, and its kill switches are armed inside the
+    /// matching processes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError`] if the configuration is invalid, a process
+    /// cannot be (re)spawned, or the controller itself dies.
+    pub fn run_supervised(
+        config: DeploymentConfig,
+        supervision: SupervisionConfig,
+        plan: FaultPlan,
+        telemetry: xt_telemetry::Telemetry,
+    ) -> Result<(RunReport, RecoveryReport), DeployError> {
+        config.validate().map_err(DeployError::new)?;
+        let dims = build_env(&config.env, 0, config.obs_dim_override, config.step_latency_us)
+            .map_err(DeployError::new)?;
+        let obs_dim = dims.observation_dim();
+        let num_actions = dims.num_actions();
+        drop(dims);
+        let num_explorers = config.total_explorers();
+
+        let cluster = Cluster::new(config.cluster.clone());
+        let comm = config
+            .comm
+            .clone()
+            .with_heartbeat(supervision.heartbeat_interval_ms, MONITOR);
+        let brokers: Vec<Broker> = (0..cluster.len())
+            .map(|m| Broker::with_telemetry(m, cluster.clone(), comm.clone(), telemetry.clone()))
+            .collect();
+        connect_brokers(&brokers);
+
+        // The monitor endpoint must exist before any beaconing endpoint: the
+        // very first heartbeat fires at endpoint spawn and needs a route.
+        let monitor_ep = brokers[config.learner_machine].endpoint(MONITOR);
+        plan.install(&cluster, &brokers);
+
+        let detector = FailureDetector::new(supervision.detector, telemetry.clone());
+        detector.watch(ProcessId::learner(0));
+        for i in 0..num_explorers {
+            detector.watch(ProcessId::explorer(i));
+        }
+
+        let mut algorithm = build_algorithm(
+            &config.algorithm,
+            obs_dim,
+            num_actions,
+            num_explorers,
+            config.rollout_len,
+            config.seed,
+        );
+        if let Some(params) = &config.initial_params {
+            algorithm.load_params(params);
+        }
+        let sync = algorithm.sync_mode();
+        let algo_name = algorithm.name().to_string();
+        let start = Instant::now();
+
+        let spawn_learner = |algorithm: Box<dyn xingtian_algos::api::Algorithm>,
+                             endpoint: Endpoint,
+                             probe: Option<xt_fault::ProcessProbe>|
+         -> Result<JoinHandle<LearnerOutcome>, DeployError> {
+            let checkpointer = match &config.checkpoint {
+                Some(c) => Some(
+                    crate::checkpoint::Checkpointer::new(c.clone())
+                        .map_err(|e| DeployError::new(format!("cannot set up checkpoints: {e}")))?,
+                ),
+                None => None,
+            };
+            spawn_process("xt-learner".into(), move || {
+                LearnerProcess { endpoint, algorithm, checkpointer, probe }.run()
+            })
+        };
+        let spawn_explorer = |i: u32,
+                              generation: u32,
+                              endpoint: Endpoint,
+                              probe: Option<xt_fault::ProcessProbe>|
+         -> Result<JoinHandle<ExplorerOutcome>, DeployError> {
+            // Each incarnation explores from a distinct seed so a respawned
+            // explorer does not re-walk its predecessor's exact trajectory.
+            let seed = config
+                .seed
+                .wrapping_mul(1000)
+                .wrapping_add(u64::from(i))
+                .wrapping_add(u64::from(generation).wrapping_mul(0x9E37_79B9));
+            let env = build_env(&config.env, seed, config.obs_dim_override, config.step_latency_us)
+                .map_err(DeployError::new)?;
+            let agent = build_agent(
+                &config.algorithm,
+                obs_dim,
+                num_actions,
+                num_explorers,
+                config.rollout_len,
+                config.seed,
+                i,
+            );
+            let rollout_len = config.rollout_len;
+            spawn_process(format!("xt-explorer-{i}"), move || {
+                ExplorerProcess { index: i, endpoint, env, agent, rollout_len, sync, probe }.run()
+            })
+        };
+
+        let learner_ep = brokers[config.learner_machine].endpoint(ProcessId::learner(0));
+        let mut rollout_latency_src = learner_ep.delivery_stats_arc();
+        let mut learner_handle = Some(spawn_learner(
+            algorithm,
+            learner_ep,
+            Some(plan.probe_for(ProcessId::learner(0), Some(cluster.time_source()))),
+        )?);
+
+        let mut slots: Vec<ExplorerSlot> = Vec::with_capacity(num_explorers as usize);
+        for i in 0..num_explorers {
+            let endpoint = brokers[config.explorer_machine(i)].endpoint(ProcessId::explorer(i));
+            let probe = Some(plan.probe_for(ProcessId::explorer(i), Some(cluster.time_source())));
+            slots.push(ExplorerSlot {
+                handle: Some(spawn_explorer(i, 0, endpoint, probe)?),
+                respawns: 0,
+                outcomes: Vec::new(),
+                awaiting_detection: false,
+            });
+        }
+
+        let controller_ep = brokers[config.learner_machine].endpoint(ProcessId::controller(0));
+        let controller_handle = spawn_process("xt-controller".into(), move || {
+            ControllerProcess {
+                endpoint: controller_ep,
+                goal_steps: config.goal_steps,
+                max_duration: Duration::from_secs_f64(config.max_seconds),
+                num_explorers,
+            }
+            .run()
+        })?;
+
+        // Learner-incarnation accumulators (summed across restores; the
+        // timeline and final parameters come from the last incarnation).
+        let mut steps_consumed = 0u64;
+        let mut train_sessions = 0u64;
+        let mut train_time = Duration::ZERO;
+        let mut last_learner_outcome: Option<LearnerOutcome> = None;
+        let mut explorer_respawns: Vec<u32> = Vec::new();
+        let mut learner_restores = 0u32;
+        let mut learner_awaiting_detection = false;
+        let mut restored_param_version: Option<u64> = None;
+
+        // ---- Supervision loop -------------------------------------------
+        let poll = Duration::from_millis(supervision.poll_interval_ms.max(1));
+        loop {
+            // 1. Feed the detector: drain heartbeats, sweep for silence.
+            while let Some(msg) = monitor_ep.try_recv() {
+                detector.observe_message(&msg.header);
+            }
+            detector.sweep();
+
+            // 2. Reap dead explorers. `Err` from join proves the thread
+            // panicked and unwound — its endpoint is deregistered, so the
+            // same ProcessId can re-register safely. The respawn itself is
+            // deferred until the detector publishes the death.
+            for (i, slot) in slots.iter_mut().enumerate() {
+                let i_u32 = i as u32;
+                let pid = ProcessId::explorer(i_u32);
+                if slot.handle.as_ref().is_some_and(std::thread::JoinHandle::is_finished) {
+                    let handle = slot.handle.take().expect("finished handle present");
+                    match handle.join() {
+                        Ok(outcome) => {
+                            // Normal exit (shutdown reached it): keep the stats.
+                            detector.forget(pid);
+                            slot.outcomes.push(outcome);
+                        }
+                        Err(_) if slot.respawns < supervision.max_respawns_per_explorer => {
+                            slot.awaiting_detection = true;
+                        }
+                        Err(_) => {
+                            eprintln!(
+                                "supervisor: explorer {i_u32} out of respawn budget, degrading"
+                            );
+                        }
+                    }
+                }
+                if slot.awaiting_detection
+                    && detector.liveness(pid) == Some(xt_fault::Liveness::Down)
+                {
+                    slot.awaiting_detection = false;
+                    slot.respawns += 1;
+                    let generation = slot.respawns;
+                    let endpoint = brokers[config.explorer_machine(i_u32)].endpoint(pid);
+                    match spawn_explorer(i_u32, generation, endpoint, None) {
+                        Ok(h) => {
+                            explorer_respawns.push(i_u32);
+                            slot.handle = Some(h);
+                        }
+                        Err(e) => {
+                            eprintln!(
+                                "supervisor: cannot respawn explorer {i_u32} (degrading): {e}"
+                            );
+                        }
+                    }
+                }
+            }
+
+            // 3. Reap a dead learner: once the detector confirms the death,
+            // restore from checkpoint and respawn.
+            if learner_handle.as_ref().is_some_and(JoinHandle::is_finished) {
+                let handle = learner_handle.take().expect("finished handle present");
+                match handle.join() {
+                    Ok(outcome) => {
+                        detector.forget(ProcessId::learner(0));
+                        steps_consumed += outcome.steps_consumed;
+                        train_sessions += outcome.train_sessions;
+                        train_time += outcome.train_time;
+                        last_learner_outcome = Some(outcome);
+                    }
+                    Err(_) if learner_restores < supervision.max_learner_restores => {
+                        learner_awaiting_detection = true;
+                    }
+                    Err(_) => {
+                        return Err(DeployError::new(
+                            "learner died and is out of restore budget",
+                        ));
+                    }
+                }
+            }
+            if learner_awaiting_detection
+                && detector.liveness(ProcessId::learner(0)) == Some(xt_fault::Liveness::Down)
+            {
+                learner_awaiting_detection = false;
+                learner_restores += 1;
+                let mut algorithm = build_algorithm(
+                    &config.algorithm,
+                    obs_dim,
+                    num_actions,
+                    num_explorers,
+                    config.rollout_len,
+                    config.seed,
+                );
+                match config.checkpoint.as_ref().map(|c| load_latest(&c.dir)) {
+                    Some(Ok(blob)) => {
+                        restored_param_version = Some(blob.version);
+                        algorithm.load_params(&blob.params);
+                    }
+                    Some(Err(e)) => {
+                        eprintln!(
+                            "supervisor: learner restarting from scratch \
+                             (no restorable checkpoint: {e})"
+                        );
+                    }
+                    None => {
+                        eprintln!(
+                            "supervisor: learner restarting from scratch \
+                             (checkpointing disabled)"
+                        );
+                    }
+                }
+                let endpoint = brokers[config.learner_machine].endpoint(ProcessId::learner(0));
+                rollout_latency_src = endpoint.delivery_stats_arc();
+                learner_handle = Some(spawn_learner(algorithm, endpoint, None)?);
+            }
+
+            // 4. The controller ending the run ends supervision.
+            if controller_handle.is_finished() {
+                break;
+            }
+            std::thread::sleep(poll);
+        }
+
+        let controller_outcome: ControllerOutcome = controller_handle
+            .join()
+            .map_err(|_| DeployError::new("controller thread panicked"))?;
+        detector.forget(ProcessId::controller(0));
+
+        // A process respawned *after* the controller broadcast shutdown never
+        // saw the command; one more broadcast from the monitor endpoint
+        // guarantees every live process gets it (shutdown is idempotent).
+        let mut dst: Vec<ProcessId> = (0..num_explorers).map(ProcessId::explorer).collect();
+        dst.push(ProcessId::learner(0));
+        monitor_ep.send_to(
+            dst,
+            MessageKind::Control,
+            Bytes::from(crate::messages::ControlCommand::Shutdown.to_bytes()),
+        );
+
+        // Final joins. Post-shutdown panics are possible (a probe can fire on
+        // the last pulse before the command is handled) — they degrade, never
+        // respawn.
+        if let Some(handle) = learner_handle.take() {
+            match handle.join() {
+                Ok(outcome) => {
+                    steps_consumed += outcome.steps_consumed;
+                    train_sessions += outcome.train_sessions;
+                    train_time += outcome.train_time;
+                    last_learner_outcome = Some(outcome);
+                }
+                Err(_) => return Err(DeployError::new("learner panicked during shutdown")),
+            }
+        }
+        for (i, slot) in slots.iter_mut().enumerate() {
+            if let Some(handle) = slot.handle.take() {
+                match handle.join() {
+                    Ok(outcome) => slot.outcomes.push(outcome),
+                    Err(_) => {
+                        eprintln!("supervisor: explorer {i} panicked during shutdown");
+                    }
+                }
+            }
+        }
+
+        // Everything has exited; the stores should drain to empty as routers
+        // finish in-flight work. Give them a bounded moment before declaring
+        // leftovers a leak.
+        let drain_deadline = Instant::now() + Duration::from_secs(2);
+        let leaked_objects = loop {
+            while let Some(msg) = monitor_ep.try_recv() {
+                detector.observe_message(&msg.header);
+            }
+            let remaining: usize = brokers.iter().map(|b| b.store().len()).sum();
+            if remaining == 0 || Instant::now() >= drain_deadline {
+                break remaining;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        };
+        let down_at_exit = detector.down();
+        let transitions = detector.transitions();
+        monitor_ep.close();
+        let wall_time = start.elapsed();
+        for b in &brokers {
+            b.shutdown();
+        }
+
+        let mut episode_returns = Vec::new();
+        for slot in &slots {
+            for o in &slot.outcomes {
+                episode_returns.extend_from_slice(o.tracker.returns());
+            }
+        }
+        let _ = controller_outcome;
+
+        let last = last_learner_outcome
+            .ok_or_else(|| DeployError::new("no learner incarnation completed"))?;
+        let mean_train_time = if train_sessions > 0 {
+            train_time / train_sessions as u32
+        } else {
+            Duration::ZERO
+        };
+        let report = RunReport {
+            algorithm: algo_name,
+            env: config.env.clone(),
+            steps_consumed,
+            wall_time,
+            timeline: last.timeline,
+            learner_wait: last.wait_stats,
+            rollout_latency: rollout_latency_src,
+            episode_returns,
+            train_sessions,
+            mean_train_time,
+            final_params: last.final_params,
+        };
+        let recovery = RecoveryReport {
+            explorer_respawns,
+            learner_restores,
+            restored_param_version,
+            transitions,
+            down_at_exit,
+            leaked_objects,
+        };
+        Ok((report, recovery))
+    }
+}

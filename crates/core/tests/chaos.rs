@@ -1,0 +1,201 @@
+//! Chaos integration tests: deterministic fault plans driven through
+//! supervised deployments.
+//!
+//! Every test uses a fixed seed and asserts on *eventual* recovery facts —
+//! which processes died, which were respawned, that training made progress,
+//! and that the brokers' object stores drained to empty — not on exact
+//! timings, which vary with scheduling.
+
+use std::time::Duration;
+use xingtian::checkpoint::CheckpointConfig;
+use xingtian::config::{AlgorithmSpec, DeploymentConfig};
+use xingtian::deployment::Deployment;
+use xingtian::supervisor::SupervisionConfig;
+use xingtian_message::{MessageKind, ProcessId};
+use xt_fault::{FaultPlan, KillTrigger, Liveness, LivenessTransition, RouteRule};
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("xt-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// True if `transitions` contains a Down for `pid` followed (later in the
+/// published order) by an Up for the same pid.
+fn down_then_up(transitions: &[LivenessTransition], pid: ProcessId) -> bool {
+    let down_at = transitions
+        .iter()
+        .position(|t| t.pid == pid && t.liveness == Liveness::Down);
+    match down_at {
+        Some(i) => transitions[i + 1..]
+            .iter()
+            .any(|t| t.pid == pid && t.liveness == Liveness::Alive),
+        None => false,
+    }
+}
+
+/// The capstone scenario: a 2-machine × 8-explorer deployment where one
+/// explorer is killed mid-run, the non-learner machine is partitioned away
+/// for a window, and rollouts suffer random drops — all from one seeded
+/// plan. The run must detect both failures, respawn the victim, and keep
+/// training on whatever survives, without leaking a single store object.
+#[test]
+fn kill_and_partition_two_machine_deployment() {
+    const VICTIM: u32 = 1; // machine 0, so the kill and the partition don't overlap
+    let config = DeploymentConfig::cartpole(AlgorithmSpec::impala(), 8)
+        .spread_across(2)
+        .with_rollout_len(25)
+        .with_goal_steps(u64::MAX) // duration-bounded: chaos timeline fits in the window
+        .with_max_seconds(2.5)
+        .with_seed(7);
+    let supervision = SupervisionConfig::with_heartbeat_interval_ms(15);
+    let plan = FaultPlan::seeded(7)
+        .with_kill(ProcessId::explorer(VICTIM), KillTrigger::AfterSteps(400))
+        .isolating_machine(1, 2, 600_000_000, 1_200_000_000)
+        .with_rule(RouteRule::any().on_kind(MessageKind::Rollout).dropping(0.05));
+    // The event ring drops oldest; 2.5 s of rollout/heartbeat/params traffic
+    // emits ~1<<16 lifecycle events, so a ring that small can evict the
+    // mid-run ProcessDown events asserted below. Size it to hold the run.
+    let telemetry = xt_telemetry::Telemetry::with_capacity(1 << 18);
+
+    let (report, recovery) =
+        Deployment::run_supervised(config, supervision, plan, telemetry.clone())
+            .expect("supervised run completes");
+
+    // Training progressed despite a death, a partition, and rollout drops.
+    assert!(
+        report.steps_consumed > 500,
+        "training should progress under chaos, consumed only {}",
+        report.steps_consumed
+    );
+    // The killed explorer was detected and respawned exactly once.
+    assert_eq!(recovery.explorer_respawns, vec![VICTIM]);
+    assert!(
+        down_then_up(&recovery.transitions, ProcessId::explorer(VICTIM)),
+        "victim must be seen down then up: {:?}",
+        recovery.transitions
+    );
+    // At least one partitioned explorer (machine 1 hosts indices 4..8) was
+    // declared down by heartbeat silence and recovered when the link healed —
+    // without ever being respawned (it was alive the whole time).
+    assert!(
+        (4..8).any(|i| down_then_up(&recovery.transitions, ProcessId::explorer(i))),
+        "a partitioned explorer must be seen down then up: {:?}",
+        recovery.transitions
+    );
+    for i in 4..8 {
+        assert!(
+            !recovery.explorer_respawns.contains(&i),
+            "partitioned-but-alive explorer {i} must not be respawned"
+        );
+    }
+    // Everyone recovered by the end; nothing left in any store.
+    assert!(recovery.down_at_exit.is_empty(), "down at exit: {:?}", recovery.down_at_exit);
+    assert_eq!(recovery.leaked_objects, 0, "object store leak");
+    // The detector published its events into telemetry too.
+    assert!(telemetry.counter("fault.process_down").get() >= 2);
+    assert!(telemetry.counter("fault.process_up").get() >= 2);
+    let events = telemetry.events();
+    assert!(events.iter().any(|e| e.kind == xt_telemetry::EventKind::ProcessDown));
+    assert!(events.iter().any(|e| e.kind == xt_telemetry::EventKind::ProcessUp));
+}
+
+/// Learner recovery: a learner killed after its fifth training session is
+/// detected, restored from the newest checkpoint, and finishes the run.
+#[test]
+fn learner_restored_from_checkpoint_after_kill() {
+    let dir = tmpdir("learner-restore");
+    let config = DeploymentConfig::cartpole(AlgorithmSpec::impala(), 4)
+        .with_rollout_len(25)
+        .with_goal_steps(4_000)
+        .with_max_seconds(60.0)
+        .with_seed(11)
+        .with_checkpoint(CheckpointConfig::new(&dir, 1));
+    let supervision = SupervisionConfig::with_heartbeat_interval_ms(15);
+    let plan = FaultPlan::seeded(11)
+        .with_kill(ProcessId::learner(0), KillTrigger::AfterSteps(5));
+    let telemetry = xt_telemetry::Telemetry::with_capacity(1 << 14);
+
+    let (report, recovery) =
+        Deployment::run_supervised(config, supervision, plan, telemetry)
+            .expect("supervised run completes");
+
+    assert_eq!(recovery.learner_restores, 1);
+    // Checkpointing ran every session and the kill fired after session 5, so
+    // the restore had a checkpoint to load.
+    let restored = recovery.restored_param_version.expect("restored from a checkpoint");
+    assert!(restored >= 1, "restored version {restored}");
+    assert!(
+        down_then_up(&recovery.transitions, ProcessId::learner(0)),
+        "learner must be seen down then up: {:?}",
+        recovery.transitions
+    );
+    // The second incarnation trained on to the goal (the controller sums
+    // steps across incarnations; the report counts joined incarnations).
+    assert!(report.train_sessions >= 1);
+    assert!(report.steps_consumed > 0);
+    assert!(recovery.down_at_exit.is_empty(), "down at exit: {:?}", recovery.down_at_exit);
+    assert_eq!(recovery.leaked_objects, 0, "object store leak");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A supervised run with an empty fault plan behaves exactly like a plain
+/// run: no respawns, no liveness transitions, no leaks.
+#[test]
+fn supervised_run_without_faults_is_quiet() {
+    let config = DeploymentConfig::cartpole(AlgorithmSpec::impala(), 2)
+        .with_rollout_len(25)
+        .with_goal_steps(1_500)
+        .with_max_seconds(30.0)
+        .with_seed(3);
+    let (report, recovery) = Deployment::run_supervised(
+        config,
+        SupervisionConfig::default(),
+        FaultPlan::seeded(3),
+        xt_telemetry::Telemetry::with_capacity(1 << 12),
+    )
+    .expect("supervised run completes");
+
+    assert!(report.steps_consumed >= 1_500);
+    assert!(recovery.explorer_respawns.is_empty());
+    assert_eq!(recovery.learner_restores, 0);
+    assert!(recovery.transitions.is_empty(), "transitions: {:?}", recovery.transitions);
+    assert!(recovery.down_at_exit.is_empty());
+    assert_eq!(recovery.leaked_objects, 0);
+}
+
+/// The CI `chaos` smoke stage: a seeded kill-one-explorer run on the virtual
+/// clock (cross-machine transfers advance simulated time instead of
+/// sleeping), bounded in wall time by the controller deadline.
+#[test]
+fn chaos_smoke_kill_one_explorer_virtual_clock() {
+    const VICTIM: u32 = 2;
+    let mut config = DeploymentConfig::cartpole(AlgorithmSpec::impala(), 4)
+        .spread_across(2)
+        .with_rollout_len(25)
+        .with_goal_steps(5_000)
+        .with_max_seconds(30.0)
+        .with_seed(42);
+    config.cluster.virtual_time = true;
+    let supervision = SupervisionConfig::with_heartbeat_interval_ms(10);
+    let plan = FaultPlan::seeded(42)
+        .with_kill(ProcessId::explorer(VICTIM), KillTrigger::AfterSteps(500));
+
+    let start = std::time::Instant::now();
+    let (report, recovery) = Deployment::run_supervised(
+        config,
+        supervision,
+        plan,
+        xt_telemetry::Telemetry::with_capacity(1 << 14),
+    )
+    .expect("supervised run completes");
+
+    assert!(report.steps_consumed >= 5_000, "goal reached: {}", report.steps_consumed);
+    assert_eq!(recovery.explorer_respawns, vec![VICTIM]);
+    assert!(down_then_up(&recovery.transitions, ProcessId::explorer(VICTIM)));
+    assert_eq!(recovery.leaked_objects, 0, "object store leak");
+    assert!(
+        start.elapsed() < Duration::from_secs(60),
+        "smoke run must stay well inside its wall-time bound"
+    );
+}

@@ -98,6 +98,7 @@ fn explorer_learner_pair_round_trips_until_shutdown() {
             sync: SyncMode::OffPolicy,
         }),
         checkpointer: None,
+        probe: None,
     };
     let learner_thread = std::thread::spawn(move || learner.run());
 
@@ -108,6 +109,7 @@ fn explorer_learner_pair_round_trips_until_shutdown() {
         agent: Box::new(ScriptedAgent { version: 0 }),
         rollout_len: 25,
         sync: SyncMode::OffPolicy,
+        probe: None,
     };
     let explorer_thread = std::thread::spawn(move || explorer.run());
 
@@ -143,6 +145,7 @@ fn on_policy_explorer_waits_for_fresh_parameters() {
         agent: Box::new(ScriptedAgent { version: 0 }),
         rollout_len: 10,
         sync: SyncMode::OnPolicy,
+        probe: None,
     };
     let explorer_thread = std::thread::spawn(move || explorer.run());
 
@@ -195,6 +198,7 @@ fn explorer_flow_control_caps_the_send_backlog() {
         agent: Box::new(ScriptedAgent { version: 0 }),
         rollout_len: 500,
         sync: SyncMode::OffPolicy,
+        probe: None,
     };
     let explorer_thread = std::thread::spawn(move || explorer.run());
 

@@ -1,0 +1,351 @@
+//! Heartbeat-fed failure detection.
+//!
+//! Every endpoint of a broker configured with
+//! `xingtian_comm::HeartbeatConfig` beacons
+//! [`MessageKind::Heartbeat`] messages to a monitor endpoint; the supervisor
+//! drains that endpoint into a [`FailureDetector`]. The detector is a
+//! timeout/accrual hybrid: it tracks an exponentially-weighted moving average
+//! of each process's heartbeat inter-arrival time and declares the process
+//! down once its silence exceeds `max(base_timeout, accrual_factor × EWMA)` —
+//! a slow-beaconing process earns a proportionally longer leash, while the
+//! base timeout keeps fast beacons from producing a hair-trigger detector.
+//!
+//! Liveness transitions are published two ways: as
+//! [`EventKind::ProcessDown`]/[`EventKind::ProcessUp`] telemetry events
+//! (keyed by a monotone incident id, with the packed process identity in
+//! `aux`) plus `fault.process_down`/`fault.process_up` counters, and as an
+//! in-memory [`LivenessTransition`] log the supervisor reads to build its
+//! recovery report.
+//!
+//! Detection is intentionally *advisory*: a partitioned-but-alive process
+//! looks exactly like a dead one from here (its beats stop arriving), so the
+//! supervisor must confirm death through its `JoinHandle` before respawning.
+//! The detector's job is latency — noticing within a bounded window that
+//! liveness evidence stopped — and bookkeeping, not authority.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+use xingtian_message::{Header, MessageKind, ProcessId};
+use xt_telemetry::{EventKind, Telemetry};
+
+/// Tuning of the accrual failure detector.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// Minimum silence, in milliseconds, before any process is suspected.
+    pub base_timeout_ms: u64,
+    /// Multiple of the observed mean inter-arrival time a process may stay
+    /// silent before being declared down.
+    pub accrual_factor: f64,
+    /// EWMA smoothing factor for inter-arrival times, in `(0, 1]` (higher =
+    /// adapts faster to the latest interval).
+    pub ewma_alpha: f64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig { base_timeout_ms: 500, accrual_factor: 6.0, ewma_alpha: 0.2 }
+    }
+}
+
+impl DetectorConfig {
+    /// A config sized for heartbeats of period `interval_ms`: the timeout
+    /// floor is a few beacon periods, so detection latency is bounded by
+    /// `max(4 × interval, base)` without being trigger-happy on jitter.
+    pub fn for_interval_ms(interval_ms: u64) -> Self {
+        DetectorConfig { base_timeout_ms: interval_ms.saturating_mul(4).max(50), ..Default::default() }
+    }
+}
+
+/// Current liveness verdict for a watched process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Liveness {
+    /// Heartbeats are arriving within the adaptive timeout.
+    Alive,
+    /// Heartbeats stopped: dead, partitioned away, or wedged.
+    Down,
+}
+
+/// One recorded liveness transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LivenessTransition {
+    /// The process whose liveness changed.
+    pub pid: ProcessId,
+    /// The new verdict.
+    pub liveness: Liveness,
+    /// Nanoseconds since the detector was created.
+    pub at_nanos: u64,
+    /// Monotone incident id shared with the telemetry event this transition
+    /// was published as.
+    pub incident: u64,
+}
+
+#[derive(Debug)]
+struct Watched {
+    last_beat: Instant,
+    /// EWMA of heartbeat inter-arrival time, in nanoseconds (0 until the
+    /// second beat).
+    ewma_interval_ns: f64,
+    beats: u64,
+    down: bool,
+}
+
+/// The deployment-level failure detector.
+#[derive(Debug)]
+pub struct FailureDetector {
+    config: DetectorConfig,
+    telemetry: Telemetry,
+    origin: Instant,
+    watched: Mutex<HashMap<ProcessId, Watched>>,
+    transitions: Mutex<Vec<LivenessTransition>>,
+    incidents: AtomicU64,
+}
+
+/// Packs a process identity into the `aux` word of a liveness event.
+pub fn pack_pid(pid: ProcessId) -> u64 {
+    ((pid.role as u64) << 32) | u64::from(pid.index)
+}
+
+impl FailureDetector {
+    /// A detector publishing liveness transitions into `telemetry`.
+    pub fn new(config: DetectorConfig, telemetry: Telemetry) -> Self {
+        FailureDetector {
+            config,
+            telemetry,
+            origin: Instant::now(),
+            watched: Mutex::new(HashMap::new()),
+            transitions: Mutex::new(Vec::new()),
+            incidents: AtomicU64::new(0),
+        }
+    }
+
+    /// Starts watching `pid`, treating "now" as its first sign of life so a
+    /// slow-starting process is not declared down before its first beat is
+    /// even due. Idempotent.
+    pub fn watch(&self, pid: ProcessId) {
+        self.watched.lock().entry(pid).or_insert_with(|| Watched {
+            last_beat: Instant::now(),
+            ewma_interval_ns: 0.0,
+            beats: 0,
+            down: false,
+        });
+    }
+
+    /// Stops watching `pid` (deliberate teardown must not read as failure).
+    pub fn forget(&self, pid: ProcessId) {
+        self.watched.lock().remove(&pid);
+    }
+
+    /// Feeds one heartbeat arrival from `pid`. A beat from a down process
+    /// flips it back to [`Liveness::Alive`] and publishes a
+    /// [`EventKind::ProcessUp`] event — that is how recovery (respawn or
+    /// partition heal) becomes visible.
+    pub fn observe(&self, pid: ProcessId) {
+        let mut watched = self.watched.lock();
+        let now = Instant::now();
+        let entry = watched.entry(pid).or_insert_with(|| Watched {
+            last_beat: now,
+            ewma_interval_ns: 0.0,
+            beats: 0,
+            down: false,
+        });
+        if entry.beats > 0 {
+            let interval = now.duration_since(entry.last_beat).as_nanos() as f64;
+            entry.ewma_interval_ns = if entry.ewma_interval_ns == 0.0 {
+                interval
+            } else {
+                self.config.ewma_alpha * interval
+                    + (1.0 - self.config.ewma_alpha) * entry.ewma_interval_ns
+            };
+        }
+        entry.last_beat = now;
+        entry.beats += 1;
+        if entry.down {
+            entry.down = false;
+            drop(watched);
+            self.publish(pid, Liveness::Alive);
+        }
+    }
+
+    /// Feeds one message received by the monitor endpoint; heartbeats are
+    /// observed, everything else ignored. Returns `true` if it was a
+    /// heartbeat.
+    pub fn observe_message(&self, header: &Header) -> bool {
+        if header.kind == MessageKind::Heartbeat {
+            self.observe(header.src);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The adaptive timeout currently applied to a process with the given
+    /// EWMA inter-arrival time.
+    fn timeout_ns(&self, ewma_interval_ns: f64) -> u64 {
+        let accrual = self.config.accrual_factor * ewma_interval_ns;
+        let base = Duration::from_millis(self.config.base_timeout_ms).as_nanos() as f64;
+        accrual.max(base) as u64
+    }
+
+    /// Checks every watched process's silence against its adaptive timeout,
+    /// publishing a [`EventKind::ProcessDown`] event per new suspect.
+    /// Returns the processes that transitioned to down *in this sweep*.
+    pub fn sweep(&self) -> Vec<ProcessId> {
+        let mut newly_down = Vec::new();
+        {
+            let mut watched = self.watched.lock();
+            let now = Instant::now();
+            for (&pid, entry) in watched.iter_mut() {
+                if entry.down {
+                    continue;
+                }
+                let silence = now.duration_since(entry.last_beat).as_nanos() as u64;
+                if silence > self.timeout_ns(entry.ewma_interval_ns) {
+                    entry.down = true;
+                    newly_down.push(pid);
+                }
+            }
+        }
+        for &pid in &newly_down {
+            self.publish(pid, Liveness::Down);
+        }
+        newly_down
+    }
+
+    fn publish(&self, pid: ProcessId, liveness: Liveness) {
+        let incident = self.incidents.fetch_add(1, Ordering::Relaxed);
+        let kind = match liveness {
+            Liveness::Alive => EventKind::ProcessUp,
+            Liveness::Down => EventKind::ProcessDown,
+        };
+        self.telemetry.emit(kind, incident, pack_pid(pid));
+        self.telemetry
+            .counter(match liveness {
+                Liveness::Alive => "fault.process_up",
+                Liveness::Down => "fault.process_down",
+            })
+            .inc();
+        self.transitions.lock().push(LivenessTransition {
+            pid,
+            liveness,
+            at_nanos: self.origin.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+            incident,
+        });
+    }
+
+    /// Current verdict for `pid`; `None` if it is not watched.
+    pub fn liveness(&self, pid: ProcessId) -> Option<Liveness> {
+        self.watched
+            .lock()
+            .get(&pid)
+            .map(|w| if w.down { Liveness::Down } else { Liveness::Alive })
+    }
+
+    /// Processes currently considered down.
+    pub fn down(&self) -> Vec<ProcessId> {
+        let mut down: Vec<ProcessId> =
+            self.watched.lock().iter().filter(|(_, w)| w.down).map(|(&p, _)| p).collect();
+        down.sort();
+        down
+    }
+
+    /// Heartbeats observed from `pid` so far.
+    pub fn beats(&self, pid: ProcessId) -> u64 {
+        self.watched.lock().get(&pid).map_or(0, |w| w.beats)
+    }
+
+    /// The liveness transition log, in publication order.
+    pub fn transitions(&self) -> Vec<LivenessTransition> {
+        self.transitions.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> DetectorConfig {
+        DetectorConfig { base_timeout_ms: 40, accrual_factor: 4.0, ewma_alpha: 0.3 }
+    }
+
+    #[test]
+    fn silent_process_is_declared_down_once() {
+        let telemetry = Telemetry::with_capacity(64);
+        let d = FailureDetector::new(fast_config(), telemetry.clone());
+        let pid = ProcessId::explorer(0);
+        d.watch(pid);
+        assert!(d.sweep().is_empty(), "not down before the base timeout");
+        std::thread::sleep(Duration::from_millis(80));
+        assert_eq!(d.sweep(), vec![pid]);
+        assert!(d.sweep().is_empty(), "down is edge-triggered, not re-reported");
+        assert_eq!(d.liveness(pid), Some(Liveness::Down));
+        assert_eq!(d.down(), vec![pid]);
+        assert_eq!(telemetry.counter("fault.process_down").get(), 1);
+        let events = telemetry.events();
+        let down = events.iter().find(|e| e.kind == EventKind::ProcessDown).expect("event");
+        assert_eq!(down.aux, pack_pid(pid));
+    }
+
+    #[test]
+    fn heartbeat_resurrects_a_down_process() {
+        let telemetry = Telemetry::with_capacity(64);
+        let d = FailureDetector::new(fast_config(), telemetry.clone());
+        let pid = ProcessId::explorer(3);
+        d.watch(pid);
+        std::thread::sleep(Duration::from_millis(80));
+        assert_eq!(d.sweep(), vec![pid]);
+        d.observe(pid);
+        assert_eq!(d.liveness(pid), Some(Liveness::Alive));
+        assert_eq!(telemetry.counter("fault.process_up").get(), 1);
+        let t = d.transitions();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].liveness, Liveness::Down);
+        assert_eq!(t[1].liveness, Liveness::Alive);
+        assert!(t[1].at_nanos >= t[0].at_nanos);
+        assert_ne!(t[0].incident, t[1].incident);
+    }
+
+    #[test]
+    fn accrual_extends_the_leash_for_slow_beacons() {
+        // A process beaconing every ~30ms under a 40ms base timeout survives
+        // because the accrual term (4 × EWMA ≈ 120ms) dominates.
+        let d = FailureDetector::new(fast_config(), Telemetry::disabled());
+        let pid = ProcessId::learner(0);
+        d.watch(pid);
+        for _ in 0..4 {
+            std::thread::sleep(Duration::from_millis(30));
+            d.observe(pid);
+            assert!(d.sweep().is_empty(), "regular (if slow) beacons stay alive");
+        }
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(d.sweep().is_empty(), "one missed beat is within the accrual leash");
+    }
+
+    #[test]
+    fn observe_message_filters_heartbeats() {
+        let d = FailureDetector::new(fast_config(), Telemetry::disabled());
+        let beat = Header::new(
+            ProcessId::explorer(1),
+            vec![ProcessId::broker(0)],
+            MessageKind::Heartbeat,
+        );
+        let rollout =
+            Header::new(ProcessId::explorer(1), vec![ProcessId::learner(0)], MessageKind::Rollout);
+        assert!(d.observe_message(&beat));
+        assert!(!d.observe_message(&rollout));
+        assert_eq!(d.beats(ProcessId::explorer(1)), 1);
+    }
+
+    #[test]
+    fn forget_suppresses_false_positives_at_teardown() {
+        let d = FailureDetector::new(fast_config(), Telemetry::disabled());
+        let pid = ProcessId::explorer(0);
+        d.watch(pid);
+        d.forget(pid);
+        std::thread::sleep(Duration::from_millis(80));
+        assert!(d.sweep().is_empty(), "a forgotten process is never reported down");
+        assert_eq!(d.liveness(pid), None);
+    }
+}

@@ -1,0 +1,385 @@
+//! Seeded, deterministic fault plans.
+//!
+//! A [`FaultPlan`] is the single artifact a chaos run is configured with: it
+//! bundles the scheduled link faults netsim executes on the virtual clock,
+//! the per-route injection rules the comm router executes, and the kill
+//! switches that take processes down at a precise point. Everything is
+//! derived from one `u64` seed — rerunning the same plan against the same
+//! deployment produces the same chaos, which is what makes chaos regressions
+//! reproducible and bisectable.
+
+use crate::inject::PlanInjector;
+use crate::probe::ProcessProbe;
+use netsim::{Cluster, LinkFault, LinkFaultSchedule};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use xingtian_comm::Broker;
+use xingtian_message::{MessageKind, ProcessId, ProcessRole};
+use xt_telemetry::TimeSource;
+
+/// When a kill switch fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KillTrigger {
+    /// Fire once the deployment's clock (the probe's [`TimeSource`]) passes
+    /// this many nanoseconds.
+    AtNanos(u64),
+    /// Fire on the `n`-th pulse of the process's workhorse loop (environment
+    /// steps for explorers, training sessions for the learner), making the
+    /// kill point exact and scheduler-independent.
+    AfterSteps(u64),
+}
+
+/// One scheduled process kill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KillSpec {
+    /// The process to take down.
+    pub target: ProcessId,
+    /// When to take it down.
+    pub trigger: KillTrigger,
+}
+
+/// One route-injection rule: a match pattern plus fault probabilities.
+///
+/// Rules are consulted in plan order; the first rule whose pattern matches a
+/// *(message, destination)* pair decides its fate. Within a rule the rolls
+/// are evaluated in a fixed order — drop, then duplicate, then delay — and
+/// each roll is a pure hash of `(seed, message id, destination, salt)`, so a
+/// given message/destination pair gets the same verdict regardless of thread
+/// interleaving or delivery order.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RouteRule {
+    /// Match only messages of this kind (`None` = any kind except heartbeats;
+    /// injecting on liveness beacons is possible but must be asked for
+    /// explicitly, or every drop rule would double as a false-positive
+    /// generator for the failure detector).
+    pub kind: Option<MessageKind>,
+    /// Match only messages from processes of this role.
+    pub src_role: Option<ProcessRole>,
+    /// Match only deliveries to processes of this role.
+    pub dst_role: Option<ProcessRole>,
+    /// Probability a matched delivery is dropped.
+    pub drop_prob: f64,
+    /// Probability a matched (non-dropped) delivery is duplicated.
+    pub duplicate_prob: f64,
+    /// Extra copies delivered when the duplicate roll hits.
+    pub duplicate_copies: u32,
+    /// Probability a matched (non-dropped, non-duplicated) delivery is
+    /// delayed.
+    pub delay_prob: f64,
+    /// How long a delayed delivery is parked, in milliseconds.
+    pub delay_ms: u64,
+}
+
+impl RouteRule {
+    /// A rule matching everything (except heartbeats) with no faults; combine
+    /// with the builder methods.
+    pub fn any() -> Self {
+        RouteRule {
+            kind: None,
+            src_role: None,
+            dst_role: None,
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+            duplicate_copies: 1,
+            delay_prob: 0.0,
+            delay_ms: 0,
+        }
+    }
+
+    /// Restricts the rule to messages of `kind` (builder style).
+    pub fn on_kind(mut self, kind: MessageKind) -> Self {
+        self.kind = Some(kind);
+        self
+    }
+
+    /// Restricts the rule to messages sent by `role` processes (builder
+    /// style).
+    pub fn from_role(mut self, role: ProcessRole) -> Self {
+        self.src_role = Some(role);
+        self
+    }
+
+    /// Restricts the rule to deliveries to `role` processes (builder style).
+    pub fn to_role(mut self, role: ProcessRole) -> Self {
+        self.dst_role = Some(role);
+        self
+    }
+
+    /// Sets the drop probability (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prob` is not in `[0, 1]`.
+    pub fn dropping(mut self, prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "drop probability must be in [0, 1]");
+        self.drop_prob = prob;
+        self
+    }
+
+    /// Sets the duplicate probability and copy count (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prob` is not in `[0, 1]` or `copies` is zero.
+    pub fn duplicating(mut self, prob: f64, copies: u32) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "duplicate probability must be in [0, 1]");
+        assert!(copies > 0, "duplicating zero copies is a no-op; use probability 0 instead");
+        self.duplicate_prob = prob;
+        self.duplicate_copies = copies;
+        self
+    }
+
+    /// Sets the delay probability and duration (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prob` is not in `[0, 1]`.
+    pub fn delaying(mut self, prob: f64, delay_ms: u64) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "delay probability must be in [0, 1]");
+        self.delay_prob = prob;
+        self.delay_ms = delay_ms;
+        self
+    }
+
+    /// Whether this rule applies to delivering a message from `src` of
+    /// `kind` to `dst`.
+    pub fn matches(&self, kind: MessageKind, src: ProcessId, dst: ProcessId) -> bool {
+        let kind_ok = match self.kind {
+            Some(k) => k == kind,
+            // Unqualified rules never touch liveness beacons.
+            None => kind != MessageKind::Heartbeat,
+        };
+        kind_ok
+            && self.src_role.is_none_or(|r| r == src.role)
+            && self.dst_role.is_none_or(|r| r == dst.role)
+    }
+}
+
+/// A complete, reproducible chaos scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultPlan {
+    seed: u64,
+    links: LinkFaultSchedule,
+    rules: Vec<RouteRule>,
+    kills: Vec<KillSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) rooted at `seed`.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan { seed, links: LinkFaultSchedule::new(), rules: Vec::new(), kills: Vec::new() }
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Adds a scheduled link fault (builder style).
+    pub fn with_link_fault(mut self, fault: LinkFault) -> Self {
+        self.links = self.links.with(fault);
+        self
+    }
+
+    /// Adds a scheduled link fault in both directions (builder style).
+    pub fn with_symmetric_link_fault(mut self, fault: LinkFault) -> Self {
+        self.links = self.links.with_symmetric(fault);
+        self
+    }
+
+    /// Partitions `machine` from all `machines` others during
+    /// `[start_nanos, end_nanos)` of the cluster clock (builder style).
+    pub fn isolating_machine(
+        mut self,
+        machine: usize,
+        machines: usize,
+        start_nanos: u64,
+        end_nanos: u64,
+    ) -> Self {
+        self.links = self.links.isolate_machine(machine, machines, start_nanos, end_nanos);
+        self
+    }
+
+    /// Adds a route-injection rule (builder style). Rules are consulted in
+    /// insertion order; first match wins.
+    pub fn with_rule(mut self, rule: RouteRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Schedules a process kill (builder style).
+    pub fn with_kill(mut self, target: ProcessId, trigger: KillTrigger) -> Self {
+        self.kills.push(KillSpec { target, trigger });
+        self
+    }
+
+    /// The scheduled link faults.
+    pub fn link_schedule(&self) -> &LinkFaultSchedule {
+        &self.links
+    }
+
+    /// The route-injection rules, in consultation order.
+    pub fn rules(&self) -> &[RouteRule] {
+        &self.rules
+    }
+
+    /// The scheduled kills.
+    pub fn kills(&self) -> &[KillSpec] {
+        &self.kills
+    }
+
+    /// Whether the plan contains no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty() && self.rules.is_empty() && self.kills.is_empty()
+    }
+
+    /// Installs the plan's network-level faults into a deployment: the link
+    /// schedule onto `cluster` and (when the plan has route rules) one seeded
+    /// [`PlanInjector`] onto every broker. Kill switches are not installed
+    /// here — they are handed to processes via [`FaultPlan::probe_for`].
+    pub fn install(&self, cluster: &Cluster, brokers: &[Broker]) {
+        if !self.links.is_empty() {
+            cluster.install_faults(self.links.clone());
+        }
+        if !self.rules.is_empty() {
+            for broker in brokers {
+                broker.set_injector(Arc::new(PlanInjector::new(self.seed, self.rules.clone())));
+            }
+        }
+    }
+
+    /// The kill switch for `target`: armed with the first matching
+    /// [`KillSpec`], or inert if the plan never kills `target`. Pass the
+    /// deployment clock as `time` so [`KillTrigger::AtNanos`] fires on the
+    /// same timeline as the link schedule; probes with step triggers don't
+    /// need one.
+    pub fn probe_for(
+        &self,
+        target: ProcessId,
+        time: Option<Box<dyn TimeSource>>,
+    ) -> ProcessProbe {
+        match self.kills.iter().find(|k| k.target == target) {
+            Some(spec) => ProcessProbe::armed(target, spec.trigger, time),
+            None => ProcessProbe::inert(target),
+        }
+    }
+
+    /// A randomized but fully seed-determined chaos scenario for a
+    /// deployment of `machines` machines and `explorers` explorers: one
+    /// explorer is killed partway through its expected `horizon_steps`
+    /// lifetime, one non-learner machine (when the cluster has one) is
+    /// partitioned for a window of the virtual clock, and rollout deliveries
+    /// get a small drop probability. The same `(seed, shape)` always yields
+    /// the same scenario.
+    pub fn random_chaos(
+        seed: u64,
+        machines: usize,
+        explorers: u32,
+        horizon_steps: u64,
+        horizon_nanos: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let victim = rng.gen_range(0..explorers.max(1));
+        let kill_at = horizon_steps / 4 + rng.gen_range(0..horizon_steps.max(4) / 2);
+        let mut plan = FaultPlan::seeded(seed)
+            .with_kill(ProcessId::explorer(victim), KillTrigger::AfterSteps(kill_at))
+            .with_rule(
+                RouteRule::any().on_kind(MessageKind::Rollout).dropping(0.02 + rng.gen::<f64>() * 0.03),
+            );
+        if machines > 1 {
+            // Never isolate machine 0 (the conventional learner machine):
+            // partitioning the learner away from everything stalls training
+            // for the whole window, which is a different experiment.
+            let island = 1 + rng.gen_range(0..machines - 1);
+            let start = horizon_nanos / 4 + rng.gen_range(0..horizon_nanos.max(4) / 4);
+            let width = horizon_nanos / 8;
+            plan = plan.isolating_machine(island, machines, start, start + width);
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::LinkCondition;
+
+    #[test]
+    fn rules_match_on_kind_and_roles() {
+        let rule = RouteRule::any()
+            .on_kind(MessageKind::Rollout)
+            .from_role(ProcessRole::Explorer)
+            .to_role(ProcessRole::Learner);
+        assert!(rule.matches(MessageKind::Rollout, ProcessId::explorer(2), ProcessId::learner(0)));
+        assert!(!rule.matches(MessageKind::Stats, ProcessId::explorer(2), ProcessId::learner(0)));
+        assert!(!rule.matches(MessageKind::Rollout, ProcessId::learner(0), ProcessId::learner(0)));
+        assert!(!rule.matches(MessageKind::Rollout, ProcessId::explorer(2), ProcessId::controller(0)));
+    }
+
+    #[test]
+    fn unqualified_rules_spare_heartbeats() {
+        let rule = RouteRule::any().dropping(1.0);
+        assert!(rule.matches(MessageKind::Rollout, ProcessId::explorer(0), ProcessId::learner(0)));
+        assert!(
+            !rule.matches(MessageKind::Heartbeat, ProcessId::explorer(0), ProcessId::broker(0)),
+            "catch-all rules must not forge liveness failures"
+        );
+        let explicit = RouteRule::any().on_kind(MessageKind::Heartbeat).dropping(1.0);
+        assert!(explicit.matches(MessageKind::Heartbeat, ProcessId::explorer(0), ProcessId::broker(0)));
+    }
+
+    #[test]
+    fn plan_builder_accumulates_faults() {
+        let plan = FaultPlan::seeded(7)
+            .with_symmetric_link_fault(LinkFault::partition(0, 1, 100, 200))
+            .with_rule(RouteRule::any().dropping(0.5))
+            .with_kill(ProcessId::explorer(3), KillTrigger::AfterSteps(50));
+        assert!(!plan.is_empty());
+        assert_eq!(plan.rules().len(), 1);
+        assert_eq!(plan.kills(), &[KillSpec {
+            target: ProcessId::explorer(3),
+            trigger: KillTrigger::AfterSteps(50),
+        }]);
+        assert!(matches!(
+            plan.link_schedule().condition(1, 0, 150),
+            LinkCondition::Partitioned { .. }
+        ));
+    }
+
+    #[test]
+    fn probe_for_arms_only_the_victim() {
+        let plan =
+            FaultPlan::seeded(1).with_kill(ProcessId::explorer(2), KillTrigger::AfterSteps(3));
+        let victim = plan.probe_for(ProcessId::explorer(2), None);
+        let bystander = plan.probe_for(ProcessId::explorer(1), None);
+        assert!(victim.is_armed());
+        assert!(!bystander.is_armed());
+    }
+
+    #[test]
+    fn random_chaos_is_seed_deterministic() {
+        let a = FaultPlan::random_chaos(42, 2, 8, 1_000, 1_000_000);
+        let b = FaultPlan::random_chaos(42, 2, 8, 1_000, 1_000_000);
+        assert_eq!(a.kills(), b.kills());
+        assert_eq!(a.rules(), b.rules());
+        assert_eq!(a.link_schedule().faults(), b.link_schedule().faults());
+        let c = FaultPlan::random_chaos(43, 2, 8, 1_000, 1_000_000);
+        assert!(a.kills() != c.kills() || a.rules() != c.rules(), "different seeds differ");
+    }
+
+    #[test]
+    fn random_chaos_never_isolates_the_learner_machine() {
+        for seed in 0..32 {
+            let plan = FaultPlan::random_chaos(seed, 3, 6, 1_000, 1_000_000);
+            let faults = plan.link_schedule().faults();
+            let keeps_a_link = (1..3).any(|m| {
+                !faults
+                    .iter()
+                    .any(|f| (f.from == 0 && f.to == m) || (f.from == m && f.to == 0))
+            });
+            assert!(keeps_a_link, "machine 0 must keep at least one healthy link (seed {seed})");
+        }
+    }
+}

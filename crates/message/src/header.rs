@@ -91,6 +91,10 @@ pub enum MessageKind {
     Control,
     /// Benchmark payload used by the dummy DRL algorithm (§5.1).
     Dummy,
+    /// Periodic liveness beacon from an endpoint's sender thread to the
+    /// deployment's failure detector. Tiny and control-plane prioritized:
+    /// a backpressured data plane must never delay liveness evidence.
+    Heartbeat,
 }
 
 /// How a message body stored in the object store is compressed.

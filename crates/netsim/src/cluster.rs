@@ -1,10 +1,11 @@
 //! Clusters of simulated machines connected by NIC-limited links.
 
 use crate::clock::{Clock, ClockMode};
+use crate::faults::{LinkCondition, LinkDown, LinkFaultSchedule};
 use crate::nic::Nic;
 use crate::{DEFAULT_LATENCY_SECS, GBE_BANDWIDTH};
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::time::Duration;
 
 /// Index of a machine within a [`Cluster`].
@@ -111,6 +112,9 @@ struct ClusterInner {
     spec: ClusterSpec,
     clock: Clock,
     machines: Vec<Machine>,
+    // Swapped wholesale by `install_faults`; read once per transfer. The lock
+    // is only ever held for the Arc clone, never across a NIC reservation.
+    faults: RwLock<Arc<LinkFaultSchedule>>,
 }
 
 impl Cluster {
@@ -129,7 +133,14 @@ impl Cluster {
                 rx: Nic::new(spec.nic_bandwidth),
             })
             .collect();
-        Cluster { inner: Arc::new(ClusterInner { spec, clock, machines }) }
+        Cluster {
+            inner: Arc::new(ClusterInner {
+                spec,
+                clock,
+                machines,
+                faults: RwLock::new(Arc::new(LinkFaultSchedule::new())),
+            }),
+        }
     }
 
     /// A single-machine cluster (no cross-machine links ever used).
@@ -185,18 +196,66 @@ impl Cluster {
     ///
     /// Panics if `from` or `to` is out of range.
     pub fn transfer(&self, from: MachineId, to: MachineId, bytes: usize) -> TransferReceipt {
+        self.do_transfer(from, to, bytes, 1.0)
+    }
+
+    /// Installs (replaces) the cluster's link-fault schedule. Only
+    /// [`Cluster::transfer_checked`] consults it; [`Cluster::transfer`] keeps
+    /// its unconditional blocking semantics for fault-oblivious callers.
+    pub fn install_faults(&self, schedule: LinkFaultSchedule) {
+        *self.inner.faults.write().unwrap() = Arc::new(schedule);
+    }
+
+    /// The currently installed link-fault schedule.
+    pub fn faults(&self) -> Arc<LinkFaultSchedule> {
+        self.inner.faults.read().unwrap().clone()
+    }
+
+    /// Like [`Cluster::transfer`], but honors the installed
+    /// [`LinkFaultSchedule`]: a partitioned link refuses the transfer with
+    /// [`LinkDown`] (after charging one propagation latency for the failed
+    /// attempt — the cost of discovering the link is dead, and a guarantee
+    /// that virtual time advances even when every send is failing), and a
+    /// degraded link stretches the modeled duration by the inverse of its
+    /// bandwidth factor.
+    pub fn transfer_checked(
+        &self,
+        from: MachineId,
+        to: MachineId,
+        bytes: usize,
+    ) -> Result<TransferReceipt, LinkDown> {
+        let now = self.inner.clock.now_nanos();
+        if from == to {
+            return Ok(TransferReceipt { start_nanos: now, end_nanos: now, duration: Duration::ZERO });
+        }
+        let schedule = self.faults();
+        match schedule.condition(from, to, now) {
+            LinkCondition::Partitioned { heal_nanos } => {
+                let latency = (self.inner.spec.latency_secs * 1e9) as u64;
+                self.inner.clock.wait_until(now + latency.max(1));
+                Err(LinkDown { heal_nanos })
+            }
+            LinkCondition::Degraded { factor } => Ok(self.do_transfer(from, to, bytes, factor)),
+            LinkCondition::Healthy => Ok(self.do_transfer(from, to, bytes, 1.0)),
+        }
+    }
+
+    fn do_transfer(&self, from: MachineId, to: MachineId, bytes: usize, factor: f64) -> TransferReceipt {
         let clock = &self.inner.clock;
         let now = clock.now_nanos();
         if from == to {
             return TransferReceipt { start_nanos: now, end_nanos: now, duration: Duration::ZERO };
         }
+        // A degraded link is modeled as the same NIC carrying proportionally
+        // more bytes: occupancy and completion both stretch by 1/factor.
+        let effective = if factor < 1.0 { ((bytes as f64) / factor).ceil() as usize } else { bytes };
         let tx = self.inner.machines[from].tx();
         let rx = self.inner.machines[to].rx();
         // Reserve the sender's port, then the receiver's port no earlier than
         // the sender can supply the bytes. This couples the two resources the
         // way a store-and-forward switch would.
-        let (tx_start, tx_end) = tx.reserve(now, bytes);
-        let (_rx_start, rx_end) = rx.reserve(tx_start, bytes);
+        let (tx_start, tx_end) = tx.reserve(now, effective);
+        let (_rx_start, rx_end) = rx.reserve(tx_start, effective);
         let latency = (self.inner.spec.latency_secs * 1e9) as u64;
         let end = tx_end.max(rx_end) + latency;
         clock.wait_until(end);
@@ -259,6 +318,59 @@ mod tests {
         // 1 µs of bandwidth time + 1 ms latency.
         assert!(r.duration >= Duration::from_micros(1000));
         assert!(r.duration < Duration::from_micros(1100));
+    }
+
+    #[test]
+    fn transfer_checked_healthy_matches_transfer() {
+        let c = virtual_cluster(2, 1e6);
+        let r = c.transfer_checked(0, 1, 2_000_000).expect("healthy link");
+        assert_eq!(r.duration, Duration::from_secs(2));
+    }
+
+    #[test]
+    fn transfer_checked_refuses_partitioned_link() {
+        use crate::faults::{LinkFault, LinkFaultSchedule};
+        let c = virtual_cluster(2, 1e6);
+        c.install_faults(
+            LinkFaultSchedule::new().with(LinkFault::partition(0, 1, 0, 5_000_000_000)),
+        );
+        let err = c.transfer_checked(0, 1, 1_000).unwrap_err();
+        assert_eq!(err.heal_nanos, 5_000_000_000);
+        // A failed attempt still advances the (virtual) clock, so a retry
+        // loop on the virtual clock cannot livelock inside the window.
+        assert!(c.clock().now_nanos() > 0);
+        // The reverse direction is untouched.
+        assert!(c.transfer_checked(1, 0, 1_000).is_ok());
+    }
+
+    #[test]
+    fn transfer_checked_heals_after_window() {
+        use crate::faults::{LinkFault, LinkFaultSchedule};
+        let c = virtual_cluster(2, 1e6);
+        c.install_faults(LinkFaultSchedule::new().with(LinkFault::partition(0, 1, 0, 1_000)));
+        let heal = c.transfer_checked(0, 1, 1_000).unwrap_err().heal_nanos;
+        c.clock().wait_until(heal);
+        assert!(c.transfer_checked(0, 1, 1_000).is_ok());
+    }
+
+    #[test]
+    fn degraded_link_stretches_duration() {
+        use crate::faults::{LinkFault, LinkFaultSchedule};
+        let c = virtual_cluster(2, 1e6);
+        c.install_faults(
+            LinkFaultSchedule::new().with(LinkFault::degrade(0, 1, 0.25, 0, u64::MAX)),
+        );
+        // 1 MB at a quarter of 1 MB/s -> 4 s instead of 1 s.
+        let r = c.transfer_checked(0, 1, 1_000_000).expect("degraded link still delivers");
+        assert_eq!(r.duration, Duration::from_secs(4));
+    }
+
+    #[test]
+    fn intra_machine_transfer_ignores_faults() {
+        use crate::faults::LinkFaultSchedule;
+        let c = virtual_cluster(2, 1e6);
+        c.install_faults(LinkFaultSchedule::new().isolate_machine(0, 2, 0, u64::MAX));
+        assert!(c.transfer_checked(0, 0, 1_000).is_ok());
     }
 
     #[test]

@@ -29,11 +29,13 @@
 
 pub mod clock;
 pub mod cluster;
+pub mod faults;
 pub mod nic;
 pub mod stats;
 
 pub use clock::{Clock, ClockMode};
 pub use cluster::{Cluster, ClusterSpec, MachineId, TransferReceipt};
+pub use faults::{LinkCondition, LinkDown, LinkFault, LinkFaultKind, LinkFaultSchedule};
 pub use nic::Nic;
 pub use stats::LinkStats;
 

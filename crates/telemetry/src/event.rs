@@ -33,11 +33,19 @@ pub enum EventKind {
     Fetched = 6,
     /// Consumer actually popped the message from its receive buffer.
     Consumed = 7,
+    /// The failure detector declared a process dead (`aux` = packed
+    /// process identity chosen by the detector; these liveness events are
+    /// keyed by an incident id, not a message id).
+    ProcessDown = 8,
+    /// A previously-dead (or newly supervised) process was observed alive
+    /// again — recovery completed or liveness restored.
+    ProcessUp = 9,
 }
 
 impl EventKind {
-    /// All kinds in lifecycle order.
-    pub const ALL: [EventKind; 7] = [
+    /// All kinds in lifecycle order (liveness transitions sort after the
+    /// message lifecycle; they never join message spans).
+    pub const ALL: [EventKind; 9] = [
         EventKind::SendEnqueued,
         EventKind::StoreInserted,
         EventKind::Routed,
@@ -45,6 +53,8 @@ impl EventKind {
         EventKind::NicTxEnd,
         EventKind::Fetched,
         EventKind::Consumed,
+        EventKind::ProcessDown,
+        EventKind::ProcessUp,
     ];
 
     /// Decodes a discriminant; `None` for anything out of range.
@@ -62,6 +72,8 @@ impl EventKind {
             EventKind::NicTxEnd => "nic_tx_end",
             EventKind::Fetched => "fetched",
             EventKind::Consumed => "consumed",
+            EventKind::ProcessDown => "process_down",
+            EventKind::ProcessUp => "process_up",
         }
     }
 }
@@ -116,7 +128,7 @@ mod tests {
             assert_eq!(EventKind::from_u8(kind as u8), Some(kind));
         }
         assert_eq!(EventKind::from_u8(0), None);
-        assert_eq!(EventKind::from_u8(8), None);
+        assert_eq!(EventKind::from_u8(10), None);
     }
 
     #[test]
