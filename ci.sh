@@ -34,6 +34,13 @@ echo "== perf smoke: train-step fast path under catastrophic-regression bound ==
 # container core; 20 ms only trips on an order-of-magnitude slip.
 cargo run --release -p xt-bench --bin trainstep -- --gate 20
 
+echo "== replay smoke: store-resident plane is trajectory-identical to the in-learner path =="
+# Seeded differential: one DQN over the legacy in-learner buffer and one over
+# the xt-replay store-resident plane consume the identical rollout stream and
+# must produce bit-identical losses, versions, and final parameters (uniform
+# and prioritized), plus an end-to-end store-resident deployment smoke.
+cargo test --release -q -p xingtian --test replay_differential
+
 echo "== chaos smoke: seeded kill-one-explorer run on the virtual clock =="
 # Deterministic fault plan (seed 42): one explorer killed mid-run in a
 # 2-machine deployment, detected by heartbeat silence, respawned, zero

@@ -71,6 +71,12 @@ pub trait Algorithm: Send {
     /// Current parameter version.
     fn version(&self) -> u64;
 
+    /// Hands the algorithm a telemetry handle so it can publish per-stage
+    /// timings (e.g. DQN's `learn.sample_ns`) into the same registry as the
+    /// framework's channel stages. The default keeps algorithms
+    /// telemetry-free.
+    fn attach_telemetry(&mut self, _telemetry: &xt_telemetry::Telemetry) {}
+
     /// The algorithm's synchronization discipline.
     fn sync_mode(&self) -> SyncMode;
 

@@ -16,13 +16,15 @@
 
 use crate::api::{ActionSelection, Agent, Algorithm, SyncMode, TrainReport};
 use crate::payload::{ParamBlob, RolloutBatch, RolloutStep};
-use crate::replay::{PrioritizedReplay, ReplayBuffer};
+use crate::sample::{InLearnerReplay, ReplayBackend, SampleSink};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 use tinynn::ops::argmax;
 use tinynn::optim::Adam;
 use tinynn::{Activation, Mlp, Workspace};
+use xt_telemetry::HistogramHandle;
 
 /// DQN hyperparameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -101,36 +103,6 @@ impl DqnConfig {
     }
 }
 
-/// The learner's replay storage: uniform or prioritized.
-#[derive(Debug)]
-enum Replay {
-    Uniform(ReplayBuffer),
-    Prioritized(PrioritizedReplay),
-}
-
-impl Replay {
-    fn push(&mut self, step: RolloutStep) {
-        match self {
-            Replay::Uniform(b) => b.push(step),
-            Replay::Prioritized(b) => b.push(step),
-        }
-    }
-
-    fn len(&self) -> usize {
-        match self {
-            Replay::Uniform(b) => b.len(),
-            Replay::Prioritized(b) => b.len(),
-        }
-    }
-
-    fn total_inserted(&self) -> u64 {
-        match self {
-            Replay::Uniform(b) => b.total_inserted(),
-            Replay::Prioritized(b) => b.total_inserted(),
-        }
-    }
-}
-
 /// Persistent staging arena for the training step. All buffers grow once to
 /// the batch high-water mark and are reused for every subsequent session, so
 /// a warmed-up uniform-replay session touches the heap zero times.
@@ -152,8 +124,6 @@ struct TrainBufs {
     td: Vec<f32>,
     /// Flat parameter gradients for the online network.
     grads: Vec<f32>,
-    /// Uniform-replay sample indices.
-    sample_idx: Vec<usize>,
     /// Importance weights (prioritized replay only).
     weights: Vec<f32>,
     /// Workspace for the online network's cached training pass.
@@ -175,64 +145,128 @@ impl TrainBufs {
 
     /// Appends one transition to the staging arrays.
     fn stage(&mut self, s: &RolloutStep, dim: usize) {
-        assert_eq!(s.observation.len(), dim, "ragged observations");
-        self.obs.extend_from_slice(&s.observation);
-        match &s.next_observation {
+        self.stage_parts(&s.observation, s.next_observation.as_deref(), s.action, s.reward, s.done, dim);
+    }
+
+    /// Appends one transition given as raw slices (the [`SampleSink`] path:
+    /// replay backends gather sampled transitions straight into the arena).
+    fn stage_parts(
+        &mut self,
+        observation: &[f32],
+        next_observation: Option<&[f32]>,
+        action: u32,
+        reward: f32,
+        done: bool,
+        dim: usize,
+    ) {
+        assert_eq!(observation.len(), dim, "ragged observations");
+        self.obs.extend_from_slice(observation);
+        match next_observation {
             Some(o) => {
                 assert_eq!(o.len(), dim, "ragged next observations");
                 self.next_obs.extend_from_slice(o);
             }
             None => self.next_obs.extend(std::iter::repeat_n(0.0, dim)),
         }
-        self.actions.push(s.action);
-        self.rewards.push(s.reward);
-        self.dones.push(s.done);
+        self.actions.push(action);
+        self.rewards.push(reward);
+        self.dones.push(done);
     }
 }
 
-/// Learner-side DQN: in-learner replay buffer, online and target Q networks.
-#[derive(Debug)]
+/// Points a [`SampleSink`] at the staging arena: every sampled transition
+/// lands in [`TrainBufs`] with one copy and no intermediate batch.
+struct StageSink<'a> {
+    bufs: &'a mut TrainBufs,
+    dim: usize,
+}
+
+impl SampleSink for StageSink<'_> {
+    fn push_transition(
+        &mut self,
+        observation: &[f32],
+        next_observation: Option<&[f32]>,
+        action: u32,
+        reward: f32,
+        done: bool,
+    ) {
+        self.bufs.stage_parts(observation, next_observation, action, reward, done, self.dim);
+    }
+
+    fn push_weight(&mut self, weight: f32) {
+        self.bufs.weights.push(weight);
+    }
+}
+
+/// Learner-side DQN: replay backend (in-learner or store-resident), online
+/// and target Q networks.
 pub struct DqnAlgorithm {
     config: DqnConfig,
     q: Mlp,
     target: Mlp,
     opt: Adam,
-    replay: Replay,
+    backend: Box<dyn ReplayBackend>,
     bufs: TrainBufs,
-    inserts_since_train: u64,
+    /// Inserts already spent on training sessions (the credit gate: a session
+    /// runs while `total_inserted - inserts_consumed >= train_every_inserts`).
+    inserts_consumed: u64,
     sessions: u64,
     version: u64,
     rng: StdRng,
+    /// Batches the backend copied out of, queued for decode-pool recycling.
+    spent: Vec<RolloutBatch>,
+    /// `learn.sample_ns`: time to gather a sampled minibatch into the arena.
+    sample_hist: HistogramHandle,
 }
 
 impl DqnAlgorithm {
-    /// Creates the learner state for `config`.
+    /// Creates the learner state for `config` with the classic in-learner
+    /// replay placement (paper §3.2.1).
     pub fn new(config: DqnConfig) -> Self {
+        let backend: Box<dyn ReplayBackend> = match config.prioritized {
+            Some((alpha, _)) => Box::new(InLearnerReplay::prioritized(config.buffer_capacity, alpha)),
+            None => Box::new(InLearnerReplay::uniform(config.buffer_capacity)),
+        };
+        DqnAlgorithm::with_backend(config, backend)
+    }
+
+    /// Creates the learner state for `config` over an externally provided
+    /// replay backend (the xt-replay store-resident plane). The backend's
+    /// sampling mode must match `config.prioritized`.
+    pub fn with_backend(config: DqnConfig, backend: Box<dyn ReplayBackend>) -> Self {
+        assert_eq!(
+            backend.prioritized(),
+            config.prioritized.is_some(),
+            "replay backend sampling mode must match DqnConfig::prioritized"
+        );
         let q = Mlp::new(&config.q_sizes(), Activation::Relu, config.seed);
         let target = q.clone();
         let opt = Adam::new(q.num_params(), config.lr);
-        let replay = match config.prioritized {
-            Some((alpha, _)) => Replay::Prioritized(PrioritizedReplay::new(config.buffer_capacity, alpha)),
-            None => Replay::Uniform(ReplayBuffer::new(config.buffer_capacity)),
-        };
         let rng = StdRng::seed_from_u64(config.seed ^ 0xD0_0D);
         DqnAlgorithm {
             config,
             q,
             target,
             opt,
-            replay,
+            backend,
             bufs: TrainBufs::default(),
-            inserts_since_train: 0,
+            inserts_consumed: 0,
             sessions: 0,
             version: 0,
             rng,
+            spent: Vec::new(),
+            sample_hist: HistogramHandle::default(),
         }
     }
 
-    /// Resident transitions in the replay buffer.
+    /// Resident transitions in the replay backend.
     pub fn replay_len(&self) -> usize {
-        self.replay.len()
+        self.backend.len()
+    }
+
+    /// Where this learner's replay lives ("in-learner" / "store-resident").
+    pub fn replay_placement(&self) -> &'static str {
+        self.backend.placement()
     }
 
     /// Training sessions completed.
@@ -340,20 +374,19 @@ impl DqnAlgorithm {
 
 impl Algorithm for DqnAlgorithm {
     fn on_rollout(&mut self, batch: RolloutBatch) {
-        for step in batch.steps {
-            // DQN needs full transitions; steps lacking next observations
-            // (e.g. produced by a mis-configured agent) are unusable.
-            if step.next_observation.is_some() || step.done {
-                self.replay.push(step);
-                self.inserts_since_train += 1;
-            }
+        // The backend applies DQN's eligibility filter (full transitions
+        // only). A copying backend (the store-resident plane) hands the batch
+        // back for recycling; the in-learner backend keeps the step storage.
+        if let Some(spent) = self.backend.ingest(batch) {
+            self.spent.push(spent);
         }
     }
 
     fn try_train(&mut self) -> Option<TrainReport> {
-        if self.replay.total_inserted() < self.config.warmup_steps
-            || self.inserts_since_train < self.config.train_every_inserts
-            || self.replay.len() < self.config.batch_size
+        let total_inserted = self.backend.total_inserted();
+        if total_inserted < self.config.warmup_steps
+            || total_inserted - self.inserts_consumed < self.config.train_every_inserts
+            || self.backend.len() < self.config.batch_size
         {
             return None;
         }
@@ -361,50 +394,42 @@ impl Algorithm for DqnAlgorithm {
         // `train_every_inserts` new steps). Arriving rollout batches can be
         // larger than the gate, in which case several sessions run back to
         // back — exactly what the paper's learner does when it catches up.
-        self.inserts_since_train -= self.config.train_every_inserts;
+        self.inserts_consumed += self.config.train_every_inserts;
 
         let n = self.config.batch_size;
         let beta = self.config.prioritized.map_or(0.4, |(_, b)| b);
-        // Sample indices, then gather straight into the staging arena — no
-        // per-step clones and no index borrow outliving the buffer.
+        // Gather the sampled minibatch straight into the staging arena — one
+        // copy from resident storage, no intermediate batch.
+        let t_sample = Instant::now();
         let prioritized = {
-            let DqnAlgorithm { config, replay, bufs, rng, .. } = self;
-            let dim = config.obs_dim;
+            let DqnAlgorithm { config, backend, bufs, rng, .. } = self;
             bufs.clear();
-            match replay {
-                Replay::Uniform(buffer) => {
-                    bufs.sample_idx.clear();
-                    buffer.sample_indices_into(n, rng, &mut bufs.sample_idx);
-                    for k in 0..n {
-                        let idx = bufs.sample_idx[k];
-                        bufs.stage(buffer.get(idx), dim);
-                    }
-                    false
-                }
-                Replay::Prioritized(buffer) => {
-                    let picks = buffer.sample(n, beta, rng);
-                    bufs.sample_idx.clear();
-                    bufs.weights.clear();
-                    for &(idx, w) in &picks {
-                        bufs.sample_idx.push(idx);
-                        bufs.weights.push(w);
-                        bufs.stage(buffer.get(idx), dim);
-                    }
-                    true
-                }
+            bufs.weights.clear();
+            let mut sink = StageSink { bufs, dim: config.obs_dim };
+            if backend.prioritized() {
+                backend.sample_prioritized(n, beta, rng, &mut sink);
+                true
+            } else {
+                backend.sample_uniform(n, rng, &mut sink);
+                false
             }
         };
+        self.sample_hist.record_duration(t_sample.elapsed());
         let report = self.train_staged(n, prioritized);
         if prioritized {
-            // Re-prioritize by the fresh TD errors.
-            let DqnAlgorithm { replay, bufs, .. } = self;
-            if let Replay::Prioritized(buffer) = replay {
-                for (&idx, &td) in bufs.sample_idx.iter().zip(&bufs.td) {
-                    buffer.update_priority(idx, f64::from(td));
-                }
-            }
+            // Re-prioritize by the fresh TD errors (wraparound-stale picks
+            // are skipped by the backend).
+            self.backend.update_priorities(&self.bufs.td);
         }
         Some(report)
+    }
+
+    fn take_spent(&mut self) -> Option<RolloutBatch> {
+        self.spent.pop()
+    }
+
+    fn attach_telemetry(&mut self, telemetry: &xt_telemetry::Telemetry) {
+        self.sample_hist = telemetry.histogram("learn.sample_ns");
     }
 
     fn param_blob(&self) -> ParamBlob {
@@ -575,7 +600,7 @@ mod tests {
         }
         let mut last_loss = f32::MAX;
         for _ in 0..200 {
-            alg.inserts_since_train = 4; // keep the gate open
+            alg.inserts_consumed = alg.backend.total_inserted() - 4; // keep the gate open
             last_loss = alg.try_train().unwrap().loss;
         }
         assert!(last_loss < 0.01, "loss should approach 0, got {last_loss}");
@@ -602,7 +627,7 @@ mod tests {
         }
         let mut last = f32::MAX;
         for _ in 0..200 {
-            alg.inserts_since_train = 4;
+            alg.inserts_consumed = alg.backend.total_inserted() - 4;
             last = alg.try_train().unwrap().loss;
         }
         assert!(last < 0.05, "Double DQN converges on the toy target, got {last}");
@@ -624,7 +649,7 @@ mod tests {
         }
         let mut last = f32::MAX;
         for _ in 0..150 {
-            alg.inserts_since_train = 4;
+            alg.inserts_consumed = alg.backend.total_inserted() - 4;
             last = alg.try_train().unwrap().loss;
         }
         assert!(last.is_finite());

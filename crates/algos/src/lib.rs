@@ -38,6 +38,7 @@ pub mod payload;
 pub mod ppo;
 pub mod reinforce;
 pub mod replay;
+pub mod sample;
 pub mod sumtree;
 pub mod vtrace;
 
@@ -49,4 +50,5 @@ pub use par::{ParGrad, Shard};
 pub use payload::{BatchDecoder, ParamBlob, RolloutBatch, RolloutStep};
 pub use ppo::{PpoAgent, PpoAlgorithm, PpoConfig};
 pub use reinforce::{ReinforceAgent, ReinforceAlgorithm, ReinforceConfig};
-pub use replay::{PrioritizedReplay, ReplayBuffer};
+pub use replay::{PrioritizedReplay, ReplayBuffer, SamplePick};
+pub use sample::{InLearnerReplay, ReplayBackend, SampleSink};

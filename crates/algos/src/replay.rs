@@ -95,12 +95,28 @@ impl ReplayBuffer {
     }
 }
 
+/// One sampled slot of a [`PrioritizedReplay`], carrying the slot's insert
+/// sequence number so a later priority update can detect that the ring
+/// wrapped and the slot now holds a *different* transition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SamplePick {
+    /// Ring slot the transition occupied when sampled.
+    pub slot: usize,
+    /// Insert sequence number of the transition that occupied the slot
+    /// (its `total_inserted` value at push time).
+    pub seq: u64,
+    /// Importance weight, normalized so the batch maximum is 1.
+    pub weight: f32,
+}
+
 /// Prioritized experience replay (proportional variant, Schaul et al. 2016).
 #[derive(Debug, Clone)]
 pub struct PrioritizedReplay {
     capacity: usize,
     steps: Vec<RolloutStep>,
     tree: SumTree,
+    /// Insert sequence number of the transition currently in each slot.
+    seq: Vec<u64>,
     next: usize,
     max_priority: f64,
     alpha: f64,
@@ -120,6 +136,7 @@ impl PrioritizedReplay {
             capacity,
             steps: Vec::new(),
             tree: SumTree::new(capacity),
+            seq: Vec::new(),
             next: 0,
             max_priority: 1.0,
             alpha,
@@ -147,9 +164,11 @@ impl PrioritizedReplay {
     pub fn push(&mut self, step: RolloutStep) {
         let idx = if self.steps.len() < self.capacity {
             self.steps.push(step);
+            self.seq.push(self.total_inserted);
             self.steps.len() - 1
         } else {
             self.steps[self.next] = step;
+            self.seq[self.next] = self.total_inserted;
             self.next
         };
         self.tree.set(idx, self.max_priority.powf(self.alpha));
@@ -157,13 +176,16 @@ impl PrioritizedReplay {
         self.total_inserted += 1;
     }
 
-    /// Samples `batch` indices proportional to priority, returning
-    /// `(index, importance_weight)` pairs with weights normalized to max 1.
+    /// Samples `batch` slots proportional to priority, returning
+    /// [`SamplePick`]s with importance weights normalized to max 1. The picks
+    /// carry each slot's insert sequence number so
+    /// [`PrioritizedReplay::update_priority`] stays valid across ring
+    /// wraparound.
     ///
     /// # Panics
     ///
     /// Panics if the buffer is empty.
-    pub fn sample<R: Rng>(&self, batch: usize, beta: f64, rng: &mut R) -> Vec<(usize, f32)> {
+    pub fn sample<R: Rng>(&self, batch: usize, beta: f64, rng: &mut R) -> Vec<SamplePick> {
         assert!(!self.is_empty(), "cannot sample from an empty replay buffer");
         let total = self.tree.total();
         let n = self.steps.len() as f64;
@@ -176,7 +198,9 @@ impl PrioritizedReplay {
             max_w = max_w.max(w);
             out.push((idx, w));
         }
-        out.into_iter().map(|(i, w)| (i, (w / max_w) as f32)).collect()
+        out.into_iter()
+            .map(|(i, w)| SamplePick { slot: i, seq: self.seq[i], weight: (w / max_w) as f32 })
+            .collect()
     }
 
     /// Accesses the transition at `idx`.
@@ -188,9 +212,23 @@ impl PrioritizedReplay {
         &self.steps[idx]
     }
 
-    /// Updates the priority of transition `idx` (typically to its new TD
-    /// error).
-    pub fn update_priority(&mut self, idx: usize, priority: f64) {
+    /// Updates the priority of the transition `pick` sampled (typically to
+    /// its fresh |TD error|). If the ring wrapped since the pick was taken —
+    /// the slot now holds a *newer* transition with a different sequence
+    /// number — the update is dropped: the TD error belongs to data that is
+    /// gone, and clobbering the new occupant's priority would starve fresh
+    /// experience of its guaranteed first visit.
+    pub fn update_priority(&mut self, pick: &SamplePick, priority: f64) {
+        if self.seq[pick.slot] != pick.seq {
+            return;
+        }
+        self.set_slot_priority(pick.slot, priority);
+    }
+
+    /// Unchecked slot-priority write (no wraparound guard): callers must know
+    /// slot `idx` still holds the transition they scored. The checked path is
+    /// [`PrioritizedReplay::update_priority`].
+    pub fn set_slot_priority(&mut self, idx: usize, priority: f64) {
         let p = priority.abs().max(1e-6);
         self.max_priority = self.max_priority.max(p);
         self.tree.set(idx, p.powf(self.alpha));
@@ -276,13 +314,13 @@ mod tests {
         for i in 0..4 {
             b.push(step(i as f32));
         }
-        b.update_priority(0, 0.001);
-        b.update_priority(1, 0.001);
-        b.update_priority(2, 0.001);
-        b.update_priority(3, 10.0);
+        b.set_slot_priority(0, 0.001);
+        b.set_slot_priority(1, 0.001);
+        b.set_slot_priority(2, 0.001);
+        b.set_slot_priority(3, 10.0);
         let mut rng = StdRng::seed_from_u64(1);
         let samples = b.sample(1000, 0.4, &mut rng);
-        let high = samples.iter().filter(|(i, _)| *i == 3).count();
+        let high = samples.iter().filter(|p| p.slot == 3).count();
         assert!(high > 900, "index 3 should dominate, got {high}");
     }
 
@@ -294,17 +332,50 @@ mod tests {
         }
         let mut rng = StdRng::seed_from_u64(2);
         let samples = b.sample(64, 0.4, &mut rng);
-        assert!(samples.iter().all(|(_, w)| *w > 0.0 && *w <= 1.0 + 1e-6));
-        assert!(samples.iter().any(|(_, w)| (*w - 1.0).abs() < 1e-6), "max weight is 1");
+        assert!(samples.iter().all(|p| p.weight > 0.0 && p.weight <= 1.0 + 1e-6));
+        assert!(samples.iter().any(|p| (p.weight - 1.0).abs() < 1e-6), "max weight is 1");
     }
 
     #[test]
     fn new_experience_gets_max_priority() {
         let mut b = PrioritizedReplay::new(4, 1.0);
         b.push(step(0.0));
-        b.update_priority(0, 5.0);
+        b.set_slot_priority(0, 5.0);
         b.push(step(1.0));
         // The fresh element must share the running max priority.
         assert_eq!(b.tree.get(1), 5.0);
+    }
+
+    #[test]
+    fn stale_pick_update_cannot_touch_overwritten_slot() {
+        // Regression: a priority update for a pick taken *before* the ring
+        // wrapped must not touch the priority of the transition that has
+        // since overwritten the slot.
+        let mut b = PrioritizedReplay::new(2, 1.0);
+        b.push(step(0.0)); // slot 0, seq 0
+        b.push(step(1.0)); // slot 1, seq 1
+        let mut rng = StdRng::seed_from_u64(5);
+        let picks = b.sample(64, 0.4, &mut rng);
+        let pick0 = *picks.iter().find(|p| p.slot == 0).expect("slot 0 sampled");
+        assert_eq!(pick0.seq, 0);
+
+        // Wrap: slot 0 is overwritten by a fresh transition (seq 2), which
+        // gets the running max priority.
+        b.push(step(2.0));
+        let fresh_priority = b.tree.get(0);
+        let max_before = b.max_priority;
+
+        // Updating through the stale pick must be a no-op — on the slot's
+        // priority *and* on the running max.
+        b.update_priority(&pick0, 1_000.0);
+        assert_eq!(b.tree.get(0), fresh_priority, "overwritten slot untouched");
+        assert_eq!(b.max_priority, max_before, "stale TD must not raise the max");
+
+        // A pick of the *current* occupant still updates normally.
+        let picks = b.sample(64, 0.4, &mut rng);
+        let fresh0 = picks.iter().find(|p| p.slot == 0).expect("slot 0 sampled");
+        assert_eq!(fresh0.seq, 2);
+        b.update_priority(fresh0, 7.0);
+        assert_eq!(b.tree.get(0), 7.0);
     }
 }

@@ -1,0 +1,269 @@
+//! Replay backends: where DQN's experience lives and who owns sampling.
+//!
+//! XingTian keeps the replay buffer inside the learner's trainer thread
+//! (paper §3.2.1). The store-resident replay plane (xt-replay) moves both the
+//! storage *and* the sampling into the communication layer, beside the object
+//! store, so the learner receives already-sampled minibatches instead of
+//! whole rollout batches. [`ReplayBackend`] abstracts over the two placements
+//! so `DqnAlgorithm` runs byte-identical update math against either; the
+//! in-learner implementation ([`InLearnerReplay`]) lives here, the
+//! store-resident one lives in the `xt-replay` crate.
+//!
+//! Both backends deliver sampled transitions through a [`SampleSink`] — a
+//! push-style gather interface the learner points at its staging arena, so a
+//! sample is a single copy from resident storage straight into the training
+//! buffers (no intermediate batch materialization).
+
+use crate::payload::{RolloutBatch, RolloutStep};
+use crate::replay::{PrioritizedReplay, ReplayBuffer, SamplePick};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Receives sampled transitions one at a time (a single-copy gather target).
+pub trait SampleSink {
+    /// Appends one transition. `next_observation` is `None` for terminal
+    /// transitions recorded without a successor state (the sink substitutes
+    /// zeros; the Bellman target is masked by `done` anyway).
+    fn push_transition(
+        &mut self,
+        observation: &[f32],
+        next_observation: Option<&[f32]>,
+        action: u32,
+        reward: f32,
+        done: bool,
+    );
+
+    /// Appends one importance weight (prioritized sampling only; called once
+    /// per transition, in the same order as `push_transition`).
+    fn push_weight(&mut self, weight: f32);
+}
+
+/// Storage + sampling for an off-policy value-based learner.
+///
+/// The contract is deliberately shaped so that, given the same RNG and the
+/// same ingest sequence, the in-learner and store-resident implementations
+/// draw *identical* sample trajectories: `sample_uniform` must consume
+/// exactly one `gen_range(0..len)` per transition, and prioritized sampling
+/// must mirror [`PrioritizedReplay::sample`]'s draw-and-weight arithmetic.
+/// The `ci.sh` replay differential stage holds both to it.
+pub trait ReplayBackend: Send {
+    /// Ingests a rollout batch. Transitions without a usable successor state
+    /// (`next_observation.is_none() && !done`) are discarded. Returns the
+    /// batch back when the backend copied the data out (so the caller can
+    /// recycle the allocation), or `None` when the backend took ownership of
+    /// the step storage.
+    fn ingest(&mut self, batch: RolloutBatch) -> Option<RolloutBatch>;
+
+    /// Resident transitions available for sampling.
+    fn len(&self) -> usize;
+
+    /// True when no transitions are resident.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Transitions ingested over the backend's lifetime (drives the
+    /// warmup/credit gates).
+    fn total_inserted(&self) -> u64;
+
+    /// True when the backend samples proportional to priority.
+    fn prioritized(&self) -> bool;
+
+    /// Gathers `n` uniformly sampled transitions into `sink`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backend is empty.
+    fn sample_uniform(&mut self, n: usize, rng: &mut StdRng, sink: &mut dyn SampleSink);
+
+    /// Gathers `n` priority-sampled transitions (and their importance
+    /// weights) into `sink`, remembering the picks for a following
+    /// [`ReplayBackend::update_priorities`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backend is empty or not prioritized.
+    fn sample_prioritized(&mut self, n: usize, beta: f64, rng: &mut StdRng, sink: &mut dyn SampleSink);
+
+    /// Re-prioritizes the transitions of the last `sample_prioritized` call
+    /// with their fresh |TD errors| (wraparound-stale picks are skipped).
+    fn update_priorities(&mut self, td: &[f32]);
+
+    /// Short placement label for reports ("in-learner" / "store-resident").
+    fn placement(&self) -> &'static str;
+}
+
+/// The classic XingTian placement: the buffer lives inside the learner's
+/// trainer thread and sampling is a local operation.
+#[derive(Debug)]
+pub enum InLearnerReplay {
+    /// Uniform ring buffer.
+    Uniform(ReplayBuffer),
+    /// Proportional prioritized replay with importance weighting; the second
+    /// field remembers the last sample's picks for re-prioritization.
+    Prioritized(PrioritizedReplay, Vec<SamplePick>),
+}
+
+impl InLearnerReplay {
+    /// Uniform backend with the given capacity.
+    pub fn uniform(capacity: usize) -> Self {
+        InLearnerReplay::Uniform(ReplayBuffer::new(capacity))
+    }
+
+    /// Prioritized backend with priority exponent `alpha`.
+    pub fn prioritized(capacity: usize, alpha: f64) -> Self {
+        InLearnerReplay::Prioritized(PrioritizedReplay::new(capacity, alpha), Vec::new())
+    }
+
+    fn sink_step(sink: &mut dyn SampleSink, s: &RolloutStep) {
+        sink.push_transition(&s.observation, s.next_observation.as_deref(), s.action, s.reward, s.done);
+    }
+}
+
+impl ReplayBackend for InLearnerReplay {
+    fn ingest(&mut self, batch: RolloutBatch) -> Option<RolloutBatch> {
+        for step in batch.steps {
+            // DQN needs full transitions; steps lacking next observations
+            // (e.g. produced by a mis-configured agent) are unusable.
+            if step.next_observation.is_some() || step.done {
+                match self {
+                    InLearnerReplay::Uniform(b) => b.push(step),
+                    InLearnerReplay::Prioritized(b, _) => b.push(step),
+                }
+            }
+        }
+        None
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            InLearnerReplay::Uniform(b) => b.len(),
+            InLearnerReplay::Prioritized(b, _) => b.len(),
+        }
+    }
+
+    fn total_inserted(&self) -> u64 {
+        match self {
+            InLearnerReplay::Uniform(b) => b.total_inserted(),
+            InLearnerReplay::Prioritized(b, _) => b.total_inserted(),
+        }
+    }
+
+    fn prioritized(&self) -> bool {
+        matches!(self, InLearnerReplay::Prioritized(..))
+    }
+
+    fn sample_uniform(&mut self, n: usize, rng: &mut StdRng, sink: &mut dyn SampleSink) {
+        let InLearnerReplay::Uniform(b) = self else {
+            panic!("sample_uniform on a prioritized backend");
+        };
+        assert!(!b.is_empty(), "cannot sample from an empty replay buffer");
+        for _ in 0..n {
+            let idx = rng.gen_range(0..b.len());
+            Self::sink_step(sink, b.get(idx));
+        }
+    }
+
+    fn sample_prioritized(&mut self, n: usize, beta: f64, rng: &mut StdRng, sink: &mut dyn SampleSink) {
+        let InLearnerReplay::Prioritized(b, picks) = self else {
+            panic!("sample_prioritized on a uniform backend");
+        };
+        *picks = b.sample(n, beta, rng);
+        for p in picks.iter() {
+            sink.push_weight(p.weight);
+            Self::sink_step(sink, b.get(p.slot));
+        }
+    }
+
+    fn update_priorities(&mut self, td: &[f32]) {
+        let InLearnerReplay::Prioritized(b, picks) = self else {
+            return;
+        };
+        for (pick, &td) in picks.iter().zip(td) {
+            b.update_priority(pick, f64::from(td));
+        }
+    }
+
+    fn placement(&self) -> &'static str {
+        "in-learner"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// A sink that materializes transitions for inspection.
+    #[derive(Debug, Default)]
+    pub(crate) struct VecSink {
+        pub rewards: Vec<f32>,
+        pub weights: Vec<f32>,
+    }
+
+    impl SampleSink for VecSink {
+        fn push_transition(&mut self, _o: &[f32], _n: Option<&[f32]>, _a: u32, reward: f32, _d: bool) {
+            self.rewards.push(reward);
+        }
+
+        fn push_weight(&mut self, weight: f32) {
+            self.weights.push(weight);
+        }
+    }
+
+    fn batch(n: usize) -> RolloutBatch {
+        RolloutBatch {
+            explorer: 0,
+            param_version: 0,
+            steps: (0..n)
+                .map(|i| RolloutStep {
+                    observation: vec![i as f32],
+                    action: 0,
+                    reward: i as f32,
+                    done: false,
+                    behavior_logits: vec![],
+                    value: 0.0,
+                    next_observation: Some(vec![i as f32 + 1.0]),
+                })
+                .collect(),
+            bootstrap_observation: vec![],
+        }
+    }
+
+    #[test]
+    fn in_learner_uniform_ingests_and_samples() {
+        let mut b = InLearnerReplay::uniform(100);
+        assert!(b.ingest(batch(10)).is_none(), "in-learner backend keeps the steps");
+        assert_eq!(b.len(), 10);
+        assert_eq!(b.total_inserted(), 10);
+        let mut sink = VecSink::default();
+        let mut rng = StdRng::seed_from_u64(0);
+        b.sample_uniform(64, &mut rng, &mut sink);
+        assert_eq!(sink.rewards.len(), 64);
+        assert!(sink.weights.is_empty());
+    }
+
+    #[test]
+    fn in_learner_prioritized_roundtrip() {
+        let mut b = InLearnerReplay::prioritized(100, 0.6);
+        b.ingest(batch(10));
+        assert!(b.prioritized());
+        let mut sink = VecSink::default();
+        let mut rng = StdRng::seed_from_u64(0);
+        b.sample_prioritized(16, 0.4, &mut rng, &mut sink);
+        assert_eq!(sink.rewards.len(), 16);
+        assert_eq!(sink.weights.len(), 16);
+        b.update_priorities(&[0.5; 16]);
+    }
+
+    #[test]
+    fn ineligible_steps_are_discarded() {
+        let mut b = InLearnerReplay::uniform(100);
+        let mut batch = batch(4);
+        batch.steps[1].next_observation = None; // not done either: unusable
+        batch.steps[2].next_observation = None;
+        batch.steps[2].done = true; // terminal without successor: usable
+        b.ingest(batch);
+        assert_eq!(b.len(), 3);
+    }
+}

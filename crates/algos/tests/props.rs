@@ -151,9 +151,10 @@ proptest! {
             b.push(step(i as f32));
         }
         let mut rng = StdRng::seed_from_u64(0);
-        for (idx, w) in b.sample(batch, 0.4, &mut rng) {
-            prop_assert!(idx < b.len());
-            prop_assert!((0.0..=1.0 + 1e-6).contains(&w));
+        for pick in b.sample(batch, 0.4, &mut rng) {
+            prop_assert!(pick.slot < b.len());
+            prop_assert!((0.0..=1.0 + 1e-6).contains(&pick.weight));
+            prop_assert!(pick.seq < pushes as u64);
         }
     }
 

@@ -49,7 +49,7 @@ fn bench_prioritized(c: &mut Criterion) {
     group.bench_function("update_priority", |b| {
         let mut i = 0usize;
         b.iter(|| {
-            buffer.update_priority(i % 50_000, (i % 100) as f64 * 0.1 + 0.01);
+            buffer.set_slot_priority(i % 50_000, (i % 100) as f64 * 0.1 + 0.01);
             i += 1;
         })
     });

@@ -336,7 +336,9 @@ impl Broker {
         let object_id = match header.kind {
             xingtian_message::MessageKind::Control
             | xingtian_message::MessageKind::Stats
-            | xingtian_message::MessageKind::Heartbeat => {
+            | xingtian_message::MessageKind::Heartbeat
+            | xingtian_message::MessageKind::SampleRequest
+            | xingtian_message::MessageKind::ReplayNotice => {
                 self.shared.store.insert_priority(body, plan.fanout())
             }
             _ => self.shared.store.insert(body, plan.fanout()),

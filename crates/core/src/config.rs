@@ -64,6 +64,20 @@ impl AlgorithmSpec {
     }
 }
 
+/// Where DQN's experience replay lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ReplayPlacement {
+    /// Inside the learner's trainer thread (classic XingTian, paper §3.2.1):
+    /// every rollout message is fetched, decoded, and re-inserted into the
+    /// buffer before sampling.
+    #[default]
+    InLearner,
+    /// Inside the communication layer, beside the object store: a replay
+    /// shard service ingests rollouts once and the learner samples directly
+    /// from the shared plane (`xt-replay`).
+    StoreResident,
+}
+
 /// Complete description of one XingTian deployment.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DeploymentConfig {
@@ -87,6 +101,9 @@ pub struct DeploymentConfig {
     pub step_latency_us: Option<u64>,
     /// The algorithm and its hyperparameters.
     pub algorithm: AlgorithmSpec,
+    /// Where DQN's replay buffer lives (ignored by on-policy algorithms).
+    #[serde(default)]
+    pub replay: ReplayPlacement,
     /// Steps per rollout message (paper: 200 for CartPole, 500 for Atari).
     pub rollout_len: usize,
     /// Stop once the learner has consumed this many rollout steps.
@@ -115,6 +132,7 @@ impl DeploymentConfig {
             obs_dim_override: None,
             step_latency_us: None,
             algorithm,
+            replay: ReplayPlacement::InLearner,
             rollout_len: 200,
             goal_steps: 100_000,
             max_seconds: 600.0,
@@ -135,6 +153,7 @@ impl DeploymentConfig {
             obs_dim_override: None,
             step_latency_us: None,
             algorithm,
+            replay: ReplayPlacement::InLearner,
             rollout_len: 500,
             goal_steps: 200_000,
             max_seconds: 3600.0,
@@ -183,6 +202,14 @@ impl DeploymentConfig {
     /// Sets the base seed (builder style).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Moves DQN's replay buffer into the communication layer (builder
+    /// style): explorers address rollouts to the replay shard and the
+    /// learner samples from the shared plane.
+    pub fn with_store_resident_replay(mut self) -> Self {
+        self.replay = ReplayPlacement::StoreResident;
         self
     }
 
@@ -244,6 +271,14 @@ impl DeploymentConfig {
         if self.rollout_len == 0 {
             return Err("rollout_len must be positive".into());
         }
+        if self.replay == ReplayPlacement::StoreResident
+            && !matches!(self.algorithm, AlgorithmSpec::Dqn(_))
+        {
+            return Err(format!(
+                "store-resident replay requires DQN (got {})",
+                self.algorithm.name()
+            ));
+        }
         Ok(())
     }
 }
@@ -280,6 +315,15 @@ mod tests {
         let mut c2 = DeploymentConfig::cartpole(AlgorithmSpec::ppo(), 0);
         c2.explorers_per_machine = vec![0];
         assert!(c2.validate().is_err());
+    }
+
+    #[test]
+    fn store_resident_replay_requires_dqn() {
+        let ok = DeploymentConfig::cartpole(AlgorithmSpec::dqn(), 2).with_store_resident_replay();
+        assert_eq!(ok.replay, ReplayPlacement::StoreResident);
+        assert!(ok.validate().is_ok());
+        let bad = DeploymentConfig::cartpole(AlgorithmSpec::ppo(), 2).with_store_resident_replay();
+        assert!(bad.validate().unwrap_err().contains("requires DQN"));
     }
 
     #[test]

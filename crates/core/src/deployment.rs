@@ -7,14 +7,17 @@
 //! the communication between them flows exclusively through the asynchronous
 //! channel, never through shared state.
 
-use crate::config::{AlgorithmSpec, DeploymentConfig};
+use crate::config::{AlgorithmSpec, DeploymentConfig, ReplayPlacement};
 use crate::controller::{ControllerOutcome, ControllerProcess};
 use crate::explorer::{ExplorerOutcome, ExplorerProcess};
 use crate::learner::{LearnerOutcome, LearnerProcess};
-use crate::stats::RunReport;
+use crate::stats::{ReplayReport, RunReport};
 use gymlite::{AtariGame, CartPole, Environment, SynthAtari};
 use netsim::Cluster;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+use xt_replay::{ReplayConfig, ReplayPlane, StoreResidentBackend};
 use xingtian_algos::api::{Agent, Algorithm};
 use xingtian_algos::{
     A2cAgent, A2cAlgorithm, DqnAgent, DqnAlgorithm, ImpalaAgent, ImpalaAlgorithm, PpoAgent,
@@ -136,6 +139,52 @@ pub fn build_algorithm(
     }
 }
 
+/// Builds the store-resident replay plane when `config` asks for one
+/// (`None` for in-learner replay — validation guarantees StoreResident only
+/// occurs with DQN, whose buffer sizing it mirrors).
+pub fn build_replay_plane(
+    config: &DeploymentConfig,
+    obs_dim: usize,
+    telemetry: &xt_telemetry::Telemetry,
+) -> Option<Arc<ReplayPlane>> {
+    if config.replay != ReplayPlacement::StoreResident {
+        return None;
+    }
+    let AlgorithmSpec::Dqn(c) = &config.algorithm else { return None };
+    let rc = match c.prioritized {
+        Some((alpha, _)) => ReplayConfig::prioritized(c.buffer_capacity, obs_dim, alpha),
+        None => ReplayConfig::uniform(c.buffer_capacity, obs_dim),
+    };
+    Some(Arc::new(ReplayPlane::new(rc, telemetry)))
+}
+
+/// Like [`build_algorithm`], but wires DQN onto the store-resident replay
+/// `plane` when one exists. Used by both the plain deployment and the
+/// supervisor's learner-restore path (the rebuilt learner must keep sampling
+/// the plane that survived its death).
+pub fn build_algorithm_with_replay(
+    spec: &AlgorithmSpec,
+    obs_dim: usize,
+    num_actions: usize,
+    num_explorers: u32,
+    rollout_len: usize,
+    seed: u64,
+    plane: Option<&Arc<ReplayPlane>>,
+) -> Box<dyn Algorithm> {
+    if let (AlgorithmSpec::Dqn(c), Some(plane)) = (spec, plane) {
+        let mut c = c.clone();
+        c.obs_dim = obs_dim;
+        c.num_actions = num_actions;
+        c.num_explorers = num_explorers;
+        c.seed = seed;
+        return Box::new(DqnAlgorithm::with_backend(
+            c,
+            Box::new(StoreResidentBackend::new(plane.clone())),
+        ));
+    }
+    build_algorithm(spec, obs_dim, num_actions, num_explorers, rollout_len, seed)
+}
+
 /// Builds the explorer-side agent matching `spec`.
 pub fn build_agent(
     spec: &AlgorithmSpec,
@@ -247,13 +296,33 @@ impl Deployment {
             .map(|i| brokers[config.explorer_machine(i)].endpoint(ProcessId::explorer(i)))
             .collect();
 
-        let mut algorithm = build_algorithm(
+        // Store-resident replay: a shard service on the learner's machine owns
+        // ingestion; its endpoint is registered before the explorers start so
+        // their very first rollout has a route.
+        let plane = build_replay_plane(&config, obs_dim, &telemetry);
+        let replay_service = match &plane {
+            Some(plane) => {
+                let ep = brokers[config.learner_machine].endpoint(ProcessId::replay(0));
+                let stop = Arc::new(AtomicBool::new(false));
+                let (plane, stop2) = (plane.clone(), stop.clone());
+                let handle = spawn_process("xt-replay-0".into(), move || {
+                    xt_replay::run_replay_service(ep, plane, ProcessId::learner(0), stop2)
+                })?;
+                Some((stop, handle))
+            }
+            None => None,
+        };
+        let rollout_dst =
+            if plane.is_some() { ProcessId::replay(0) } else { ProcessId::learner(0) };
+
+        let mut algorithm = build_algorithm_with_replay(
             &config.algorithm,
             obs_dim,
             num_actions,
             num_explorers,
             config.rollout_len,
             config.seed,
+            plane.as_ref(),
         );
         if let Some(params) = &config.initial_params {
             algorithm.load_params(params);
@@ -295,8 +364,17 @@ impl Deployment {
             );
             let rollout_len = config.rollout_len;
             let handle = spawn_process(format!("xt-explorer-{i}"), move || {
-                ExplorerProcess { index: i, endpoint, env, agent, rollout_len, sync, probe: None }
-                    .run()
+                ExplorerProcess {
+                    index: i,
+                    endpoint,
+                    env,
+                    agent,
+                    rollout_len,
+                    rollout_dst,
+                    sync,
+                    probe: None,
+                }
+                .run()
             })?;
             explorer_threads.push(handle);
         }
@@ -317,6 +395,27 @@ impl Deployment {
                 .push(t.join().map_err(|_| DeployError("explorer thread panicked".into()))?);
         }
         let wall_time = start.elapsed();
+        // The replay service stops after the producers and the consumer: every
+        // rollout already in the channel still gets ingested, and the plane's
+        // integrity audit runs on the final state.
+        let replay = match replay_service {
+            Some((stop, handle)) => {
+                stop.store(true, Ordering::Release);
+                let outcome = handle
+                    .join()
+                    .map_err(|_| DeployError("replay service thread panicked".into()))?;
+                let integrity =
+                    plane.as_ref().expect("replay service implies a plane").integrity();
+                Some(ReplayReport {
+                    batches_ingested: outcome.batches_ingested,
+                    steps_ingested: outcome.steps_ingested,
+                    sample_requests: outcome.sample_requests,
+                    resident: integrity.resident,
+                    dangling_slots: integrity.dangling_slots,
+                })
+            }
+            None => None,
+        };
         for b in &brokers {
             b.shutdown();
         }
@@ -346,6 +445,7 @@ impl Deployment {
             train_sessions: learner_outcome.train_sessions,
             mean_train_time,
             final_params: learner_outcome.final_params,
+            replay,
         })
     }
 }

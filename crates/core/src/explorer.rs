@@ -33,6 +33,9 @@ pub struct ExplorerProcess {
     pub agent: Box<dyn Agent>,
     /// Steps per rollout message.
     pub rollout_len: usize,
+    /// Where rollout batches go: the learner (classic), or a replay shard
+    /// (store-resident replay owns ingestion).
+    pub rollout_dst: ProcessId,
     /// The deployment's synchronization discipline.
     pub sync: SyncMode,
     /// Fault-injection kill switch, pulsed once per environment step
@@ -52,7 +55,7 @@ pub struct ExplorerOutcome {
 impl ExplorerProcess {
     /// Runs the explorer until the controller broadcasts shutdown.
     pub fn run(mut self) -> ExplorerOutcome {
-        let learner = ProcessId::learner(0);
+        let rollout_dst = self.rollout_dst;
         let controller = ProcessId::controller(0);
         let mut tracker = EpisodeTracker::new(100);
         let mut steps: Vec<RolloutStep> = Vec::with_capacity(self.rollout_len);
@@ -128,7 +131,7 @@ impl ExplorerProcess {
                 // Aggressive push: the message is staged and the workhorse
                 // keeps going; the sender thread transmits concurrently.
                 self.endpoint.send_to(
-                    vec![learner],
+                    vec![rollout_dst],
                     MessageKind::Rollout,
                     Bytes::from(batch.to_bytes()),
                 );

@@ -55,11 +55,18 @@ impl LearnerProcess {
         let wait_stats = TransmissionStats::new();
         let wait_hist = self.endpoint.telemetry().histogram("learner.wait_ns");
         let train_hist = self.endpoint.telemetry().histogram("learn.train_ns");
+        // The classic fetch→decode→re-insert stage. Store-resident replay
+        // deletes it: the learner then receives only ReplayNotice wakeups and
+        // this histogram stays empty.
+        let decode_hist = self.endpoint.telemetry().histogram("learn.decode_ns");
         let sessions_counter = self.endpoint.telemetry().counter("learner.train_sessions");
         // Rollout messages decode into recycled step storage: batches the
         // algorithm has fully consumed flow back through `take_spent` and
         // serve the next decode without reallocating.
         let mut decoder = BatchDecoder::new();
+        // Give the algorithm the endpoint's telemetry so it can publish its
+        // internal stage timings (e.g. DQN's `learn.sample_ns`).
+        self.algorithm.attach_telemetry(self.endpoint.telemetry());
         let mut steps_consumed = 0u64;
         let mut train_sessions = 0u64;
         let mut train_time = Duration::ZERO;
@@ -71,13 +78,13 @@ impl LearnerProcess {
             let t0 = Instant::now();
             let Some(msg) = self.endpoint.recv() else { break };
             waited += t0.elapsed();
-            if self.handle_message(msg.header.kind, &msg.body, &mut decoder) {
+            if self.handle_message(msg.header.kind, &msg.body, &mut decoder, &decode_hist) {
                 break;
             }
             // Drain whatever else has already arrived — data already staged
             // locally costs no wait.
             while let Some(extra) = self.endpoint.try_recv() {
-                if self.handle_message(extra.header.kind, &extra.body, &mut decoder) {
+                if self.handle_message(extra.header.kind, &extra.body, &mut decoder, &decode_hist) {
                     break 'outer;
                 }
             }
@@ -143,14 +150,26 @@ impl LearnerProcess {
     }
 
     /// Processes one incoming message. Returns `true` on shutdown.
-    fn handle_message(&mut self, kind: MessageKind, body: &Bytes, decoder: &mut BatchDecoder) -> bool {
+    fn handle_message(
+        &mut self,
+        kind: MessageKind,
+        body: &Bytes,
+        decoder: &mut BatchDecoder,
+        decode_hist: &xt_telemetry::HistogramHandle,
+    ) -> bool {
         match kind {
             MessageKind::Rollout => {
+                let t0 = Instant::now();
                 if let Ok(batch) = decoder.decode(body) {
                     self.algorithm.on_rollout(batch);
                 }
+                decode_hist.record_duration(t0.elapsed());
                 false
             }
+            // Store-resident replay: the shard ingested a batch on our
+            // behalf. Nothing to decode — falling through wakes the training
+            // loop, which samples straight from the shared plane.
+            MessageKind::ReplayNotice => false,
             MessageKind::Control => {
                 matches!(ControlCommand::from_bytes(body), Ok(ControlCommand::Shutdown))
             }

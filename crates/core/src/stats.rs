@@ -9,6 +9,23 @@ use xingtian_comm::TransmissionStats;
 
 pub use xt_telemetry::ThroughputTimeline;
 
+/// What the store-resident replay plane did over one run (`None` on the
+/// classic in-learner placement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Rollout batches the replay shard ingested.
+    pub batches_ingested: u64,
+    /// Transitions ingested (post eligibility filter).
+    pub steps_ingested: u64,
+    /// Sample requests answered over the channel.
+    pub sample_requests: u64,
+    /// Transitions resident in the plane at shutdown.
+    pub resident: usize,
+    /// Arena slots whose write never completed — anything nonzero is a torn
+    /// ingest.
+    pub dangling_slots: usize,
+}
+
 /// Everything a deployment run produces for analysis.
 #[derive(Debug)]
 pub struct RunReport {
@@ -35,6 +52,9 @@ pub struct RunReport {
     pub mean_train_time: Duration,
     /// Final trained parameters (flat), for PBT weight inheritance.
     pub final_params: Vec<f32>,
+    /// Store-resident replay plane measurements (`None` for in-learner
+    /// replay and non-DQN algorithms).
+    pub replay: Option<ReplayReport>,
 }
 
 impl RunReport {
@@ -146,6 +166,7 @@ mod tests {
             train_sessions: 0,
             mean_train_time: Duration::ZERO,
             final_params: Vec::new(),
+            replay: None,
         };
         assert_eq!(report.final_return(2), Some(3.5));
         assert_eq!(report.final_return(100), Some(2.5));
@@ -167,6 +188,7 @@ mod tests {
             train_sessions: 1,
             mean_train_time: Duration::from_millis(5),
             final_params: Vec::new(),
+            replay: None,
         };
         let dir = std::env::temp_dir().join(format!("xt-csv-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);

@@ -36,13 +36,18 @@
 use crate::checkpoint::load_latest;
 use crate::config::DeploymentConfig;
 use crate::controller::{ControllerOutcome, ControllerProcess};
-use crate::deployment::{build_agent, build_algorithm, build_env, spawn_process, DeployError};
+use crate::deployment::{
+    build_agent, build_algorithm_with_replay, build_env, build_replay_plane, spawn_process,
+    DeployError,
+};
 use crate::explorer::{ExplorerOutcome, ExplorerProcess};
 use crate::learner::{LearnerOutcome, LearnerProcess};
-use crate::stats::RunReport;
+use crate::stats::{ReplayReport, RunReport};
 use crate::Deployment;
 use bytes::Bytes;
 use netsim::Cluster;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use xingtian_comm::{connect_brokers, Broker, Endpoint};
@@ -110,6 +115,10 @@ pub struct RecoveryReport {
     /// Objects left in the brokers' stores after every process exited —
     /// anything nonzero is a leak.
     pub leaked_objects: usize,
+    /// Replay-arena slots whose write never completed when the run ended
+    /// (always 0 for in-learner replay) — anything nonzero is a torn ingest
+    /// left behind by a crash.
+    pub dangling_replay_slots: usize,
 }
 
 /// Handles and bookkeeping for one supervised explorer slot.
@@ -173,13 +182,34 @@ impl Deployment {
             detector.watch(ProcessId::explorer(i));
         }
 
-        let mut algorithm = build_algorithm(
+        // Store-resident replay: the shard service lives beside the learner's
+        // broker and outlives learner incarnations — experience survives a
+        // learner crash. Its endpoint beacons like every other, so the
+        // detector auto-registers it on the first heartbeat.
+        let plane = build_replay_plane(&config, obs_dim, &telemetry);
+        let replay_service = match &plane {
+            Some(plane) => {
+                let ep = brokers[config.learner_machine].endpoint(ProcessId::replay(0));
+                let stop = Arc::new(AtomicBool::new(false));
+                let (plane, stop2) = (plane.clone(), stop.clone());
+                let handle = spawn_process("xt-replay-0".into(), move || {
+                    xt_replay::run_replay_service(ep, plane, ProcessId::learner(0), stop2)
+                })?;
+                Some((stop, handle))
+            }
+            None => None,
+        };
+        let rollout_dst =
+            if plane.is_some() { ProcessId::replay(0) } else { ProcessId::learner(0) };
+
+        let mut algorithm = build_algorithm_with_replay(
             &config.algorithm,
             obs_dim,
             num_actions,
             num_explorers,
             config.rollout_len,
             config.seed,
+            plane.as_ref(),
         );
         if let Some(params) = &config.initial_params {
             algorithm.load_params(params);
@@ -228,7 +258,17 @@ impl Deployment {
             );
             let rollout_len = config.rollout_len;
             spawn_process(format!("xt-explorer-{i}"), move || {
-                ExplorerProcess { index: i, endpoint, env, agent, rollout_len, sync, probe }.run()
+                ExplorerProcess {
+                    index: i,
+                    endpoint,
+                    env,
+                    agent,
+                    rollout_len,
+                    rollout_dst,
+                    sync,
+                    probe,
+                }
+                .run()
             })
         };
 
@@ -356,13 +396,17 @@ impl Deployment {
             {
                 learner_awaiting_detection = false;
                 learner_restores += 1;
-                let mut algorithm = build_algorithm(
+                // The rebuilt learner re-attaches to the surviving replay
+                // plane: everything ingested before the crash is still
+                // sampleable the moment the restore completes.
+                let mut algorithm = build_algorithm_with_replay(
                     &config.algorithm,
                     obs_dim,
                     num_actions,
                     num_explorers,
                     config.rollout_len,
                     config.seed,
+                    plane.as_ref(),
                 );
                 match config.checkpoint.as_ref().map(|c| load_latest(&c.dir)) {
                     Some(Ok(blob)) => {
@@ -435,6 +479,23 @@ impl Deployment {
             }
         }
 
+        // The replay service stops only after every producer and consumer has
+        // joined: rollouts still in the channel get ingested, and the plane's
+        // torn-write audit runs on the final state.
+        let replay_summary = match replay_service {
+            Some((stop, handle)) => {
+                stop.store(true, Ordering::Release);
+                let outcome = handle
+                    .join()
+                    .map_err(|_| DeployError::new("replay service thread panicked"))?;
+                detector.forget(ProcessId::replay(0));
+                let integrity =
+                    plane.as_ref().expect("replay service implies a plane").integrity();
+                Some((outcome, integrity))
+            }
+            None => None,
+        };
+
         // Everything has exited; the stores should drain to empty as routers
         // finish in-flight work. Give them a bounded moment before declaring
         // leftovers a leak.
@@ -465,6 +526,16 @@ impl Deployment {
         }
         let _ = controller_outcome;
 
+        let dangling_replay_slots =
+            replay_summary.as_ref().map_or(0, |(_, integrity)| integrity.dangling_slots);
+        let replay = replay_summary.map(|(outcome, integrity)| ReplayReport {
+            batches_ingested: outcome.batches_ingested,
+            steps_ingested: outcome.steps_ingested,
+            sample_requests: outcome.sample_requests,
+            resident: integrity.resident,
+            dangling_slots: integrity.dangling_slots,
+        });
+
         let last = last_learner_outcome
             .ok_or_else(|| DeployError::new("no learner incarnation completed"))?;
         let mean_train_time = if train_sessions > 0 {
@@ -484,6 +555,7 @@ impl Deployment {
             train_sessions,
             mean_train_time,
             final_params: last.final_params,
+            replay,
         };
         let recovery = RecoveryReport {
             explorer_respawns,
@@ -492,6 +564,7 @@ impl Deployment {
             transitions,
             down_at_exit,
             leaked_objects,
+            dangling_replay_slots,
         };
         Ok((report, recovery))
     }

@@ -164,6 +164,58 @@ fn supervised_run_without_faults_is_quiet() {
     assert_eq!(recovery.leaked_objects, 0);
 }
 
+/// Store-resident replay under chaos: a DQN deployment whose replay lives in
+/// the communication layer, with one explorer killed mid-run and the learner
+/// killed after its fifth training session. The plane must survive the
+/// learner restore (experience outlives the crashed incarnation), and at exit
+/// the audit must find zero leaked store objects AND zero dangling replay
+/// arena slots — a crash mid-ingest may never leave a torn transition behind.
+#[test]
+fn store_resident_replay_survives_kills_without_leaks() {
+    const VICTIM: u32 = 1;
+    let dir = tmpdir("replay-chaos");
+    let mut dqn = xingtian_algos::DqnConfig::new(0, 0);
+    dqn.buffer_capacity = 8_192;
+    dqn.warmup_steps = 400;
+    dqn.train_every_inserts = 8;
+    dqn.batch_size = 32;
+    let config = DeploymentConfig::cartpole(AlgorithmSpec::Dqn(dqn), 4)
+        .with_rollout_len(25)
+        .with_goal_steps(1_500)
+        .with_max_seconds(60.0)
+        .with_seed(13)
+        .with_checkpoint(CheckpointConfig::new(&dir, 1))
+        .with_store_resident_replay();
+    let supervision = SupervisionConfig::with_heartbeat_interval_ms(15);
+    let plan = FaultPlan::seeded(13)
+        .with_kill(ProcessId::explorer(VICTIM), KillTrigger::AfterSteps(400))
+        .with_kill(ProcessId::learner(0), KillTrigger::AfterSteps(5));
+    let telemetry = xt_telemetry::Telemetry::with_capacity(1 << 16);
+
+    let (report, recovery) =
+        Deployment::run_supervised(config, supervision, plan, telemetry)
+            .expect("supervised run completes");
+
+    // Both victims were detected and recovered.
+    assert_eq!(recovery.explorer_respawns, vec![VICTIM]);
+    assert!(down_then_up(&recovery.transitions, ProcessId::explorer(VICTIM)));
+    assert_eq!(recovery.learner_restores, 1);
+    assert!(down_then_up(&recovery.transitions, ProcessId::learner(0)));
+    // The restored learner trained on experience that survived its
+    // predecessor: the run reached its goal.
+    assert!(report.steps_consumed >= 1_500, "consumed {}", report.steps_consumed);
+    // The replay plane stayed coherent through both crashes.
+    let replay = report.replay.expect("store-resident run reports replay");
+    assert!(replay.batches_ingested > 0);
+    assert!(replay.resident > 0, "plane emptied");
+    assert_eq!(replay.dangling_slots, 0, "torn ingest left dangling slots");
+    assert_eq!(recovery.dangling_replay_slots, 0, "dangling replay arena slots");
+    // Nothing leaked anywhere: stores drained, no process still down.
+    assert_eq!(recovery.leaked_objects, 0, "object store leak");
+    assert!(recovery.down_at_exit.is_empty(), "down at exit: {:?}", recovery.down_at_exit);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The CI `chaos` smoke stage: a seeded kill-one-explorer run on the virtual
 /// clock (cross-machine transfers advance simulated time instead of
 /// sleeping), bounded in wall time by the controller deadline.

@@ -108,6 +108,7 @@ fn explorer_learner_pair_round_trips_until_shutdown() {
         env: Box::new(gymlite::CartPole::new(0)),
         agent: Box::new(ScriptedAgent { version: 0 }),
         rollout_len: 25,
+        rollout_dst: ProcessId::learner(0),
         sync: SyncMode::OffPolicy,
         probe: None,
     };
@@ -144,6 +145,7 @@ fn on_policy_explorer_waits_for_fresh_parameters() {
         env: Box::new(gymlite::CartPole::new(1)),
         agent: Box::new(ScriptedAgent { version: 0 }),
         rollout_len: 10,
+        rollout_dst: ProcessId::learner(0),
         sync: SyncMode::OnPolicy,
         probe: None,
     };
@@ -197,6 +199,7 @@ fn explorer_flow_control_caps_the_send_backlog() {
         env: Box::new(env),
         agent: Box::new(ScriptedAgent { version: 0 }),
         rollout_len: 500,
+        rollout_dst: ProcessId::learner(0),
         sync: SyncMode::OffPolicy,
         probe: None,
     };

@@ -24,6 +24,9 @@ pub enum ProcessRole {
     Controller,
     /// Relays messages between processes and machines.
     Broker,
+    /// Hosts a store-resident replay shard: ingests rollouts beside the
+    /// object store and answers sample requests (xt-replay).
+    Replay,
 }
 
 impl fmt::Display for ProcessRole {
@@ -33,6 +36,7 @@ impl fmt::Display for ProcessRole {
             ProcessRole::Learner => write!(f, "learner"),
             ProcessRole::Controller => write!(f, "controller"),
             ProcessRole::Broker => write!(f, "broker"),
+            ProcessRole::Replay => write!(f, "replay"),
         }
     }
 }
@@ -69,6 +73,11 @@ impl ProcessId {
     pub fn broker(index: u32) -> Self {
         ProcessId { role: ProcessRole::Broker, index }
     }
+
+    /// Identifier of the `index`-th replay shard (xt-replay service).
+    pub fn replay(index: u32) -> Self {
+        ProcessId { role: ProcessRole::Replay, index }
+    }
 }
 
 impl fmt::Display for ProcessId {
@@ -95,6 +104,17 @@ pub enum MessageKind {
     /// deployment's failure detector. Tiny and control-plane prioritized:
     /// a backpressured data plane must never delay liveness evidence.
     Heartbeat,
+    /// A learner asking a replay shard for a sampled minibatch (xt-replay).
+    /// Tiny and control-plane prioritized: a sample request must not queue
+    /// behind the rollout stream it is meant to replace.
+    SampleRequest,
+    /// A replay shard's answer to a [`MessageKind::SampleRequest`]: a gathered
+    /// minibatch view ready to feed a training step.
+    SampleView,
+    /// A replay shard telling the learner that new transitions were ingested,
+    /// so its event-driven training loop wakes without polling. Carries only
+    /// the insert count.
+    ReplayNotice,
 }
 
 /// How a message body stored in the object store is compressed.

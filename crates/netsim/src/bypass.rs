@@ -1,0 +1,186 @@
+//! Kernel-bypass NIC fast path: the wire model behind remote replay sampling.
+//!
+//! The in-network experience-sampling line of work (DPDK-based samplers)
+//! shows that a replay shard can answer sample requests from the NIC's own
+//! polling thread, skipping the kernel network stack entirely. In `netsim`
+//! the kernel stack's cost is the per-transfer propagation latency constant
+//! ([`crate::DEFAULT_LATENCY_SECS`], 200 µs — syscalls, interrupts, and
+//! copies dominate a LAN hop); a [`BypassPath`] keeps the same NIC bandwidth
+//! limit (the hardware does not get faster) but charges only
+//! [`BYPASS_LATENCY_SECS`] per message, the few microseconds a user-space
+//! poll-mode driver needs.
+//!
+//! A bypass path also skips the broker fabric: it is a point-to-point
+//! connection pinned between two machines at set-up time (exactly like a
+//! registered DPDK queue pair), so a remote sample request pays zero routing
+//! hops. The xt-replay crate drives its cross-machine `SampleRequest` /
+//! `SampleView` exchange over this path.
+
+use crate::cluster::{Cluster, MachineId, TransferReceipt};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Per-message one-way overhead of the kernel-bypass path, in seconds. A
+/// user-space poll-mode driver costs single-digit microseconds per message
+/// versus the ~200 µs kernel-stack hop the default cluster latency models.
+pub const BYPASS_LATENCY_SECS: f64 = 5e-6;
+
+/// Timing of one request/response exchange over a [`BypassPath`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RpcReceipt {
+    /// When the request started flowing.
+    pub start_nanos: u64,
+    /// When the last response byte arrived.
+    pub end_nanos: u64,
+    /// Modeled round-trip duration experienced by the requester.
+    pub duration: Duration,
+}
+
+/// A point-to-point kernel-bypass connection between two machines.
+///
+/// Bandwidth still flows through both machines' [`crate::Nic`]s (reservations
+/// serialize against regular kernel-path traffic — there is one physical
+/// port), but each message pays only [`BYPASS_LATENCY_SECS`] instead of the
+/// cluster's kernel-stack latency, and no broker hop is involved.
+#[derive(Debug)]
+pub struct BypassPath {
+    cluster: Cluster,
+    a: MachineId,
+    b: MachineId,
+    ops: AtomicU64,
+}
+
+impl BypassPath {
+    /// Pins a bypass connection between machines `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` (intra-machine traffic never touches a NIC) or if
+    /// either machine is out of range.
+    pub fn new(cluster: Cluster, a: MachineId, b: MachineId) -> Self {
+        assert_ne!(a, b, "a bypass path connects two distinct machines");
+        assert!(a < cluster.len() && b < cluster.len(), "machine out of range");
+        BypassPath { cluster, a, b, ops: AtomicU64::new(0) }
+    }
+
+    /// The two pinned endpoints, in construction order.
+    pub fn endpoints(&self) -> (MachineId, MachineId) {
+        (self.a, self.b)
+    }
+
+    /// Messages carried so far (either direction).
+    pub fn ops(&self) -> u64 {
+        self.ops.load(Ordering::Relaxed)
+    }
+
+    /// Moves `bytes` from `from` to the opposite endpoint, blocking the
+    /// calling thread for the modeled duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is neither pinned endpoint.
+    pub fn send(&self, from: MachineId, bytes: usize) -> TransferReceipt {
+        let to = match from {
+            m if m == self.a => self.b,
+            m if m == self.b => self.a,
+            other => panic!("machine {other} is not an endpoint of this bypass path"),
+        };
+        self.ops.fetch_add(1, Ordering::Relaxed);
+        let clock = self.cluster.clock();
+        let now = clock.now_nanos();
+        let tx = self.cluster.machine(from).tx();
+        let rx = self.cluster.machine(to).rx();
+        // Same store-and-forward NIC coupling as the kernel path; only the
+        // per-message latency differs.
+        let (tx_start, tx_end) = tx.reserve(now, bytes);
+        let (_rx_start, rx_end) = rx.reserve(tx_start, bytes);
+        let latency = (BYPASS_LATENCY_SECS * 1e9) as u64;
+        let end = tx_end.max(rx_end) + latency;
+        clock.wait_until(end);
+        TransferReceipt {
+            start_nanos: tx_start,
+            end_nanos: end,
+            duration: Duration::from_nanos(end.saturating_sub(now)),
+        }
+    }
+
+    /// A request/response exchange initiated by `requester`: `request_bytes`
+    /// out, `response_bytes` back. This is the shape of a remote sample
+    /// request (tiny request, minibatch-sized response).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requester` is neither pinned endpoint.
+    pub fn rpc(&self, requester: MachineId, request_bytes: usize, response_bytes: usize) -> RpcReceipt {
+        let responder = if requester == self.a { self.b } else { self.a };
+        let req = self.send(requester, request_bytes);
+        let resp = self.send(responder, response_bytes);
+        RpcReceipt {
+            start_nanos: req.start_nanos,
+            end_nanos: resp.end_nanos,
+            duration: req.duration + resp.duration,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterSpec;
+
+    fn virtual_pair() -> Cluster {
+        Cluster::new(ClusterSpec::default().machines(2).virtual_time(true))
+    }
+
+    #[test]
+    fn bypass_beats_kernel_path_for_small_messages() {
+        let cluster = virtual_pair();
+        let path = BypassPath::new(cluster.clone(), 0, 1);
+        let bypass = path.rpc(0, 64, 1024);
+        // The same exchange over the kernel path pays the stack latency twice.
+        let k1 = cluster.transfer(0, 1, 64);
+        let k2 = cluster.transfer(1, 0, 1024);
+        let kernel = k1.duration + k2.duration;
+        assert!(
+            bypass.duration * 10 < kernel,
+            "bypass rtt {:?} should be an order of magnitude under kernel rtt {kernel:?}",
+            bypass.duration
+        );
+        assert_eq!(path.ops(), 2);
+    }
+
+    #[test]
+    fn bypass_is_still_bandwidth_limited() {
+        let cluster = virtual_pair();
+        let path = BypassPath::new(cluster.clone(), 0, 1);
+        let bytes = 64 * 1024 * 1024; // 64 MiB: bandwidth-dominated
+        let b = path.send(0, bytes);
+        let k = cluster.transfer(0, 1, bytes);
+        let delta = k.duration.abs_diff(b.duration);
+        // The two paths differ only by the per-message latency constants.
+        assert!(
+            delta < Duration::from_millis(1),
+            "large transfers are NIC-bound on both paths (delta {delta:?})"
+        );
+    }
+
+    #[test]
+    fn bypass_shares_the_physical_port() {
+        let cluster = virtual_pair();
+        let path = BypassPath::new(cluster.clone(), 0, 1);
+        // Saturate machine 0's tx NIC via the kernel path, then send on the
+        // bypass path: the reservation must queue behind it.
+        let k = cluster.transfer(0, 1, 10 * 1024 * 1024);
+        let b = path.send(0, 1024);
+        assert!(
+            b.start_nanos >= k.start_nanos,
+            "bypass traffic serializes on the same port"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "two distinct machines")]
+    fn same_machine_rejected() {
+        let _ = BypassPath::new(virtual_pair(), 1, 1);
+    }
+}

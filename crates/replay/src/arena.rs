@@ -1,0 +1,183 @@
+//! Structure-of-arrays transition storage for one replay shard.
+//!
+//! A shard stores its transitions as flat parallel arrays (observations,
+//! actions, rewards, ...) instead of a `Vec<RolloutStep>`: ingest writes each
+//! field into pre-allocated storage with no per-transition allocation, and a
+//! sample gather reads contiguous slices straight out of the arena.
+
+/// Sentinel sequence number of a slot whose write has begun but not
+/// completed. Slots stuck at this value after a run are *dangling* — the
+/// chaos tests assert there are none.
+pub const WRITING: u64 = u64::MAX;
+
+/// Fixed-capacity SoA storage for one shard's transitions.
+#[derive(Debug)]
+pub struct TransitionArena {
+    slots: usize,
+    obs_dim: usize,
+    observations: Vec<f32>,
+    next_observations: Vec<f32>,
+    has_next: Vec<bool>,
+    actions: Vec<u32>,
+    rewards: Vec<f32>,
+    dones: Vec<bool>,
+    /// Global insert sequence number of each slot's occupant ([`WRITING`]
+    /// while a write is in flight).
+    seq: Vec<u64>,
+    /// Number of slots that have ever been written.
+    filled: usize,
+}
+
+impl TransitionArena {
+    /// An arena of `slots` transitions of `obs_dim` floats each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` or `obs_dim` is zero.
+    pub fn new(slots: usize, obs_dim: usize) -> Self {
+        assert!(slots > 0, "arena needs at least one slot");
+        assert!(obs_dim > 0, "observation dimension must be positive");
+        TransitionArena {
+            slots,
+            obs_dim,
+            observations: vec![0.0; slots * obs_dim],
+            next_observations: vec![0.0; slots * obs_dim],
+            has_next: vec![false; slots],
+            actions: vec![0; slots],
+            rewards: vec![0.0; slots],
+            dones: vec![false; slots],
+            seq: vec![WRITING; slots],
+            filled: 0,
+        }
+    }
+
+    /// Slot capacity of this arena.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Slots that have ever been written.
+    pub fn filled(&self) -> usize {
+        self.filled
+    }
+
+    /// Writes one transition into `slot`, stamping it with global sequence
+    /// number `seq`. The slot is marked [`WRITING`] for the duration of the
+    /// copy so an interrupted write is observable as a dangling slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range or `observation` has the wrong
+    /// dimension.
+    #[allow(clippy::too_many_arguments)] // mirrors the transition tuple
+    pub fn write(
+        &mut self,
+        slot: usize,
+        observation: &[f32],
+        next_observation: Option<&[f32]>,
+        action: u32,
+        reward: f32,
+        done: bool,
+        seq: u64,
+    ) {
+        assert!(slot < self.slots, "slot {slot} out of range");
+        assert_eq!(observation.len(), self.obs_dim, "observation dimension mismatch");
+        assert_ne!(seq, WRITING, "sequence number collides with the WRITING sentinel");
+        self.seq[slot] = WRITING;
+        let base = slot * self.obs_dim;
+        self.observations[base..base + self.obs_dim].copy_from_slice(observation);
+        match next_observation {
+            Some(next) => {
+                assert_eq!(next.len(), self.obs_dim, "next-observation dimension mismatch");
+                self.next_observations[base..base + self.obs_dim].copy_from_slice(next);
+                self.has_next[slot] = true;
+            }
+            None => {
+                self.next_observations[base..base + self.obs_dim].fill(0.0);
+                self.has_next[slot] = false;
+            }
+        }
+        self.actions[slot] = action;
+        self.rewards[slot] = reward;
+        self.dones[slot] = done;
+        self.filled = self.filled.max(slot + 1);
+        self.seq[slot] = seq;
+    }
+
+    /// Reads `slot` and pushes it into `sink` (the single copy of the gather
+    /// path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` was never written (or its write never completed).
+    pub fn read_into(&self, slot: usize, sink: &mut dyn xingtian_algos::SampleSink) {
+        assert!(slot < self.filled, "slot {slot} was never written");
+        assert_ne!(self.seq[slot], WRITING, "slot {slot} has an incomplete write");
+        let base = slot * self.obs_dim;
+        let obs = &self.observations[base..base + self.obs_dim];
+        let next = self.has_next[slot].then(|| &self.next_observations[base..base + self.obs_dim]);
+        sink.push_transition(obs, next, self.actions[slot], self.rewards[slot], self.dones[slot]);
+    }
+
+    /// Written slots whose write never completed (stuck at [`WRITING`]).
+    pub fn dangling(&self) -> usize {
+        self.seq[..self.filled].iter().filter(|&&s| s == WRITING).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Cap {
+        obs: Vec<Vec<f32>>,
+        next: Vec<Option<Vec<f32>>>,
+        rewards: Vec<f32>,
+    }
+
+    impl xingtian_algos::SampleSink for Cap {
+        fn push_transition(&mut self, o: &[f32], n: Option<&[f32]>, _a: u32, reward: f32, _d: bool) {
+            self.obs.push(o.to_vec());
+            self.next.push(n.map(<[f32]>::to_vec));
+            self.rewards.push(reward);
+        }
+        fn push_weight(&mut self, _w: f32) {}
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut a = TransitionArena::new(4, 3);
+        a.write(0, &[1.0, 2.0, 3.0], Some(&[4.0, 5.0, 6.0]), 2, 0.5, false, 0);
+        a.write(1, &[7.0, 8.0, 9.0], None, 1, -1.0, true, 1);
+        let mut sink = Cap::default();
+        a.read_into(0, &mut sink);
+        a.read_into(1, &mut sink);
+        assert_eq!(sink.obs[0], vec![1.0, 2.0, 3.0]);
+        assert_eq!(sink.next[0].as_deref(), Some(&[4.0, 5.0, 6.0][..]));
+        assert_eq!(sink.next[1], None, "terminal without successor reads back as None");
+        assert_eq!(sink.rewards, vec![0.5, -1.0]);
+        assert_eq!(a.filled(), 2);
+        assert_eq!(a.dangling(), 0);
+    }
+
+    #[test]
+    fn overwrite_replaces_slot() {
+        let mut a = TransitionArena::new(2, 1);
+        a.write(0, &[1.0], Some(&[2.0]), 0, 1.0, false, 0);
+        a.write(0, &[9.0], None, 3, 9.0, true, 2);
+        let mut sink = Cap::default();
+        a.read_into(0, &mut sink);
+        assert_eq!(sink.obs[0], vec![9.0]);
+        assert_eq!(sink.next[0], None, "stale next-observation must not leak through");
+        assert_eq!(a.filled(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "never written")]
+    fn reading_unwritten_slot_panics() {
+        let a = TransitionArena::new(2, 1);
+        let mut sink = Cap::default();
+        a.read_into(0, &mut sink);
+    }
+}

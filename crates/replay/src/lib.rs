@@ -1,0 +1,38 @@
+//! Store-resident replay plane (xt-replay).
+//!
+//! XingTian's learner owns its replay buffer: every rollout message is fetched
+//! from the object store, decoded, and re-inserted into a buffer inside the
+//! trainer thread before a single transition can be sampled (paper §3.2.1).
+//! That fetch → decode → re-insert stage is pure data motion — the bytes were
+//! already resident on the learner's machine, inside the communication
+//! layer's sharded object store.
+//!
+//! This crate moves replay *into* the communication layer. A
+//! [`ReplayPlane`] lives beside the object store and owns both storage and
+//! sampling:
+//!
+//! * rollout batches are ingested **once**, straight into per-shard
+//!   structure-of-arrays [`arena::TransitionArena`]s (decoded with the same
+//!   recycled-buffer [`xingtian_algos::BatchDecoder`] the learner used);
+//! * a uniform ring index and a prioritized sum-tree index live with the
+//!   data, so sampling is a gather from resident storage;
+//! * the learner's DQN samples through [`StoreResidentBackend`] — a single
+//!   copy from arena slots into its training buffers, with no intermediate
+//!   batch materialization;
+//! * remote learners speak the [`wire::SampleRequest`] / [`wire::SampleView`]
+//!   protocol, optionally over netsim's kernel-bypass NIC fast path
+//!   ([`wire::RemoteSampler`]), skipping the broker hop entirely.
+//!
+//! The plane emits `replay.ingest_ns` / `replay.sample_ns` histograms and a
+//! `replay.occupancy` gauge so stage breakdowns show where replay time went.
+
+pub mod arena;
+pub mod backend;
+pub mod plane;
+pub mod service;
+pub mod wire;
+
+pub use backend::StoreResidentBackend;
+pub use plane::{PlanePick, ReplayConfig, ReplayIntegrity, ReplayPlane};
+pub use service::{run_replay_service, ReplayOutcome};
+pub use wire::{RemoteSampler, SampleRequest, SampleView};

@@ -1,0 +1,153 @@
+//! The replay shard service: the channel-side process that owns ingestion.
+//!
+//! Explorers address their rollout messages to `ProcessId::replay(i)` instead
+//! of the learner. The service pops each batch from its receive buffer
+//! (already staged by the asynchronous channel), decodes it once into the
+//! shared [`ReplayPlane`], and recycles the decode buffers — this is the one
+//! and only decode the batch ever gets. It then nudges the learner with a
+//! tiny control-plane [`MessageKind::ReplayNotice`] carrying the insert
+//! count, so the learner's training loop wakes without receiving any rollout
+//! payload at all. Remote learners are served [`MessageKind::SampleRequest`]s
+//! directly from the plane.
+
+use crate::plane::ReplayPlane;
+use crate::wire::{answer, SampleRequest};
+use bytes::Bytes;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use xingtian_algos::payload::BatchDecoder;
+use xingtian_comm::Endpoint;
+use xingtian_message::codec::{Decode, Encode};
+use xingtian_message::{MessageKind, ProcessId};
+
+/// What the service reports when it stops.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayOutcome {
+    /// Rollout batches ingested.
+    pub batches_ingested: u64,
+    /// Transitions ingested (post eligibility filter).
+    pub steps_ingested: u64,
+    /// Sample requests answered.
+    pub sample_requests: u64,
+}
+
+/// Runs a replay shard until `stop` is raised or a `Control` message arrives.
+///
+/// The controller's shutdown broadcast targets explorers and the learner;
+/// the deployment stops the replay service explicitly via `stop` once the
+/// learner has joined (the service must outlive the learner, which may keep
+/// sampling until its last training session).
+pub fn run_replay_service(
+    endpoint: Endpoint,
+    plane: Arc<ReplayPlane>,
+    notify: ProcessId,
+    stop: Arc<AtomicBool>,
+) -> ReplayOutcome {
+    let mut decoder = BatchDecoder::new();
+    let mut outcome = ReplayOutcome::default();
+    loop {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        let Some(msg) = endpoint.recv_timeout(Duration::from_millis(20)) else {
+            continue;
+        };
+        match msg.header.kind {
+            MessageKind::Rollout => {
+                let Ok(batch) = decoder.decode(&msg.body) else { continue };
+                let inserted = plane.ingest_batch(&batch);
+                decoder.recycle(batch);
+                outcome.batches_ingested += 1;
+                outcome.steps_ingested += inserted as u64;
+                // Wake the learner with the insert count (the body must be
+                // non-empty; endpoints reject empty sends).
+                let count = (inserted as u32).to_le_bytes();
+                endpoint.send_to(vec![notify], MessageKind::ReplayNotice, Bytes::copy_from_slice(&count));
+            }
+            MessageKind::SampleRequest => {
+                let Ok(req) = SampleRequest::from_bytes(&msg.body) else { continue };
+                let view = answer(&plane, &req);
+                endpoint.send_to(vec![msg.header.src], MessageKind::SampleView, Bytes::from(view.to_bytes()));
+                outcome.sample_requests += 1;
+            }
+            // Any control message means the deployment is coming down.
+            MessageKind::Control => break,
+            _ => {}
+        }
+    }
+    endpoint.close();
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plane::ReplayConfig;
+    use crate::wire::SampleView;
+    use netsim::Cluster;
+    use xingtian_algos::payload::{RolloutBatch, RolloutStep};
+    use xingtian_comm::{Broker, CommConfig};
+    use xt_telemetry::Telemetry;
+
+    fn rollout(n: usize) -> RolloutBatch {
+        RolloutBatch {
+            explorer: 0,
+            param_version: 0,
+            steps: (0..n)
+                .map(|i| RolloutStep {
+                    observation: vec![i as f32],
+                    action: 0,
+                    reward: i as f32,
+                    done: false,
+                    behavior_logits: vec![],
+                    value: 0.0,
+                    next_observation: Some(vec![i as f32 + 1.0]),
+                })
+                .collect(),
+            bootstrap_observation: vec![],
+        }
+    }
+
+    #[test]
+    fn service_ingests_notifies_and_answers() {
+        let broker = Broker::new(0, Cluster::single(), CommConfig::default());
+        let learner = broker.endpoint(ProcessId::learner(0));
+        let explorer = broker.endpoint(ProcessId::explorer(0));
+        let replay_ep = broker.endpoint(ProcessId::replay(0));
+
+        let plane = Arc::new(ReplayPlane::new(ReplayConfig::uniform(64, 1), &Telemetry::disabled()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let service = {
+            let (plane, stop) = (plane.clone(), stop.clone());
+            std::thread::spawn(move || run_replay_service(replay_ep, plane, ProcessId::learner(0), stop))
+        };
+
+        // Explorer pushes a rollout to the replay shard, not the learner.
+        assert!(explorer.send_to(
+            vec![ProcessId::replay(0)],
+            MessageKind::Rollout,
+            Bytes::from(rollout(10).to_bytes())
+        ));
+        let notice = learner.recv().expect("learner woken by the shard");
+        assert_eq!(notice.header.kind, MessageKind::ReplayNotice);
+        assert_eq!(u32::from_le_bytes(notice.body[..4].try_into().unwrap()), 10);
+        assert_eq!(plane.total_inserted(), 10);
+
+        // The learner can request a sampled minibatch through the channel.
+        let req = SampleRequest { n: 4, prioritized: false, beta: 0.0, seed: 11 };
+        assert!(learner.send_to(vec![ProcessId::replay(0)], MessageKind::SampleRequest, Bytes::from(req.to_bytes())));
+        let resp = learner.recv().expect("sample view delivered");
+        assert_eq!(resp.header.kind, MessageKind::SampleView);
+        let view = SampleView::from_bytes(&resp.body).unwrap();
+        assert_eq!(view.len(), 4);
+        assert_eq!(view, answer(&plane, &req), "channel round trip is deterministic");
+
+        stop.store(true, Ordering::Release);
+        let outcome = service.join().unwrap();
+        assert_eq!(outcome, ReplayOutcome { batches_ingested: 1, steps_ingested: 10, sample_requests: 1 });
+        learner.close();
+        explorer.close();
+        broker.shutdown();
+    }
+}
