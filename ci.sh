@@ -41,6 +41,18 @@ echo "== replay smoke: store-resident plane is trajectory-identical to the in-le
 # and prioritized), plus an end-to-end store-resident deployment smoke.
 cargo test --release -q -p xingtian --test replay_differential
 
+echo "== param-plane smoke: delta chain bit-lossless, quantized error-bounded, goldens decode =="
+# Differential over real endpoints (release: the seeded DQN/PPO deployments
+# inside need the fast path) plus the committed golden wire fixtures for
+# every CompressionKind.
+cargo test --release -q -p xingtian --test param_plane
+cargo test --release -q -p xingtian-message --test golden_kinds
+
+echo "== param-plane gate: fanout-256 cross-machine broadcast bytes =="
+# The delta/quantized parameter plane must keep beating the full-f32+LZ4
+# baseline by >= 3x on the simulated wire (EXPERIMENTS.md, parameter plane).
+cargo run --release -p xt-bench --bin paramplane -- --rounds 12 --no-reward --gate 3
+
 echo "== chaos smoke: seeded kill-one-explorer run on the virtual clock =="
 # Deterministic fault plan (seed 42): one explorer killed mid-run in a
 # 2-machine deployment, detected by heartbeat silence, respawned, zero

@@ -33,6 +33,7 @@ pub mod batch;
 pub mod dqn;
 pub mod gae;
 pub mod impala;
+pub mod lazy;
 pub mod par;
 pub mod payload;
 pub mod ppo;
@@ -46,6 +47,7 @@ pub use a2c::{A2cAgent, A2cAlgorithm, A2cConfig};
 pub use api::{ActionSelection, Agent, Algorithm, SyncMode, TrainReport};
 pub use dqn::{DqnAgent, DqnAlgorithm, DqnConfig};
 pub use impala::{ImpalaAgent, ImpalaAlgorithm, ImpalaConfig};
+pub use lazy::{GradBlob, LazyGradConfig, LazyGradGate};
 pub use par::{ParGrad, Shard};
 pub use payload::{BatchDecoder, ParamBlob, RolloutBatch, RolloutStep};
 pub use ppo::{PpoAgent, PpoAlgorithm, PpoConfig};

@@ -1,0 +1,73 @@
+//! Microbenchmarks of the parameter-plane codecs: what encoding a broadcast
+//! costs the learner and what applying one costs an explorer, per
+//! [`CompressionKind`]. The regression bar is that every codec stays well
+//! above channel line rate (a GbE wire moves ~125 MB/s; a codec below that
+//! would make compression the bottleneck it exists to remove).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xingtian_message::param;
+
+const N: usize = 450_000; // the paper's CartPole-scale model, flat f32s
+
+fn seeded(n: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).max(1);
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+        })
+        .collect()
+}
+
+fn drifted(base: &[f32], magnitude: f32) -> Vec<f32> {
+    let noise = seeded(base.len(), 99);
+    base.iter().zip(&noise).map(|(p, n)| p + n * magnitude).collect()
+}
+
+fn bench_param_codecs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("param_delta");
+    let raw_bytes = (N * 4) as u64;
+    group.throughput(Throughput::Bytes(raw_bytes));
+
+    let base = seeded(N, 7);
+    let params = drifted(&base, 1e-3);
+    let deltas: Vec<f32> = params.iter().zip(&base).map(|(p, b)| p - b).collect();
+
+    group.bench_function(BenchmarkId::new("encode", "delta_f32"), |b| {
+        b.iter(|| param::encode_delta_f32(2, 1, &params, &base))
+    });
+    group.bench_function(BenchmarkId::new("encode", "quantized_i8"), |b| {
+        let mut recon = Vec::new();
+        b.iter(|| param::encode_quantized_i8(2, &params, &mut recon))
+    });
+    group.bench_function(BenchmarkId::new("encode", "delta_quantized_i8"), |b| {
+        let mut recon = Vec::new();
+        b.iter(|| param::encode_delta_quantized_i8(2, 1, &deltas, &mut recon))
+    });
+
+    let delta_frame = param::encode_delta_f32(2, 1, &params, &base);
+    let mut recon = Vec::new();
+    let quant_frame = param::encode_quantized_i8(2, &params, &mut recon);
+    let dq_frame = param::encode_delta_quantized_i8(2, 1, &deltas, &mut recon);
+    for (name, frame) in [
+        ("delta_f32", &delta_frame),
+        ("quantized_i8", &quant_frame),
+        ("delta_quantized_i8", &dq_frame),
+    ] {
+        group.bench_with_input(BenchmarkId::new("apply", name), frame, |b, frame| {
+            // Warm steady state: the receiver's buffers are recycled.
+            let mut buf = base.clone();
+            let mut scratch = Vec::new();
+            b.iter(|| {
+                buf.copy_from_slice(&base);
+                param::apply_frame(frame, 1, &mut buf, &mut scratch).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_param_codecs);
+criterion_main!(benches);

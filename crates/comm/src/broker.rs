@@ -64,6 +64,13 @@ pub(crate) struct BrokerShared {
     /// the fabric exists still propagate (holding tables, not peer `Broker`s,
     /// avoids reference cycles between mutually-connected brokers).
     peers: Mutex<HashMap<MachineId, Arc<RoutingTable>>>,
+    /// Bytes entering the store per [`CompressionKind`], indexed by
+    /// discriminant. Pre-created handles so `submit` never touches the
+    /// metrics registry lock.
+    wire_bytes: [xt_telemetry::CounterHandle; CompressionKind::ALL.len()],
+    /// Stored size of every `Parameters` broadcast body — the direct
+    /// observable for the parameter plane's savings.
+    broadcast_bytes: xt_telemetry::HistogramHandle,
     router_thread: Mutex<Option<JoinHandle<()>>>,
     offload_thread: Mutex<Option<JoinHandle<()>>>,
     /// Delay-line thread, spawned lazily by the first [`Broker::set_injector`].
@@ -138,10 +145,15 @@ impl Broker {
         // before sending the router its shutdown sentinel, so every offloaded
         // message still reaches the router.
         let (offload_tx, offload_rx) = unbounded::<OffloadJob>();
+        let wire_bytes = CompressionKind::ALL
+            .map(|k| telemetry.counter(&format!("comm.bytes_on_wire.{}", k.name())));
+        let broadcast_bytes = telemetry.histogram("comm.broadcast_bytes");
         let offload = {
             let store = Arc::clone(&store);
             let comm_tx = comm_tx.clone();
             let telemetry = telemetry.clone();
+            let wire_bytes = wire_bytes.clone();
+            let broadcast_bytes = broadcast_bytes.clone();
             std::thread::Builder::new()
                 .name(format!("xt-compress-m{machine}"))
                 .spawn(move || {
@@ -162,6 +174,10 @@ impl Broker {
                         // Stored-vs-raw size in percent (100 = incompressible).
                         compress_ratio.record((body.len() * 100 / raw_len.max(1)) as u64);
                         let stored_len = body.len() as u64;
+                        wire_bytes[header.compression.discriminant() as usize].add(stored_len);
+                        if header.kind == xingtian_message::MessageKind::Parameters {
+                            broadcast_bytes.record(stored_len);
+                        }
                         header.object_id = Some(store.insert(body, plan.fanout()));
                         telemetry.emit(EventKind::StoreInserted, header.id, stored_len);
                         let delivery = Delivery {
@@ -186,6 +202,8 @@ impl Broker {
                 telemetry,
                 comm_tx,
                 closed: AtomicBool::new(false),
+                wire_bytes,
+                broadcast_bytes,
                 offload_tx: Mutex::new(Some(offload_tx)),
                 uplinks,
                 peers: Mutex::new(HashMap::new()),
@@ -320,25 +338,39 @@ impl Broker {
         if plan.fanout() == 0 {
             return false;
         }
-        if let Compression::Threshold(t) = self.shared.config.compression {
-            if body.len() > t {
-                let guard = self.shared.offload_tx.lock();
-                return match guard.as_ref() {
-                    Some(tx) => tx.send(OffloadJob { header, body, plan }).is_ok(),
-                    None => false,
-                };
+        // Pre-encoded bodies (parameter-plane frames) carry their kind in the
+        // header already: re-compressing a delta/quantized frame would only
+        // burn CPU on near-incompressible bytes, so only kind-`None` bodies
+        // are eligible for the transport-compression offload.
+        if header.compression == CompressionKind::None {
+            if let Compression::Threshold(t) = self.shared.config.compression {
+                if body.len() > t {
+                    let guard = self.shared.offload_tx.lock();
+                    return match guard.as_ref() {
+                        Some(tx) => tx.send(OffloadJob { header, body, plan }).is_ok(),
+                        None => false,
+                    };
+                }
             }
         }
         // Control-plane traffic (lifecycle commands, statistics) bypasses the
         // segment's capacity gate: it must flow even when the data plane is
         // fully back-pressured, or a stalled learner could never be shut down.
+        // ParamAcks ride the priority lane too: delta-base bookkeeping going
+        // stale behind a backed-up data plane would force full-f32 fallbacks
+        // exactly when the wire is busiest.
         let stored_len = body.len() as u64;
+        self.shared.wire_bytes[header.compression.discriminant() as usize].add(stored_len);
+        if header.kind == xingtian_message::MessageKind::Parameters {
+            self.shared.broadcast_bytes.record(stored_len);
+        }
         let object_id = match header.kind {
             xingtian_message::MessageKind::Control
             | xingtian_message::MessageKind::Stats
             | xingtian_message::MessageKind::Heartbeat
             | xingtian_message::MessageKind::SampleRequest
-            | xingtian_message::MessageKind::ReplayNotice => {
+            | xingtian_message::MessageKind::ReplayNotice
+            | xingtian_message::MessageKind::ParamAck => {
                 self.shared.store.insert_priority(body, plan.fanout())
             }
             _ => self.shared.store.insert(body, plan.fanout()),

@@ -160,9 +160,12 @@ impl Endpoint {
                         // The store hands out shared views of the segment, so
                         // this is zero-copy for uncompressed bodies — the
                         // paper's "zero-copy communication among processes".
-                        // Compressed bodies decompress into a fresh local
-                        // buffer here.
-                        let body: Body = if header.compression.is_compressed() {
+                        // Transport-compressed bodies decompress into a fresh
+                        // local buffer here; parameter-plane frames
+                        // (`is_param_plane`) pass through intact, because only
+                        // the consuming workhorse holds the base version and
+                        // recycled buffers they decode against.
+                        let body: Body = if header.compression.is_transport() {
                             let start = std::time::Instant::now();
                             // Chunked bodies fan their frames across the
                             // shared worker pool; legacy single-block bodies

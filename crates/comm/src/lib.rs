@@ -99,6 +99,25 @@ impl Default for Compression {
     }
 }
 
+/// Parameter-plane encoding for learner→explorer broadcasts (see
+/// `xingtian_message::param`). Transport compression (the [`Compression`]
+/// threshold) handles arbitrary bodies; this picks the *stateful* codec the
+/// learner uses for `MessageKind::Parameters` specifically.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ParamCompression {
+    /// Full f32 blobs every broadcast (the pre-parameter-plane behavior).
+    #[default]
+    FullF32,
+    /// Bit-lossless XOR deltas against the receiver's last-known version,
+    /// with full-f32 fallback when no common base exists.
+    DeltaF32,
+    /// Int8 quantized absolute values with learner-side error feedback.
+    QuantizedI8,
+    /// Int8 quantized deltas with error feedback — smallest on the wire.
+    DeltaQuantizedI8,
+}
+
 /// Liveness-beacon configuration for the endpoints of a broker.
 ///
 /// When set, every endpoint's sender thread emits a [`xingtian_message::MessageKind::Heartbeat`]
@@ -135,6 +154,11 @@ pub struct CommConfig {
     /// Endpoint liveness beacons (off by default: heartbeats to an
     /// unregistered monitor would tally as routing drops).
     pub heartbeat: Option<HeartbeatConfig>,
+    /// Parameter-broadcast encoding (defaults to full f32 blobs). Consumed by
+    /// the learner/explorer workhorses, not the channel itself: the channel
+    /// just carries the pre-encoded bodies through untouched.
+    #[serde(default)]
+    pub param_compression: ParamCompression,
 }
 
 impl Default for CommConfig {
@@ -143,6 +167,7 @@ impl Default for CommConfig {
             compression: Compression::default(),
             endpoint_recv_capacity: Some(8),
             heartbeat: None,
+            param_compression: ParamCompression::default(),
         }
     }
 }
@@ -158,6 +183,19 @@ impl CommConfig {
     /// (builder style).
     pub fn with_heartbeat(mut self, interval_ms: u64, monitor: ProcessId) -> Self {
         self.heartbeat = Some(HeartbeatConfig { interval_ms, monitor });
+        self
+    }
+
+    /// Sets the transport compression threshold in bytes (builder style) —
+    /// bodies larger than this are LZ4-chunked when entering the store.
+    pub fn with_compress_threshold(mut self, threshold: usize) -> Self {
+        self.compression = Compression::Threshold(threshold);
+        self
+    }
+
+    /// Selects the parameter-broadcast encoding (builder style).
+    pub fn with_param_compression(mut self, kind: ParamCompression) -> Self {
+        self.param_compression = kind;
         self
     }
 }

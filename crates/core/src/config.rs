@@ -169,6 +169,20 @@ impl DeploymentConfig {
         self
     }
 
+    /// Selects the parameter-broadcast encoding (builder style) — see
+    /// [`xingtian_comm::ParamCompression`].
+    pub fn with_param_compression(mut self, kind: xingtian_comm::ParamCompression) -> Self {
+        self.comm = self.comm.with_param_compression(kind);
+        self
+    }
+
+    /// Sets the transport compression threshold in bytes (builder style):
+    /// bodies larger than this are LZ4-chunked when entering the store.
+    pub fn with_compress_threshold(mut self, threshold: usize) -> Self {
+        self.comm = self.comm.with_compress_threshold(threshold);
+        self
+    }
+
     /// Sets the wall-clock cap (builder style).
     pub fn with_max_seconds(mut self, secs: f64) -> Self {
         self.max_seconds = secs;

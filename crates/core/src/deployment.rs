@@ -339,8 +339,16 @@ impl Deployment {
         };
         let start = Instant::now();
         let rollout_latency_src = learner_ep.delivery_stats_arc();
+        let param_compression = config.comm.param_compression;
         let learner_thread = spawn_process("xt-learner".into(), move || {
-            LearnerProcess { endpoint: learner_ep, algorithm, checkpointer, probe: None }.run()
+            LearnerProcess {
+                endpoint: learner_ep,
+                algorithm,
+                checkpointer,
+                probe: None,
+                param_compression,
+            }
+            .run()
         })?;
 
         let mut explorer_threads = Vec::new();

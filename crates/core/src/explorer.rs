@@ -8,14 +8,15 @@
 //! endpoint takes it from there, so transmission overlaps the very next
 //! environment step.
 
-use crate::messages::{ControlCommand, StatsMsg};
+use crate::messages::{ControlCommand, ParamAck, StatsMsg};
+use crate::parameters::{IngestOutcome, ParamReceiver};
 use bytes::Bytes;
 use gymlite::{Environment, EpisodeTracker};
 use xingtian_algos::api::{Agent, SyncMode};
-use xingtian_algos::payload::{ParamBlob, RolloutBatch, RolloutStep};
+use xingtian_algos::payload::{RolloutBatch, RolloutStep};
 use xingtian_comm::Endpoint;
 use xingtian_message::codec::{Decode, Encode};
-use xingtian_message::{MessageKind, ProcessId};
+use xingtian_message::{Header, MessageKind, ProcessId};
 
 /// How many rollout batches an explorer may have staged in its send buffer
 /// before it pauses generation (source-side flow control).
@@ -58,6 +59,9 @@ impl ExplorerProcess {
         let rollout_dst = self.rollout_dst;
         let controller = ProcessId::controller(0);
         let mut tracker = EpisodeTracker::new(100);
+        // Parameter-plane decoder: the current reconstruction, updated in
+        // place from delta/quantized frames (or plain blobs).
+        let mut params = ParamReceiver::new();
         let mut steps: Vec<RolloutStep> = Vec::with_capacity(self.rollout_len);
         let batches_counter = self.endpoint.telemetry().counter("explorer.batches_sent");
         let infer_hist = self.endpoint.telemetry().histogram("learn.infer_ns");
@@ -71,7 +75,7 @@ impl ExplorerProcess {
             // React to everything that has already arrived (parameters,
             // control commands) without blocking.
             while let Some(msg) = self.endpoint.try_recv() {
-                if self.handle_message(&msg.header.kind, &msg.body) {
+                if self.handle_message(&msg.header, &msg.body, &mut params) {
                     return ExplorerOutcome { tracker, batches_sent };
                 }
             }
@@ -115,7 +119,7 @@ impl ExplorerProcess {
                 // wait is idle, and control traffic stays live.
                 while self.endpoint.send_backlog() >= MAX_INFLIGHT_BATCHES {
                     while let Some(msg) = self.endpoint.try_recv() {
-                        if self.handle_message(&msg.header.kind, &msg.body) {
+                        if self.handle_message(&msg.header, &msg.body, &mut params) {
                             return ExplorerOutcome { tracker, batches_sent };
                         }
                     }
@@ -154,7 +158,7 @@ impl ExplorerProcess {
                         let Some(msg) = self.endpoint.recv() else {
                             return ExplorerOutcome { tracker, batches_sent };
                         };
-                        if self.handle_message(&msg.header.kind, &msg.body) {
+                        if self.handle_message(&msg.header, &msg.body, &mut params) {
                             return ExplorerOutcome { tracker, batches_sent };
                         }
                         if self.agent.param_version() > sent_version {
@@ -167,11 +171,19 @@ impl ExplorerProcess {
     }
 
     /// Processes one incoming message. Returns `true` on shutdown.
-    fn handle_message(&mut self, kind: &MessageKind, body: &Bytes) -> bool {
-        match kind {
+    fn handle_message(&mut self, header: &Header, body: &Bytes, params: &mut ParamReceiver) -> bool {
+        match header.kind {
             MessageKind::Parameters => {
-                if let Ok(blob) = ParamBlob::from_bytes(body) {
-                    self.agent.apply_params(&blob);
+                match params.ingest(header.compression, body) {
+                    IngestOutcome::Applied(version) => {
+                        self.agent.apply_params(params.blob());
+                        self.ack(header.src, version, true);
+                    }
+                    IngestOutcome::Stale => {}
+                    // Undecodable against what we hold (respawn lost the
+                    // base, corrupt frame): report our actual version so the
+                    // learner rebases and resends full.
+                    IngestOutcome::Rejected { held } => self.ack(header.src, held, false),
                 }
                 false
             }
@@ -180,5 +192,10 @@ impl ExplorerProcess {
             }
             _ => false,
         }
+    }
+
+    fn ack(&self, to: ProcessId, version: u64, applied: bool) {
+        let ack = ParamAck { explorer: self.index, version, applied };
+        self.endpoint.send_to(vec![to], MessageKind::ParamAck, Bytes::from(ack.to_bytes()));
     }
 }

@@ -7,15 +7,16 @@
 //! wait is measured and reported as the paper's "actual wait" (Figs. 8–10).
 
 use crate::checkpoint::Checkpointer;
-use crate::messages::{ControlCommand, StatsMsg};
+use crate::messages::{ControlCommand, ParamAck, StatsMsg};
+use crate::parameters::ParamBroadcaster;
 use crate::stats::ThroughputTimeline;
 use bytes::Bytes;
 use std::time::{Duration, Instant};
 use xingtian_algos::api::Algorithm;
 use xingtian_algos::payload::BatchDecoder;
-use xingtian_comm::{Endpoint, TransmissionStats};
+use xingtian_comm::{Endpoint, ParamCompression, TransmissionStats};
 use xingtian_message::codec::{Decode, Encode};
-use xingtian_message::{MessageKind, ProcessId};
+use xingtian_message::{Header, Message, MessageKind, ProcessId};
 
 /// Configuration of the learner process.
 pub struct LearnerProcess {
@@ -28,6 +29,9 @@ pub struct LearnerProcess {
     /// Fault-injection kill switch, pulsed once per completed training
     /// session (`None` = not under chaos).
     pub probe: Option<xt_fault::ProcessProbe>,
+    /// Parameter-broadcast encoding (delta/quantized frames with full-f32
+    /// fallback; `FullF32` reproduces the plain-blob behavior).
+    pub param_compression: ParamCompression,
 }
 
 /// What the learner reports when it shuts down.
@@ -64,6 +68,9 @@ impl LearnerProcess {
         // algorithm has fully consumed flow back through `take_spent` and
         // serve the next decode without reallocating.
         let mut decoder = BatchDecoder::new();
+        // Parameter-plane encoder: ring of delta bases, per-explorer sent
+        // versions, error feedback for the quantized modes.
+        let mut broadcaster = ParamBroadcaster::new(self.param_compression, self.endpoint.telemetry());
         // Give the algorithm the endpoint's telemetry so it can publish its
         // internal stage timings (e.g. DQN's `learn.sample_ns`).
         self.algorithm.attach_telemetry(self.endpoint.telemetry());
@@ -78,13 +85,13 @@ impl LearnerProcess {
             let t0 = Instant::now();
             let Some(msg) = self.endpoint.recv() else { break };
             waited += t0.elapsed();
-            if self.handle_message(msg.header.kind, &msg.body, &mut decoder, &decode_hist) {
+            if self.handle_message(msg.header.kind, &msg.body, &mut decoder, &decode_hist, &mut broadcaster) {
                 break;
             }
             // Drain whatever else has already arrived — data already staged
             // locally costs no wait.
             while let Some(extra) = self.endpoint.try_recv() {
-                if self.handle_message(extra.header.kind, &extra.body, &mut decoder, &decode_hist) {
+                if self.handle_message(extra.header.kind, &extra.body, &mut decoder, &decode_hist, &mut broadcaster) {
                     break 'outer;
                 }
             }
@@ -118,8 +125,14 @@ impl LearnerProcess {
                 }
                 if !report.notify.is_empty() {
                     let blob = self.algorithm.param_blob();
-                    let dst = report.notify.iter().map(|&e| ProcessId::explorer(e)).collect();
-                    self.endpoint.send_to(dst, MessageKind::Parameters, Bytes::from(blob.to_bytes()));
+                    let enc = broadcaster.encode(&blob, &report.notify);
+                    let dst: Vec<ProcessId> =
+                        report.notify.iter().map(|&e| ProcessId::explorer(e)).collect();
+                    let mut header =
+                        Header::new(self.endpoint.pid(), dst, MessageKind::Parameters)
+                            .with_param_version(enc.version);
+                    header.compression = enc.compression;
+                    self.endpoint.send(Message::new(header, enc.body));
                 }
                 let stats = StatsMsg {
                     source: StatsMsg::LEARNER,
@@ -156,8 +169,15 @@ impl LearnerProcess {
         body: &Bytes,
         decoder: &mut BatchDecoder,
         decode_hist: &xt_telemetry::HistogramHandle,
+        broadcaster: &mut ParamBroadcaster,
     ) -> bool {
         match kind {
+            MessageKind::ParamAck => {
+                if let Ok(ack) = ParamAck::from_bytes(body) {
+                    broadcaster.on_ack(&ack);
+                }
+                false
+            }
             MessageKind::Rollout => {
                 let t0 = Instant::now();
                 if let Ok(batch) = decoder.decode(body) {

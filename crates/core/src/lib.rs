@@ -51,11 +51,13 @@ pub mod dummy;
 pub mod explorer;
 pub mod learner;
 pub mod messages;
+pub mod parameters;
 pub mod pbt;
 pub mod stats;
 pub mod supervisor;
 
 pub use config::{AlgorithmSpec, DeploymentConfig};
 pub use deployment::Deployment;
+pub use parameters::{EncodedBroadcast, IngestOutcome, ParamBroadcaster, ParamReceiver};
 pub use stats::RunReport;
 pub use supervisor::{RecoveryReport, SupervisionConfig, MONITOR};

@@ -69,6 +69,46 @@ impl Decode for StatsMsg {
     }
 }
 
+/// An explorer confirming (or refusing) a parameter broadcast
+/// (`MessageKind::ParamAck`). The learner's delta-base bookkeeping tracks
+/// acks to know which base version each receiver can decode against; a
+/// refusal (`applied == false`, e.g. after a respawn lost the base) rebases
+/// the sender so its next broadcast falls back to full f32.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamAck {
+    /// The acking explorer's index.
+    pub explorer: u32,
+    /// The broadcast's parameter version.
+    pub version: u64,
+    /// Whether the explorer decoded and applied the broadcast.
+    pub applied: bool,
+}
+
+impl Encode for ParamAck {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.explorer.encode(out);
+        self.version.encode(out);
+        out.push(self.applied as u8);
+    }
+    fn encoded_size(&self) -> usize {
+        self.explorer.encoded_size() + self.version.encoded_size() + 1
+    }
+}
+
+impl Decode for ParamAck {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(ParamAck {
+            explorer: u32::decode(r)?,
+            version: u64::decode(r)?,
+            applied: match r.u8()? {
+                0 => false,
+                1 => true,
+                t => return Err(DecodeError::InvalidTag(t)),
+            },
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,5 +129,14 @@ mod tests {
         let s = StatsMsg { source: 3, steps: 12345, episode_returns: vec![1.5, -2.0] };
         let bytes = s.to_bytes();
         assert_eq!(StatsMsg::from_bytes(&bytes).unwrap(), s);
+    }
+
+    #[test]
+    fn param_ack_round_trips() {
+        for applied in [true, false] {
+            let a = ParamAck { explorer: 17, version: 42, applied };
+            assert_eq!(ParamAck::from_bytes(&a.to_bytes()).unwrap(), a);
+        }
+        assert!(ParamAck::from_bytes(&[0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 7]).is_err());
     }
 }

@@ -229,8 +229,9 @@ impl Deployment {
                 ),
                 None => None,
             };
+            let param_compression = config.comm.param_compression;
             spawn_process("xt-learner".into(), move || {
-                LearnerProcess { endpoint, algorithm, checkpointer, probe }.run()
+                LearnerProcess { endpoint, algorithm, checkpointer, probe, param_compression }.run()
             })
         };
         let spawn_explorer = |i: u32,

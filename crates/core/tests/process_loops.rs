@@ -99,6 +99,7 @@ fn explorer_learner_pair_round_trips_until_shutdown() {
         }),
         checkpointer: None,
         probe: None,
+        param_compression: xingtian_comm::ParamCompression::default(),
     };
     let learner_thread = std::thread::spawn(move || learner.run());
 

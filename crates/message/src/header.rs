@@ -115,6 +115,14 @@ pub enum MessageKind {
     /// so its event-driven training loop wakes without polling. Carries only
     /// the insert count.
     ReplayNotice,
+    /// An explorer confirming (or refusing) a parameter broadcast: carries the
+    /// parameter version the explorer now holds, so the learner's delta-base
+    /// bookkeeping tracks what each receiver can actually decode against.
+    /// Tiny and control-plane prioritized.
+    ParamAck,
+    /// An explorer-side gradient upload for communication-efficient training
+    /// (LAPG, arXiv:1812.03239). Data plane: gradients are bulky.
+    Gradient,
 }
 
 /// How a message body stored in the object store is compressed.
@@ -122,6 +130,19 @@ pub enum MessageKind {
 /// Replaces the old `compressed: bool` header flag so receivers can tell a
 /// legacy single-block LZ4 body from the chunked container introduced by the
 /// data-plane fast path (and route each to the right decoder).
+///
+/// The kinds split into two classes:
+///
+/// * **Transport** kinds ([`Lz4Block`](CompressionKind::Lz4Block),
+///   [`Lz4Chunked`](CompressionKind::Lz4Chunked)) are applied and removed by
+///   the channel itself — the receiving endpoint's monitoring thread restores
+///   the logical body before delivery.
+/// * **Parameter-plane** kinds ([`DeltaF32`](CompressionKind::DeltaF32),
+///   [`QuantizedI8`](CompressionKind::QuantizedI8),
+///   [`DeltaQuantizedI8`](CompressionKind::DeltaQuantizedI8)) are stateful:
+///   decoding needs the receiver's reconstruction state (its last applied
+///   parameter vector), so the channel passes these bodies through untouched
+///   and the consuming workhorse decodes them ([`crate::param`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum CompressionKind {
     /// Body stored verbatim.
@@ -132,12 +153,108 @@ pub enum CompressionKind {
     /// The body is a chunk container of independent LZ4 frames
     /// (`xingtian_message::chunk`).
     Lz4Chunked,
+    /// Parameter broadcast delta-encoded against a base version: the XOR of
+    /// the f32 bit patterns against the receiver-held base, byte-plane
+    /// transposed and chunk-compressed. Bit-lossless.
+    DeltaF32,
+    /// Parameter broadcast quantized to int8 with one f32 scale per group of
+    /// values (lossy; the encoder keeps an error-feedback accumulator).
+    QuantizedI8,
+    /// Delta against a base version, then int8-quantized with per-group
+    /// scales (lossy; error feedback on the encoder side).
+    DeltaQuantizedI8,
 }
 
 impl CompressionKind {
     /// True if the stored body differs from the logical body.
     pub fn is_compressed(self) -> bool {
         !matches!(self, CompressionKind::None)
+    }
+
+    /// True for transport compression the channel itself removes before
+    /// delivery (receiving endpoints decompress these and hand the workhorse
+    /// the logical body).
+    pub fn is_transport(self) -> bool {
+        matches!(self, CompressionKind::Lz4Block | CompressionKind::Lz4Chunked)
+    }
+
+    /// True for parameter-plane encodings that need receiver state to decode;
+    /// the channel delivers these bodies untouched (`crate::param`).
+    pub fn is_param_plane(self) -> bool {
+        matches!(
+            self,
+            CompressionKind::DeltaF32
+                | CompressionKind::QuantizedI8
+                | CompressionKind::DeltaQuantizedI8
+        )
+    }
+
+    /// Stable wire discriminant of this kind (the inverse of
+    /// [`CompressionKind::from_discriminant`]).
+    pub const fn discriminant(self) -> u8 {
+        match self {
+            CompressionKind::None => 0,
+            CompressionKind::Lz4Block => 1,
+            CompressionKind::Lz4Chunked => 2,
+            CompressionKind::DeltaF32 => 3,
+            CompressionKind::QuantizedI8 => 4,
+            CompressionKind::DeltaQuantizedI8 => 5,
+        }
+    }
+
+    /// Decodes a wire discriminant, returning a typed error — never panicking —
+    /// on bytes no kind claims (hostile or future-version input).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::codec::DecodeError::InvalidTag`] for unknown discriminants.
+    pub const fn from_discriminant(d: u8) -> Result<Self, crate::codec::DecodeError> {
+        Ok(match d {
+            0 => CompressionKind::None,
+            1 => CompressionKind::Lz4Block,
+            2 => CompressionKind::Lz4Chunked,
+            3 => CompressionKind::DeltaF32,
+            4 => CompressionKind::QuantizedI8,
+            5 => CompressionKind::DeltaQuantizedI8,
+            other => return Err(crate::codec::DecodeError::InvalidTag(other)),
+        })
+    }
+
+    /// Every kind, in discriminant order (test and telemetry enumeration).
+    pub const ALL: [CompressionKind; 6] = [
+        CompressionKind::None,
+        CompressionKind::Lz4Block,
+        CompressionKind::Lz4Chunked,
+        CompressionKind::DeltaF32,
+        CompressionKind::QuantizedI8,
+        CompressionKind::DeltaQuantizedI8,
+    ];
+
+    /// Stable lowercase name (telemetry counter suffixes, figs output).
+    pub const fn name(self) -> &'static str {
+        match self {
+            CompressionKind::None => "none",
+            CompressionKind::Lz4Block => "lz4_block",
+            CompressionKind::Lz4Chunked => "lz4_chunked",
+            CompressionKind::DeltaF32 => "delta_f32",
+            CompressionKind::QuantizedI8 => "quantized_i8",
+            CompressionKind::DeltaQuantizedI8 => "delta_quantized_i8",
+        }
+    }
+}
+
+impl crate::codec::Encode for CompressionKind {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(self.discriminant());
+    }
+    fn encoded_size(&self) -> usize {
+        1
+    }
+}
+
+impl crate::codec::Decode for CompressionKind {
+    fn decode(r: &mut crate::codec::Reader<'_>) -> Result<Self, crate::codec::DecodeError> {
+        CompressionKind::from_discriminant(r.u8()?)
     }
 }
 
@@ -242,6 +359,24 @@ mod tests {
     fn process_id_display_is_stable() {
         assert_eq!(ProcessId::explorer(3).to_string(), "explorer-3");
         assert_eq!(ProcessId::learner(0).to_string(), "learner-0");
+    }
+
+    #[test]
+    fn compression_kind_discriminants_round_trip() {
+        for kind in CompressionKind::ALL {
+            assert_eq!(CompressionKind::from_discriminant(kind.discriminant()), Ok(kind));
+            // Exactly one of the two classes (or neither, for None).
+            assert!(!(kind.is_transport() && kind.is_param_plane()));
+            assert_eq!(kind.is_compressed(), kind.is_transport() || kind.is_param_plane());
+        }
+    }
+
+    #[test]
+    fn unknown_compression_discriminant_is_a_typed_error() {
+        use crate::codec::DecodeError;
+        for d in 6..=u8::MAX {
+            assert_eq!(CompressionKind::from_discriminant(d), Err(DecodeError::InvalidTag(d)));
+        }
     }
 
     #[test]

@@ -32,10 +32,12 @@ pub mod codec;
 pub mod header;
 pub mod lz4;
 pub mod message;
+pub mod param;
 
 pub use chunk::ChunkError;
 pub use header::{CompressionKind, Header, MessageKind, ProcessId, ProcessRole};
 pub use message::{Body, Message, COMPRESSION_THRESHOLD};
+pub use param::{ParamCodecError, ParamFrameHeader, QUANT_GROUP};
 
 use bytes::Bytes;
 
@@ -68,6 +70,10 @@ pub fn compress_body(body: Bytes) -> (Bytes, CompressionKind) {
 ///
 /// Handles both the chunked container written by [`compress_body`] and legacy
 /// single-block LZ4 bodies produced before the chunked format existed.
+/// Parameter-plane kinds ([`CompressionKind::is_param_plane`]) pass through
+/// *unchanged*: they are stateful encodings that only the consuming workhorse
+/// (which holds the base version and error-feedback state) can decode — see
+/// [`param`].
 ///
 /// # Errors
 ///
@@ -77,6 +83,9 @@ pub fn decompress_body(body: &Bytes, kind: CompressionKind) -> Result<Bytes, Chu
         CompressionKind::None => Ok(body.clone()),
         CompressionKind::Lz4Block => Ok(Bytes::from(lz4::decompress(body)?)),
         CompressionKind::Lz4Chunked => Ok(Bytes::from(chunk::decompress_chunked(body)?)),
+        CompressionKind::DeltaF32
+        | CompressionKind::QuantizedI8
+        | CompressionKind::DeltaQuantizedI8 => Ok(body.clone()),
     }
 }
 

@@ -1,0 +1,566 @@
+//! Parameter-plane codecs: delta-encoded and quantized parameter broadcasts.
+//!
+//! Cross-machine bytes are the scarce resource at the simulated NIC's
+//! 118 MB/s, and a parameter broadcast ships the *whole* network to every
+//! explorer even though adjacent versions barely differ ("Communication-
+//! Efficient Policy Gradient Methods", arXiv:1812.03239). This module encodes
+//! a broadcast against receiver state instead of from scratch:
+//!
+//! * [`CompressionKind::DeltaF32`] — XOR of the f32 *bit patterns* against a
+//!   base version both sides hold. Bit-lossless by construction (float
+//!   subtraction is not: `(a - b) + b` can round). The XOR words are
+//!   byte-plane transposed before chunked LZ4: sign/exponent planes of a
+//!   small update are almost all zeros and compress to nothing, while the
+//!   noisy low mantissa planes fall back to raw storage per chunk.
+//! * [`CompressionKind::QuantizedI8`] — absolute values quantized to int8
+//!   with one f32 scale per [`QUANT_GROUP`] values. Lossy; the encoder keeps
+//!   an error-feedback accumulator (in `xingtian-core`) so the error is
+//!   re-injected into the next broadcast rather than lost.
+//! * [`CompressionKind::DeltaQuantizedI8`] — the delta against a base
+//!   version, quantized. Deltas are small, so their int8 stream is mostly
+//!   zeros and ±1s and LZ4 collapses it; this is the headline mode.
+//!
+//! # Wire format
+//!
+//! Every frame is self-describing:
+//!
+//! ```text
+//! kind (1 byte, CompressionKind discriminant)
+//! version      varint   — parameter version this frame produces
+//! base_version varint   — version the receiver must hold (0 for QuantizedI8)
+//! count        varint   — number of f32 parameters
+//! payload: chunk container (crate::chunk) over the inner bytes
+//! ```
+//!
+//! Inner bytes: `DeltaF32` carries the four transposed XOR byte planes
+//! (`4 * count` bytes); the quantized kinds carry
+//! `group varint | scales (ceil(count/group) f32 LE) | q (count int8)`.
+//!
+//! Quantization is deterministic on both sides: the encoder reconstructs
+//! `qi as f32 * scale` with the very ops the receiver will use, so the
+//! encoder's ring of reconstructed versions agrees *bit-exactly* with what
+//! each receiver holds — which is what makes chained deltas sound.
+
+use crate::chunk::{self, ChunkError};
+use crate::codec::{write_varint, Decode, DecodeError, Reader};
+use crate::header::CompressionKind;
+use std::fmt;
+
+/// Values sharing one quantization scale. Small enough that one outlier
+/// cannot flatten the resolution of a whole layer, large enough that scales
+/// are a negligible fraction of the payload (4 bytes per 1024 values).
+pub const QUANT_GROUP: usize = 1024;
+
+/// Error produced when decoding or applying a parameter frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParamCodecError {
+    /// The frame prologue or payload metadata was malformed.
+    Decode(DecodeError),
+    /// The chunked payload container was malformed.
+    Chunk(ChunkError),
+    /// The frame's kind byte is not a parameter-plane kind.
+    NotParamPlane(CompressionKind),
+    /// The frame was encoded against a base version the receiver does not
+    /// hold (it missed a broadcast, or was respawned). Recoverable: the
+    /// receiver nacks and the sender falls back to a full broadcast.
+    BaseMismatch {
+        /// Base version the frame requires.
+        base: u64,
+        /// Version the receiver holds.
+        held: u64,
+    },
+    /// The frame's parameter count differs from the receiver's buffer.
+    CountMismatch {
+        /// Count declared by the frame.
+        declared: usize,
+        /// Length of the receiver's parameter buffer.
+        held: usize,
+    },
+    /// The decompressed payload size disagrees with the frame metadata.
+    PayloadSize {
+        /// Bytes the metadata implies.
+        expected: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// A quantized frame declared a zero group size.
+    BadGroupSize,
+}
+
+impl fmt::Display for ParamCodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamCodecError::Decode(e) => write!(f, "param frame decode error: {e}"),
+            ParamCodecError::Chunk(e) => write!(f, "param frame chunk error: {e}"),
+            ParamCodecError::NotParamPlane(k) => {
+                write!(f, "kind {} is not a parameter-plane encoding", k.name())
+            }
+            ParamCodecError::BaseMismatch { base, held } => {
+                write!(f, "frame needs base version {base} but receiver holds {held}")
+            }
+            ParamCodecError::CountMismatch { declared, held } => {
+                write!(f, "frame declares {declared} params but receiver holds {held}")
+            }
+            ParamCodecError::PayloadSize { expected, got } => {
+                write!(f, "payload holds {got} bytes, metadata implies {expected}")
+            }
+            ParamCodecError::BadGroupSize => write!(f, "quantization group size is zero"),
+        }
+    }
+}
+
+impl std::error::Error for ParamCodecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParamCodecError::Decode(e) => Some(e),
+            ParamCodecError::Chunk(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DecodeError> for ParamCodecError {
+    fn from(e: DecodeError) -> Self {
+        ParamCodecError::Decode(e)
+    }
+}
+
+impl From<ChunkError> for ParamCodecError {
+    fn from(e: ChunkError) -> Self {
+        ParamCodecError::Chunk(e)
+    }
+}
+
+/// Prologue of a parameter frame, readable without touching the payload —
+/// receivers peek this to detect stale versions or missing bases before any
+/// decompression work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamFrameHeader {
+    /// Parameter-plane encoding of the payload.
+    pub kind: CompressionKind,
+    /// Version this frame produces when applied.
+    pub version: u64,
+    /// Version the receiver must hold (0 and unused for
+    /// [`CompressionKind::QuantizedI8`]).
+    pub base_version: u64,
+    /// Number of f32 parameters.
+    pub count: usize,
+}
+
+impl ParamFrameHeader {
+    /// True if applying this frame requires the receiver to hold
+    /// `base_version` exactly.
+    pub fn needs_base(&self) -> bool {
+        matches!(self.kind, CompressionKind::DeltaF32 | CompressionKind::DeltaQuantizedI8)
+    }
+}
+
+fn read_prologue(body: &[u8]) -> Result<(ParamFrameHeader, &[u8]), ParamCodecError> {
+    let mut r = Reader::new(body);
+    let kind = CompressionKind::decode(&mut r)?;
+    if !kind.is_param_plane() {
+        return Err(ParamCodecError::NotParamPlane(kind));
+    }
+    let version = r.varint()?;
+    let base_version = r.varint()?;
+    let count = r.varint()? as usize;
+    let payload = r.take(r.remaining())?;
+    Ok((ParamFrameHeader { kind, version, base_version, count }, payload))
+}
+
+/// Reads a frame's prologue without decoding the payload.
+///
+/// # Errors
+///
+/// [`ParamCodecError`] if the prologue is truncated, malformed, or names a
+/// non-parameter-plane kind. Never panics, whatever the input.
+pub fn peek_frame(body: &[u8]) -> Result<ParamFrameHeader, ParamCodecError> {
+    read_prologue(body).map(|(h, _)| h)
+}
+
+fn write_frame(kind: CompressionKind, version: u64, base_version: u64, count: usize, inner: &[u8]) -> Vec<u8> {
+    let container = chunk::compress_chunked(inner);
+    let mut out = Vec::with_capacity(1 + 10 * 3 + container.len());
+    out.push(kind.discriminant());
+    write_varint(&mut out, version);
+    write_varint(&mut out, base_version);
+    write_varint(&mut out, count as u64);
+    out.extend_from_slice(&container);
+    out
+}
+
+/// Decompresses a chunk container into a caller-recycled buffer (cleared
+/// first); the mirror of [`chunk::decompress_chunked`] without the per-frame
+/// allocation.
+fn decompress_chunked_into(input: &[u8], out: &mut Vec<u8>) -> Result<(), ParamCodecError> {
+    let parsed = chunk::parse_chunked(input)?;
+    out.clear();
+    out.reserve(parsed.total_len);
+    for c in &parsed.chunks {
+        let payload = &input[c.payload.clone()];
+        if c.compressed {
+            let before = out.len();
+            crate::lz4::decompress_into(payload, out).map_err(ChunkError::from)?;
+            if out.len() - before != c.uncompressed_len {
+                return Err(ParamCodecError::Chunk(ChunkError::LengthMismatch {
+                    declared: c.uncompressed_len,
+                    sum: out.len() - before,
+                }));
+            }
+        } else {
+            out.extend_from_slice(payload);
+        }
+    }
+    Ok(())
+}
+
+/// Encodes `params` as a bit-lossless delta against `base` (the
+/// reconstruction both sides hold for `base_version`).
+///
+/// # Panics
+///
+/// If `params` and `base` differ in length (an encoder-side contract, not a
+/// wire condition).
+pub fn encode_delta_f32(version: u64, base_version: u64, params: &[f32], base: &[f32]) -> Vec<u8> {
+    assert_eq!(params.len(), base.len(), "delta base must match parameter count");
+    let n = params.len();
+    let mut planes = vec![0u8; 4 * n];
+    {
+        let (p0, rest) = planes.split_at_mut(n);
+        let (p1, rest) = rest.split_at_mut(n);
+        let (p2, p3) = rest.split_at_mut(n);
+        for i in 0..n {
+            let x = params[i].to_bits() ^ base[i].to_bits();
+            p0[i] = x as u8;
+            p1[i] = (x >> 8) as u8;
+            p2[i] = (x >> 16) as u8;
+            p3[i] = (x >> 24) as u8;
+        }
+    }
+    write_frame(CompressionKind::DeltaF32, version, base_version, n, &planes)
+}
+
+/// Deterministic per-group int8 quantization shared by the encoder and (via
+/// the identical `q as f32 * scale` reconstruction) every receiver. Appends
+/// the inner payload bytes to `inner` and the reconstructed values to
+/// `recon`.
+fn quantize_inner(values: &[f32], inner: &mut Vec<u8>, recon: &mut Vec<f32>) {
+    write_varint(inner, QUANT_GROUP as u64);
+    let groups = values.chunks(QUANT_GROUP);
+    // Scales first (so the decoder reads fixed-size metadata before the q
+    // stream), then the int8 values.
+    let scale_of = |g: &[f32]| -> f32 {
+        let m = g.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        if m > 0.0 && m.is_finite() {
+            m / 127.0
+        } else {
+            0.0
+        }
+    };
+    for g in groups.clone() {
+        inner.extend_from_slice(&scale_of(g).to_le_bytes());
+    }
+    for g in groups {
+        let scale = scale_of(g);
+        let inv = if scale > 0.0 { 1.0 / scale } else { 0.0 };
+        for &v in g {
+            // Saturating float→int cast: NaN → 0, out-of-range clamps.
+            let q = (v * inv).round().clamp(-127.0, 127.0) as i8;
+            inner.push(q as u8);
+            recon.push(q as f32 * scale);
+        }
+    }
+}
+
+/// Encodes `values` (absolute parameters) as [`CompressionKind::QuantizedI8`].
+/// `recon` is cleared and filled with the deterministic reconstruction every
+/// receiver will compute — the encoder's error-feedback accumulator is
+/// `values - recon`.
+pub fn encode_quantized_i8(version: u64, values: &[f32], recon: &mut Vec<f32>) -> Vec<u8> {
+    recon.clear();
+    recon.reserve(values.len());
+    let mut inner = Vec::with_capacity(values.len() + values.len().div_ceil(QUANT_GROUP) * 4 + 4);
+    quantize_inner(values, &mut inner, recon);
+    write_frame(CompressionKind::QuantizedI8, version, 0, values.len(), &inner)
+}
+
+/// Encodes `deltas` (compensated parameters minus the base reconstruction) as
+/// [`CompressionKind::DeltaQuantizedI8`]. `recon` is cleared and filled with
+/// the dequantized deltas; the full reconstruction is `base + recon`,
+/// element-wise, computed identically on both sides.
+pub fn encode_delta_quantized_i8(
+    version: u64,
+    base_version: u64,
+    deltas: &[f32],
+    recon: &mut Vec<f32>,
+) -> Vec<u8> {
+    recon.clear();
+    recon.reserve(deltas.len());
+    let mut inner = Vec::with_capacity(deltas.len() + deltas.len().div_ceil(QUANT_GROUP) * 4 + 4);
+    quantize_inner(deltas, &mut inner, recon);
+    write_frame(CompressionKind::DeltaQuantizedI8, version, base_version, deltas.len(), &inner)
+}
+
+/// Applies a dequantized stream to `buf`: assignment for absolute frames
+/// (resizing `buf` to `count` — only after all validation, so errors leave it
+/// untouched), accumulation for delta frames.
+fn apply_quant_payload(
+    payload: &[u8],
+    count: usize,
+    delta: bool,
+    buf: &mut Vec<f32>,
+) -> Result<(), ParamCodecError> {
+    let mut r = Reader::new(payload);
+    let group = r.varint()? as usize;
+    if group == 0 {
+        return Err(ParamCodecError::BadGroupSize);
+    }
+    let n_groups = count.div_ceil(group);
+    let expected = n_groups * 4 + count;
+    if r.remaining() != expected {
+        return Err(ParamCodecError::PayloadSize { expected, got: r.remaining() });
+    }
+    let scales = r.take(n_groups * 4)?;
+    let q = r.take(count)?;
+    if !delta {
+        buf.resize(count, 0.0);
+    }
+    for g in 0..n_groups {
+        let scale = f32::from_le_bytes(scales[g * 4..g * 4 + 4].try_into().expect("4-byte scale"));
+        let start = g * group;
+        let end = (start + group).min(count);
+        for i in start..end {
+            let dq = (q[i] as i8) as f32 * scale;
+            if delta {
+                buf[i] += dq;
+            } else {
+                buf[i] = dq;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Applies a parameter frame to `buf` — the receiver's current reconstruction,
+/// whose version is `held_version` — in place, and returns the frame's
+/// version. `scratch` is a recycled decompression buffer (any content;
+/// cleared), so a warmed-up receive path allocates nothing.
+///
+/// Delta frames require `held_version == base_version` and a matching
+/// parameter count; absolute frames ([`CompressionKind::QuantizedI8`]) resize
+/// `buf` as needed and ignore `held_version`. Staleness (`version <=` the
+/// receiver's) is the *caller's* policy — peek first via [`peek_frame`].
+///
+/// # Errors
+///
+/// [`ParamCodecError`]; on error `buf` is untouched.
+pub fn apply_frame(
+    body: &[u8],
+    held_version: u64,
+    buf: &mut Vec<f32>,
+    scratch: &mut Vec<u8>,
+) -> Result<u64, ParamCodecError> {
+    let (hdr, container) = read_prologue(body)?;
+    if hdr.needs_base() {
+        if hdr.base_version != held_version {
+            return Err(ParamCodecError::BaseMismatch { base: hdr.base_version, held: held_version });
+        }
+        if hdr.count != buf.len() {
+            return Err(ParamCodecError::CountMismatch { declared: hdr.count, held: buf.len() });
+        }
+    }
+    decompress_chunked_into(container, scratch)?;
+    match hdr.kind {
+        CompressionKind::DeltaF32 => {
+            let n = hdr.count;
+            if scratch.len() != 4 * n {
+                return Err(ParamCodecError::PayloadSize { expected: 4 * n, got: scratch.len() });
+            }
+            let (p0, rest) = scratch.split_at(n);
+            let (p1, rest) = rest.split_at(n);
+            let (p2, p3) = rest.split_at(n);
+            for i in 0..n {
+                let x = u32::from(p0[i])
+                    | u32::from(p1[i]) << 8
+                    | u32::from(p2[i]) << 16
+                    | u32::from(p3[i]) << 24;
+                buf[i] = f32::from_bits(buf[i].to_bits() ^ x);
+            }
+        }
+        CompressionKind::QuantizedI8 => {
+            apply_quant_payload(scratch, hdr.count, false, buf)?;
+        }
+        CompressionKind::DeltaQuantizedI8 => {
+            apply_quant_payload(scratch, hdr.count, true, buf)?;
+        }
+        _ => unreachable!("read_prologue admits only param-plane kinds"),
+    }
+    Ok(hdr.version)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded_params(n: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).max(1);
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    fn perturb(params: &[f32], magnitude: f32, seed: u64) -> Vec<f32> {
+        let noise = seeded_params(params.len(), seed);
+        params.iter().zip(&noise).map(|(p, n)| p + n * magnitude).collect()
+    }
+
+    #[test]
+    fn delta_f32_is_bit_lossless() {
+        let base = seeded_params(10_000, 1);
+        let mut params = perturb(&base, 1e-3, 2);
+        // Adversarial bit patterns: NaN, infinities, signed zero, denormals.
+        params[0] = f32::NAN;
+        params[1] = f32::INFINITY;
+        params[2] = f32::NEG_INFINITY;
+        params[3] = -0.0;
+        params[4] = f32::from_bits(1); // smallest denormal
+        let body = encode_delta_f32(7, 6, &params, &base);
+        assert_eq!(
+            peek_frame(&body).unwrap(),
+            ParamFrameHeader {
+                kind: CompressionKind::DeltaF32,
+                version: 7,
+                base_version: 6,
+                count: params.len()
+            }
+        );
+        let mut buf = base.clone();
+        let mut scratch = Vec::new();
+        let v = apply_frame(&body, 6, &mut buf, &mut scratch).unwrap();
+        assert_eq!(v, 7);
+        for (got, want) in buf.iter().zip(&params) {
+            assert_eq!(got.to_bits(), want.to_bits(), "reconstruction must be bit-exact");
+        }
+    }
+
+    #[test]
+    fn delta_f32_of_small_update_is_much_smaller_than_full() {
+        let base = seeded_params(100_000, 3);
+        let params = perturb(&base, 1e-4, 4);
+        let body = encode_delta_f32(2, 1, &params, &base);
+        let full = params.len() * 4;
+        // Dense uniform noise flips every low-mantissa byte, so only the
+        // sign/exponent/high-mantissa planes compress: ~1.7-1.8x. Real SGD
+        // updates are more structured; quantized-delta covers the >=3x goal.
+        assert!(
+            body.len() * 3 < full * 2,
+            "delta of a small update should compress >1.5x (got {} of {} bytes)",
+            body.len(),
+            full
+        );
+    }
+
+    #[test]
+    fn quantized_i8_error_is_bounded_per_group() {
+        let params = seeded_params(10_000, 5);
+        let mut recon = Vec::new();
+        let body = encode_quantized_i8(3, &params, &mut recon);
+        // Receiver reconstruction matches the encoder's bit-for-bit.
+        let mut buf = Vec::new();
+        let mut scratch = Vec::new();
+        let v = apply_frame(&body, 0, &mut buf, &mut scratch).unwrap();
+        assert_eq!(v, 3);
+        assert_eq!(buf.len(), params.len());
+        for (got, want) in buf.iter().zip(&recon) {
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+        // |v - recon| <= scale/2 per group, scale = max|v|/127.
+        for (g, group) in params.chunks(QUANT_GROUP).enumerate() {
+            let max_abs = group.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+            let bound = max_abs / 127.0 * 0.5 + 1e-6;
+            for (i, v) in group.iter().enumerate() {
+                let err = (v - buf[g * QUANT_GROUP + i]).abs();
+                assert!(err <= bound, "group {g} elem {i}: err {err} > bound {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn delta_quantized_round_trips_deterministically() {
+        let base = seeded_params(5_000, 6);
+        let params = perturb(&base, 1e-3, 7);
+        let deltas: Vec<f32> = params.iter().zip(&base).map(|(p, b)| p - b).collect();
+        let mut recon_d = Vec::new();
+        let body = encode_delta_quantized_i8(9, 8, &deltas, &mut recon_d);
+        // Encoder-side full reconstruction: base + dequantized delta.
+        let encoder_recon: Vec<f32> = base.iter().zip(&recon_d).map(|(b, d)| b + d).collect();
+        let mut buf = base.clone();
+        let mut scratch = Vec::new();
+        let v = apply_frame(&body, 8, &mut buf, &mut scratch).unwrap();
+        assert_eq!(v, 9);
+        for (got, want) in buf.iter().zip(&encoder_recon) {
+            assert_eq!(got.to_bits(), want.to_bits(), "both sides must agree bit-exactly");
+        }
+        // And the small-delta stream compresses well below full f32.
+        assert!(body.len() * 3 < params.len() * 4, "delta-quant ≥3x smaller, got {}", body.len());
+    }
+
+    #[test]
+    fn base_and_count_mismatches_are_typed_errors() {
+        let base = seeded_params(128, 8);
+        let params = perturb(&base, 1e-3, 9);
+        let body = encode_delta_f32(5, 4, &params, &base);
+        let mut scratch = Vec::new();
+        let mut buf = base.clone();
+        assert_eq!(
+            apply_frame(&body, 3, &mut buf, &mut scratch),
+            Err(ParamCodecError::BaseMismatch { base: 4, held: 3 })
+        );
+        let mut short = base[..100].to_vec();
+        assert_eq!(
+            apply_frame(&body, 4, &mut short, &mut scratch),
+            Err(ParamCodecError::CountMismatch { declared: 128, held: 100 })
+        );
+        // Errors left the buffer untouched.
+        assert_eq!(buf, base);
+    }
+
+    #[test]
+    fn truncated_and_hostile_frames_never_panic() {
+        let base = seeded_params(512, 10);
+        let params = perturb(&base, 1e-3, 11);
+        let body = encode_delta_f32(2, 1, &params, &base);
+        let mut scratch = Vec::new();
+        for cut in 0..body.len().min(64) {
+            let mut buf = base.clone();
+            assert!(apply_frame(&body[..cut], 1, &mut buf, &mut scratch).is_err());
+        }
+        // A transport kind byte in a param frame is a typed error.
+        let mut fake = body.clone();
+        fake[0] = CompressionKind::Lz4Chunked.discriminant();
+        assert!(matches!(
+            peek_frame(&fake),
+            Err(ParamCodecError::NotParamPlane(CompressionKind::Lz4Chunked))
+        ));
+        // Unknown discriminants are typed errors too.
+        fake[0] = 0xEE;
+        assert!(matches!(peek_frame(&fake), Err(ParamCodecError::Decode(DecodeError::InvalidTag(0xEE)))));
+    }
+
+    #[test]
+    fn empty_parameter_vector_round_trips() {
+        let body = encode_delta_f32(1, 0, &[], &[]);
+        let mut buf = Vec::new();
+        let mut scratch = Vec::new();
+        assert_eq!(apply_frame(&body, 0, &mut buf, &mut scratch), Ok(1));
+        assert!(buf.is_empty());
+        let mut recon = Vec::new();
+        let body = encode_quantized_i8(1, &[], &mut recon);
+        assert_eq!(apply_frame(&body, 0, &mut buf, &mut scratch), Ok(1));
+    }
+}
