@@ -53,6 +53,14 @@ echo "== param-plane gate: fanout-256 cross-machine broadcast bytes =="
 # baseline by >= 3x on the simulated wire (EXPERIMENTS.md, parameter plane).
 cargo run --release -p xt-bench --bin paramplane -- --rounds 12 --no-reward --gate 3
 
+echo "== multi-learner gate: fanout-256 sync allreduce shard scaling =="
+# Splitting the fixed 4-slot round across 2 learner shards must deliver
+# >= 1.6x the 1-shard aggregate gradient throughput (bit-identical params
+# across 1/2/4 shards asserted inside), and the relaxed delta gossip must
+# actually skip uploads (comm.grad_skips > 0). The stage summary exports
+# learn.allreduce_ns and comm.grad_skips.
+cargo run --release -p xt-bench --bin multilearner -- --gate 1.6
+
 echo "== chaos smoke: seeded kill-one-explorer run on the virtual clock =="
 # Deterministic fault plan (seed 42): one explorer killed mid-run in a
 # 2-machine deployment, detected by heartbeat silence, respawned, zero

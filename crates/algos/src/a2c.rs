@@ -314,6 +314,11 @@ impl Algorithm for A2cAlgorithm {
         self.version
     }
 
+    fn adopt_params(&mut self, params: &[f32], version: u64) {
+        self.load_params(params);
+        self.version = version;
+    }
+
     fn sync_mode(&self) -> SyncMode {
         SyncMode::OnPolicy
     }

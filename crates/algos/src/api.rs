@@ -9,7 +9,7 @@
 //! every framework runs byte-identical algorithm logic and differs only in
 //! communication management.
 
-use crate::payload::{ParamBlob, RolloutBatch};
+use crate::payload::{ParamBlob, RolloutBatch, RolloutStep};
 
 /// How the learner and explorers synchronize.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +71,18 @@ pub trait Algorithm: Send {
     /// Current parameter version.
     fn version(&self) -> u64;
 
+    /// Like [`Algorithm::load_params`], but also jumps the version counter —
+    /// used when an algorithm *adopts* another replica's state wholesale: a
+    /// learner restored from a checkpoint, or a respawned learner shard
+    /// taking a peer's parameter snapshot to rejoin the ring. Without the
+    /// version jump the adopter would restart at version 0, its broadcasts
+    /// would look stale to every explorer, and relaxed-mode skew gating
+    /// would shed its gossip forever.
+    fn adopt_params(&mut self, params: &[f32], version: u64) {
+        self.load_params(params);
+        let _ = version;
+    }
+
     /// Hands the algorithm a telemetry handle so it can publish per-stage
     /// timings (e.g. DQN's `learn.sample_ns`) into the same registry as the
     /// framework's channel stages. The default keeps algorithms
@@ -82,6 +94,55 @@ pub trait Algorithm: Send {
 
     /// Human-readable algorithm name.
     fn name(&self) -> &str;
+
+    /// Access to the lockstep multi-shard training surface, when the
+    /// algorithm supports the deterministic cross-learner allreduce. The
+    /// default opts out (sharded deployments then require the relaxed
+    /// delta-exchange mode, which works through plain
+    /// [`Algorithm::param_blob`] / [`Algorithm::load_params`]).
+    fn sharded_sync(&mut self) -> Option<&mut dyn ShardedSync> {
+        None
+    }
+}
+
+/// The lockstep surface a sharded sync-allreduce learner drives instead of
+/// [`Algorithm::try_train`].
+///
+/// One **round** replaces one training session: the round's global batch is
+/// partitioned into a fixed number of *gradient slots* (independent of the
+/// shard count; see `xingtian::allreduce`), each shard computes one raw
+/// pre-optimizer gradient per owned slot, the slot gradients are allgathered
+/// and folded in slot order, and exactly one optimizer step applies the fold.
+/// Because every float operation happens in the same order regardless of how
+/// slots were distributed, the same seed produces bit-identical parameters
+/// for every legal shard count.
+pub trait ShardedSync {
+    /// Rows in one slot minibatch (the global round batch is
+    /// `slot_rows × GRAD_SLOTS`).
+    fn slot_rows(&self) -> usize;
+
+    /// Consumes one round credit when enough data is staged (warmup met,
+    /// enough fresh inserts, replay large enough) — the sharded analogue of
+    /// the `try_train` gate. Returns false (consuming nothing) when a round
+    /// cannot start yet.
+    fn take_round_credit(&mut self) -> bool;
+
+    /// Samples one slot minibatch of [`Self::slot_rows`] transitions from
+    /// local storage into `out` (cleared first).
+    fn sample_slot(&mut self, out: &mut Vec<RolloutStep>);
+
+    /// Computes the raw gradient of `steps` at the current parameters into
+    /// `out` (resized to the parameter count), every element scaled by
+    /// `1 / global_rows`, and returns the loss contribution at the same
+    /// scale. No optimizer state is touched.
+    fn grad_on_steps(&mut self, steps: &[RolloutStep], global_rows: usize, out: &mut Vec<f32>)
+        -> f32;
+
+    /// Applies one optimizer step with the fully folded round gradient and
+    /// advances the session/version bookkeeping. `steps_represented` is the
+    /// round's global row count; `loss` the folded loss.
+    fn apply_reduced_grad(&mut self, grad: &[f32], steps_represented: usize, loss: f32)
+        -> TrainReport;
 }
 
 /// An action choice plus the behavior-policy side information the learner

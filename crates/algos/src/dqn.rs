@@ -14,7 +14,8 @@
 //! buffers, and after warmup a uniform-replay session performs zero heap
 //! allocations.
 
-use crate::api::{ActionSelection, Agent, Algorithm, SyncMode, TrainReport};
+use crate::api::{ActionSelection, Agent, Algorithm, ShardedSync, SyncMode, TrainReport};
+use crate::par::{ParGrad, Shard};
 use crate::payload::{ParamBlob, RolloutBatch, RolloutStep};
 use crate::sample::{InLearnerReplay, ReplayBackend, SampleSink};
 use rand::rngs::StdRng;
@@ -174,6 +175,37 @@ impl TrainBufs {
     }
 }
 
+/// Points a [`SampleSink`] at a `Vec<RolloutStep>`: the sharded-sync path
+/// materializes each gradient-slot minibatch as steps so the slot data can
+/// travel to peers (and so tests can inject identical slot data across shard
+/// counts).
+struct StepSink<'a> {
+    steps: &'a mut Vec<RolloutStep>,
+}
+
+impl SampleSink for StepSink<'_> {
+    fn push_transition(
+        &mut self,
+        observation: &[f32],
+        next_observation: Option<&[f32]>,
+        action: u32,
+        reward: f32,
+        done: bool,
+    ) {
+        self.steps.push(RolloutStep {
+            observation: observation.to_vec(),
+            action,
+            reward,
+            done,
+            behavior_logits: Vec::new(),
+            value: 0.0,
+            next_observation: next_observation.map(|o| o.to_vec()),
+        });
+    }
+
+    fn push_weight(&mut self, _weight: f32) {}
+}
+
 /// Points a [`SampleSink`] at the staging arena: every sampled transition
 /// lands in [`TrainBufs`] with one copy and no intermediate batch.
 struct StageSink<'a> {
@@ -198,6 +230,36 @@ impl SampleSink for StageSink<'_> {
     }
 }
 
+/// Bellman targets for the `n` staged transitions, written to `bufs.targets`.
+/// Standard DQN takes `max_a Q_target(s', a)`; Double DQN selects the action
+/// with the online network and evaluates it with the target network,
+/// decoupling selection from evaluation. Pure forward math — every learner
+/// shard holding the same parameters computes identical targets, which the
+/// sync allreduce's bit-identity guarantee relies on.
+fn bellman_targets(config: &DqnConfig, q: &Mlp, target: &Mlp, bufs: &mut TrainBufs, n: usize) {
+    let TrainBufs { next_obs, rewards, dones, targets, tgt_ws, online_ws, .. } = bufs;
+    let na = config.num_actions;
+    targets.clear();
+    let next_q_target = target.forward_ws(next_obs, n, tgt_ws);
+    let next_q_online = config.double.then(|| q.forward_ws(next_obs, n, online_ws));
+    for i in 0..n {
+        if dones[i] {
+            targets.push(rewards[i]);
+            continue;
+        }
+        let bootstrap = match &next_q_online {
+            Some(online) => {
+                let a_star = argmax(&online[i * na..(i + 1) * na]);
+                next_q_target[i * na + a_star]
+            }
+            None => {
+                next_q_target[i * na..(i + 1) * na].iter().cloned().fold(f32::NEG_INFINITY, f32::max)
+            }
+        };
+        targets.push(rewards[i] + config.gamma * bootstrap);
+    }
+}
+
 /// Learner-side DQN: replay backend (in-learner or store-resident), online
 /// and target Q networks.
 pub struct DqnAlgorithm {
@@ -217,6 +279,8 @@ pub struct DqnAlgorithm {
     spent: Vec<RolloutBatch>,
     /// `learn.sample_ns`: time to gather a sampled minibatch into the arena.
     sample_hist: HistogramHandle,
+    /// Fixed-order sharded gradient engine for the multi-learner slot path.
+    par: ParGrad,
 }
 
 impl DqnAlgorithm {
@@ -256,6 +320,7 @@ impl DqnAlgorithm {
             rng,
             spent: Vec::new(),
             sample_hist: HistogramHandle::default(),
+            par: ParGrad::new(),
         }
     }
 
@@ -295,46 +360,9 @@ impl DqnAlgorithm {
     /// `bufs.td` for re-prioritization. Allocation-free after warmup.
     fn train_staged(&mut self, n: usize, weighted: bool) -> TrainReport {
         let DqnAlgorithm { config, q, target, opt, bufs, sessions, version, .. } = self;
-        let TrainBufs {
-            obs,
-            next_obs,
-            actions,
-            rewards,
-            dones,
-            targets,
-            dout,
-            td,
-            grads,
-            weights,
-            q_ws,
-            tgt_ws,
-            online_ws,
-            ..
-        } = bufs;
+        bellman_targets(config, q, target, bufs, n);
+        let TrainBufs { obs, actions, targets, dout, td, grads, weights, q_ws, .. } = bufs;
         let na = config.num_actions;
-
-        // Bootstrap values: standard DQN takes max_a Q_target(s', a); Double
-        // DQN selects the action with the online network and evaluates it
-        // with the target network, decoupling selection from evaluation.
-        targets.clear();
-        let next_q_target = target.forward_ws(next_obs, n, tgt_ws);
-        let next_q_online = config.double.then(|| q.forward_ws(next_obs, n, online_ws));
-        for i in 0..n {
-            if dones[i] {
-                targets.push(rewards[i]);
-                continue;
-            }
-            let bootstrap = match &next_q_online {
-                Some(online) => {
-                    let a_star = argmax(&online[i * na..(i + 1) * na]);
-                    next_q_target[i * na + a_star]
-                }
-                None => {
-                    next_q_target[i * na..(i + 1) * na].iter().cloned().fold(f32::NEG_INFINITY, f32::max)
-                }
-            };
-            targets.push(rewards[i] + config.gamma * bootstrap);
-        }
 
         let q_values = q.forward_ws(obs, n, q_ws);
         let nf = n as f32;
@@ -445,12 +473,120 @@ impl Algorithm for DqnAlgorithm {
         self.version
     }
 
+    fn adopt_params(&mut self, params: &[f32], version: u64) {
+        self.load_params(params);
+        self.version = version;
+    }
+
     fn sync_mode(&self) -> SyncMode {
         SyncMode::OffPolicy
     }
 
     fn name(&self) -> &str {
         "DQN"
+    }
+
+    fn sharded_sync(&mut self) -> Option<&mut dyn ShardedSync> {
+        Some(self)
+    }
+}
+
+impl ShardedSync for DqnAlgorithm {
+    fn slot_rows(&self) -> usize {
+        self.config.batch_size
+    }
+
+    fn take_round_credit(&mut self) -> bool {
+        let total_inserted = self.backend.total_inserted();
+        if total_inserted < self.config.warmup_steps
+            || total_inserted - self.inserts_consumed < self.config.train_every_inserts
+            || self.backend.len() < self.config.batch_size
+        {
+            return false;
+        }
+        self.inserts_consumed += self.config.train_every_inserts;
+        true
+    }
+
+    fn sample_slot(&mut self, out: &mut Vec<RolloutStep>) {
+        out.clear();
+        let DqnAlgorithm { config, backend, rng, .. } = self;
+        let mut sink = StepSink { steps: out };
+        // Slot sampling is uniform: prioritized weights depend on each
+        // shard's private TD history and would break slot interchangeability
+        // (DeploymentConfig::validate rejects prioritized + sync shards).
+        backend.sample_uniform(config.batch_size, rng, &mut sink);
+    }
+
+    fn grad_on_steps(
+        &mut self,
+        steps: &[RolloutStep],
+        global_rows: usize,
+        out: &mut Vec<f32>,
+    ) -> f32 {
+        let n = steps.len();
+        assert!(n > 0, "cannot take a gradient of an empty slot");
+        assert!(global_rows >= n, "global rows cover the slot");
+        let dim = self.config.obs_dim;
+        self.bufs.clear();
+        for s in steps {
+            self.bufs.stage(s, dim);
+        }
+        let DqnAlgorithm { config, q, target, bufs, par, .. } = self;
+        bellman_targets(config, q, target, bufs, n);
+        let na = config.num_actions;
+        let nparams = q.num_params();
+        out.resize(nparams, 0.0);
+        let obs = &bufs.obs;
+        let actions = &bufs.actions;
+        let targets = &bufs.targets;
+        let scale = 1.0 / global_rows as f32;
+        let q_ref: &Mlp = q;
+        // ParGrad's fixed-order reduction keeps the slot gradient bitwise
+        // stable for any worker count; the slot batch (≤ 64 rows) runs the
+        // single-shard short circuit, writing straight into `out`.
+        par.run(None, n, &mut [], 0, Some(&mut out[..nparams]), |rows, _o, shard, g| {
+            let m = rows.len();
+            let obs_rows = &obs[rows.start * dim..rows.end * dim];
+            let Shard { ws_a, scratch, .. } = shard;
+            if scratch.len() < m * na {
+                scratch.resize(m * na, 0.0);
+            }
+            let dout = &mut scratch[..m * na];
+            dout.fill(0.0);
+            let q_values = q_ref.forward_ws(obs_rows, m, ws_a);
+            let mut loss = 0.0f32;
+            for (j, i) in rows.clone().enumerate() {
+                let a = actions[i] as usize;
+                let diff = q_values[j * na + a] - targets[i];
+                loss += diff * diff * scale;
+                dout[j * na + a] = 2.0 * diff * scale;
+            }
+            q_ref.backward_ws(obs_rows, m, dout, ws_a, g);
+            loss
+        })
+    }
+
+    fn apply_reduced_grad(
+        &mut self,
+        grad: &[f32],
+        steps_represented: usize,
+        loss: f32,
+    ) -> TrainReport {
+        let DqnAlgorithm { config, q, target, opt, sessions, version, .. } = self;
+        assert_eq!(grad.len(), q.num_params(), "reduced gradient width");
+        opt.step(q.params_mut(), grad);
+        *sessions += 1;
+        *version += 1;
+        if sessions.is_multiple_of(config.target_sync_every) {
+            target.set_params(q.params());
+        }
+        let notify = if sessions.is_multiple_of(config.broadcast_every) {
+            (0..config.num_explorers).collect()
+        } else {
+            Vec::new()
+        };
+        TrainReport { steps_consumed: steps_represented, loss, version: *version, notify }
     }
 }
 
@@ -678,6 +814,75 @@ mod tests {
         let r2 = b.train_staged(8, false);
         assert_eq!(report.loss, r2.loss);
         assert_eq!(a.q.params(), b.q.params(), "entry points share update math");
+    }
+
+    #[test]
+    fn sharded_round_credit_mirrors_try_train_gate() {
+        let mut alg = DqnAlgorithm::new(tiny_config());
+        alg.on_rollout(batch(39));
+        assert!(!alg.take_round_credit(), "warmup not met");
+        alg.on_rollout(batch(9));
+        assert!(alg.take_round_credit());
+        // 48 inserts at one credit per 4 = 12 credits total, 11 left.
+        for _ in 0..11 {
+            assert!(alg.take_round_credit());
+        }
+        assert!(!alg.take_round_credit(), "credits exhausted");
+    }
+
+    #[test]
+    fn slot_gradient_is_pure_and_reproducible() {
+        let mut alg = DqnAlgorithm::new(tiny_config());
+        let steps: Vec<RolloutStep> =
+            (0..8).map(|i| transition(i as f32 % 2.0, i % 3 == 2)).collect();
+        let v0 = alg.version();
+        let params0 = alg.q.params().to_vec();
+        let (mut g1, mut g2) = (Vec::new(), Vec::new());
+        let l1 = alg.grad_on_steps(&steps, 32, &mut g1);
+        let l2 = alg.grad_on_steps(&steps, 32, &mut g2);
+        assert_eq!(l1.to_bits(), l2.to_bits(), "loss reproducible");
+        let bits1: Vec<u32> = g1.iter().map(|f| f.to_bits()).collect();
+        let bits2: Vec<u32> = g2.iter().map(|f| f.to_bits()).collect();
+        assert_eq!(bits1, bits2, "gradient reproducible");
+        assert_eq!(alg.version(), v0, "no optimizer state touched");
+        assert_eq!(alg.q.params(), &params0[..], "parameters untouched");
+        assert_eq!(g1.len(), alg.q.num_params());
+    }
+
+    #[test]
+    fn sharded_round_applies_one_update_per_round() {
+        // Drive two full rounds through the sharded surface: sample four
+        // slots, fold their gradients flat, apply once. Version advances by
+        // one per round and the parameters move.
+        let mut alg = DqnAlgorithm::new(tiny_config());
+        alg.on_rollout(batch(60));
+        let params0 = alg.q.params().to_vec();
+        for round in 1..=2u64 {
+            assert!(alg.take_round_credit());
+            let mut folded: Vec<f32> = Vec::new();
+            let mut loss = 0.0f32;
+            let mut slot = Vec::new();
+            let global = 4 * alg.slot_rows();
+            for _ in 0..4 {
+                alg.sample_slot(&mut slot);
+                assert_eq!(slot.len(), alg.slot_rows());
+                let mut g = Vec::new();
+                loss += alg.grad_on_steps(&slot, global, &mut g);
+                if folded.is_empty() {
+                    folded = g;
+                } else {
+                    for (a, b) in folded.iter_mut().zip(&g) {
+                        *a += b;
+                    }
+                }
+            }
+            let report = alg.apply_reduced_grad(&folded, global, loss);
+            assert_eq!(report.version, round);
+            assert_eq!(report.steps_consumed, global);
+            assert!(report.loss.is_finite());
+        }
+        assert_ne!(alg.q.params(), &params0[..], "parameters moved");
+        assert_eq!(alg.sessions(), 2);
     }
 
     #[test]

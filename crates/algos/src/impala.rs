@@ -389,6 +389,11 @@ impl Algorithm for ImpalaAlgorithm {
         self.version
     }
 
+    fn adopt_params(&mut self, params: &[f32], version: u64) {
+        self.load_params(params);
+        self.version = version;
+    }
+
     fn sync_mode(&self) -> SyncMode {
         SyncMode::OffPolicy
     }

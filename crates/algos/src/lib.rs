@@ -44,7 +44,7 @@ pub mod sumtree;
 pub mod vtrace;
 
 pub use a2c::{A2cAgent, A2cAlgorithm, A2cConfig};
-pub use api::{ActionSelection, Agent, Algorithm, SyncMode, TrainReport};
+pub use api::{ActionSelection, Agent, Algorithm, ShardedSync, SyncMode, TrainReport};
 pub use dqn::{DqnAgent, DqnAlgorithm, DqnConfig};
 pub use impala::{ImpalaAgent, ImpalaAlgorithm, ImpalaConfig};
 pub use lazy::{GradBlob, LazyGradConfig, LazyGradGate};

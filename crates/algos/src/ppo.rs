@@ -294,6 +294,11 @@ impl Algorithm for PpoAlgorithm {
         self.version
     }
 
+    fn adopt_params(&mut self, params: &[f32], version: u64) {
+        self.load_params(params);
+        self.version = version;
+    }
+
     fn sync_mode(&self) -> SyncMode {
         SyncMode::OnPolicy
     }

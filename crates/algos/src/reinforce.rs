@@ -226,6 +226,11 @@ impl Algorithm for ReinforceAlgorithm {
         self.version
     }
 
+    fn adopt_params(&mut self, params: &[f32], version: u64) {
+        self.load_params(params);
+        self.version = version;
+    }
+
     fn sync_mode(&self) -> SyncMode {
         // Explorers keep rolling: REINFORCE tolerates mild lag in practice
         // because parameters are broadcast after every session; blocking

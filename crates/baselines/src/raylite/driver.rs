@@ -225,6 +225,7 @@ pub fn run_raylite_with_telemetry(
         train_sessions: driver.train_sessions,
         mean_train_time,
         final_params: Vec::new(),
+        learner_shard_params: Vec::new(),
         replay: None,
     })
 }

@@ -1,0 +1,187 @@
+//! Relaxed explorer→learner-shard assignment (ROADMAP item 2).
+//!
+//! With a single learner every rollout's destination is the fixed
+//! `ProcessId::learner(0)`, resolved once when the deployment is built. With
+//! sharded learners that coupling breaks twice over: rollouts must spread
+//! across shards, and a respawned shard must keep receiving the traffic its
+//! predecessor owned. The [`AssignmentTable`] is the indirection that fixes
+//! both — a shared map from explorer index to owning learner shard that
+//! explorers re-read *per rollout send* and learner shards re-read *per
+//! parameter broadcast*.
+//!
+//! The table is deliberately **relaxed** ("Highly Parallelized RL Training
+//! with Relaxed Assignment Dependencies", arXiv:2502.20190): readers take an
+//! unsynchronized snapshot, so a rebalance does not fence any sender. An
+//! explorer may address one more rollout to its old shard after a move; the
+//! old shard still ingests it (off-policy algorithms train on it, on-policy
+//! algorithms shed it through `Algorithm::take_spent`). The only invariants
+//! are that every explorer always has exactly one owner and that ownership
+//! slices stay disjoint — which keeps each shard's `ParamBroadcaster`
+//! base-ring private to the explorers it owns.
+
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use xingtian_message::ProcessId;
+
+/// Shared explorer→learner-shard ownership map.
+///
+/// Cloneable-by-`Arc` by callers; all methods take `&self`.
+#[derive(Debug)]
+pub struct AssignmentTable {
+    /// `owner[e]` = learner shard owning explorer `e`.
+    owner: RwLock<Vec<u32>>,
+    /// Bumped on every rebalance; readers can cheaply detect staleness.
+    epoch: AtomicU64,
+    shards: u32,
+}
+
+impl AssignmentTable {
+    /// The initial contiguous assignment: explorer `e` belongs to shard
+    /// `e * shards / num_explorers`, giving every shard a contiguous slice
+    /// whose sizes differ by at most one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0` or `num_explorers < shards`.
+    pub fn contiguous(num_explorers: u32, shards: u32) -> Self {
+        assert!(shards > 0, "at least one learner shard");
+        assert!(num_explorers >= shards, "every shard needs an explorer");
+        let owner = (0..num_explorers)
+            .map(|e| ((e as u64 * shards as u64) / num_explorers as u64) as u32)
+            .collect();
+        AssignmentTable { owner: RwLock::new(owner), epoch: AtomicU64::new(0), shards }
+    }
+
+    /// Number of learner shards the table spreads over.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// Number of explorers in the table.
+    pub fn num_explorers(&self) -> u32 {
+        self.owner.read().len() as u32
+    }
+
+    /// The shard currently owning `explorer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `explorer` is out of range.
+    pub fn shard_of(&self, explorer: u32) -> u32 {
+        self.owner.read()[explorer as usize]
+    }
+
+    /// The learner-shard ProcessId rollouts from `explorer` should address
+    /// *right now*. Stable across shard respawns: a restored shard re-binds
+    /// the same `ProcessId::learner(s)` endpoint, so senders never need to
+    /// learn about the respawn.
+    pub fn rollout_dst(&self, explorer: u32) -> ProcessId {
+        ProcessId::learner(self.shard_of(explorer))
+    }
+
+    /// Explorer indices currently owned by `shard`, ascending.
+    pub fn owned(&self, shard: u32) -> Vec<u32> {
+        self.owner
+            .read()
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s == shard)
+            .map(|(e, _)| e as u32)
+            .collect()
+    }
+
+    /// Current rebalance epoch (0 until the first [`Self::rebalance`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Moves up to `count` explorers from `from` to `to` (backpressure
+    /// relief: a shard whose ingest queue is growing sheds owners to an idle
+    /// peer). Returns the explorers actually moved. The move is atomic with
+    /// respect to other rebalances but intentionally *not* with respect to
+    /// readers — in-flight rollouts keep their already-resolved destination.
+    pub fn rebalance(&self, from: u32, to: u32, count: usize) -> Vec<u32> {
+        if from == to || count == 0 || to >= self.shards {
+            return Vec::new();
+        }
+        let mut owner = self.owner.write();
+        // Donate from the high end of the slice so the remaining owners stay
+        // contiguous-ish and a later move in the other direction undoes this
+        // one first.
+        let moved: Vec<u32> = owner
+            .iter()
+            .enumerate()
+            .rev()
+            .filter(|&(_, &s)| s == from)
+            .take(count.min(owner.len()))
+            .map(|(e, _)| e as u32)
+            .collect();
+        // Never strip a shard of its last explorer: a shard that owns nobody
+        // would stop receiving rollouts entirely and stall the sync ring.
+        let donor_size = owner.iter().filter(|&&s| s == from).count();
+        let movable = donor_size.saturating_sub(1).min(moved.len());
+        let moved = &moved[..movable];
+        for &e in moved {
+            owner[e as usize] = to;
+        }
+        if !moved.is_empty() {
+            self.epoch.fetch_add(1, Ordering::Release);
+        }
+        moved.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_slices_are_balanced_and_disjoint() {
+        let t = AssignmentTable::contiguous(10, 4);
+        let sizes: Vec<usize> = (0..4).map(|s| t.owned(s).len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&n| n == 2 || n == 3), "balanced: {sizes:?}");
+        // Contiguous: each shard's owners form a run.
+        for s in 0..4 {
+            let owned = t.owned(s);
+            for w in owned.windows(2) {
+                assert_eq!(w[1], w[0] + 1, "shard {s} owns a contiguous slice");
+            }
+        }
+        assert_eq!(t.shard_of(0), 0);
+        assert_eq!(t.shard_of(9), 3);
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let t = AssignmentTable::contiguous(5, 1);
+        assert_eq!(t.owned(0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(t.rollout_dst(3), ProcessId::learner(0));
+    }
+
+    #[test]
+    fn rebalance_moves_ownership_and_bumps_epoch() {
+        let t = AssignmentTable::contiguous(8, 2);
+        assert_eq!(t.epoch(), 0);
+        let moved = t.rebalance(0, 1, 2);
+        assert_eq!(moved, vec![3, 2], "donates from the high end");
+        assert_eq!(t.epoch(), 1);
+        assert_eq!(t.owned(0), vec![0, 1]);
+        assert_eq!(t.owned(1), vec![2, 3, 4, 5, 6, 7]);
+        assert_eq!(t.rollout_dst(3), ProcessId::learner(1));
+    }
+
+    #[test]
+    fn rebalance_never_empties_a_shard() {
+        let t = AssignmentTable::contiguous(4, 2);
+        let moved = t.rebalance(0, 1, 99);
+        assert_eq!(moved.len(), 1, "one owner must stay behind");
+        assert_eq!(t.owned(0).len(), 1);
+        // No-op moves do not bump the epoch.
+        let epoch = t.epoch();
+        assert!(t.rebalance(0, 1, 99).is_empty());
+        assert_eq!(t.epoch(), epoch);
+        assert!(t.rebalance(0, 0, 5).is_empty());
+        assert!(t.rebalance(0, 7, 5).is_empty(), "unknown target shard");
+    }
+}

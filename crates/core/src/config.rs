@@ -78,6 +78,40 @@ pub enum ReplayPlacement {
     StoreResident,
 }
 
+/// How learner shards exchange gradients when `learner_shards > 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum AllreduceMode {
+    /// Deterministic lockstep: every shard contributes its slice of the
+    /// round's fixed gradient-slot partition, all shards reduce the slots in
+    /// the same fixed order, and one optimizer step is applied per round.
+    /// Same seed → bit-identical parameters for 1, 2, and 4 shards.
+    #[default]
+    Sync,
+    /// Stale-tolerant delta exchange: each shard trains locally and gossips
+    /// parameter deltas through a [`xingtian_algos::LazyGradGate`]; deltas
+    /// arriving with too much version skew are shed. Trades the bitwise
+    /// determinism story for near-linear throughput scaling.
+    Relaxed,
+}
+
+impl AllreduceMode {
+    /// Stable lowercase name (telemetry / bench table labels).
+    pub const fn name(self) -> &'static str {
+        match self {
+            AllreduceMode::Sync => "sync",
+            AllreduceMode::Relaxed => "relaxed",
+        }
+    }
+}
+
+// Referenced by `#[serde(default = "default_learner_shards")]`; the vendored
+// offline serde_derive expands derives to nothing, so without the allow the
+// compiler sees no caller.
+#[allow(dead_code)]
+fn default_learner_shards() -> usize {
+    1
+}
+
 /// Complete description of one XingTian deployment.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DeploymentConfig {
@@ -104,6 +138,16 @@ pub struct DeploymentConfig {
     /// Where DQN's replay buffer lives (ignored by on-policy algorithms).
     #[serde(default)]
     pub replay: ReplayPlacement,
+    /// Number of learner shards. 1 runs the classic single-learner process;
+    /// more than 1 splits the learner across shards that each own a slice
+    /// of the explorer pool (via the relaxed assignment table) and exchange
+    /// gradients per [`AllreduceMode`]. All shards run on `learner_machine`.
+    #[serde(default = "default_learner_shards")]
+    pub learner_shards: usize,
+    /// Gradient-exchange discipline between learner shards (ignored when
+    /// `learner_shards == 1`).
+    #[serde(default)]
+    pub allreduce: AllreduceMode,
     /// Steps per rollout message (paper: 200 for CartPole, 500 for Atari).
     pub rollout_len: usize,
     /// Stop once the learner has consumed this many rollout steps.
@@ -133,6 +177,8 @@ impl DeploymentConfig {
             step_latency_us: None,
             algorithm,
             replay: ReplayPlacement::InLearner,
+            learner_shards: 1,
+            allreduce: AllreduceMode::Sync,
             rollout_len: 200,
             goal_steps: 100_000,
             max_seconds: 600.0,
@@ -154,6 +200,8 @@ impl DeploymentConfig {
             step_latency_us: None,
             algorithm,
             replay: ReplayPlacement::InLearner,
+            learner_shards: 1,
+            allreduce: AllreduceMode::Sync,
             rollout_len: 500,
             goal_steps: 200_000,
             max_seconds: 3600.0,
@@ -227,6 +275,20 @@ impl DeploymentConfig {
         self
     }
 
+    /// Shards the learner across `shards` threads (builder style). Shard `s`
+    /// owns a contiguous slice of the explorer pool through the assignment
+    /// table and participates in the cross-learner gradient exchange.
+    pub fn with_learner_shards(mut self, shards: usize) -> Self {
+        self.learner_shards = shards;
+        self
+    }
+
+    /// Selects the cross-shard gradient-exchange mode (builder style).
+    pub fn with_allreduce(mut self, mode: AllreduceMode) -> Self {
+        self.allreduce = mode;
+        self
+    }
+
     /// Spreads explorers across `machines` machines (equal split, remainder on
     /// the earliest machines) and sizes the cluster accordingly.
     pub fn spread_across(mut self, machines: usize) -> Self {
@@ -293,6 +355,49 @@ impl DeploymentConfig {
                 self.algorithm.name()
             ));
         }
+        if self.learner_shards == 0 {
+            return Err("learner_shards must be positive".into());
+        }
+        if self.learner_shards > 1 {
+            // The sync allreduce partitions each round into a fixed number of
+            // gradient slots (crate::allreduce::GRAD_SLOTS = 4) that the shard
+            // count must divide, or slot ownership would differ across counts
+            // and the cross-count bit-identity guarantee would not hold.
+            if !matches!(self.learner_shards, 2 | 4) {
+                return Err(format!(
+                    "learner_shards must be 1, 2, or 4 (got {}): the sync \
+                     allreduce partitions rounds into 4 fixed gradient slots",
+                    self.learner_shards
+                ));
+            }
+            if self.learner_shards > self.total_explorers() as usize {
+                return Err(format!(
+                    "{} learner shards need at least as many explorers (got {})",
+                    self.learner_shards,
+                    self.total_explorers()
+                ));
+            }
+            if self.allreduce == AllreduceMode::Sync {
+                match &self.algorithm {
+                    AlgorithmSpec::Dqn(c) if c.prioritized.is_none() => {}
+                    AlgorithmSpec::Dqn(_) => {
+                        return Err("sync allreduce requires uniform replay: priority \
+                                    weights are shard-private and would break slot \
+                                    interchangeability; use AllreduceMode::Relaxed"
+                            .into());
+                    }
+                    _ => {
+                        return Err(format!(
+                            "sync allreduce requires DQN (got {}); use AllreduceMode::Relaxed",
+                            self.algorithm.name()
+                        ));
+                    }
+                }
+            }
+            if self.replay == ReplayPlacement::StoreResident {
+                return Err("store-resident replay supports a single learner shard".into());
+            }
+        }
         Ok(())
     }
 }
@@ -338,6 +443,36 @@ mod tests {
         assert!(ok.validate().is_ok());
         let bad = DeploymentConfig::cartpole(AlgorithmSpec::ppo(), 2).with_store_resident_replay();
         assert!(bad.validate().unwrap_err().contains("requires DQN"));
+    }
+
+    #[test]
+    fn learner_shard_validation() {
+        let ok = DeploymentConfig::cartpole(AlgorithmSpec::dqn(), 4).with_learner_shards(2);
+        assert!(ok.validate().is_ok());
+        let ok4 = DeploymentConfig::cartpole(AlgorithmSpec::dqn(), 8)
+            .with_learner_shards(4)
+            .with_allreduce(AllreduceMode::Relaxed);
+        assert!(ok4.validate().is_ok());
+        // Shard counts outside {1, 2, 4} break the fixed-slot partition.
+        let bad = DeploymentConfig::cartpole(AlgorithmSpec::dqn(), 8).with_learner_shards(3);
+        assert!(bad.validate().unwrap_err().contains("gradient slots"));
+        let zero = DeploymentConfig::cartpole(AlgorithmSpec::dqn(), 8).with_learner_shards(0);
+        assert!(zero.validate().is_err());
+        // Sync lockstep is DQN-only; relaxed delta exchange takes any algorithm.
+        let sync_ppo = DeploymentConfig::cartpole(AlgorithmSpec::ppo(), 4).with_learner_shards(2);
+        assert!(sync_ppo.validate().unwrap_err().contains("requires DQN"));
+        let relaxed_ppo = DeploymentConfig::cartpole(AlgorithmSpec::ppo(), 4)
+            .with_learner_shards(2)
+            .with_allreduce(AllreduceMode::Relaxed);
+        assert!(relaxed_ppo.validate().is_ok());
+        // Each shard needs at least one explorer to own.
+        let starved = DeploymentConfig::cartpole(AlgorithmSpec::dqn(), 1).with_learner_shards(2);
+        assert!(starved.validate().unwrap_err().contains("at least as many explorers"));
+        // The store-resident replay plane still assumes one learner.
+        let replayed = DeploymentConfig::cartpole(AlgorithmSpec::dqn(), 4)
+            .with_learner_shards(2)
+            .with_store_resident_replay();
+        assert!(replayed.validate().unwrap_err().contains("single learner shard"));
     }
 
     #[test]

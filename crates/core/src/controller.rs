@@ -23,6 +23,9 @@ pub struct ControllerProcess {
     pub max_duration: Duration,
     /// Explorer count (for the shutdown broadcast).
     pub num_explorers: u32,
+    /// Learner-shard count (for the shutdown broadcast; the classic
+    /// deployments pass 1).
+    pub num_learner_shards: u32,
 }
 
 /// What the controller reports when the run ends.
@@ -72,9 +75,9 @@ impl ControllerProcess {
             }
         }
 
-        // Broadcast shutdown to the learner and every explorer.
+        // Broadcast shutdown to every learner shard and every explorer.
         let mut dst: Vec<ProcessId> = (0..self.num_explorers).map(ProcessId::explorer).collect();
-        dst.push(ProcessId::learner(0));
+        dst.extend((0..self.num_learner_shards.max(1)).map(ProcessId::learner));
         self.endpoint.send_to(dst, MessageKind::Control, Bytes::from(ControlCommand::Shutdown.to_bytes()));
 
         ControllerOutcome { learner_steps, explorer_steps, episode_returns, goal_reached }

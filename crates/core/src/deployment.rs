@@ -7,10 +7,12 @@
 //! the communication between them flows exclusively through the asynchronous
 //! channel, never through shared state.
 
+use crate::assignment::AssignmentTable;
 use crate::config::{AlgorithmSpec, DeploymentConfig, ReplayPlacement};
 use crate::controller::{ControllerOutcome, ControllerProcess};
-use crate::explorer::{ExplorerOutcome, ExplorerProcess};
+use crate::explorer::{ExplorerOutcome, ExplorerProcess, RolloutRoute};
 use crate::learner::{LearnerOutcome, LearnerProcess};
+use crate::shard::LearnerShardProcess;
 use crate::stats::{ReplayReport, RunReport};
 use gymlite::{AtariGame, CartPole, Environment, SynthAtari};
 use netsim::Cluster;
@@ -18,7 +20,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use xt_replay::{ReplayConfig, ReplayPlane, StoreResidentBackend};
-use xingtian_algos::api::{Agent, Algorithm};
+use xingtian_algos::api::{Agent, Algorithm, SyncMode};
 use xingtian_algos::{
     A2cAgent, A2cAlgorithm, DqnAgent, DqnAlgorithm, ImpalaAgent, ImpalaAlgorithm, PpoAgent,
     PpoAlgorithm, ReinforceAgent, ReinforceAlgorithm,
@@ -290,7 +292,10 @@ impl Deployment {
         // their routes to every peer broker live, so deployments can grow
         // (or restart processes) without re-running a table merge.
         connect_brokers(&brokers);
-        let learner_ep = brokers[config.learner_machine].endpoint(ProcessId::learner(0));
+        let shards = config.learner_shards as u32;
+        let mut learner_eps: Vec<_> = (0..shards.max(1))
+            .map(|s| brokers[config.learner_machine].endpoint(ProcessId::learner(s)))
+            .collect();
         let controller_ep = brokers[config.learner_machine].endpoint(ProcessId::controller(0));
         let explorer_eps: Vec<_> = (0..num_explorers)
             .map(|i| brokers[config.explorer_machine(i)].endpoint(ProcessId::explorer(i)))
@@ -312,44 +317,110 @@ impl Deployment {
             }
             None => None,
         };
-        let rollout_dst =
-            if plane.is_some() { ProcessId::replay(0) } else { ProcessId::learner(0) };
+        // Explorer→learner routing (the relaxed assignment dependency):
+        // rollouts follow the live table with sharded learners, so a
+        // rebalance or shard respawn redirects the next batch; the classic
+        // destinations stay resolved once.
+        let table = Arc::new(AssignmentTable::contiguous(num_explorers, shards.max(1)));
+        let route = if plane.is_some() {
+            RolloutRoute::Fixed(ProcessId::replay(0))
+        } else if shards > 1 {
+            RolloutRoute::Assigned(table.clone())
+        } else {
+            RolloutRoute::Fixed(ProcessId::learner(0))
+        };
 
-        let mut algorithm = build_algorithm_with_replay(
-            &config.algorithm,
-            obs_dim,
-            num_actions,
-            num_explorers,
-            config.rollout_len,
-            config.seed,
-            plane.as_ref(),
-        );
-        if let Some(params) = &config.initial_params {
-            algorithm.load_params(params);
-        }
-        let sync = algorithm.sync_mode();
-        let algo_name = algorithm.name().to_string();
-
-        let checkpointer = match &config.checkpoint {
-            Some(ckpt_config) => Some(
-                crate::checkpoint::Checkpointer::new(ckpt_config.clone())
-                    .map_err(|e| DeployError(format!("cannot set up checkpoints: {e}")))?,
-            ),
-            None => None,
+        let build_checkpointer = |subdir: Option<String>| -> Result<_, DeployError> {
+            match &config.checkpoint {
+                Some(ckpt_config) => {
+                    let mut ckpt_config = ckpt_config.clone();
+                    if let Some(sub) = subdir {
+                        ckpt_config.dir = ckpt_config.dir.join(sub);
+                    }
+                    crate::checkpoint::Checkpointer::new(ckpt_config)
+                        .map(Some)
+                        .map_err(|e| DeployError(format!("cannot set up checkpoints: {e}")))
+                }
+                None => Ok(None),
+            }
         };
         let start = Instant::now();
-        let rollout_latency_src = learner_ep.delivery_stats_arc();
+        let rollout_latency_src = learner_eps[0].delivery_stats_arc();
         let param_compression = config.comm.param_compression;
-        let learner_thread = spawn_process("xt-learner".into(), move || {
-            LearnerProcess {
-                endpoint: learner_ep,
-                algorithm,
-                checkpointer,
-                probe: None,
-                param_compression,
+        let sync;
+        let algo_name;
+        let mut learner_thread = None;
+        let mut shard_threads = Vec::new();
+        if shards > 1 {
+            // One algorithm replica per shard, all built from the same seed
+            // (identical initial parameters — the sync allreduce requires
+            // it), each sized to the explorer slice it owns.
+            let mut first: Option<(SyncMode, String)> = None;
+            for (s, endpoint) in learner_eps.drain(..).enumerate() {
+                let s = s as u32;
+                let owned = table.owned(s).len() as u32;
+                let mut algorithm = build_algorithm(
+                    &config.algorithm,
+                    obs_dim,
+                    num_actions,
+                    owned,
+                    config.rollout_len,
+                    config.seed,
+                );
+                if let Some(params) = &config.initial_params {
+                    algorithm.load_params(params);
+                }
+                if first.is_none() {
+                    first = Some((algorithm.sync_mode(), algorithm.name().to_string()));
+                }
+                let checkpointer = build_checkpointer(Some(format!("shard{s}")))?;
+                let (table, mode) = (table.clone(), config.allreduce);
+                let handle = spawn_process(format!("xt-learner-{s}"), move || {
+                    LearnerShardProcess {
+                        shard: s,
+                        endpoint,
+                        algorithm,
+                        table,
+                        mode,
+                        checkpointer,
+                        probe: None,
+                        param_compression,
+                    }
+                    .run()
+                })?;
+                shard_threads.push(handle);
             }
-            .run()
-        })?;
+            let (s, n) = first.expect("at least one shard");
+            sync = s;
+            algo_name = n;
+        } else {
+            let mut algorithm = build_algorithm_with_replay(
+                &config.algorithm,
+                obs_dim,
+                num_actions,
+                num_explorers,
+                config.rollout_len,
+                config.seed,
+                plane.as_ref(),
+            );
+            if let Some(params) = &config.initial_params {
+                algorithm.load_params(params);
+            }
+            sync = algorithm.sync_mode();
+            algo_name = algorithm.name().to_string();
+            let checkpointer = build_checkpointer(None)?;
+            let endpoint = learner_eps.pop().expect("one learner endpoint");
+            learner_thread = Some(spawn_process("xt-learner".into(), move || {
+                LearnerProcess {
+                    endpoint,
+                    algorithm,
+                    checkpointer,
+                    probe: None,
+                    param_compression,
+                }
+                .run()
+            })?);
+        }
 
         let mut explorer_threads = Vec::new();
         for (i, endpoint) in explorer_eps.into_iter().enumerate() {
@@ -371,6 +442,7 @@ impl Deployment {
                 i,
             );
             let rollout_len = config.rollout_len;
+            let route = route.clone();
             let handle = spawn_process(format!("xt-explorer-{i}"), move || {
                 ExplorerProcess {
                     index: i,
@@ -378,7 +450,7 @@ impl Deployment {
                     env,
                     agent,
                     rollout_len,
-                    rollout_dst,
+                    route,
                     sync,
                     probe: None,
                 }
@@ -392,11 +464,32 @@ impl Deployment {
             goal_steps: config.goal_steps,
             max_duration: Duration::from_secs_f64(config.max_seconds),
             num_explorers,
+            num_learner_shards: shards.max(1),
         };
         let controller_outcome: ControllerOutcome = controller.run();
 
-        let learner_outcome: LearnerOutcome =
-            learner_thread.join().map_err(|_| DeployError("learner thread panicked".into()))?;
+        // Join the learner side: the single classic learner, or every shard.
+        // The aggregate outcome sums work across shards; the report's
+        // timeline/wait views are shard 0's (one representative stream).
+        let mut learner_shard_params: Vec<Vec<f32>> = Vec::new();
+        let learner_outcome: LearnerOutcome = if let Some(t) = learner_thread {
+            t.join().map_err(|_| DeployError("learner thread panicked".into()))?
+        } else {
+            let mut outcomes: Vec<LearnerOutcome> = Vec::new();
+            for t in shard_threads {
+                outcomes.push(
+                    t.join().map_err(|_| DeployError("learner shard thread panicked".into()))?,
+                );
+            }
+            learner_shard_params = outcomes.iter().map(|o| o.final_params.clone()).collect();
+            let mut agg = outcomes.remove(0);
+            for o in outcomes {
+                agg.steps_consumed += o.steps_consumed;
+                agg.train_sessions += o.train_sessions;
+                agg.train_time += o.train_time;
+            }
+            agg
+        };
         let mut explorer_outcomes: Vec<ExplorerOutcome> = Vec::new();
         for t in explorer_threads {
             explorer_outcomes
@@ -453,6 +546,7 @@ impl Deployment {
             train_sessions: learner_outcome.train_sessions,
             mean_train_time,
             final_params: learner_outcome.final_params,
+            learner_shard_params,
             replay,
         })
     }

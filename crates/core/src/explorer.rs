@@ -8,9 +8,11 @@
 //! endpoint takes it from there, so transmission overlaps the very next
 //! environment step.
 
+use crate::assignment::AssignmentTable;
 use crate::messages::{ControlCommand, ParamAck, StatsMsg};
 use crate::parameters::{IngestOutcome, ParamReceiver};
 use bytes::Bytes;
+use std::sync::Arc;
 use gymlite::{Environment, EpisodeTracker};
 use xingtian_algos::api::{Agent, SyncMode};
 use xingtian_algos::payload::{RolloutBatch, RolloutStep};
@@ -21,6 +23,32 @@ use xingtian_message::{Header, MessageKind, ProcessId};
 /// How many rollout batches an explorer may have staged in its send buffer
 /// before it pauses generation (source-side flow control).
 pub const MAX_INFLIGHT_BATCHES: usize = 4;
+
+/// Where an explorer's rollout batches go.
+///
+/// The classic deployments froze one [`ProcessId`] at build time; with
+/// sharded learners the destination is re-read from the live
+/// [`AssignmentTable`] before *every* send, so a rebalance (or a learner
+/// shard respawning under supervision) redirects the very next batch without
+/// restarting the explorer.
+#[derive(Clone)]
+pub enum RolloutRoute {
+    /// Destination resolved once at deployment build (single learner, or the
+    /// store-resident replay shard).
+    Fixed(ProcessId),
+    /// Destination looked up per batch in the shared assignment table.
+    Assigned(Arc<AssignmentTable>),
+}
+
+impl RolloutRoute {
+    /// The destination for `explorer`'s next batch.
+    pub fn resolve(&self, explorer: u32) -> ProcessId {
+        match self {
+            RolloutRoute::Fixed(dst) => *dst,
+            RolloutRoute::Assigned(table) => table.rollout_dst(explorer),
+        }
+    }
+}
 
 /// Configuration of one explorer process.
 pub struct ExplorerProcess {
@@ -34,9 +62,9 @@ pub struct ExplorerProcess {
     pub agent: Box<dyn Agent>,
     /// Steps per rollout message.
     pub rollout_len: usize,
-    /// Where rollout batches go: the learner (classic), or a replay shard
-    /// (store-resident replay owns ingestion).
-    pub rollout_dst: ProcessId,
+    /// Where rollout batches go: a fixed destination (classic), or the live
+    /// assignment table (sharded learners).
+    pub route: RolloutRoute,
     /// The deployment's synchronization discipline.
     pub sync: SyncMode,
     /// Fault-injection kill switch, pulsed once per environment step
@@ -56,7 +84,6 @@ pub struct ExplorerOutcome {
 impl ExplorerProcess {
     /// Runs the explorer until the controller broadcasts shutdown.
     pub fn run(mut self) -> ExplorerOutcome {
-        let rollout_dst = self.rollout_dst;
         let controller = ProcessId::controller(0);
         let mut tracker = EpisodeTracker::new(100);
         // Parameter-plane decoder: the current reconstruction, updated in
@@ -133,9 +160,10 @@ impl ExplorerProcess {
                     bootstrap_observation: obs.clone(),
                 };
                 // Aggressive push: the message is staged and the workhorse
-                // keeps going; the sender thread transmits concurrently.
+                // keeps going; the sender thread transmits concurrently. The
+                // destination is resolved now, not at build time.
                 self.endpoint.send_to(
-                    vec![rollout_dst],
+                    vec![self.route.resolve(self.index)],
                     MessageKind::Rollout,
                     Bytes::from(batch.to_bytes()),
                 );

@@ -43,6 +43,8 @@
 //! println!("throughput: {:.0} steps/s", report.mean_throughput());
 //! ```
 
+pub mod allreduce;
+pub mod assignment;
 pub mod checkpoint;
 pub mod config;
 pub mod controller;
@@ -53,6 +55,7 @@ pub mod learner;
 pub mod messages;
 pub mod parameters;
 pub mod pbt;
+pub mod shard;
 pub mod stats;
 pub mod supervisor;
 

@@ -50,8 +50,13 @@ pub struct RunReport {
     pub train_sessions: u64,
     /// Mean training-session compute time.
     pub mean_train_time: Duration,
-    /// Final trained parameters (flat), for PBT weight inheritance.
+    /// Final trained parameters (flat), for PBT weight inheritance. With
+    /// sharded learners this is shard 0's parameters.
     pub final_params: Vec<f32>,
+    /// Final parameters of every learner shard, in shard order (empty for the
+    /// classic single-learner path). Under the sync allreduce all entries are
+    /// bit-identical — the determinism tests assert on exactly this.
+    pub learner_shard_params: Vec<Vec<f32>>,
     /// Store-resident replay plane measurements (`None` for in-learner
     /// replay and non-DQN algorithms).
     pub replay: Option<ReplayReport>,
@@ -166,6 +171,7 @@ mod tests {
             train_sessions: 0,
             mean_train_time: Duration::ZERO,
             final_params: Vec::new(),
+            learner_shard_params: Vec::new(),
             replay: None,
         };
         assert_eq!(report.final_return(2), Some(3.5));
@@ -188,6 +194,7 @@ mod tests {
             train_sessions: 1,
             mean_train_time: Duration::from_millis(5),
             final_params: Vec::new(),
+            learner_shard_params: Vec::new(),
             replay: None,
         };
         let dir = std::env::temp_dir().join(format!("xt-csv-{}", std::process::id()));

@@ -33,15 +33,17 @@
 //!   restored parameters are ordinary off-policy data, and spent batches are
 //!   shed through `Algorithm::take_spent` recycling as usual.
 
+use crate::assignment::AssignmentTable;
 use crate::checkpoint::load_latest;
 use crate::config::DeploymentConfig;
 use crate::controller::{ControllerOutcome, ControllerProcess};
 use crate::deployment::{
-    build_agent, build_algorithm_with_replay, build_env, build_replay_plane, spawn_process,
-    DeployError,
+    build_agent, build_algorithm, build_algorithm_with_replay, build_env, build_replay_plane,
+    spawn_process, DeployError,
 };
-use crate::explorer::{ExplorerOutcome, ExplorerProcess};
+use crate::explorer::{ExplorerOutcome, ExplorerProcess, RolloutRoute};
 use crate::learner::{LearnerOutcome, LearnerProcess};
+use crate::shard::LearnerShardProcess;
 use crate::stats::{ReplayReport, RunReport};
 use crate::Deployment;
 use bytes::Bytes;
@@ -103,8 +105,11 @@ pub struct RecoveryReport {
     /// Indices of explorers that were respawned, in respawn order (an index
     /// appears once per respawn).
     pub explorer_respawns: Vec<u32>,
-    /// How many times the learner was restored from checkpoint.
+    /// How many times a learner (any shard) was restored from checkpoint.
     pub learner_restores: u32,
+    /// Restore count per learner shard, in shard order (length 1 for the
+    /// classic single-learner deployment).
+    pub learner_shard_restores: Vec<u32>,
     /// Parameter version of the last checkpoint a learner restore loaded.
     pub restored_param_version: Option<u64>,
     /// Liveness transitions the failure detector published, in order.
@@ -121,6 +126,18 @@ pub struct RecoveryReport {
     pub dangling_replay_slots: usize,
 }
 
+impl RecoveryReport {
+    /// The liveness transitions of learner shards only.
+    pub fn learner_transitions(&self) -> Vec<LivenessTransition> {
+        self.transitions.iter().filter(|t| t.pid.role == ProcessRole::Learner).copied().collect()
+    }
+
+    /// The liveness transitions of explorers only.
+    pub fn explorer_transitions(&self) -> Vec<LivenessTransition> {
+        self.transitions.iter().filter(|t| t.pid.role == ProcessRole::Explorer).copied().collect()
+    }
+}
+
 /// Handles and bookkeeping for one supervised explorer slot.
 struct ExplorerSlot {
     handle: Option<JoinHandle<ExplorerOutcome>>,
@@ -131,6 +148,17 @@ struct ExplorerSlot {
     /// Death is proven (joined `Err`) but the respawn waits for the failure
     /// detector to publish the matching `ProcessDown` first.
     awaiting_detection: bool,
+}
+
+/// Handles and bookkeeping for one supervised learner shard (the classic
+/// deployment is the one-shard case).
+struct LearnerSlot {
+    handle: Option<JoinHandle<LearnerOutcome>>,
+    restores: u32,
+    awaiting_detection: bool,
+    /// Outcome of the most recent finished incarnation (final parameters and
+    /// timeline come from here).
+    last_outcome: Option<LearnerOutcome>,
 }
 
 impl Deployment {
@@ -176,8 +204,11 @@ impl Deployment {
         let monitor_ep = brokers[config.learner_machine].endpoint(MONITOR);
         plan.install(&cluster, &brokers);
 
+        let shards = config.learner_shards as u32;
         let detector = FailureDetector::new(supervision.detector, telemetry.clone());
-        detector.watch(ProcessId::learner(0));
+        for s in 0..shards.max(1) {
+            detector.watch(ProcessId::learner(s));
+        }
         for i in 0..num_explorers {
             detector.watch(ProcessId::explorer(i));
         }
@@ -199,40 +230,93 @@ impl Deployment {
             }
             None => None,
         };
-        let rollout_dst =
-            if plane.is_some() { ProcessId::replay(0) } else { ProcessId::learner(0) };
+        // Rollouts follow the live assignment table when learners are
+        // sharded: the destination is resolved per batch, so a rebalance or
+        // a shard respawn redirects traffic without restarting explorers.
+        let table = Arc::new(AssignmentTable::contiguous(num_explorers, shards.max(1)));
+        let route = if plane.is_some() {
+            RolloutRoute::Fixed(ProcessId::replay(0))
+        } else if shards > 1 {
+            RolloutRoute::Assigned(table.clone())
+        } else {
+            RolloutRoute::Fixed(ProcessId::learner(0))
+        };
 
-        let mut algorithm = build_algorithm_with_replay(
-            &config.algorithm,
-            obs_dim,
-            num_actions,
-            num_explorers,
-            config.rollout_len,
-            config.seed,
-            plane.as_ref(),
-        );
-        if let Some(params) = &config.initial_params {
-            algorithm.load_params(params);
-        }
-        let sync = algorithm.sync_mode();
-        let algo_name = algorithm.name().to_string();
+        // Algorithm replica for one learner shard. Sharded replicas are all
+        // seeded identically (the sync allreduce requires identical initial
+        // parameters) and sized to the explorer slice they own.
+        let build_shard_algorithm = |shard: u32| -> Box<dyn xingtian_algos::api::Algorithm> {
+            let mut algorithm = if shards > 1 {
+                build_algorithm(
+                    &config.algorithm,
+                    obs_dim,
+                    num_actions,
+                    table.owned(shard).len() as u32,
+                    config.rollout_len,
+                    config.seed,
+                )
+            } else {
+                build_algorithm_with_replay(
+                    &config.algorithm,
+                    obs_dim,
+                    num_actions,
+                    num_explorers,
+                    config.rollout_len,
+                    config.seed,
+                    plane.as_ref(),
+                )
+            };
+            if let Some(params) = &config.initial_params {
+                algorithm.load_params(params);
+            }
+            algorithm
+        };
+        let mut initial_algorithms: Vec<Box<dyn xingtian_algos::api::Algorithm>> =
+            (0..shards.max(1)).map(build_shard_algorithm).collect();
+        let sync = initial_algorithms[0].sync_mode();
+        let algo_name = initial_algorithms[0].name().to_string();
         let start = Instant::now();
 
-        let spawn_learner = |algorithm: Box<dyn xingtian_algos::api::Algorithm>,
+        let spawn_learner = |shard: u32,
+                             algorithm: Box<dyn xingtian_algos::api::Algorithm>,
                              endpoint: Endpoint,
                              probe: Option<xt_fault::ProcessProbe>|
          -> Result<JoinHandle<LearnerOutcome>, DeployError> {
-            let checkpointer = match &config.checkpoint {
+            let ckpt_config = config.checkpoint.clone().map(|mut c| {
+                if shards > 1 {
+                    c.dir = c.dir.join(format!("shard{shard}"));
+                }
+                c
+            });
+            let checkpointer = match ckpt_config {
                 Some(c) => Some(
-                    crate::checkpoint::Checkpointer::new(c.clone())
+                    crate::checkpoint::Checkpointer::new(c)
                         .map_err(|e| DeployError::new(format!("cannot set up checkpoints: {e}")))?,
                 ),
                 None => None,
             };
             let param_compression = config.comm.param_compression;
-            spawn_process("xt-learner".into(), move || {
-                LearnerProcess { endpoint, algorithm, checkpointer, probe, param_compression }.run()
-            })
+            if shards > 1 {
+                let (table, mode) = (table.clone(), config.allreduce);
+                spawn_process(format!("xt-learner-{shard}"), move || {
+                    LearnerShardProcess {
+                        shard,
+                        endpoint,
+                        algorithm,
+                        table,
+                        mode,
+                        checkpointer,
+                        probe,
+                        param_compression,
+                    }
+                    .run()
+                })
+            } else {
+                spawn_process("xt-learner".into(), move || {
+                    LearnerProcess { endpoint, algorithm, checkpointer, probe, param_compression }
+                        .run()
+                })
+            }
         };
         let spawn_explorer = |i: u32,
                               generation: u32,
@@ -258,6 +342,7 @@ impl Deployment {
                 i,
             );
             let rollout_len = config.rollout_len;
+            let route = route.clone();
             spawn_process(format!("xt-explorer-{i}"), move || {
                 ExplorerProcess {
                     index: i,
@@ -265,7 +350,7 @@ impl Deployment {
                     env,
                     agent,
                     rollout_len,
-                    rollout_dst,
+                    route,
                     sync,
                     probe,
                 }
@@ -273,13 +358,23 @@ impl Deployment {
             })
         };
 
-        let learner_ep = brokers[config.learner_machine].endpoint(ProcessId::learner(0));
-        let mut rollout_latency_src = learner_ep.delivery_stats_arc();
-        let mut learner_handle = Some(spawn_learner(
-            algorithm,
-            learner_ep,
-            Some(plan.probe_for(ProcessId::learner(0), Some(cluster.time_source()))),
-        )?);
+        let mut learner_slots: Vec<LearnerSlot> = Vec::with_capacity(shards.max(1) as usize);
+        let mut rollout_latency_src = None;
+        for (s, algorithm) in initial_algorithms.drain(..).enumerate() {
+            let s = s as u32;
+            let endpoint = brokers[config.learner_machine].endpoint(ProcessId::learner(s));
+            if s == 0 {
+                rollout_latency_src = Some(endpoint.delivery_stats_arc());
+            }
+            let probe = Some(plan.probe_for(ProcessId::learner(s), Some(cluster.time_source())));
+            learner_slots.push(LearnerSlot {
+                handle: Some(spawn_learner(s, algorithm, endpoint, probe)?),
+                restores: 0,
+                awaiting_detection: false,
+                last_outcome: None,
+            });
+        }
+        let mut rollout_latency_src = rollout_latency_src.expect("at least one learner shard");
 
         let mut slots: Vec<ExplorerSlot> = Vec::with_capacity(num_explorers as usize);
         for i in 0..num_explorers {
@@ -300,19 +395,19 @@ impl Deployment {
                 goal_steps: config.goal_steps,
                 max_duration: Duration::from_secs_f64(config.max_seconds),
                 num_explorers,
+                num_learner_shards: shards.max(1),
             }
             .run()
         })?;
 
-        // Learner-incarnation accumulators (summed across restores; the
-        // timeline and final parameters come from the last incarnation).
+        // Learner-incarnation accumulators (summed across shards and
+        // restores; the timeline and final parameters come from each slot's
+        // last incarnation).
         let mut steps_consumed = 0u64;
         let mut train_sessions = 0u64;
         let mut train_time = Duration::ZERO;
-        let mut last_learner_outcome: Option<LearnerOutcome> = None;
         let mut explorer_respawns: Vec<u32> = Vec::new();
         let mut learner_restores = 0u32;
-        let mut learner_awaiting_detection = false;
         let mut restored_param_version: Option<u64> = None;
 
         // ---- Supervision loop -------------------------------------------
@@ -370,66 +465,77 @@ impl Deployment {
                 }
             }
 
-            // 3. Reap a dead learner: once the detector confirms the death,
-            // restore from checkpoint and respawn.
-            if learner_handle.as_ref().is_some_and(JoinHandle::is_finished) {
-                let handle = learner_handle.take().expect("finished handle present");
-                match handle.join() {
-                    Ok(outcome) => {
-                        detector.forget(ProcessId::learner(0));
-                        steps_consumed += outcome.steps_consumed;
-                        train_sessions += outcome.train_sessions;
-                        train_time += outcome.train_time;
-                        last_learner_outcome = Some(outcome);
-                    }
-                    Err(_) if learner_restores < supervision.max_learner_restores => {
-                        learner_awaiting_detection = true;
-                    }
-                    Err(_) => {
-                        return Err(DeployError::new(
-                            "learner died and is out of restore budget",
-                        ));
-                    }
-                }
-            }
-            if learner_awaiting_detection
-                && detector.liveness(ProcessId::learner(0)) == Some(xt_fault::Liveness::Down)
-            {
-                learner_awaiting_detection = false;
-                learner_restores += 1;
-                // The rebuilt learner re-attaches to the surviving replay
-                // plane: everything ingested before the crash is still
-                // sampleable the moment the restore completes.
-                let mut algorithm = build_algorithm_with_replay(
-                    &config.algorithm,
-                    obs_dim,
-                    num_actions,
-                    num_explorers,
-                    config.rollout_len,
-                    config.seed,
-                    plane.as_ref(),
-                );
-                match config.checkpoint.as_ref().map(|c| load_latest(&c.dir)) {
-                    Some(Ok(blob)) => {
-                        restored_param_version = Some(blob.version);
-                        algorithm.load_params(&blob.params);
-                    }
-                    Some(Err(e)) => {
-                        eprintln!(
-                            "supervisor: learner restarting from scratch \
-                             (no restorable checkpoint: {e})"
-                        );
-                    }
-                    None => {
-                        eprintln!(
-                            "supervisor: learner restarting from scratch \
-                             (checkpointing disabled)"
-                        );
+            // 3. Reap dead learner shards: once the detector confirms a
+            // death, restore that shard from its own checkpoint directory
+            // and respawn it. Surviving shards keep training meanwhile; the
+            // rejoiner re-enters the gradient exchange on its first send
+            // (sync mode adopts a peer snapshot, relaxed mode just resumes
+            // gossip within the skew bound).
+            for (s, slot) in learner_slots.iter_mut().enumerate() {
+                let s_u32 = s as u32;
+                let pid = ProcessId::learner(s_u32);
+                if slot.handle.as_ref().is_some_and(JoinHandle::is_finished) {
+                    let handle = slot.handle.take().expect("finished handle present");
+                    match handle.join() {
+                        Ok(outcome) => {
+                            detector.forget(pid);
+                            steps_consumed += outcome.steps_consumed;
+                            train_sessions += outcome.train_sessions;
+                            train_time += outcome.train_time;
+                            slot.last_outcome = Some(outcome);
+                        }
+                        Err(_) if slot.restores < supervision.max_learner_restores => {
+                            slot.awaiting_detection = true;
+                        }
+                        Err(_) => {
+                            return Err(DeployError::new(format!(
+                                "learner shard {s_u32} died and is out of restore budget"
+                            )));
+                        }
                     }
                 }
-                let endpoint = brokers[config.learner_machine].endpoint(ProcessId::learner(0));
-                rollout_latency_src = endpoint.delivery_stats_arc();
-                learner_handle = Some(spawn_learner(algorithm, endpoint, None)?);
+                if slot.awaiting_detection
+                    && detector.liveness(pid) == Some(xt_fault::Liveness::Down)
+                {
+                    slot.awaiting_detection = false;
+                    slot.restores += 1;
+                    learner_restores += 1;
+                    // The rebuilt learner re-attaches to the surviving replay
+                    // plane (classic path): everything ingested before the
+                    // crash is still sampleable the moment the restore
+                    // completes.
+                    let mut algorithm = build_shard_algorithm(s_u32);
+                    let ckpt_dir = config.checkpoint.as_ref().map(|c| {
+                        if shards > 1 {
+                            c.dir.join(format!("shard{s_u32}"))
+                        } else {
+                            c.dir.clone()
+                        }
+                    });
+                    match ckpt_dir.map(|d| load_latest(&d)) {
+                        Some(Ok(blob)) => {
+                            restored_param_version = Some(blob.version);
+                            algorithm.adopt_params(&blob.params, blob.version);
+                        }
+                        Some(Err(e)) => {
+                            eprintln!(
+                                "supervisor: learner shard {s_u32} restarting from scratch \
+                                 (no restorable checkpoint: {e})"
+                            );
+                        }
+                        None => {
+                            eprintln!(
+                                "supervisor: learner shard {s_u32} restarting from scratch \
+                                 (checkpointing disabled)"
+                            );
+                        }
+                    }
+                    let endpoint = brokers[config.learner_machine].endpoint(pid);
+                    if s_u32 == 0 {
+                        rollout_latency_src = endpoint.delivery_stats_arc();
+                    }
+                    slot.handle = Some(spawn_learner(s_u32, algorithm, endpoint, None)?);
+                }
             }
 
             // 4. The controller ending the run ends supervision.
@@ -448,7 +554,7 @@ impl Deployment {
         // saw the command; one more broadcast from the monitor endpoint
         // guarantees every live process gets it (shutdown is idempotent).
         let mut dst: Vec<ProcessId> = (0..num_explorers).map(ProcessId::explorer).collect();
-        dst.push(ProcessId::learner(0));
+        dst.extend((0..shards.max(1)).map(ProcessId::learner));
         monitor_ep.send_to(
             dst,
             MessageKind::Control,
@@ -458,15 +564,21 @@ impl Deployment {
         // Final joins. Post-shutdown panics are possible (a probe can fire on
         // the last pulse before the command is handled) — they degrade, never
         // respawn.
-        if let Some(handle) = learner_handle.take() {
-            match handle.join() {
-                Ok(outcome) => {
-                    steps_consumed += outcome.steps_consumed;
-                    train_sessions += outcome.train_sessions;
-                    train_time += outcome.train_time;
-                    last_learner_outcome = Some(outcome);
+        for (s, slot) in learner_slots.iter_mut().enumerate() {
+            if let Some(handle) = slot.handle.take() {
+                match handle.join() {
+                    Ok(outcome) => {
+                        steps_consumed += outcome.steps_consumed;
+                        train_sessions += outcome.train_sessions;
+                        train_time += outcome.train_time;
+                        slot.last_outcome = Some(outcome);
+                    }
+                    Err(_) => {
+                        return Err(DeployError::new(format!(
+                            "learner shard {s} panicked during shutdown"
+                        )));
+                    }
                 }
-                Err(_) => return Err(DeployError::new("learner panicked during shutdown")),
             }
         }
         for (i, slot) in slots.iter_mut().enumerate() {
@@ -537,7 +649,20 @@ impl Deployment {
             dangling_slots: integrity.dangling_slots,
         });
 
-        let last = last_learner_outcome
+        let learner_shard_params: Vec<Vec<f32>> = if shards > 1 {
+            learner_slots
+                .iter()
+                .map(|s| {
+                    s.last_outcome.as_ref().map(|o| o.final_params.clone()).unwrap_or_default()
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let learner_shard_restores: Vec<u32> = learner_slots.iter().map(|s| s.restores).collect();
+        let last = learner_slots[0]
+            .last_outcome
+            .take()
             .ok_or_else(|| DeployError::new("no learner incarnation completed"))?;
         let mean_train_time = if train_sessions > 0 {
             train_time / train_sessions as u32
@@ -556,11 +681,13 @@ impl Deployment {
             train_sessions,
             mean_train_time,
             final_params: last.final_params,
+            learner_shard_params,
             replay,
         };
         let recovery = RecoveryReport {
             explorer_respawns,
             learner_restores,
+            learner_shard_restores,
             restored_param_version,
             transitions,
             down_at_exit,

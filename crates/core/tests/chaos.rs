@@ -216,6 +216,114 @@ fn store_resident_replay_survives_kills_without_leaks() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Shared 2-shard DQN chaos config: 4 explorers, shard 0 owns {0,1} and
+/// shard 1 owns {2,3} via the assignment table.
+fn sharded_dqn_chaos(mode: xingtian::config::AllreduceMode, dir: &std::path::Path) -> DeploymentConfig {
+    let mut dqn = xingtian_algos::DqnConfig::new(0, 0);
+    dqn.buffer_capacity = 8_192;
+    dqn.warmup_steps = 200;
+    dqn.train_every_inserts = 8;
+    dqn.batch_size = 32;
+    DeploymentConfig::cartpole(AlgorithmSpec::Dqn(dqn), 4)
+        .with_rollout_len(25)
+        .with_goal_steps(2_000)
+        .with_max_seconds(60.0)
+        .with_seed(19)
+        .with_checkpoint(CheckpointConfig::new(dir, 1))
+        .with_learner_shards(2)
+        .with_allreduce(mode)
+}
+
+/// Kill-one-learner-shard, sync ring: shard 1 dies after its third training
+/// round, the supervisor restores it from its own checkpoint subdirectory,
+/// and it rejoins the allreduce ring — announced by its startup hello, the
+/// surviving shard answers with a parameter snapshot plus a retransmission
+/// of its open round's slot blobs, and lockstep resumes. (Recovery restores
+/// parameters, not optimizer state, so post-crash runs do not claim the
+/// fault-free bitwise guarantee — `multi_learner.rs` covers that one.)
+#[test]
+fn killed_learner_shard_rejoins_sync_allreduce_ring() {
+    let dir = tmpdir("shard-sync-rejoin");
+    let config = sharded_dqn_chaos(xingtian::config::AllreduceMode::Sync, &dir);
+    let supervision = SupervisionConfig::with_heartbeat_interval_ms(15);
+    let plan = FaultPlan::seeded(19)
+        .with_kill(ProcessId::learner(1), KillTrigger::AfterSteps(3));
+    let telemetry = xt_telemetry::Telemetry::with_capacity(1 << 16);
+
+    let (report, recovery) =
+        Deployment::run_supervised(config, supervision, plan, telemetry.clone())
+            .expect("supervised run completes");
+
+    // The ring resumed after the restore: the controller's step sum reached
+    // the goal. (The report's own sum runs slightly short of the goal: the
+    // killed incarnation's share died with its thread.)
+    assert!(report.steps_consumed >= 1_500, "consumed {}", report.steps_consumed);
+    // Exactly shard 1 was restored, from a real checkpoint.
+    assert_eq!(recovery.learner_restores, 1);
+    assert_eq!(recovery.learner_shard_restores, vec![0, 1]);
+    assert!(recovery.restored_param_version.expect("restored from checkpoint") >= 1);
+    assert!(
+        down_then_up(&recovery.transitions, ProcessId::learner(1)),
+        "shard 1 must be seen down then up: {:?}",
+        recovery.transitions
+    );
+    // The liveness transitions are role-tagged: the learner-shard death is
+    // visible without scanning explorer noise.
+    assert!(!recovery.learner_transitions().is_empty());
+    assert!(telemetry.counter("fault.process_down.learner").get() >= 1);
+    assert!(telemetry.counter("fault.process_up.learner").get() >= 1);
+    // The restored shard rejoined the *ring*, not just the deployment: the
+    // kill fired on its third closed round, so any count beyond that proves
+    // rounds closed in lockstep again after the restore (a round cannot
+    // close without every shard's slots).
+    let rounds0 = telemetry.counter("learn.shard0.rounds").get();
+    let rounds1 = telemetry.counter("learn.shard1.rounds").get();
+    assert!(rounds1 > 3, "restored shard closed no rounds after rejoining: {rounds1}");
+    assert!(rounds0 > 3, "surviving shard never resumed: {rounds0}");
+    assert_eq!(report.learner_shard_params.len(), 2);
+    // Nothing leaked, nothing dangling, nobody down.
+    assert_eq!(recovery.leaked_objects, 0, "object store leak");
+    assert_eq!(recovery.dangling_replay_slots, 0, "dangling replay arena slots");
+    assert!(recovery.down_at_exit.is_empty(), "down at exit: {:?}", recovery.down_at_exit);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Kill-one-learner-shard, relaxed mode: the surviving shard never stalls —
+/// its owned explorers keep feeding it and it keeps training right through
+/// the outage — and the restored shard resumes delta gossip from its
+/// checkpointed version.
+#[test]
+fn killed_learner_shard_relaxed_peers_keep_training() {
+    let dir = tmpdir("shard-relaxed-kill");
+    // Longer goal than the sync variant: a relaxed survivor trains right
+    // through the outage, and a 2k-step run can reach the goal before the
+    // detector even confirms the death — the restore needs runway.
+    let config =
+        sharded_dqn_chaos(xingtian::config::AllreduceMode::Relaxed, &dir).with_goal_steps(8_000);
+    let supervision = SupervisionConfig::with_heartbeat_interval_ms(15);
+    let plan = FaultPlan::seeded(23)
+        .with_kill(ProcessId::learner(1), KillTrigger::AfterSteps(3));
+    let telemetry = xt_telemetry::Telemetry::with_capacity(1 << 16);
+
+    let (report, recovery) =
+        Deployment::run_supervised(config, supervision, plan, telemetry.clone())
+            .expect("supervised run completes");
+
+    assert!(report.steps_consumed >= 1_500, "consumed {}", report.steps_consumed);
+    assert!(report.train_sessions > 3, "peers kept training through the outage");
+    assert_eq!(recovery.learner_restores, 1);
+    assert_eq!(recovery.learner_shard_restores, vec![0, 1]);
+    assert!(down_then_up(&recovery.transitions, ProcessId::learner(1)));
+    assert!(telemetry.counter("fault.process_down.learner").get() >= 1);
+    // No explorer was ever respawned: the assignment table kept routing
+    // their rollouts to the (eventually restored) shard endpoint.
+    assert!(recovery.explorer_respawns.is_empty());
+    assert_eq!(recovery.leaked_objects, 0, "object store leak");
+    assert_eq!(recovery.dangling_replay_slots, 0, "dangling replay arena slots");
+    assert!(recovery.down_at_exit.is_empty(), "down at exit: {:?}", recovery.down_at_exit);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The CI `chaos` smoke stage: a seeded kill-one-explorer run on the virtual
 /// clock (cross-machine transfers advance simulated time instead of
 /// sleeping), bounded in wall time by the controller deadline.

@@ -7,7 +7,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use xingtian::controller::ControllerProcess;
-use xingtian::explorer::{ExplorerProcess, MAX_INFLIGHT_BATCHES};
+use xingtian::explorer::{ExplorerProcess, RolloutRoute, MAX_INFLIGHT_BATCHES};
 use xingtian::learner::LearnerProcess;
 use xingtian::messages::ControlCommand;
 use xingtian_algos::api::{ActionSelection, Agent, Algorithm, SyncMode, TrainReport};
@@ -109,7 +109,7 @@ fn explorer_learner_pair_round_trips_until_shutdown() {
         env: Box::new(gymlite::CartPole::new(0)),
         agent: Box::new(ScriptedAgent { version: 0 }),
         rollout_len: 25,
-        rollout_dst: ProcessId::learner(0),
+        route: RolloutRoute::Fixed(ProcessId::learner(0)),
         sync: SyncMode::OffPolicy,
         probe: None,
     };
@@ -121,6 +121,7 @@ fn explorer_learner_pair_round_trips_until_shutdown() {
         goal_steps: 500,
         max_duration: Duration::from_secs(30),
         num_explorers: 1,
+        num_learner_shards: 1,
     }
     .run();
     assert!(outcome.goal_reached, "goal should be reached well before the deadline");
@@ -146,7 +147,7 @@ fn on_policy_explorer_waits_for_fresh_parameters() {
         env: Box::new(gymlite::CartPole::new(1)),
         agent: Box::new(ScriptedAgent { version: 0 }),
         rollout_len: 10,
-        rollout_dst: ProcessId::learner(0),
+        route: RolloutRoute::Fixed(ProcessId::learner(0)),
         sync: SyncMode::OnPolicy,
         probe: None,
     };
@@ -200,7 +201,7 @@ fn explorer_flow_control_caps_the_send_backlog() {
         env: Box::new(env),
         agent: Box::new(ScriptedAgent { version: 0 }),
         rollout_len: 500,
-        rollout_dst: ProcessId::learner(0),
+        route: RolloutRoute::Fixed(ProcessId::learner(0)),
         sync: SyncMode::OffPolicy,
         probe: None,
     };

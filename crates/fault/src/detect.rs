@@ -221,12 +221,15 @@ impl FailureDetector {
             Liveness::Down => EventKind::ProcessDown,
         };
         self.telemetry.emit(kind, incident, pack_pid(pid));
-        self.telemetry
-            .counter(match liveness {
-                Liveness::Alive => "fault.process_up",
-                Liveness::Down => "fault.process_down",
-            })
-            .inc();
+        let stem = match liveness {
+            Liveness::Alive => "fault.process_up",
+            Liveness::Down => "fault.process_down",
+        };
+        self.telemetry.counter(stem).inc();
+        // Role-tagged twin beside the aggregate: learner-shard liveness
+        // transitions are distinguishable from explorer ones (heartbeats of
+        // both fan into the same MONITOR endpoint).
+        self.telemetry.counter(&format!("{stem}.{}", pid.role)).inc();
         self.transitions.lock().push(LivenessTransition {
             pid,
             liveness,
@@ -283,6 +286,12 @@ mod tests {
         assert_eq!(d.liveness(pid), Some(Liveness::Down));
         assert_eq!(d.down(), vec![pid]);
         assert_eq!(telemetry.counter("fault.process_down").get(), 1);
+        assert_eq!(
+            telemetry.counter("fault.process_down.explorer").get(),
+            1,
+            "role-tagged twin counter tracks the aggregate"
+        );
+        assert_eq!(telemetry.counter("fault.process_down.learner").get(), 0);
         let events = telemetry.events();
         let down = events.iter().find(|e| e.kind == EventKind::ProcessDown).expect("event");
         assert_eq!(down.aux, pack_pid(pid));
@@ -299,6 +308,7 @@ mod tests {
         d.observe(pid);
         assert_eq!(d.liveness(pid), Some(Liveness::Alive));
         assert_eq!(telemetry.counter("fault.process_up").get(), 1);
+        assert_eq!(telemetry.counter("fault.process_up.explorer").get(), 1);
         let t = d.transitions();
         assert_eq!(t.len(), 2);
         assert_eq!(t[0].liveness, Liveness::Down);
