@@ -61,6 +61,20 @@ echo "== multi-learner gate: fanout-256 sync allreduce shard scaling =="
 # learn.allreduce_ns and comm.grad_skips.
 cargo run --release -p xt-bench --bin multilearner -- --gate 1.6
 
+echo "== scale gate: fanout-1024 sharded router-fabric throughput =="
+# The sharded comm fabric must deliver >= 2x the single-router busy-makespan
+# throughput at 4 shards on a fanout-1024 point-to-point stream (ideal ~4x),
+# with zero drops, an empty object store, and a drained router-backlog gauge
+# asserted inside every run (EXPERIMENTS.md, fabric sharding).
+cargo run --release -p xt-bench --bin routerscale -- --gate 2
+
+echo "== elastic smoke: pool grows under induced store backpressure, drains after =="
+# Windowed delay rule parks rollout deliveries so their store credits pin the
+# learner-machine arena: occupancy crosses the high watermark, the supervisor
+# grows the pool, and it retires explorers once the signal clears. Zero drops
+# and zero leaks asserted inside.
+cargo test --release -q -p xingtian --test elastic_pool
+
 echo "== chaos smoke: seeded kill-one-explorer run on the virtual clock =="
 # Deterministic fault plan (seed 42): one explorer killed mid-run in a
 # 2-machine deployment, detected by heartbeat silence, respawned, zero

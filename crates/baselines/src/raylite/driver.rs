@@ -227,6 +227,7 @@ pub fn run_raylite_with_telemetry(
         final_params: Vec::new(),
         learner_shard_params: Vec::new(),
         replay: None,
+        dropped_messages: 0,
     })
 }
 

@@ -19,14 +19,15 @@
 use crate::endpoint::Endpoint;
 use crate::inject::{run_delay_line, InjectionStats, RouteInjector};
 use crate::router::{
-    deliver_local, run_router, Delivery, RemoteEnvelope, RouterCmd, RoutingTable, SplitPlan,
+    deliver_local, run_router, shard_for, Delivery, RemoteEnvelope, RouterCmd, RoutingTable,
+    SplitPlan,
 };
 use crate::store::ObjectStore;
 use crate::{CommConfig, Compression, HeartbeatConfig};
 use crossbeam_channel::{unbounded, Sender};
 use netsim::{Cluster, MachineId};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -53,9 +54,14 @@ pub(crate) struct BrokerShared {
     pub(crate) store: Arc<ObjectStore>,
     pub(crate) table: Arc<RoutingTable>,
     pub(crate) telemetry: Telemetry,
-    /// Held directly (not behind a mutex): `submit` sends lock-free and
-    /// shutdown uses the `RouterCmd::Shutdown` sentinel.
-    comm_tx: Sender<RouterCmd>,
+    /// One command sender per router shard, held directly (not behind a
+    /// mutex): `submit` hashes the destination to a shard and sends
+    /// lock-free; shutdown sends every shard the `RouterCmd::Shutdown`
+    /// sentinel instead of tearing senders out from under submitters.
+    router_txs: Vec<Sender<RouterCmd>>,
+    /// Broker-wide routing backlog: deliveries submitted but not yet taken
+    /// off a shard queue. Observable back-pressure before it becomes drops.
+    queue_depth: xt_telemetry::GaugeHandle,
     /// Set first thing in `shutdown`; `submit` refuses new messages once set.
     closed: AtomicBool,
     offload_tx: Mutex<Option<Sender<OffloadJob>>>,
@@ -71,7 +77,7 @@ pub(crate) struct BrokerShared {
     /// Stored size of every `Parameters` broadcast body — the direct
     /// observable for the parameter plane's savings.
     broadcast_bytes: xt_telemetry::HistogramHandle,
-    router_thread: Mutex<Option<JoinHandle<()>>>,
+    router_threads: Mutex<Vec<JoinHandle<()>>>,
     offload_thread: Mutex<Option<JoinHandle<()>>>,
     /// Delay-line thread, spawned lazily by the first [`Broker::set_injector`].
     delay_thread: Mutex<Option<JoinHandle<()>>>,
@@ -123,21 +129,34 @@ impl Broker {
         telemetry: Telemetry,
     ) -> Self {
         assert!(machine < cluster.len(), "machine {machine} out of range");
-        let (comm_tx, comm_rx) = unbounded();
-        let store = Arc::new(ObjectStore::new());
+        let shards = config.router_shards.max(1);
+        let store = Arc::new(ObjectStore::with_capacity(
+            config.store_capacity.unwrap_or(crate::store::DEFAULT_CAPACITY),
+        ));
         let table = Arc::new(RoutingTable::default());
         let uplinks: Arc<Mutex<HashMap<MachineId, Sender<Vec<RemoteEnvelope>>>>> =
             Arc::new(Mutex::new(HashMap::new()));
-        let router = {
+        let queue_depth = telemetry.gauge("comm.router_queue_depth");
+        // One router thread per shard, each draining its own command queue in
+        // bursts. All shards share the routing table, store, and uplink map
+        // (each still groups remote envelopes per machine per burst), so the
+        // only thing sharding changes is which thread a delivery drains on.
+        let mut router_txs = Vec::with_capacity(shards);
+        let mut router_threads = Vec::with_capacity(shards);
+        for s in 0..shards {
+            let (comm_tx, comm_rx) = unbounded();
+            router_txs.push(comm_tx);
             let store = Arc::clone(&store);
             let table = Arc::clone(&table);
             let uplinks = Arc::clone(&uplinks);
             let telemetry = telemetry.clone();
-            std::thread::Builder::new()
-                .name(format!("xt-router-m{machine}"))
-                .spawn(move || run_router(comm_rx, store, table, uplinks, telemetry))
-                .expect("spawn router thread")
-        };
+            let queue_depth = queue_depth.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("xt-router-m{machine}-s{s}"))
+                .spawn(move || run_router(s, comm_rx, store, table, uplinks, telemetry, queue_depth))
+                .expect("spawn router thread");
+            router_threads.push(handle);
+        }
         // Compression offload thread: large bodies are chunk-compressed here
         // (fanning across the shared worker pool) instead of inside the
         // sender thread that submitted them. It holds its own `comm_tx`
@@ -150,7 +169,8 @@ impl Broker {
         let broadcast_bytes = telemetry.histogram("comm.broadcast_bytes");
         let offload = {
             let store = Arc::clone(&store);
-            let comm_tx = comm_tx.clone();
+            let router_txs = router_txs.clone();
+            let queue_depth = queue_depth.clone();
             let telemetry = telemetry.clone();
             let wire_bytes = wire_bytes.clone();
             let broadcast_bytes = broadcast_bytes.clone();
@@ -180,12 +200,18 @@ impl Broker {
                         }
                         header.object_id = Some(store.insert(body, plan.fanout()));
                         telemetry.emit(EventKind::StoreInserted, header.id, stored_len);
+                        // Same shard choice as `submit`: hash of the original
+                        // destination list, so an offloaded message stays
+                        // FIFO with same-path messages for its destination.
+                        let shard = shard_for(&header.dst, router_txs.len());
                         let delivery = Delivery {
                             header: Arc::new(header),
                             local: plan.local,
                             remote: plan.remote,
                         };
-                        if comm_tx.send(RouterCmd::Deliver(delivery)).is_err() {
+                        queue_depth.add(1);
+                        if router_txs[shard].send(RouterCmd::Deliver(delivery)).is_err() {
+                            queue_depth.add(-1);
                             break; // router gone: broker is shutting down
                         }
                     }
@@ -200,14 +226,15 @@ impl Broker {
                 store,
                 table,
                 telemetry,
-                comm_tx,
+                router_txs,
+                queue_depth,
                 closed: AtomicBool::new(false),
                 wire_bytes,
                 broadcast_bytes,
                 offload_tx: Mutex::new(Some(offload_tx)),
                 uplinks,
                 peers: Mutex::new(HashMap::new()),
-                router_thread: Mutex::new(Some(router)),
+                router_threads: Mutex::new(router_threads),
                 offload_thread: Mutex::new(Some(offload)),
                 delay_thread: Mutex::new(None),
                 threads: Mutex::new(Vec::new()),
@@ -240,6 +267,14 @@ impl Broker {
     pub fn dropped(&self) -> u64 {
         self.shared.table.dropped()
     }
+
+    /// Messages discarded because their destination had already deregistered
+    /// (graceful exit or elastic retirement): credits settled, nothing
+    /// leaked, not a routing failure.
+    pub fn departed_discards(&self) -> u64 {
+        self.shared.table.departed_discards()
+    }
+
 
     /// Installs (or replaces) the fault-injection policy consulted on every
     /// final-hop delivery of this broker — local destinations of local
@@ -358,7 +393,13 @@ impl Broker {
         // fully back-pressured, or a stalled learner could never be shut down.
         // ParamAcks ride the priority lane too: delta-base bookkeeping going
         // stale behind a backed-up data plane would force full-f32 fallbacks
-        // exactly when the wire is busiest.
+        // exactly when the wire is busiest. So do Parameters themselves: the
+        // learner is the data plane's drain, and a learner blocked admitting
+        // its own broadcast into a rollout-saturated store can never fetch
+        // again — a self-deadlock where capacity waits on the only process
+        // that frees capacity. Their in-flight volume is bounded by the
+        // learner's own training pace, not by explorer fan-in, so the bypass
+        // cannot run away.
         let stored_len = body.len() as u64;
         self.shared.wire_bytes[header.compression.discriminant() as usize].add(stored_len);
         if header.kind == xingtian_message::MessageKind::Parameters {
@@ -370,16 +411,34 @@ impl Broker {
             | xingtian_message::MessageKind::Heartbeat
             | xingtian_message::MessageKind::SampleRequest
             | xingtian_message::MessageKind::ReplayNotice
-            | xingtian_message::MessageKind::ParamAck => {
+            | xingtian_message::MessageKind::ParamAck
+            | xingtian_message::MessageKind::Parameters => {
                 self.shared.store.insert_priority(body, plan.fanout())
             }
             _ => self.shared.store.insert(body, plan.fanout()),
         };
         header.object_id = Some(object_id);
         self.shared.telemetry.emit(EventKind::StoreInserted, header.id, stored_len);
+        let shard = shard_for(&header.dst, self.shared.router_txs.len());
         let delivery =
             Delivery { header: Arc::new(header), local: plan.local, remote: plan.remote };
-        self.shared.comm_tx.send(RouterCmd::Deliver(delivery)).is_ok()
+        self.shared.queue_depth.add(1);
+        let sent = self.shared.router_txs[shard].send(RouterCmd::Deliver(delivery)).is_ok();
+        if !sent {
+            self.shared.queue_depth.add(-1);
+        }
+        sent
+    }
+
+    /// Number of router shards this broker runs.
+    pub fn router_shards(&self) -> usize {
+        self.shared.router_txs.len()
+    }
+
+    /// Deliveries submitted but not yet drained by a router shard (0 when
+    /// telemetry is disabled). The `comm.router_queue_depth` gauge.
+    pub fn router_queue_depth(&self) -> i64 {
+        self.shared.queue_depth.get()
     }
 
     pub(crate) fn store_arc(&self) -> Arc<ObjectStore> {
@@ -399,21 +458,27 @@ impl Broker {
     }
 
     /// Shuts the broker down: closes the offload queue and joins the offload
-    /// thread, sends the router its drain-then-exit sentinel and joins it,
-    /// then closes all uplinks and joins the uplink threads. In-flight
-    /// messages already routed to ID queues remain fetchable by receivers.
-    /// Idempotent.
+    /// thread, sends *every* router shard its drain-then-exit sentinel and
+    /// joins them all, then closes all uplinks and joins the uplink threads.
+    /// In-flight messages already routed to ID queues remain fetchable by
+    /// receivers. Idempotent.
     pub fn shutdown(&self) {
         self.shared.closed.store(true, Ordering::Release);
-        // Offload first: it feeds the router, and joining it guarantees every
-        // offloaded delivery precedes the shutdown sentinel in the queue.
+        // Offload first: it feeds the routers, and joining it guarantees every
+        // offloaded delivery precedes the shutdown sentinels in the queues.
         self.shared.offload_tx.lock().take();
         if let Some(h) = self.shared.offload_thread.lock().take() {
             let _ = h.join();
         }
-        // Router drains everything already queued, then exits.
-        let _ = self.shared.comm_tx.send(RouterCmd::Shutdown);
-        if let Some(h) = self.shared.router_thread.lock().take() {
+        // Symmetric drain: each shard gets its own sentinel and drains its own
+        // queue before exiting. Sentinels go out to all shards before any
+        // join so the shards drain concurrently, and a message submitted to a
+        // non-zero shard can never be stranded behind a shard-0-only close.
+        for tx in &self.shared.router_txs {
+            let _ = tx.send(RouterCmd::Shutdown);
+        }
+        let routers: Vec<_> = self.shared.router_threads.lock().drain(..).collect();
+        for h in routers {
             let _ = h.join();
         }
         // Delay line after the router: the router is the only local producer
@@ -433,6 +498,13 @@ impl Broker {
         }
     }
 }
+
+/// Caps on one coalesced uplink wire batch. The byte cap bounds the worst-
+/// case link occupancy of a single transfer (a degraded link multiplies its
+/// duration, and the whole batch rides one receipt); the envelope cap bounds
+/// far-side delivery burstiness when bodies are tiny.
+const UPLINK_COALESCE_BYTES: usize = 32 * 1024;
+const UPLINK_COALESCE_ENVELOPES: usize = 256;
 
 /// Connects a set of brokers (one per machine) into a fully-connected fabric
 /// and synchronizes their routing tables. Brokers remember their peers, so
@@ -496,37 +568,71 @@ pub fn connect_brokers(brokers: &[Broker]) {
             let handle = std::thread::Builder::new()
                 .name(format!("xt-uplink-m{from}-m{to}"))
                 .spawn(move || {
-                    while let Ok(burst) = rx.recv() {
-                        for envelope in burst {
-                            // Pay the NIC cost once per target machine; the
-                            // body then re-enters the normal local delivery
-                            // path on the far side. A partitioned link loses
-                            // the message on the wire: the machine's store
-                            // credit was already spent by the router's fetch,
-                            // so nothing leaks — every destination behind the
-                            // severed link counts as dropped.
-                            let bytes = envelope.body.len();
-                            let receipt = match cluster.transfer_checked(from, to, bytes) {
-                                Ok(r) => r,
-                                Err(_down) => {
-                                    src_table.add_dropped(envelope.dst.len() as u64);
-                                    link_drops.inc();
-                                    continue;
-                                }
-                            };
+                    // Coalesce queued envelopes into bounded wire batches so
+                    // the per-transfer link latency is amortized across the
+                    // backlog instead of paid once per envelope — a
+                    // latency-bound uplink otherwise drains a congestion
+                    // backlog slower than the fleet refills it.
+                    let mut pending: VecDeque<RemoteEnvelope> = VecDeque::new();
+                    loop {
+                        if pending.is_empty() {
+                            match rx.recv() {
+                                Ok(burst) => pending.extend(burst),
+                                Err(_) => break,
+                            }
+                        }
+                        while let Ok(burst) = rx.try_recv() {
+                            pending.extend(burst);
+                            if pending.len() >= UPLINK_COALESCE_ENVELOPES {
+                                break;
+                            }
+                        }
+                        // Take one wire batch off the front: always at least
+                        // one envelope, then more while under both caps.
+                        let mut batch: Vec<RemoteEnvelope> = Vec::new();
+                        let mut bytes = 0usize;
+                        while let Some(e) = pending.front() {
+                            if !batch.is_empty()
+                                && (bytes + e.body.len() > UPLINK_COALESCE_BYTES
+                                    || batch.len() >= UPLINK_COALESCE_ENVELOPES)
+                            {
+                                break;
+                            }
+                            bytes += e.body.len();
+                            batch.push(pending.pop_front().expect("front checked"));
+                        }
+                        // Pay the NIC cost once for the whole batch; each body
+                        // then re-enters the normal local delivery path on the
+                        // far side. A partitioned link loses the batch on the
+                        // wire: the machine's store credits were already spent
+                        // by the router's fetches, so nothing leaks — every
+                        // destination behind the severed link counts as
+                        // dropped.
+                        let receipt = match cluster.transfer_checked(from, to, bytes) {
+                            Ok(r) => r,
+                            Err(_down) => {
+                                let n_dst: u64 =
+                                    batch.iter().map(|e| e.dst.len() as u64).sum();
+                                src_table.add_dropped(n_dst);
+                                link_drops.add(batch.len() as u64);
+                                continue;
+                            }
+                        };
+                        uplink_bytes.add(bytes as u64);
+                        for envelope in batch {
                             // The receipt's endpoints are cluster-clock nanos;
                             // with_telemetry documents that telemetry for a
                             // cluster deployment is stamped from that same
-                            // clock.
+                            // clock. Coalesced envelopes share the batch's
+                            // wire window.
                             let id = envelope.header.id;
                             telemetry.emit_at(
                                 EventKind::NicTxStart,
                                 id,
-                                bytes as u64,
+                                envelope.body.len() as u64,
                                 receipt.start_nanos,
                             );
                             telemetry.emit_at(EventKind::NicTxEnd, id, to as u64, receipt.end_nanos);
-                            uplink_bytes.add(bytes as u64);
                             deliver_local(
                                 &delivery.store,
                                 &delivery.table,
@@ -704,6 +810,89 @@ mod tests {
         drop(learner);
         b0.shutdown();
         b1.shutdown();
+    }
+
+    #[test]
+    fn sharded_router_delivers_end_to_end() {
+        let broker =
+            Broker::new(0, Cluster::single(), CommConfig::default().with_router_shards(4));
+        assert_eq!(broker.router_shards(), 4);
+        let eps: Vec<_> = (0..16).map(|i| broker.endpoint(ProcessId::explorer(i))).collect();
+        let sender = broker.endpoint(ProcessId::learner(0));
+        for i in 0..16u32 {
+            let h = Header::new(
+                ProcessId::learner(0),
+                vec![ProcessId::explorer(i)],
+                MessageKind::Dummy,
+            );
+            sender.send(Message::new(h, Bytes::from(vec![i as u8])));
+        }
+        for (i, e) in eps.iter().enumerate() {
+            let m = e.recv().expect("delivered through some shard");
+            assert_eq!(&m.body[..], &[i as u8]);
+        }
+        drop(eps);
+        drop(sender);
+        broker.shutdown();
+        assert_eq!(broker.dropped(), 0);
+        assert!(broker.store().is_empty());
+    }
+
+    #[test]
+    fn shutdown_drains_every_router_shard_symmetrically() {
+        // Regression: a message submitted to a *non-zero* shard immediately
+        // before shutdown must still be delivered (and its store credit
+        // settled) — the drain has to close all shard queues, not just one.
+        let broker =
+            Broker::new(0, Cluster::single(), CommConfig::default().with_router_shards(4));
+        let n = 64u32;
+        let eps: Vec<_> = (0..n).map(|i| broker.endpoint(ProcessId::explorer(i))).collect();
+        let mut shard_hit = [false; 4];
+        for i in 0..n {
+            let dst = vec![ProcessId::explorer(i)];
+            shard_hit[shard_for(&dst, 4)] = true;
+            let h = Header::new(ProcessId::learner(0), dst, MessageKind::Dummy);
+            // Submit directly (no sender thread) so the deliveries are
+            // guaranteed to be in shard queues when shutdown lands.
+            assert!(broker.submit(Message::new(h, Bytes::from(vec![i as u8]))));
+        }
+        assert!(shard_hit.iter().all(|&h| h), "test must exercise every shard");
+        broker.shutdown();
+        for (i, e) in eps.iter().enumerate() {
+            let m = e
+                .recv_timeout(std::time::Duration::from_secs(10))
+                .expect("message drained from its shard at shutdown");
+            assert_eq!(&m.body[..], &[i as u8]);
+        }
+        assert_eq!(broker.dropped(), 0, "no message stranded in any shard");
+        assert!(broker.store().is_empty(), "every store credit settled");
+    }
+
+    #[test]
+    fn router_queue_depth_gauge_returns_to_zero() {
+        let telemetry = xt_telemetry::Telemetry::with_capacity(1 << 12);
+        let broker = Broker::with_telemetry(
+            0,
+            Cluster::single(),
+            CommConfig::default().with_router_shards(2),
+            telemetry.clone(),
+        );
+        let learner = broker.endpoint(ProcessId::learner(0));
+        let explorer = broker.endpoint(ProcessId::explorer(0));
+        for _ in 0..32 {
+            explorer.send(rollout_msg(b"depth"));
+        }
+        for _ in 0..32 {
+            let _ = learner.recv().expect("delivered");
+        }
+        drop(explorer);
+        drop(learner);
+        broker.shutdown();
+        assert_eq!(broker.router_queue_depth(), 0, "all submissions drained");
+        let bursts: u64 = (0..2)
+            .map(|s| telemetry.counter(&format!("comm.router.{s}.bursts")).get())
+            .sum();
+        assert!(bursts > 0, "shards recorded their drain bursts");
     }
 
     #[test]

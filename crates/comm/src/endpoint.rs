@@ -85,8 +85,12 @@ impl Endpoint {
                         }
                     }
                     Some(hb) => {
+                        // With a sharded monitor this endpoint always beacons
+                        // to the same shard (stable pid hash), so that inbox's
+                        // inter-arrival statistics describe this process.
+                        let monitor = hb.monitor_for(pid);
                         let beat = |seq: u64| {
-                            let header = Header::new(pid, vec![hb.monitor], MessageKind::Heartbeat)
+                            let header = Header::new(pid, vec![monitor], MessageKind::Heartbeat)
                                 .with_seq(seq);
                             broker.submit(Message::new(header, Body::new()))
                         };
@@ -452,6 +456,44 @@ mod tests {
         broker.shutdown();
         assert_eq!(broker.dropped(), 0, "every heartbeat was routable");
         assert!(broker.store().is_empty());
+    }
+
+    #[test]
+    fn heartbeats_spread_across_monitor_shards() {
+        // Sharded heartbeat sink: each beaconing endpoint feeds exactly one
+        // monitor shard, chosen by a stable hash of its own pid, and the
+        // union of shards sees every endpoint.
+        let monitor = ProcessId { role: xingtian_message::ProcessRole::Broker, index: u32::MAX };
+        let shards = 4u32;
+        let config = CommConfig::default().with_heartbeat(5, monitor).with_monitor_shards(shards);
+        let hb = config.heartbeat.unwrap();
+        let broker = Broker::new(0, Cluster::single(), config);
+        // All monitor shards first so no beat is ever unroutable.
+        let mons: Vec<_> = hb.monitor_pids().into_iter().map(|p| broker.endpoint(p)).collect();
+        let n = 16u32;
+        let eps: Vec<_> = (0..n).map(|i| broker.endpoint(ProcessId::explorer(i))).collect();
+        let mut seen: std::collections::HashSet<ProcessId> = std::collections::HashSet::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while seen.len() < n as usize && std::time::Instant::now() < deadline {
+            for (s, mon) in mons.iter().enumerate() {
+                while let Some(beat) = mon.try_recv() {
+                    assert_eq!(beat.header.kind, MessageKind::Heartbeat);
+                    assert_eq!(
+                        hb.monitor_for(beat.header.src),
+                        mon.pid(),
+                        "explorer {} beaconed to shard {s}, not its hash-chosen shard",
+                        beat.header.src,
+                    );
+                    seen.insert(beat.header.src);
+                }
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(seen.len(), n as usize, "every endpoint's beats reached its shard");
+        drop(eps);
+        drop(mons);
+        broker.shutdown();
+        assert_eq!(broker.dropped(), 0, "every heartbeat was routable");
     }
 
     #[test]

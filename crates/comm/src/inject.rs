@@ -119,7 +119,14 @@ fn deliver_now(store: &ObjectStore, table: &RoutingTable, d: DelayedDelivery) {
         .map(|q| q.send(IdQueueMsg::Deliver(Arc::clone(&d.header))).is_ok())
         .unwrap_or(false);
     if !delivered {
-        table.add_dropped(1);
+        // Same accounting as the router's failed-delivery path: a delivery
+        // flushed at a destination that already deregistered (graceful exit
+        // or elastic retirement) is a discard, not a drop.
+        if table.departed.lock().contains(&d.dst) {
+            table.departed_discards.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        } else {
+            table.add_dropped(1);
+        }
         if let Some(id) = d.header.object_id {
             store.drop_credit(id);
         }

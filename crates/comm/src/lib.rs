@@ -131,7 +131,20 @@ pub struct HeartbeatConfig {
     /// Beacon period in milliseconds.
     pub interval_ms: u64,
     /// The process that aggregates liveness (the failure detector's inbox).
+    /// With `monitor_shards > 1` this is shard 0; shard `s` is the process
+    /// with index `monitor.index - s` and the same role.
     pub monitor: ProcessId,
+    /// Number of monitor sink endpoints liveness fan-in is spread over.
+    /// One inbox melts under 1K+ beaconing endpoints; each beaconer picks
+    /// its shard by a stable hash of its own pid (see
+    /// [`HeartbeatConfig::monitor_for`]).
+    #[serde(default = "default_monitor_shards")]
+    pub monitor_shards: u32,
+}
+
+#[allow(dead_code)]
+fn default_monitor_shards() -> u32 {
+    1
 }
 
 impl HeartbeatConfig {
@@ -139,6 +152,35 @@ impl HeartbeatConfig {
     pub fn interval(&self) -> std::time::Duration {
         std::time::Duration::from_millis(self.interval_ms)
     }
+
+    /// The monitor shard pid a process beacons to: a stable hash of `pid`
+    /// over the shard count, so one beaconer always feeds the same inbox
+    /// (its inter-arrival statistics stay meaningful to the detector).
+    pub fn monitor_for(&self, pid: ProcessId) -> ProcessId {
+        let shards = self.monitor_shards.max(1);
+        if shards == 1 {
+            return self.monitor;
+        }
+        let shard = (pid_hash(pid) % u64::from(shards)) as u32;
+        ProcessId { role: self.monitor.role, index: self.monitor.index - shard }
+    }
+
+    /// Every monitor shard pid, in shard order (`monitor.index - s`).
+    pub fn monitor_pids(&self) -> Vec<ProcessId> {
+        (0..self.monitor_shards.max(1))
+            .map(|s| ProcessId { role: self.monitor.role, index: self.monitor.index - s })
+            .collect()
+    }
+}
+
+/// Stable 64-bit mix of a process id (splitmix64 finalizer over role+index).
+/// Shared by router sharding and monitor-shard selection so both spread
+/// deterministically and independently of `HashMap` seeding.
+pub fn pid_hash(pid: ProcessId) -> u64 {
+    let mut x = ((pid.role as u64) << 32) ^ u64::from(pid.index) ^ 0x9E37_79B9_7F4A_7C15;
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 /// Configuration of the communication channel.
@@ -159,6 +201,23 @@ pub struct CommConfig {
     /// just carries the pre-encoded bodies through untouched.
     #[serde(default)]
     pub param_compression: ParamCompression,
+    /// Router shards per broker. One router thread saturates around the
+    /// fanout the paper measures; sharding by destination hash lets routing
+    /// throughput scale with cores while preserving per-destination FIFO
+    /// (every message for a given first destination takes the same shard).
+    #[serde(default = "default_router_shards")]
+    pub router_shards: usize,
+    /// Object-store segment capacity in bytes (`None` = the default
+    /// 128 MiB). Small capacities back-pressure aggressive senders sooner —
+    /// the elastic supervisor's occupancy signal, and a test's lever for
+    /// inducing it.
+    #[serde(default)]
+    pub store_capacity: Option<usize>,
+}
+
+#[allow(dead_code)]
+fn default_router_shards() -> usize {
+    1
 }
 
 impl Default for CommConfig {
@@ -168,6 +227,8 @@ impl Default for CommConfig {
             endpoint_recv_capacity: Some(8),
             heartbeat: None,
             param_compression: ParamCompression::default(),
+            router_shards: 1,
+            store_capacity: None,
         }
     }
 }
@@ -182,7 +243,29 @@ impl CommConfig {
     /// Enables liveness beacons to `monitor` every `interval_ms` milliseconds
     /// (builder style).
     pub fn with_heartbeat(mut self, interval_ms: u64, monitor: ProcessId) -> Self {
-        self.heartbeat = Some(HeartbeatConfig { interval_ms, monitor });
+        self.heartbeat = Some(HeartbeatConfig { interval_ms, monitor, monitor_shards: 1 });
+        self
+    }
+
+    /// Spreads heartbeat fan-in over `shards` monitor endpoints (builder
+    /// style; no-op unless a heartbeat is configured).
+    pub fn with_monitor_shards(mut self, shards: u32) -> Self {
+        if let Some(hb) = &mut self.heartbeat {
+            hb.monitor_shards = shards.max(1);
+        }
+        self
+    }
+
+    /// Sets the number of router shards per broker (builder style; clamped
+    /// to at least one).
+    pub fn with_router_shards(mut self, shards: usize) -> Self {
+        self.router_shards = shards.max(1);
+        self
+    }
+
+    /// Sets the object-store segment capacity in bytes (builder style).
+    pub fn with_store_capacity(mut self, bytes: usize) -> Self {
+        self.store_capacity = Some(bytes);
         self
     }
 

@@ -97,6 +97,14 @@ pub struct RoutingTable {
     pub(crate) id_queues: SnapshotCell<HashMap<ProcessId, Sender<IdQueueMsg>>>,
     /// Dropped-message counter (destination unknown or queue closed).
     pub(crate) dropped: AtomicU64,
+    /// Processes that deregistered their ID queue (graceful exit or retire).
+    /// Late messages to them are discarded with their credits settled but are
+    /// *not* routing drops — elastic retirement and coordinated shutdown both
+    /// race trailing traffic against queue teardown by design. Consulted only
+    /// on the failed-delivery path, so the hot path never touches the lock.
+    pub(crate) departed: Mutex<std::collections::HashSet<ProcessId>>,
+    /// Messages discarded because their destination had departed.
+    pub(crate) departed_discards: AtomicU64,
     /// Fault-injection policy consulted per (message, destination) on the
     /// final hop. `None` (the default) costs one snapshot load per delivery
     /// batch and nothing else.
@@ -113,23 +121,25 @@ pub struct RoutingTable {
 
 impl RoutingTable {
     /// Splits a destination list into local destinations and per-remote-
-    /// machine groups from the point of view of machine `here`, reading one
-    /// routing snapshot (no locks). Unroutable destinations are tallied in
-    /// the plan; the caller decides whether that counts as a drop.
+    /// machine groups from the point of view of machine `here`, borrowing one
+    /// routing snapshot (no locks, no refcount traffic). Unroutable
+    /// destinations are tallied in the plan; the caller decides whether that
+    /// counts as a drop.
     pub fn split(&self, here: MachineId, dst: &[ProcessId]) -> SplitPlan {
-        let routes = self.routes.load();
-        let mut plan = SplitPlan::default();
-        for &d in dst {
-            match routes.get(&d) {
-                Some(&m) if m == here => plan.local.push(d),
-                Some(&m) => match plan.remote.iter_mut().find(|(rm, _)| *rm == m) {
-                    Some((_, group)) => group.push(d),
-                    None => plan.remote.push((m, vec![d])),
-                },
-                None => plan.unknown += 1,
+        self.routes.with(|routes| {
+            let mut plan = SplitPlan::default();
+            for &d in dst {
+                match routes.get(&d) {
+                    Some(&m) if m == here => plan.local.push(d),
+                    Some(&m) => match plan.remote.iter_mut().find(|(rm, _)| *rm == m) {
+                        Some((_, group)) => group.push(d),
+                        None => plan.remote.push((m, vec![d])),
+                    },
+                    None => plan.unknown += 1,
+                }
             }
-        }
-        plan
+            plan
+        })
     }
 
     /// Registers `pid` as living on `machine` (publishes a new routes
@@ -154,7 +164,7 @@ impl RoutingTable {
     /// Registers the ID queue of local process `pid`. Returns `false` (and
     /// registers nothing) if `pid` already has a queue.
     pub(crate) fn add_id_queue(&self, pid: ProcessId, tx: Sender<IdQueueMsg>) -> bool {
-        self.id_queues.update(|queues| {
+        let added = self.id_queues.update(|queues| {
             if queues.contains_key(&pid) {
                 (queues.clone(), false)
             } else {
@@ -162,12 +172,18 @@ impl RoutingTable {
                 next.insert(pid, tx);
                 (next, true)
             }
-        })
+        });
+        if added {
+            // A respawned process is live again: its failures count once more.
+            self.departed.lock().remove(&pid);
+        }
+        added
     }
 
     /// Unregisters `pid`'s ID queue, waking its receiver thread with a close
     /// sentinel.
     pub(crate) fn remove_id_queue(&self, pid: ProcessId) {
+        self.departed.lock().insert(pid);
         self.id_queues.update(|queues| {
             if let Some(tx) = queues.get(&pid) {
                 let _ = tx.send(IdQueueMsg::Close);
@@ -186,9 +202,18 @@ impl RoutingTable {
         }
     }
 
-    /// Number of messages dropped for lack of a route or a closed queue.
+    /// Number of messages dropped for lack of a route, a severed link, or a
+    /// queue that closed without deregistering. Late messages to *departed*
+    /// processes (graceful exit / elastic retirement) are tallied separately
+    /// in [`Self::departed_discards`].
     pub fn dropped(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Messages discarded because their destination had already deregistered
+    /// (credits settled, nothing leaked — but not a routing failure).
+    pub fn departed_discards(&self) -> u64 {
+        self.departed_discards.load(Ordering::Relaxed)
     }
 
     /// Injected-fault tallies executed by this table's routers.
@@ -306,7 +331,15 @@ fn push_one(
         .map(|q| q.send(IdQueueMsg::Deliver(Arc::clone(header))).is_ok())
         .unwrap_or(false);
     if !delivered {
-        table.add_dropped(1);
+        // A destination that deregistered its queue (retired explorer,
+        // process that finished during coordinated shutdown) discards the
+        // message without counting it as a drop; only a destination that was
+        // never here — a genuine routing error — counts.
+        if table.departed.lock().contains(&d) {
+            table.departed_discards.fetch_add(1, Ordering::Relaxed);
+        } else {
+            table.add_dropped(1);
+        }
         // Burn the fetch credit this destination would have used so the
         // store entry does not leak.
         if let Some(id) = header.object_id {
@@ -320,16 +353,37 @@ fn push_one(
 /// is loaded once.
 const DRAIN_BATCH: usize = 64;
 
-/// Runs the router loop until it receives [`RouterCmd::Shutdown`] or every
-/// command sender disconnects.
+/// Picks the router shard for a destination list: a stable hash of the
+/// *first* destination over the shard count. Every message with the same
+/// leading destination lands on the same shard, so per-sender-per-destination
+/// FIFO (the ordering the channel guarantees) survives sharding; broadcasts
+/// with identical destination lists likewise stay ordered among themselves.
+pub(crate) fn shard_for(dst: &[ProcessId], shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    let Some(&first) = dst.first() else { return 0 };
+    (crate::pid_hash(first) % shards as u64) as usize
+}
+
+/// Runs one router-shard loop until it receives [`RouterCmd::Shutdown`] or
+/// every command sender disconnects. `shard` names the per-shard burst
+/// counter (`comm.router.{shard}.bursts`); `queue_depth` is the broker-wide
+/// backlog gauge, decremented here for every command taken off a shard queue.
 pub(crate) fn run_router(
+    shard: usize,
     comm_rx: Receiver<RouterCmd>,
     store: Arc<ObjectStore>,
     table: Arc<RoutingTable>,
     uplinks: Arc<Mutex<HashMap<MachineId, Sender<Vec<RemoteEnvelope>>>>>,
     telemetry: xt_telemetry::Telemetry,
+    queue_depth: xt_telemetry::GaugeHandle,
 ) {
     let routed_messages = telemetry.counter("comm.routed_messages");
+    let bursts = telemetry.counter(&format!("comm.router.{shard}.bursts"));
+    // Busy time (burst processing, blocking recv excluded) — the scale gate
+    // reads this to compute what wall clock would be with one core per shard.
+    let busy_ns = telemetry.counter(&format!("comm.router.{shard}.busy_ns"));
     let mut batch: Vec<RouterCmd> = Vec::with_capacity(DRAIN_BATCH);
     let mut per_machine: HashMap<MachineId, Vec<RemoteEnvelope>> = HashMap::new();
     loop {
@@ -347,6 +401,13 @@ pub(crate) fn run_router(
                 Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
             }
         }
+        bursts.inc();
+        let burst_start = std::time::Instant::now();
+        // The gauge counts deliveries only (the shutdown sentinel was never
+        // counted in), so the broker-wide depth returns to zero at drain.
+        let delivers =
+            batch.iter().filter(|c| matches!(c, RouterCmd::Deliver(_))).count() as i64;
+        queue_depth.add(-delivers);
         // One ID-queue snapshot per burst.
         let queues = table.id_queues.load();
         let mut shutdown = false;
@@ -402,6 +463,7 @@ pub(crate) fn run_router(
                 }
             }
         }
+        busy_ns.add(burst_start.elapsed().as_nanos() as u64);
         if shutdown {
             return;
         }
@@ -502,9 +564,35 @@ mod tests {
         }))
         .unwrap();
         tx.send(RouterCmd::Shutdown).unwrap();
-        run_router(rx, Arc::clone(&store), Arc::clone(&table), uplinks, xt_telemetry::Telemetry::disabled());
+        run_router(
+            0,
+            rx,
+            Arc::clone(&store),
+            Arc::clone(&table),
+            uplinks,
+            xt_telemetry::Telemetry::disabled(),
+            xt_telemetry::GaugeHandle::default(),
+        );
         assert_eq!(table.dropped(), 2, "one drop per unreachable destination");
         assert!(store.is_empty(), "both machine credits settled; no leak");
+    }
+
+    #[test]
+    fn shard_for_is_stable_and_spreads() {
+        // Same destination list → same shard, always (FIFO preservation).
+        let dst = vec![ProcessId::learner(0), ProcessId::explorer(3)];
+        let s = shard_for(&dst, 4);
+        for _ in 0..8 {
+            assert_eq!(shard_for(&dst, 4), s);
+        }
+        assert_eq!(shard_for(&[], 4), 0, "empty destination list is shard 0");
+        assert_eq!(shard_for(&dst, 1), 0);
+        // 256 distinct destinations must not all collapse onto one shard.
+        let mut hit = [false; 4];
+        for i in 0..256 {
+            hit[shard_for(&[ProcessId::explorer(i)], 4)] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "every shard owns some destinations");
     }
 
     #[test]

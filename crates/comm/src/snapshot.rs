@@ -65,6 +65,18 @@ impl<T> SnapshotCell<T> {
         }
     }
 
+    /// Applies `f` to a borrow of the current snapshot without touching the
+    /// reference count — the cheapest read for hot paths that don't need to
+    /// keep the snapshot alive past the call (e.g. one routing split per
+    /// submit). A writer publishing mid-call is harmless: the borrowed
+    /// snapshot is retained in `history` for the cell's whole lifetime.
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        let ptr = self.current.load(Ordering::Acquire);
+        // SAFETY: `ptr` was produced by `Arc::as_ptr` on an `Arc` retained in
+        // `history` until `self` drops, so the borrow is valid for the call.
+        f(unsafe { &*ptr })
+    }
+
     /// Publishes the snapshot produced by applying `f` to the current one.
     /// Writers serialize on the history lock; readers are never blocked.
     pub fn update<R>(&self, f: impl FnOnce(&T) -> (T, R)) -> R {
@@ -121,6 +133,18 @@ mod tests {
         assert_eq!(cell.retained(), 1);
         cell.update(|v| (v + 1, ()));
         assert_eq!(cell.retained(), 2);
+    }
+
+    #[test]
+    fn with_borrows_without_retention_or_refcount() {
+        let cell = SnapshotCell::new(vec![7u32]);
+        let strong_before = Arc::strong_count(&cell.history.lock()[0]);
+        let sum: u32 = cell.with(|v| v.iter().sum());
+        assert_eq!(sum, 7);
+        assert_eq!(Arc::strong_count(&cell.history.lock()[0]), strong_before);
+        assert_eq!(cell.retained(), 1);
+        cell.update(|_| (vec![1, 2], ()));
+        assert_eq!(cell.with(|v| v.len()), 2, "with sees the latest publish");
     }
 
     #[test]

@@ -49,6 +49,10 @@ struct Entry {
     /// How many fetches remain before the entry is dropped. Spent with an
     /// atomic decrement outside the shard lock.
     remaining: AtomicUsize,
+    /// Whether the entry was admitted through the capacity gate (data plane)
+    /// rather than the priority lane, so its release keeps the data-plane
+    /// byte count balanced.
+    gated: bool,
 }
 
 /// Capacity accounting, mutated only under the gate mutex so a check-then-
@@ -56,6 +60,10 @@ struct Entry {
 #[derive(Debug)]
 struct Gate {
     live: usize,
+    /// The gate-admitted (data-plane) share of `live`. Priority-lane bodies
+    /// bypass the capacity wait, so they are excluded here: this is the
+    /// residency that actually back-pressures producers.
+    data: usize,
 }
 
 /// A process-shared body store.
@@ -79,6 +87,9 @@ pub struct ObjectStore {
     /// Mirror of `Gate::live` (written only under the gate lock) so readers
     /// can poll residency without contending with inserters.
     live_bytes: AtomicUsize,
+    /// Mirror of `Gate::data`: resident bytes that went through the capacity
+    /// gate. The elastic supervisor polls this as its backpressure signal.
+    data_bytes: AtomicUsize,
     peak_bytes: AtomicUsize,
     resident: AtomicUsize,
     inserted: AtomicU64,
@@ -107,11 +118,12 @@ impl ObjectStore {
         assert!(capacity > 0, "capacity must be positive");
         ObjectStore {
             shards: (0..SHARD_COUNT).map(|_| Mutex::new(HashMap::new())).collect(),
-            gate: Mutex::new(Gate { live: 0 }),
+            gate: Mutex::new(Gate { live: 0, data: 0 }),
             space: Condvar::new(),
             capacity,
             next_id: AtomicU64::new(0),
             live_bytes: AtomicUsize::new(0),
+            data_bytes: AtomicUsize::new(0),
             peak_bytes: AtomicUsize::new(0),
             resident: AtomicUsize::new(0),
             inserted: AtomicU64::new(0),
@@ -168,13 +180,21 @@ impl ObjectStore {
                 self.space.wait(&mut gate);
             }
             gate.live += len;
+            if wait_for_capacity {
+                gate.data += len;
+                self.data_bytes.store(gate.data, Ordering::Relaxed);
+            }
             self.live_bytes.store(gate.live, Ordering::Relaxed);
             self.peak_bytes.fetch_max(gate.live, Ordering::Relaxed);
         }
         // Pay the segment write outside the gate.
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let body = Bytes::copy_from_slice(&body);
-        let entry = Arc::new(Entry { body, remaining: AtomicUsize::new(fanout) });
+        let entry = Arc::new(Entry {
+            body,
+            remaining: AtomicUsize::new(fanout),
+            gated: wait_for_capacity,
+        });
         self.shard(id).lock().insert(id, entry);
         self.resident.fetch_add(1, Ordering::Relaxed);
         self.inserted.fetch_add(1, Ordering::Relaxed);
@@ -182,9 +202,13 @@ impl ObjectStore {
     }
 
     /// Releases `len` reserved bytes and wakes blocked inserters.
-    fn release(&self, len: usize) {
+    fn release(&self, len: usize, gated: bool) {
         let mut gate = self.gate.lock();
         gate.live -= len;
+        if gated {
+            gate.data -= len;
+            self.data_bytes.store(gate.data, Ordering::Relaxed);
+        }
         self.live_bytes.store(gate.live, Ordering::Relaxed);
         self.space.notify_all();
     }
@@ -207,7 +231,7 @@ impl ObjectStore {
             // so exactly one removal and one capacity release happen.
             self.shard(id).lock().remove(&id);
             self.resident.fetch_sub(1, Ordering::Relaxed);
-            self.release(body.len());
+            self.release(body.len(), entry.gated);
         }
         Some(body)
     }
@@ -272,15 +296,64 @@ impl ObjectStore {
         self.peak_bytes.load(Ordering::Relaxed)
     }
 
+    /// Fraction of capacity occupied by resident bodies. This is the
+    /// channel's back-pressure signal: sustained occupancy near 1.0 means
+    /// producers are stalling in `insert` waiting for consumers. Oversized
+    /// lone objects (admitted despite exceeding capacity) can push it past
+    /// 1.0 transiently.
+    pub fn occupancy(&self) -> f64 {
+        self.live_bytes() as f64 / self.capacity as f64
+    }
+
+    /// Fraction of capacity occupied by *gate-admitted* (data-plane) bodies.
+    ///
+    /// Priority-lane bodies — lifecycle commands, statistics, parameter
+    /// broadcasts — bypass the capacity wait, so they never back-pressure a
+    /// producer; excluding them makes this the clean congestion signal: it
+    /// only rises when data-plane producers are genuinely outrunning
+    /// consumers. The elastic supervisor polls this, not [`occupancy`]
+    /// (whose transient control-plane spikes would mask the drain).
+    ///
+    /// [`occupancy`]: ObjectStore::occupancy
+    pub fn data_occupancy(&self) -> f64 {
+        self.data_bytes.load(Ordering::Relaxed) as f64 / self.capacity as f64
+    }
+
     /// Total number of objects ever inserted.
     pub fn inserted(&self) -> u64 {
         self.inserted.load(Ordering::Relaxed)
     }
+
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn occupancy_tracks_live_bytes() {
+        let s = ObjectStore::with_capacity(100);
+        assert_eq!(s.occupancy(), 0.0);
+        let id = s.insert(Bytes::from(vec![0u8; 50]), 1);
+        assert!((s.occupancy() - 0.5).abs() < 1e-9);
+        let _ = s.fetch(id);
+        assert_eq!(s.occupancy(), 0.0, "fully fetched bodies free their share");
+    }
+
+    #[test]
+    fn data_occupancy_excludes_priority_lane() {
+        let s = ObjectStore::with_capacity(100);
+        let p = s.insert_priority(Bytes::from(vec![0u8; 60]), 1);
+        assert!((s.occupancy() - 0.6).abs() < 1e-9, "priority bytes are resident");
+        assert_eq!(s.data_occupancy(), 0.0, "but they are not a congestion signal");
+        let d = s.insert(Bytes::from(vec![0u8; 40]), 1);
+        assert!((s.data_occupancy() - 0.4).abs() < 1e-9);
+        let _ = s.fetch(p);
+        assert!((s.data_occupancy() - 0.4).abs() < 1e-9, "priority release leaves data share");
+        let _ = s.fetch(d);
+        assert_eq!(s.data_occupancy(), 0.0);
+        assert_eq!(s.occupancy(), 0.0);
+    }
 
     #[test]
     fn insert_fetch_removes_at_zero() {

@@ -95,6 +95,36 @@ impl AssignmentTable {
         self.epoch.load(Ordering::Acquire)
     }
 
+    /// Registers explorers up through index `explorer`, growing the table if
+    /// needed (elastic pool growth: the supervisor spawns explorers beyond
+    /// the configured count and each must have an owner before its first
+    /// rollout resolves). Every new index joins the currently least-loaded
+    /// shard, so elastic growth also evens out any skew a prior
+    /// [`Self::rebalance`] introduced. Returns the shard owning `explorer`.
+    /// Idempotent for indices already in the table.
+    pub fn register(&self, explorer: u32) -> u32 {
+        let mut owner = self.owner.write();
+        if (explorer as usize) < owner.len() {
+            return owner[explorer as usize];
+        }
+        let mut counts = vec![0u32; self.shards as usize];
+        for &s in owner.iter() {
+            counts[s as usize] += 1;
+        }
+        while owner.len() <= explorer as usize {
+            let target = counts
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &c)| c)
+                .map(|(s, _)| s as u32)
+                .expect("shards > 0");
+            counts[target as usize] += 1;
+            owner.push(target);
+        }
+        self.epoch.fetch_add(1, Ordering::Release);
+        owner[explorer as usize]
+    }
+
     /// Moves up to `count` explorers from `from` to `to` (backpressure
     /// relief: a shard whose ingest queue is growing sheds owners to an idle
     /// peer). Returns the explorers actually moved. The move is atomic with
@@ -183,5 +213,115 @@ mod tests {
         assert_eq!(t.epoch(), epoch);
         assert!(t.rebalance(0, 0, 5).is_empty());
         assert!(t.rebalance(0, 7, 5).is_empty(), "unknown target shard");
+    }
+
+    #[test]
+    fn register_grows_onto_least_loaded_shard() {
+        let t = AssignmentTable::contiguous(4, 2);
+        t.rebalance(0, 1, 1); // shard 0 owns {0}, shard 1 owns {1,2,3}
+        let epoch = t.epoch();
+        assert_eq!(t.register(4), 0, "new explorer joins the lighter shard");
+        assert_eq!(t.register(5), 0, "still lighter: 2 vs 3");
+        assert_eq!(t.num_explorers(), 6);
+        assert!(t.epoch() > epoch, "growth is visible to epoch watchers");
+        // Idempotent for known indices, no epoch bump.
+        let epoch = t.epoch();
+        assert_eq!(t.register(1), 1);
+        assert_eq!(t.epoch(), epoch);
+        // A gap registers every intermediate index too.
+        assert_eq!(t.num_explorers(), 6);
+        t.register(9);
+        assert_eq!(t.num_explorers(), 10);
+    }
+
+    /// Satellite coverage: `rebalance` racing concurrent explorer sends.
+    /// Readers resolve destinations while a writer thread rebalances and
+    /// grows the table. Invariants: every resolved destination is a valid
+    /// shard (no rollout is ever lost to an unowned index), and an epoch
+    /// snapshot taken around a stable read pair is consistent — if the epoch
+    /// did not move, the two reads agree.
+    #[test]
+    fn rebalance_races_concurrent_sends_without_losing_rollouts() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        let t = Arc::new(AssignmentTable::contiguous(16, 4));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let writer = {
+            let t = Arc::clone(&t);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut next = 16u32;
+                for i in 0..2_000u32 {
+                    let from = i % 4;
+                    let to = (i + 1) % 4;
+                    t.rebalance(from, to, 2);
+                    if i % 64 == 0 {
+                        t.register(next);
+                        next += 1;
+                    }
+                }
+                stop.store(true, Ordering::Release);
+            })
+        };
+
+        let readers: Vec<_> = (0..3)
+            .map(|r| {
+                let t = Arc::clone(&t);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut resolved = 0u64;
+                    let mut stable_pairs = 0u64;
+                    // A single core can run the whole writer before a reader
+                    // is scheduled: always take a minimum number of passes so
+                    // both the contended and the quiescent regimes are
+                    // exercised regardless of interleaving.
+                    let mut passes = 0u32;
+                    while passes < 50 || !stop.load(Ordering::Acquire) {
+                        passes += 1;
+                        for e in 0..16u32 {
+                            let epoch_before = t.epoch();
+                            let first = t.shard_of(e);
+                            let dst = t.rollout_dst((e + r) % 16);
+                            let second = t.shard_of(e);
+                            let epoch_after = t.epoch();
+                            // Every send resolves to a live shard: the
+                            // rollout always has somewhere to go.
+                            assert!(first < 4 && second < 4);
+                            assert!(matches!(dst.role, xingtian_message::ProcessRole::Learner));
+                            assert!(dst.index < 4);
+                            // Epoch snapshot consistency: a quiescent epoch
+                            // means the assignment could not have changed.
+                            if epoch_before == epoch_after {
+                                assert_eq!(first, second, "stable epoch, stable owner");
+                                stable_pairs += 1;
+                            }
+                            resolved += 1;
+                        }
+                    }
+                    (resolved, stable_pairs)
+                })
+            })
+            .collect();
+
+        writer.join().unwrap();
+        let mut total = 0u64;
+        let mut stable = 0u64;
+        for r in readers {
+            let (resolved, stable_pairs) = r.join().unwrap();
+            total += resolved;
+            stable += stable_pairs;
+        }
+        assert!(total > 0, "readers made progress under contention");
+        assert!(stable > 0, "some reads landed in quiescent epochs");
+        // After the race: still exactly one owner per explorer, no shard
+        // emptied, and the elastic registrations all landed.
+        assert!(t.num_explorers() >= 16 + 2_000 / 64);
+        for s in 0..4 {
+            assert!(!t.owned(s).is_empty(), "shard {s} kept at least one owner");
+        }
+        let owned_total: usize = (0..4).map(|s| t.owned(s).len()).sum();
+        assert_eq!(owned_total as u32, t.num_explorers(), "ownership stays a partition");
     }
 }

@@ -67,9 +67,19 @@ pub fn build_env(
     obs_dim_override: Option<usize>,
     step_latency_us: Option<u64>,
 ) -> Result<Box<dyn Environment>, String> {
+    // Classic-control environments step in nanoseconds; `step_latency_us`
+    // must still pace them (a pacing knob that silently ignores some
+    // environments makes every throughput experiment built on it a lie), so
+    // they are wrapped in [`gymlite::env::Paced`] rather than returned raw.
+    let pace = |env: Box<dyn Environment>| -> Box<dyn Environment> {
+        match step_latency_us {
+            Some(us) if us > 0 => Box::new(gymlite::env::Paced::new(env, us)),
+            _ => env,
+        }
+    };
     let game = match name.to_ascii_lowercase().as_str() {
-        "cartpole" => return Ok(Box::new(CartPole::new(seed))),
-        "mountaincar" => return Ok(Box::new(gymlite::MountainCar::new(seed))),
+        "cartpole" => return Ok(pace(Box::new(CartPole::new(seed)))),
+        "mountaincar" => return Ok(pace(Box::new(gymlite::MountainCar::new(seed)))),
         "beamrider" => AtariGame::BeamRider,
         "breakout" => AtariGame::Breakout,
         "qbert" => AtariGame::Qbert,
@@ -520,6 +530,7 @@ impl Deployment {
         for b in &brokers {
             b.shutdown();
         }
+        let dropped_messages: u64 = brokers.iter().map(Broker::dropped).sum();
 
         // Episode returns: authoritative from explorer trackers (the
         // controller's copy may miss in-flight tails at shutdown).
@@ -548,6 +559,7 @@ impl Deployment {
             final_params: learner_outcome.final_params,
             learner_shard_params,
             replay,
+            dropped_messages,
         })
     }
 }

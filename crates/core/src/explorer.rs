@@ -91,6 +91,7 @@ impl ExplorerProcess {
         let mut params = ParamReceiver::new();
         let mut steps: Vec<RolloutStep> = Vec::with_capacity(self.rollout_len);
         let batches_counter = self.endpoint.telemetry().counter("explorer.batches_sent");
+        let backpressure_counter = self.endpoint.telemetry().counter("explorer.backpressure_waits");
         let infer_hist = self.endpoint.telemetry().histogram("learn.infer_ns");
         let mut batches_sent = 0u64;
         let mut steps_since_stats = 0u64;
@@ -144,6 +145,12 @@ impl ExplorerProcess {
                 // producing data the saturated learner cannot consume yet
                 // (paper Fig. 11: throughput *plateaus* at saturation). The
                 // wait is idle, and control traffic stays live.
+                if self.endpoint.send_backlog() >= MAX_INFLIGHT_BATCHES {
+                    // One count per stalled rollout, not per spin: the gauge
+                    // the elastic supervisor and the scale sweeps read is
+                    // "how often did generation outpace the channel".
+                    backpressure_counter.inc();
+                }
                 while self.endpoint.send_backlog() >= MAX_INFLIGHT_BATCHES {
                     while let Some(msg) = self.endpoint.try_recv() {
                         if self.handle_message(&msg.header, &msg.body, &mut params) {

@@ -89,8 +89,17 @@ impl LearnerProcess {
                 break;
             }
             // Drain whatever else has already arrived — data already staged
-            // locally costs no wait.
-            while let Some(extra) = self.endpoint.try_recv() {
+            // locally costs no wait. The drain is bounded: at saturation every
+            // decoded rollout releases a store credit that un-blocks a
+            // backpressured explorer, whose next rollout lands before the
+            // buffer empties — an unbounded drain then decodes forever and
+            // never trains (a livelock that reads as multi-second
+            // zero-throughput stalls at 64+ explorers). Sixteen messages per
+            // pass keeps the batch queue fed without starving training.
+            let mut drained = 0;
+            while drained < 16 {
+                let Some(extra) = self.endpoint.try_recv() else { break };
+                drained += 1;
                 if self.handle_message(extra.header.kind, &extra.body, &mut decoder, &decode_hist, &mut broadcaster) {
                     break 'outer;
                 }

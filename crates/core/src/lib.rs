@@ -50,6 +50,7 @@ pub mod config;
 pub mod controller;
 pub mod deployment;
 pub mod dummy;
+pub mod elastic;
 pub mod explorer;
 pub mod learner;
 pub mod messages;
@@ -60,6 +61,7 @@ pub mod stats;
 pub mod supervisor;
 
 pub use config::{AlgorithmSpec, DeploymentConfig};
+pub use elastic::{ElasticConfig, ElasticController, ElasticDecision};
 pub use deployment::Deployment;
 pub use parameters::{EncodedBroadcast, IngestOutcome, ParamBroadcaster, ParamReceiver};
 pub use stats::RunReport;

@@ -60,6 +60,10 @@ pub struct RunReport {
     /// Store-resident replay plane measurements (`None` for in-learner
     /// replay and non-DQN algorithms).
     pub replay: Option<ReplayReport>,
+    /// Messages the brokers dropped over the run (dead uplinks, shutdown
+    /// sheds). The scale sweeps assert this stays 0 — a drop at 1K explorers
+    /// means the fabric, not the workload, lost data.
+    pub dropped_messages: u64,
 }
 
 impl RunReport {
@@ -173,6 +177,7 @@ mod tests {
             final_params: Vec::new(),
             learner_shard_params: Vec::new(),
             replay: None,
+            dropped_messages: 0,
         };
         assert_eq!(report.final_return(2), Some(3.5));
         assert_eq!(report.final_return(100), Some(2.5));
@@ -196,6 +201,7 @@ mod tests {
             final_params: Vec::new(),
             learner_shard_params: Vec::new(),
             replay: None,
+            dropped_messages: 0,
         };
         let dir = std::env::temp_dir().join(format!("xt-csv-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);

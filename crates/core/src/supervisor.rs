@@ -41,6 +41,7 @@ use crate::deployment::{
     build_agent, build_algorithm, build_algorithm_with_replay, build_env, build_replay_plane,
     spawn_process, DeployError,
 };
+use crate::elastic::{ElasticConfig, ElasticController, ElasticDecision};
 use crate::explorer::{ExplorerOutcome, ExplorerProcess, RolloutRoute};
 use crate::learner::{LearnerOutcome, LearnerProcess};
 use crate::shard::LearnerShardProcess;
@@ -77,6 +78,14 @@ pub struct SupervisionConfig {
     /// Supervisor poll period (milliseconds): heartbeat drain, detector
     /// sweep, and join-handle reaping happen once per tick.
     pub poll_interval_ms: u64,
+    /// Monitor heartbeat-sink shards. Every beacon hashes onto one of this
+    /// many monitor endpoints (stable per sender, so inter-arrival stays
+    /// meaningful), letting the heartbeat fan-in scale past one inbox at
+    /// 1K+ explorers.
+    pub monitor_shards: u32,
+    /// Elastic explorer-pool policy (`None` = the pool stays at the
+    /// configured size).
+    pub elastic: Option<ElasticConfig>,
 }
 
 impl Default for SupervisionConfig {
@@ -95,7 +104,21 @@ impl SupervisionConfig {
             max_respawns_per_explorer: 2,
             max_learner_restores: 2,
             poll_interval_ms: (interval_ms / 4).max(1),
+            monitor_shards: 1,
+            elastic: None,
         }
+    }
+
+    /// Shards the monitor heartbeat sink (builder style; clamped to ≥ 1).
+    pub fn with_monitor_shards(mut self, shards: u32) -> Self {
+        self.monitor_shards = shards.max(1);
+        self
+    }
+
+    /// Enables the elastic explorer pool (builder style).
+    pub fn with_elastic(mut self, elastic: ElasticConfig) -> Self {
+        self.elastic = Some(elastic);
+        self
     }
 }
 
@@ -124,6 +147,14 @@ pub struct RecoveryReport {
     /// (always 0 for in-learner replay) — anything nonzero is a torn ingest
     /// left behind by a crash.
     pub dangling_replay_slots: usize,
+    /// Explorers the elastic mode spawned beyond the configured pool (0 when
+    /// elastic supervision is off).
+    pub elastic_spawns: u32,
+    /// Elastic explorers retired after the backpressure signal cleared.
+    pub elastic_retires: u32,
+    /// Largest explorer-pool size reached (the configured count when elastic
+    /// supervision is off).
+    pub peak_explorer_pool: u32,
 }
 
 impl RecoveryReport {
@@ -148,6 +179,9 @@ struct ExplorerSlot {
     /// Death is proven (joined `Err`) but the respawn waits for the failure
     /// detector to publish the matching `ProcessDown` first.
     awaiting_detection: bool,
+    /// The elastic controller retired this explorer: a targeted shutdown is
+    /// in flight and the slot must not be respawned.
+    retired: bool,
 }
 
 /// Handles and bookkeeping for one supervised learner shard (the classic
@@ -193,25 +227,39 @@ impl Deployment {
         let comm = config
             .comm
             .clone()
-            .with_heartbeat(supervision.heartbeat_interval_ms, MONITOR);
+            .with_heartbeat(supervision.heartbeat_interval_ms, MONITOR)
+            .with_monitor_shards(supervision.monitor_shards);
         let brokers: Vec<Broker> = (0..cluster.len())
             .map(|m| Broker::with_telemetry(m, cluster.clone(), comm.clone(), telemetry.clone()))
             .collect();
         connect_brokers(&brokers);
 
-        // The monitor endpoint must exist before any beaconing endpoint: the
-        // very first heartbeat fires at endpoint spawn and needs a route.
-        let monitor_ep = brokers[config.learner_machine].endpoint(MONITOR);
+        // Every monitor-shard endpoint must exist before any beaconing
+        // endpoint: the very first heartbeat fires at endpoint spawn and
+        // needs a route. Beacons hash onto shards per sender pid.
+        let monitor_eps: Vec<Endpoint> = comm
+            .heartbeat
+            .expect("heartbeat configured above")
+            .monitor_pids()
+            .into_iter()
+            .map(|pid| brokers[config.learner_machine].endpoint(pid))
+            .collect();
+        let drain_monitors = |detector: &FailureDetector| {
+            for ep in &monitor_eps {
+                while let Some(msg) = ep.try_recv() {
+                    detector.observe_message(&msg.header);
+                }
+            }
+        };
         plan.install(&cluster, &brokers);
 
         let shards = config.learner_shards as u32;
         let detector = FailureDetector::new(supervision.detector, telemetry.clone());
-        for s in 0..shards.max(1) {
-            detector.watch(ProcessId::learner(s));
-        }
-        for i in 0..num_explorers {
-            detector.watch(ProcessId::explorer(i));
-        }
+        detector.watch_many(
+            (0..shards.max(1))
+                .map(ProcessId::learner)
+                .chain((0..num_explorers).map(ProcessId::explorer)),
+        );
 
         // Store-resident replay: the shard service lives beside the learner's
         // broker and outlives learner incarnations — experience survives a
@@ -376,15 +424,26 @@ impl Deployment {
         }
         let mut rollout_latency_src = rollout_latency_src.expect("at least one learner shard");
 
+        // Elastic explorers have indices beyond the configured placement
+        // table; they round-robin over the cluster's machines instead.
+        let machine_of = |i: u32| -> usize {
+            if i < num_explorers {
+                config.explorer_machine(i)
+            } else {
+                i as usize % cluster.len()
+            }
+        };
+
         let mut slots: Vec<ExplorerSlot> = Vec::with_capacity(num_explorers as usize);
         for i in 0..num_explorers {
-            let endpoint = brokers[config.explorer_machine(i)].endpoint(ProcessId::explorer(i));
+            let endpoint = brokers[machine_of(i)].endpoint(ProcessId::explorer(i));
             let probe = Some(plan.probe_for(ProcessId::explorer(i), Some(cluster.time_source())));
             slots.push(ExplorerSlot {
                 handle: Some(spawn_explorer(i, 0, endpoint, probe)?),
                 respawns: 0,
                 outcomes: Vec::new(),
                 awaiting_detection: false,
+                retired: false,
             });
         }
 
@@ -410,12 +469,28 @@ impl Deployment {
         let mut learner_restores = 0u32;
         let mut restored_param_version: Option<u64> = None;
 
+        // Elastic pool state: the controller tracks intent; `slots` beyond
+        // `num_explorers` are the elastic incarnations it materialized.
+        let mut elastic =
+            supervision.elastic.clone().map(|cfg| ElasticController::new(cfg, num_explorers));
+        let mut elastic_spawns = 0u32;
+        let mut elastic_retires = 0u32;
+        let mut peak_explorer_pool = num_explorers;
+        // Retired explorers keep beaconing until their targeted shutdown
+        // lands, and `observe` auto-registers unknown pids — so a retiree's
+        // trailing beats would re-enter the detector after the reap's
+        // `forget` and later sweep to a spurious Down. Re-forgetting every
+        // tick keeps them out for good.
+        let mut retired_pids: Vec<ProcessId> = Vec::new();
+
         // ---- Supervision loop -------------------------------------------
         let poll = Duration::from_millis(supervision.poll_interval_ms.max(1));
         loop {
-            // 1. Feed the detector: drain heartbeats, sweep for silence.
-            while let Some(msg) = monitor_ep.try_recv() {
-                detector.observe_message(&msg.header);
+            // 1. Feed the detector: drain every monitor shard, sweep for
+            // silence.
+            drain_monitors(&detector);
+            for &pid in &retired_pids {
+                detector.forget(pid);
             }
             detector.sweep();
 
@@ -434,7 +509,10 @@ impl Deployment {
                             detector.forget(pid);
                             slot.outcomes.push(outcome);
                         }
-                        Err(_) if slot.respawns < supervision.max_respawns_per_explorer => {
+                        Err(_)
+                            if !slot.retired
+                                && slot.respawns < supervision.max_respawns_per_explorer =>
+                        {
                             slot.awaiting_detection = true;
                         }
                         Err(_) => {
@@ -450,7 +528,7 @@ impl Deployment {
                     slot.awaiting_detection = false;
                     slot.respawns += 1;
                     let generation = slot.respawns;
-                    let endpoint = brokers[config.explorer_machine(i_u32)].endpoint(pid);
+                    let endpoint = brokers[machine_of(i_u32)].endpoint(pid);
                     match spawn_explorer(i_u32, generation, endpoint, None) {
                         Ok(h) => {
                             explorer_respawns.push(i_u32);
@@ -538,7 +616,75 @@ impl Deployment {
                 }
             }
 
-            // 4. The controller ending the run ends supervision.
+            // 4. Elastic pool control: fold the brokers' *data-plane* store
+            // occupancy — the channel's in-flight backpressure signal — into
+            // the watermark policy and execute its decision. Control-plane
+            // traffic (parameter broadcasts, stats) bypasses the capacity
+            // gate and is excluded, so a chatty learner cannot pin the
+            // signal above the low watermark and stall the drain.
+            if let Some(ctl) = elastic.as_mut() {
+                let occupancy =
+                    brokers.iter().map(|b| b.store().data_occupancy()).fold(0.0f64, f64::max);
+                match ctl.decide(occupancy) {
+                    ElasticDecision::Grow(n) => {
+                        for _ in 0..n {
+                            let i = slots.len() as u32;
+                            let pid = ProcessId::explorer(i);
+                            // Owner first, then endpoint, then spawn: the new
+                            // explorer's first rollout must resolve an owner
+                            // and its first heartbeat must find the detector
+                            // already watching.
+                            table.register(i);
+                            detector.watch(pid);
+                            let endpoint = brokers[machine_of(i)].endpoint(pid);
+                            match spawn_explorer(i, 0, endpoint, None) {
+                                Ok(h) => {
+                                    elastic_spawns += 1;
+                                    slots.push(ExplorerSlot {
+                                        handle: Some(h),
+                                        respawns: 0,
+                                        outcomes: Vec::new(),
+                                        awaiting_detection: false,
+                                        retired: false,
+                                    });
+                                }
+                                Err(e) => {
+                                    detector.forget(pid);
+                                    eprintln!("supervisor: cannot grow explorer pool: {e}");
+                                }
+                            }
+                        }
+                        peak_explorer_pool = peak_explorer_pool.max(slots.len() as u32);
+                    }
+                    ElasticDecision::Shrink(n) => {
+                        // Retire the highest-index live elastic explorers
+                        // with a targeted shutdown; the ordinary reap path
+                        // joins them and forgets their pids.
+                        let mut remaining = n;
+                        for i in (num_explorers as usize..slots.len()).rev() {
+                            if remaining == 0 {
+                                break;
+                            }
+                            let slot = &mut slots[i];
+                            if slot.retired || slot.handle.is_none() {
+                                continue;
+                            }
+                            slot.retired = true;
+                            elastic_retires += 1;
+                            remaining -= 1;
+                            retired_pids.push(ProcessId::explorer(i as u32));
+                            monitor_eps[0].send_to(
+                                vec![ProcessId::explorer(i as u32)],
+                                MessageKind::Control,
+                                Bytes::from(crate::messages::ControlCommand::Shutdown.to_bytes()),
+                            );
+                        }
+                    }
+                    ElasticDecision::Hold => {}
+                }
+            }
+
+            // 5. The controller ending the run ends supervision.
             if controller_handle.is_finished() {
                 break;
             }
@@ -553,9 +699,11 @@ impl Deployment {
         // A process respawned *after* the controller broadcast shutdown never
         // saw the command; one more broadcast from the monitor endpoint
         // guarantees every live process gets it (shutdown is idempotent).
-        let mut dst: Vec<ProcessId> = (0..num_explorers).map(ProcessId::explorer).collect();
+        // The broadcast covers the *peak* pool: elastic explorers have
+        // indices beyond the count the controller knew about.
+        let mut dst: Vec<ProcessId> = (0..slots.len() as u32).map(ProcessId::explorer).collect();
         dst.extend((0..shards.max(1)).map(ProcessId::learner));
-        monitor_ep.send_to(
+        monitor_eps[0].send_to(
             dst,
             MessageKind::Control,
             Bytes::from(crate::messages::ControlCommand::Shutdown.to_bytes()),
@@ -614,22 +762,26 @@ impl Deployment {
         // leftovers a leak.
         let drain_deadline = Instant::now() + Duration::from_secs(2);
         let leaked_objects = loop {
-            while let Some(msg) = monitor_ep.try_recv() {
-                detector.observe_message(&msg.header);
-            }
+            drain_monitors(&detector);
             let remaining: usize = brokers.iter().map(|b| b.store().len()).sum();
             if remaining == 0 || Instant::now() >= drain_deadline {
                 break remaining;
             }
             std::thread::sleep(Duration::from_millis(2));
         };
+        for &pid in &retired_pids {
+            detector.forget(pid);
+        }
         let down_at_exit = detector.down();
         let transitions = detector.transitions();
-        monitor_ep.close();
+        for ep in &monitor_eps {
+            ep.close();
+        }
         let wall_time = start.elapsed();
         for b in &brokers {
             b.shutdown();
         }
+        let dropped_messages: u64 = brokers.iter().map(Broker::dropped).sum();
 
         let mut episode_returns = Vec::new();
         for slot in &slots {
@@ -683,6 +835,7 @@ impl Deployment {
             final_params: last.final_params,
             learner_shard_params,
             replay,
+            dropped_messages,
         };
         let recovery = RecoveryReport {
             explorer_respawns,
@@ -693,6 +846,9 @@ impl Deployment {
             down_at_exit,
             leaked_objects,
             dangling_replay_slots,
+            elastic_spawns,
+            elastic_retires,
+            peak_explorer_pool,
         };
         Ok((report, recovery))
     }

@@ -37,6 +37,53 @@ pub trait Environment: Send {
     fn name(&self) -> &str;
 }
 
+/// Wraps any environment with a fixed per-step latency, emulating a slower
+/// simulator (or a remote one) without changing its dynamics.
+///
+/// Classic-control environments step in nanoseconds, which makes every
+/// deployment built on them compute-free on the explorer side; throughput
+/// studies need the step cost to be a controlled variable. [`Paced`] sleeps
+/// for the configured latency inside [`Environment::step`] — `reset` is left
+/// unpaced, matching the synthetic Atari environments, which only charge
+/// latency per frame.
+#[derive(Debug)]
+pub struct Paced<E> {
+    inner: E,
+    latency: std::time::Duration,
+}
+
+impl<E: Environment> Paced<E> {
+    /// Wraps `inner`, charging `latency_us` microseconds per step.
+    pub fn new(inner: E, latency_us: u64) -> Self {
+        Paced { inner, latency: std::time::Duration::from_micros(latency_us) }
+    }
+}
+
+impl<E: Environment> Environment for Paced<E> {
+    fn observation_dim(&self) -> usize {
+        self.inner.observation_dim()
+    }
+
+    fn num_actions(&self) -> usize {
+        self.inner.num_actions()
+    }
+
+    fn reset(&mut self) -> Vec<f32> {
+        self.inner.reset()
+    }
+
+    fn step(&mut self, action: usize) -> StepResult {
+        if !self.latency.is_zero() {
+            std::thread::sleep(self.latency);
+        }
+        self.inner.step(action)
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
 impl Environment for Box<dyn Environment> {
     fn observation_dim(&self) -> usize {
         (**self).observation_dim()

@@ -133,6 +133,23 @@ impl FailureDetector {
         });
     }
 
+    /// Starts watching every pid in `pids` under one lock acquisition — the
+    /// bulk path for deployments registering 1K+ explorers at launch, where
+    /// per-pid locking would contend with the monitor drain already feeding
+    /// `observe`. Idempotent per pid, like [`FailureDetector::watch`].
+    pub fn watch_many(&self, pids: impl IntoIterator<Item = ProcessId>) {
+        let mut watched = self.watched.lock();
+        let now = Instant::now();
+        for pid in pids {
+            watched.entry(pid).or_insert_with(|| Watched {
+                last_beat: now,
+                ewma_interval_ns: 0.0,
+                beats: 0,
+                down: false,
+            });
+        }
+    }
+
     /// Stops watching `pid` (deliberate teardown must not read as failure).
     pub fn forget(&self, pid: ProcessId) {
         self.watched.lock().remove(&pid);
@@ -346,6 +363,16 @@ mod tests {
         assert!(d.observe_message(&beat));
         assert!(!d.observe_message(&rollout));
         assert_eq!(d.beats(ProcessId::explorer(1)), 1);
+    }
+
+    #[test]
+    fn watch_many_registers_in_bulk() {
+        let d = FailureDetector::new(fast_config(), Telemetry::disabled());
+        d.observe(ProcessId::explorer(0)); // pre-existing entry survives the bulk add
+        d.watch_many((0..1024).map(ProcessId::explorer));
+        assert_eq!(d.beats(ProcessId::explorer(0)), 1, "watch_many is idempotent");
+        assert_eq!(d.liveness(ProcessId::explorer(1023)), Some(Liveness::Alive));
+        assert!(d.sweep().is_empty(), "bulk registration baselines everyone at now");
     }
 
     #[test]

@@ -10,23 +10,29 @@
 //! verdict for a given delivery is a function of the delivery alone.
 
 use crate::plan::RouteRule;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use xingtian_comm::{InjectDecision, RouteInjector};
 use xingtian_message::{Header, ProcessId};
 
 /// Executes a [`FaultPlan`](crate::plan::FaultPlan)'s route rules as a
 /// broker-side [`RouteInjector`].
+///
+/// Windowed rules ([`RouteRule::during_ms`]) are measured from this
+/// injector's construction, which [`FaultPlan::install`](crate::plan::FaultPlan::install)
+/// performs at deployment start — the same origin the link-fault schedule's
+/// virtual clock is anchored to.
 #[derive(Debug)]
 pub struct PlanInjector {
     seed: u64,
     rules: Vec<RouteRule>,
+    installed: Instant,
 }
 
 impl PlanInjector {
     /// An injector executing `rules` (first match wins), with all rolls
     /// derived from `seed`.
     pub fn new(seed: u64, rules: Vec<RouteRule>) -> Self {
-        PlanInjector { seed, rules }
+        PlanInjector { seed, rules, installed: Instant::now() }
     }
 
     /// A pure roll in `[0, 1)` for one (delivery, salt) pair.
@@ -49,8 +55,11 @@ impl PlanInjector {
 
 impl RouteInjector for PlanInjector {
     fn decide(&self, header: &Header, dst: ProcessId) -> InjectDecision {
-        let Some(rule) =
-            self.rules.iter().find(|r| r.matches(header.kind, header.src, dst))
+        let elapsed_ms = self.installed.elapsed().as_millis() as u64;
+        let Some(rule) = self
+            .rules
+            .iter()
+            .find(|r| r.active_at(elapsed_ms) && r.matches(header.kind, header.src, dst))
         else {
             return InjectDecision::Deliver;
         };

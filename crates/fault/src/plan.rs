@@ -70,6 +70,12 @@ pub struct RouteRule {
     pub delay_prob: f64,
     /// How long a delayed delivery is parked, in milliseconds.
     pub delay_ms: u64,
+    /// The rule is active only from this many milliseconds after the plan is
+    /// installed (`None` = from the start).
+    pub active_from_ms: Option<u64>,
+    /// The rule deactivates at this many milliseconds after the plan is
+    /// installed (`None` = never).
+    pub active_until_ms: Option<u64>,
 }
 
 impl RouteRule {
@@ -85,7 +91,33 @@ impl RouteRule {
             duplicate_copies: 1,
             delay_prob: 0.0,
             delay_ms: 0,
+            active_from_ms: None,
+            active_until_ms: None,
         }
+    }
+
+    /// Restricts the rule to a window of the run: deliveries are matched only
+    /// between `from_ms` (inclusive) and `until_ms` (exclusive) after the
+    /// plan's injector is installed (builder style). Windowed rules shape
+    /// *temporal* fault scenarios — a congestion burst, a flaky period — the
+    /// way [`netsim::LinkFault`] windows shape link schedules. The verdict
+    /// rolls inside the window stay pure hashes; only rule *activation*
+    /// depends on delivery time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty.
+    pub fn during_ms(mut self, from_ms: u64, until_ms: u64) -> Self {
+        assert!(from_ms < until_ms, "rule window [{from_ms}, {until_ms}) is empty");
+        self.active_from_ms = Some(from_ms);
+        self.active_until_ms = Some(until_ms);
+        self
+    }
+
+    /// Whether the rule is active `elapsed_ms` after its plan was installed.
+    pub fn active_at(&self, elapsed_ms: u64) -> bool {
+        self.active_from_ms.is_none_or(|f| elapsed_ms >= f)
+            && self.active_until_ms.is_none_or(|u| elapsed_ms < u)
     }
 
     /// Restricts the rule to messages of `kind` (builder style).
@@ -316,6 +348,18 @@ mod tests {
         assert!(!rule.matches(MessageKind::Stats, ProcessId::explorer(2), ProcessId::learner(0)));
         assert!(!rule.matches(MessageKind::Rollout, ProcessId::learner(0), ProcessId::learner(0)));
         assert!(!rule.matches(MessageKind::Rollout, ProcessId::explorer(2), ProcessId::controller(0)));
+    }
+
+    #[test]
+    fn windowed_rules_activate_only_inside_their_window() {
+        let rule = RouteRule::any().delaying(1.0, 10).during_ms(100, 200);
+        assert!(!rule.active_at(0));
+        assert!(!rule.active_at(99));
+        assert!(rule.active_at(100));
+        assert!(rule.active_at(199));
+        assert!(!rule.active_at(200));
+        let open = RouteRule::any().dropping(1.0);
+        assert!(open.active_at(0) && open.active_at(u64::MAX));
     }
 
     #[test]
