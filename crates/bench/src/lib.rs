@@ -268,15 +268,16 @@ fn print_stage_breakdown(system: &str, telemetry: &xt_telemetry::Telemetry) {
         telemetry.dropped_events()
     );
     for (name, h) in breakdown.stages() {
-        if h.count() == 0 {
+        let s = h.summary();
+        if s.count == 0 {
             continue;
         }
         println!(
             "  {name:<9} n={:<7} mean={:<9} p50={:<9} p99={}",
-            h.count(),
-            fmt_dur(Duration::from_nanos(h.mean())),
-            fmt_dur(Duration::from_nanos(h.quantile(0.5))),
-            fmt_dur(Duration::from_nanos(h.quantile(0.99))),
+            s.count,
+            fmt_dur(Duration::from_nanos(s.mean)),
+            fmt_dur(Duration::from_nanos(s.p50)),
+            fmt_dur(Duration::from_nanos(s.p99)),
         );
     }
 }

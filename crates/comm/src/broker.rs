@@ -399,7 +399,10 @@ impl Broker {
         // again — a self-deadlock where capacity waits on the only process
         // that frees capacity. Their in-flight volume is bounded by the
         // learner's own training pace, not by explorer fan-in, so the bypass
-        // cannot run away.
+        // cannot run away. Inference traffic (InferRequest/InferReply) is
+        // latency-SLO bound: a millisecond-budget query must never queue
+        // behind a back-pressured rollout stream, and serving replicas bound
+        // their own admission with explicit sheds, so the lane stays finite.
         let stored_len = body.len() as u64;
         self.shared.wire_bytes[header.compression.discriminant() as usize].add(stored_len);
         if header.kind == xingtian_message::MessageKind::Parameters {
@@ -412,7 +415,9 @@ impl Broker {
             | xingtian_message::MessageKind::SampleRequest
             | xingtian_message::MessageKind::ReplayNotice
             | xingtian_message::MessageKind::ParamAck
-            | xingtian_message::MessageKind::Parameters => {
+            | xingtian_message::MessageKind::Parameters
+            | xingtian_message::MessageKind::InferRequest
+            | xingtian_message::MessageKind::InferReply => {
                 self.shared.store.insert_priority(body, plan.fanout())
             }
             _ => self.shared.store.insert(body, plan.fanout()),

@@ -59,6 +59,12 @@ impl TransmissionStats {
         Duration::from_nanos(self.hist.quantile(q))
     }
 
+    /// One-call p50/p90/p99 digest of the recorded samples (nanoseconds),
+    /// straight from [`xt_telemetry::Summary`].
+    pub fn summary(&self) -> xt_telemetry::Summary {
+        self.hist.summary()
+    }
+
     /// Fraction of samples at or below `threshold` (the CDF evaluated at
     /// `threshold`), or 0.0 if empty.
     pub fn cdf_at(&self, threshold: Duration) -> f64 {

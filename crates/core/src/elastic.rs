@@ -179,6 +179,61 @@ mod tests {
     }
 
     #[test]
+    fn watermark_edges_are_inclusive() {
+        let mut ctl = ElasticController::new(
+            ElasticConfig { cooldown_ticks: 0, ..config() },
+            4,
+        );
+        // A signal sitting exactly on the high watermark already grows...
+        assert_eq!(ctl.decide(0.6), ElasticDecision::Grow(2));
+        // ...and exactly on the low watermark already shrinks.
+        assert_eq!(ctl.decide(0.2), ElasticDecision::Shrink(2));
+        assert_eq!(ctl.pool(), 4);
+        // Just inside the band, both edges hold.
+        ctl.decide(0.6); // pool 6 again
+        assert_eq!(ctl.decide(0.2 + f64::EPSILON), ElasticDecision::Hold);
+        assert_eq!(ctl.decide(0.6 - f64::EPSILON), ElasticDecision::Hold);
+        assert_eq!(ctl.pool(), 6);
+    }
+
+    #[test]
+    fn saturated_ceiling_never_overshoots() {
+        let mut ctl = ElasticController::new(
+            ElasticConfig { cooldown_ticks: 0, ..config() },
+            4,
+        );
+        ctl.decide(1.0);
+        ctl.decide(1.0);
+        assert_eq!(ctl.pool(), 8, "at the ceiling");
+        // Sustained maximum pressure at the ceiling: hold forever, the pool
+        // must never exceed max_explorers.
+        for _ in 0..20 {
+            assert_eq!(ctl.decide(1.0), ElasticDecision::Hold);
+            assert_eq!(ctl.pool(), 8);
+        }
+    }
+
+    #[test]
+    fn saturated_floor_never_undershoots() {
+        let mut ctl = ElasticController::new(
+            ElasticConfig { cooldown_ticks: 0, ..config() },
+            4,
+        );
+        // Never grew: sustained zero signal must not dig below the base.
+        for _ in 0..20 {
+            assert_eq!(ctl.decide(0.0), ElasticDecision::Hold);
+            assert_eq!(ctl.pool(), 4);
+        }
+        // After a grow/shrink round trip the floor still holds.
+        ctl.decide(1.0);
+        assert_eq!(ctl.decide(0.0), ElasticDecision::Shrink(2));
+        for _ in 0..20 {
+            assert_eq!(ctl.decide(0.0), ElasticDecision::Hold);
+            assert_eq!(ctl.pool(), 4);
+        }
+    }
+
+    #[test]
     fn partial_steps_at_the_boundaries() {
         let mut ctl = ElasticController::new(
             ElasticConfig { max_explorers: 5, step: 2, cooldown_ticks: 0, ..config() },

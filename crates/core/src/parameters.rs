@@ -441,6 +441,78 @@ mod tests {
     }
 
     #[test]
+    fn replica_joining_mid_chain_converges_after_exactly_one_full_send() {
+        // The serving-plane attach case: a replica dies and its replacement
+        // joins mid-delta-chain holding no base version, while the
+        // broadcaster's bookkeeping still credits that index with the old
+        // chain. The join must cost exactly one full send — the nack
+        // rebases the broadcaster once, and the chain resumes as deltas
+        // for everyone.
+        let t = Telemetry::enabled();
+        let full_sends = t.counter("param.full_sends");
+        let mut tx = ParamBroadcaster::new(ParamCompression::DeltaF32, &t);
+        let mut veteran = ParamReceiver::new();
+        let mut original = ParamReceiver::new();
+
+        // Establish a chain to both destinations: one boot full send, then
+        // deltas, everyone acking.
+        let mut b = blob(1, 512, 3);
+        let enc = tx.encode(&b, &[0, 1]);
+        assert_eq!(veteran.ingest(enc.compression, &enc.body), IngestOutcome::Applied(1));
+        assert_eq!(original.ingest(enc.compression, &enc.body), IngestOutcome::Applied(1));
+        tx.on_ack(&ParamAck { explorer: 0, version: 1, applied: true });
+        tx.on_ack(&ParamAck { explorer: 1, version: 1, applied: true });
+        for _ in 0..3 {
+            b = drift(&b, 1e-3);
+            let enc = tx.encode(&b, &[0, 1]);
+            assert_eq!(enc.compression, CompressionKind::DeltaF32);
+            assert_eq!(veteran.ingest(enc.compression, &enc.body), IngestOutcome::Applied(b.version));
+            assert_eq!(original.ingest(enc.compression, &enc.body), IngestOutcome::Applied(b.version));
+            tx.on_ack(&ParamAck { explorer: 0, version: b.version, applied: true });
+            tx.on_ack(&ParamAck { explorer: 1, version: b.version, applied: true });
+        }
+        let boot_fulls = full_sends.get();
+
+        // Destination 1 respawns with empty state; the broadcaster does not
+        // know. The next broadcast is still a delta against the common base:
+        // the veteran applies it, the joiner holds no base and nacks.
+        let mut joiner = ParamReceiver::new();
+        drop(original);
+        b = drift(&b, 1e-3);
+        let enc = tx.encode(&b, &[0, 1]);
+        assert_eq!(enc.compression, CompressionKind::DeltaF32, "stale bookkeeping still deltas");
+        assert_eq!(veteran.ingest(enc.compression, &enc.body), IngestOutcome::Applied(b.version));
+        assert_eq!(joiner.ingest(enc.compression, &enc.body), IngestOutcome::Rejected { held: 0 });
+        tx.on_ack(&ParamAck { explorer: 0, version: b.version, applied: true });
+        tx.on_ack(&ParamAck { explorer: 1, version: 0, applied: false });
+
+        // Self-heal: the send after the nack is full, both sides apply it...
+        b = drift(&b, 1e-3);
+        let enc = tx.encode(&b, &[0, 1]);
+        assert_eq!(enc.compression, CompressionKind::None, "nack forces a rebase");
+        assert_eq!(veteran.ingest(enc.compression, &enc.body), IngestOutcome::Applied(b.version));
+        assert_eq!(joiner.ingest(enc.compression, &enc.body), IngestOutcome::Applied(b.version));
+        tx.on_ack(&ParamAck { explorer: 0, version: b.version, applied: true });
+        tx.on_ack(&ParamAck { explorer: 1, version: b.version, applied: true });
+        assert_eq!(full_sends.get(), boot_fulls + 1, "the join costs exactly one full send");
+
+        // ...and the chain resumes as deltas for the whole group, bit-exact.
+        for _ in 0..3 {
+            b = drift(&b, 1e-3);
+            let enc = tx.encode(&b, &[0, 1]);
+            assert_eq!(enc.compression, CompressionKind::DeltaF32);
+            assert_eq!(veteran.ingest(enc.compression, &enc.body), IngestOutcome::Applied(b.version));
+            assert_eq!(joiner.ingest(enc.compression, &enc.body), IngestOutcome::Applied(b.version));
+            tx.on_ack(&ParamAck { explorer: 0, version: b.version, applied: true });
+            tx.on_ack(&ParamAck { explorer: 1, version: b.version, applied: true });
+        }
+        assert_eq!(full_sends.get(), boot_fulls + 1, "no further full sends after healing");
+        for (a, c) in joiner.blob().params.iter().zip(&b.params) {
+            assert_eq!(a.to_bits(), c.to_bits(), "joiner reconstruction is bit-exact");
+        }
+    }
+
+    #[test]
     fn quantized_error_feedback_keeps_reconstruction_unbiased() {
         let t = Telemetry::disabled();
         let mut tx = ParamBroadcaster::new(ParamCompression::DeltaQuantizedI8, &t);

@@ -27,6 +27,9 @@ pub enum ProcessRole {
     /// Hosts a store-resident replay shard: ingests rollouts beside the
     /// object store and answers sample requests (xt-replay).
     Replay,
+    /// A policy-serving replica: answers observation→action inference
+    /// queries at high QPS from a hot-swappable policy snapshot (xt-serve).
+    Server,
 }
 
 impl fmt::Display for ProcessRole {
@@ -37,6 +40,7 @@ impl fmt::Display for ProcessRole {
             ProcessRole::Controller => write!(f, "controller"),
             ProcessRole::Broker => write!(f, "broker"),
             ProcessRole::Replay => write!(f, "replay"),
+            ProcessRole::Server => write!(f, "server"),
         }
     }
 }
@@ -77,6 +81,11 @@ impl ProcessId {
     /// Identifier of the `index`-th replay shard (xt-replay service).
     pub fn replay(index: u32) -> Self {
         ProcessId { role: ProcessRole::Replay, index }
+    }
+
+    /// Identifier of the `index`-th policy-serving replica (xt-serve).
+    pub fn server(index: u32) -> Self {
+        ProcessId { role: ProcessRole::Server, index }
     }
 }
 
@@ -123,6 +132,13 @@ pub enum MessageKind {
     /// An explorer-side gradient upload for communication-efficient training
     /// (LAPG, arXiv:1812.03239). Data plane: gradients are bulky.
     Gradient,
+    /// A client's observation batch bound for a policy-serving replica
+    /// (xt-serve). Rides the priority lane: a latency-SLO inference query
+    /// must never queue behind a back-pressured rollout stream.
+    InferRequest,
+    /// A serving replica's answer to an [`MessageKind::InferRequest`]: the
+    /// selected actions (or an explicit shed). Priority lane, same reasoning.
+    InferReply,
 }
 
 /// How a message body stored in the object store is compressed.

@@ -33,11 +33,13 @@ pub mod header;
 pub mod lz4;
 pub mod message;
 pub mod param;
+pub mod serve;
 
 pub use chunk::ChunkError;
 pub use header::{CompressionKind, Header, MessageKind, ProcessId, ProcessRole};
 pub use message::{Body, Message, COMPRESSION_THRESHOLD};
 pub use param::{ParamCodecError, ParamFrameHeader, QUANT_GROUP};
+pub use serve::{InferReply, InferRequest};
 
 use bytes::Bytes;
 

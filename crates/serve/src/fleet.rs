@@ -1,0 +1,352 @@
+//! The serving fleet: N replicas, consistent-hash routing, supervision.
+//!
+//! [`ServeFleet::start`] boots `replicas` serving processes from one
+//! parameter blob (typically `checkpoint::load_latest`). Clients pick their
+//! replica with the same splitmix hash the comm router uses for shard
+//! assignment ([`xingtian_comm::pid_hash`]), so a client sticks to one
+//! replica and the fleet spreads load without coordination.
+//!
+//! Supervision follows the training plane's supervisor idiom: [`poll`]
+//! notices serve loops that exited dirty (endpoint death), reloads the
+//! latest checkpoint (falling back to the dead replica's last in-memory
+//! policy), and respawns. [`shutdown`] broadcasts `Shutdown` to every
+//! replica and sink, which drain their in-flight requests before exiting.
+//!
+//! [`ParamPublisher`] is the learner-side attachment point: it wraps a
+//! [`ParamBroadcaster`] addressing the fleet's parameter sinks, so a live
+//! training loop (or a bench thread standing in for one) hot-swaps the
+//! whole fleet with the same delta/quantized frames explorers receive.
+//!
+//! [`poll`]: ServeFleet::poll
+//! [`shutdown`]: ServeFleet::shutdown
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bytes::Bytes;
+use xingtian::checkpoint::load_latest;
+use xingtian::messages::{ControlCommand, ParamAck};
+use xingtian::ParamBroadcaster;
+use xingtian_algos::ParamBlob;
+use xingtian_comm::{pid_hash, Broker, Endpoint, ParamCompression};
+use xingtian_message::codec::{Decode, Encode};
+use xingtian_message::{Header, Message, MessageKind, ProcessId};
+
+use crate::policy::{Policy, PolicyCell};
+use crate::replica::{run_param_sink, ReplicaOutcome, ServeReplica};
+use crate::{ServeConfig, CLIENT_OFFSET, PARAM_SINK_OFFSET};
+
+/// Controller index of the fleet's own control endpoint.
+const FLEET_CONTROL: u32 = CLIENT_OFFSET - 1;
+/// Controller index of the [`ParamPublisher`] endpoint (unbounded recv, so
+/// a burst of acks from a large fleet can never back-pressure the sender).
+const PUBLISHER: u32 = CLIENT_OFFSET - 2;
+
+/// Aggregate outcome of a fleet's lifetime.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FleetReport {
+    /// Requests answered with actions, summed over replicas.
+    pub served_requests: u64,
+    /// Observation rows inferred, summed over replicas.
+    pub served_rows: u64,
+    /// Requests answered with explicit `Shed` replies.
+    pub sheds: u64,
+    /// Serve loops respawned after dirty deaths.
+    pub respawns: u64,
+}
+
+struct ReplicaSlot {
+    index: u32,
+    cell: Arc<PolicyCell>,
+    serve: Option<JoinHandle<ReplicaOutcome>>,
+    sink: Option<JoinHandle<()>>,
+    /// Outcomes of serve loops that already exited (deaths before shutdown).
+    banked: ReplicaOutcome,
+}
+
+/// A running fleet of serving replicas. See the module docs.
+pub struct ServeFleet {
+    broker: Broker,
+    config: ServeConfig,
+    sizes: Vec<usize>,
+    control: Endpoint,
+    slots: Vec<ReplicaSlot>,
+    respawns: u64,
+}
+
+impl ServeFleet {
+    /// Boots `config.replicas` replicas, all serving `initial`.
+    pub fn start(broker: &Broker, config: ServeConfig, initial: &ParamBlob) -> Self {
+        config.validate();
+        let sizes = config.sizes();
+        let slots = (0..config.replicas as u32)
+            .map(|i| spawn_slot(broker, &config, &sizes, i, initial))
+            .collect();
+        ServeFleet {
+            broker: broker.clone(),
+            config,
+            sizes,
+            control: broker.endpoint(ProcessId::controller(FLEET_CONTROL)),
+            slots,
+            respawns: 0,
+        }
+    }
+
+    /// The replica `client` should address: consistent-hash assignment, so
+    /// each client sticks to one replica and load spreads uniformly.
+    pub fn replica_for(&self, client: ProcessId) -> ProcessId {
+        ProcessId::server((pid_hash(client) % self.slots.len() as u64) as u32)
+    }
+
+    /// Number of replicas.
+    pub fn replicas(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Parameter version each replica currently serves (test/ops probe).
+    pub fn versions(&self) -> Vec<u64> {
+        self.slots.iter().map(|s| s.cell.version()).collect()
+    }
+
+    /// Supervision tick: respawns serve loops that died dirty, reloading
+    /// the latest checkpoint when one is configured and readable, else the
+    /// dead replica's last in-memory policy. Returns respawns performed.
+    pub fn poll(&mut self) -> u64 {
+        let mut respawned = 0;
+        for slot in &mut self.slots {
+            let finished = slot.serve.as_ref().is_some_and(|h| h.is_finished());
+            if !finished {
+                continue;
+            }
+            let outcome =
+                slot.serve.take().expect("checked above").join().unwrap_or_default();
+            bank(&mut slot.banked, &outcome);
+            if outcome.clean {
+                continue; // orderly exit: do not resurrect
+            }
+            let blob = self
+                .config
+                .checkpoint_dir
+                .as_ref()
+                .and_then(|dir| load_latest(dir).ok())
+                .unwrap_or_else(|| slot.cell.load().to_blob());
+            if blob.version != slot.cell.version() {
+                slot.cell.publish(Arc::new(Policy::from_blob(&self.sizes, &blob)));
+            }
+            slot.serve = Some(spawn_serve(
+                &self.broker,
+                &self.config,
+                slot.index,
+                Arc::clone(&slot.cell),
+            ));
+            // The sink thread dies with its own endpoint; give it back too.
+            if slot.sink.as_ref().is_some_and(|h| h.is_finished()) {
+                let _ = slot.sink.take().expect("checked above").join();
+                slot.sink = Some(spawn_sink(
+                    &self.broker,
+                    &self.sizes,
+                    slot.index,
+                    Arc::clone(&slot.cell),
+                    blob,
+                ));
+            }
+            respawned += 1;
+        }
+        self.respawns += respawned;
+        respawned
+    }
+
+    /// Broadcasts `Shutdown`, waits for every replica to drain its in-flight
+    /// requests, and reports the fleet's lifetime totals.
+    pub fn shutdown(mut self) -> FleetReport {
+        let body = Bytes::from(ControlCommand::Shutdown.to_bytes());
+        for slot in &self.slots {
+            self.control.send_to(
+                vec![ProcessId::server(slot.index)],
+                MessageKind::Control,
+                body.clone(),
+            );
+            self.control.send_to(
+                vec![ProcessId::server(PARAM_SINK_OFFSET + slot.index)],
+                MessageKind::Control,
+                body.clone(),
+            );
+        }
+        let mut report = FleetReport { respawns: self.respawns, ..FleetReport::default() };
+        for slot in &mut self.slots {
+            if let Some(h) = slot.serve.take() {
+                let outcome = h.join().unwrap_or_default();
+                bank(&mut slot.banked, &outcome);
+            }
+            if let Some(h) = slot.sink.take() {
+                let _ = h.join();
+            }
+            report.served_requests += slot.banked.served_requests;
+            report.served_rows += slot.banked.served_rows;
+            report.sheds += slot.banked.sheds;
+        }
+        self.control.close();
+        report
+    }
+}
+
+fn bank(into: &mut ReplicaOutcome, outcome: &ReplicaOutcome) {
+    into.served_requests += outcome.served_requests;
+    into.served_rows += outcome.served_rows;
+    into.sheds += outcome.sheds;
+}
+
+fn spawn_slot(
+    broker: &Broker,
+    config: &ServeConfig,
+    sizes: &[usize],
+    index: u32,
+    blob: &ParamBlob,
+) -> ReplicaSlot {
+    let cell = Arc::new(PolicyCell::new(Arc::new(Policy::from_blob(sizes, blob))));
+    ReplicaSlot {
+        index,
+        cell: Arc::clone(&cell),
+        serve: Some(spawn_serve(broker, config, index, Arc::clone(&cell))),
+        sink: Some(spawn_sink(broker, sizes, index, cell, blob.clone())),
+        banked: ReplicaOutcome::default(),
+    }
+}
+
+fn spawn_serve(
+    broker: &Broker,
+    config: &ServeConfig,
+    index: u32,
+    cell: Arc<PolicyCell>,
+) -> JoinHandle<ReplicaOutcome> {
+    let replica = ServeReplica {
+        index,
+        endpoint: broker.endpoint(ProcessId::server(index)),
+        cell,
+        config: config.clone(),
+    };
+    std::thread::Builder::new()
+        .name(format!("serve-{index}"))
+        .spawn(move || replica.run())
+        .expect("spawn serve thread")
+}
+
+fn spawn_sink(
+    broker: &Broker,
+    sizes: &[usize],
+    index: u32,
+    cell: Arc<PolicyCell>,
+    seed: ParamBlob,
+) -> JoinHandle<()> {
+    let sink_index = PARAM_SINK_OFFSET + index;
+    let endpoint = broker.endpoint(ProcessId::server(sink_index));
+    let sizes = sizes.to_vec();
+    std::thread::Builder::new()
+        .name(format!("serve-sink-{index}"))
+        .spawn(move || run_param_sink(endpoint, cell, sizes, sink_index, seed))
+        .expect("spawn sink thread")
+}
+
+/// Learner-side attachment: broadcasts parameter versions to every replica's
+/// sink with the same delta/quantized encoder the training plane uses.
+pub struct ParamPublisher {
+    endpoint: Endpoint,
+    broadcaster: ParamBroadcaster,
+    sinks: Vec<u32>,
+    acked: u64,
+    nacked: u64,
+}
+
+impl ParamPublisher {
+    /// A publisher addressing a `replicas`-wide fleet on `broker`.
+    pub fn new(broker: &Broker, replicas: usize, compression: ParamCompression) -> Self {
+        let endpoint = broker.endpoint(ProcessId::controller(PUBLISHER));
+        let broadcaster = ParamBroadcaster::new(compression, endpoint.telemetry());
+        ParamPublisher {
+            endpoint,
+            broadcaster,
+            sinks: (0..replicas as u32).map(|i| PARAM_SINK_OFFSET + i).collect(),
+            acked: 0,
+            nacked: 0,
+        }
+    }
+
+    /// Broadcasts `blob` to every sink; returns the version sent.
+    ///
+    /// Folds in pending acks first so the encoder's delta-base bookkeeping
+    /// is as fresh as possible when it picks a common base.
+    pub fn publish(&mut self, blob: &ParamBlob) -> u64 {
+        self.publish_staggered(blob, Duration::ZERO)
+    }
+
+    /// Like [`publish`], but pauses `gap` between per-sink sends.
+    ///
+    /// A zero gap is one fanned-out broadcast. A small positive gap turns
+    /// the swap into a rolling update: each replica's sink wakes, rebuilds,
+    /// and acks in its own scheduling quantum instead of all at once — on
+    /// core-starved hosts a simultaneous fleet-wide swap is exactly the
+    /// kind of thundering herd that blows the inference tail latency.
+    ///
+    /// [`publish`]: ParamPublisher::publish
+    pub fn publish_staggered(&mut self, blob: &ParamBlob, gap: Duration) -> u64 {
+        self.pump_acks();
+        if gap.is_zero() {
+            let enc = self.broadcaster.encode(blob, &self.sinks);
+            let dst: Vec<ProcessId> =
+                self.sinks.iter().map(|&s| ProcessId::server(s)).collect();
+            self.send_parameters(dst, enc);
+            return blob.version;
+        }
+        for (i, &sink) in self.sinks.clone().iter().enumerate() {
+            if i > 0 {
+                std::thread::sleep(gap);
+                self.pump_acks();
+            }
+            let enc = self.broadcaster.encode(blob, &[sink]);
+            self.send_parameters(vec![ProcessId::server(sink)], enc);
+        }
+        blob.version
+    }
+
+    fn send_parameters(&self, dst: Vec<ProcessId>, enc: xingtian::EncodedBroadcast) {
+        let mut header = Header::new(self.endpoint.pid(), dst, MessageKind::Parameters)
+            .with_param_version(enc.version);
+        header.compression = enc.compression;
+        self.endpoint.send(Message::new(header, enc.body));
+    }
+
+    /// Drains ack/nack replies into the broadcaster. Returns acks folded.
+    pub fn pump_acks(&mut self) -> usize {
+        let mut n = 0;
+        while let Some(msg) = self.endpoint.try_recv() {
+            if msg.header.kind == MessageKind::ParamAck {
+                if let Ok(ack) = ParamAck::from_bytes(&msg.body) {
+                    if ack.applied {
+                        self.acked += 1;
+                    } else {
+                        self.nacked += 1;
+                    }
+                    self.broadcaster.on_ack(&ack);
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Positive acks folded so far.
+    pub fn acked(&self) -> u64 {
+        self.acked
+    }
+
+    /// Nacks folded so far (each one forces a rebase toward a full send).
+    pub fn nacked(&self) -> u64 {
+        self.nacked
+    }
+
+    /// Closes the publisher's endpoint.
+    pub fn close(self) {
+        self.endpoint.close();
+    }
+}

@@ -42,6 +42,25 @@ pub fn bucket_hi(b: usize) -> u64 {
     }
 }
 
+/// A [`Histogram`]'s percentile digest — see [`Histogram::summary`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Summary {
+    /// Values recorded.
+    pub count: u64,
+    /// Exact mean.
+    pub mean: u64,
+    /// Median (interpolated, clamped to recorded min/max).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Exact smallest recorded value.
+    pub min: u64,
+    /// Exact largest recorded value.
+    pub max: u64,
+}
+
 /// A concurrent, allocation-free, log-bucketed histogram.
 pub struct Histogram {
     buckets: [AtomicU64; BUCKETS],
@@ -163,6 +182,23 @@ impl Histogram {
         self.max()
     }
 
+    /// One-call percentile summary: count, mean, p50/p90/p99, min, max.
+    ///
+    /// The standard SLO readout — callers that used to re-derive each
+    /// percentile from bucket dumps (`quantile` per point) get the whole
+    /// digest from one bucket scan's worth of loads.
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count(),
+            mean: self.mean(),
+            p50: self.quantile(0.5),
+            p90: self.quantile(0.9),
+            p99: self.quantile(0.99),
+            min: self.min(),
+            max: self.max(),
+        }
+    }
+
     /// Fraction of recorded values ≤ `v` (CDF), interpolating inside the
     /// bucket containing `v`; 0.0 if empty.
     pub fn cdf_at(&self, v: u64) -> f64 {
@@ -206,6 +242,28 @@ impl std::fmt::Debug for Histogram {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn summary_matches_the_individual_accessors() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.mean, h.mean());
+        assert_eq!(s.p50, h.quantile(0.5));
+        assert_eq!(s.p90, h.quantile(0.9));
+        assert_eq!(s.p99, h.quantile(0.99));
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 1000);
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max);
+    }
+
+    #[test]
+    fn empty_summary_is_all_zero() {
+        assert_eq!(Histogram::new().summary(), Summary::default());
+    }
 
     #[test]
     fn bucket_edges_are_consistent() {

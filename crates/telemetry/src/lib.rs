@@ -35,7 +35,7 @@ pub mod span;
 pub mod timeline;
 
 pub use event::{Event, EventKind};
-pub use hist::Histogram;
+pub use hist::{Histogram, Summary};
 pub use link::LinkStats;
 pub use metrics::{Counter, Gauge, Registry};
 pub use ring::EventRing;
